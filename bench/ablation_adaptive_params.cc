@@ -1,0 +1,131 @@
+// Ablation — the adaptive protocol's parameters (paper Section 4.2):
+//   λ      the feedback coefficient (paper fixes λ = 1);
+//   α      the home access coefficient (paper derives it from Hockney's
+//          model; we compare the exact ratio, the paper's approximation,
+//          a constant 1, and 0 = positive feedback disabled);
+//   T_init the initial threshold (paper argues T_init = 1 speeds initial
+//          data relocation).
+// Measured on the synthetic benchmark at a transient (r=2) and a lasting
+// (r=16) repetition: the λ/α machinery is what buys robustness at r=2
+// without losing sensitivity at r=16.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/apps/synthetic.h"
+#include "src/util/csv.h"
+#include "src/util/table.h"
+
+namespace {
+
+using hmdsm::FmtF;
+using hmdsm::FmtI;
+using hmdsm::Table;
+
+struct Out {
+  double seconds;
+  std::uint64_t migrations;
+  std::uint64_t redirect_hops;
+};
+
+Out Run(int repetition, const hmdsm::core::AdaptiveParams& params) {
+  hmdsm::gos::VmOptions vm;
+  vm.nodes = 9;
+  vm.dsm.policy = "AT";
+  vm.dsm.adaptive = params;
+  // Keep caller-specified α/m½ knobs intact.
+  vm.dsm.pin_half_peak = true;
+  hmdsm::apps::SyntheticConfig cfg;
+  cfg.repetition = repetition;
+  cfg.target = hmdsm::bench::FullScale() ? 4096 : 512;
+  const auto res = hmdsm::apps::RunSynthetic(vm, cfg);
+  return Out{res.report.seconds, res.report.migrations,
+             res.report.redirect_hops};
+}
+
+hmdsm::core::AdaptiveParams Defaults() {
+  hmdsm::core::AdaptiveParams p;
+  p.half_peak_bytes = 875.0;  // matches the default Hockney model
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  hmdsm::bench::Banner("Ablation: adaptive parameters",
+                       "λ, α and T_init sensitivity (paper Section 4.2)");
+
+  // ---- λ sweep ----
+  std::cout << "\nfeedback coefficient λ (paper: 1):\n";
+  Table tl({"lambda", "r=2 time", "r=2 migs", "r=2 hops", "r=16 time",
+            "r=16 migs"});
+  hmdsm::CsvWriter csv_l(hmdsm::bench::CsvPath("ablation_lambda"));
+  csv_l.Row({"lambda", "r2_seconds", "r2_migrations", "r2_hops",
+             "r16_seconds", "r16_migrations"});
+  for (double lambda : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    auto p = Defaults();
+    p.feedback_coefficient = lambda;
+    const Out a = Run(2, p);
+    const Out b = Run(16, p);
+    tl.AddRow({FmtF(lambda, 2), FmtF(a.seconds * 1e3, 2) + " ms",
+               FmtI(a.migrations), FmtI(a.redirect_hops),
+               FmtF(b.seconds * 1e3, 2) + " ms", FmtI(b.migrations)});
+    csv_l.Row({FmtF(lambda, 2), FmtF(a.seconds, 6),
+               std::to_string(a.migrations), std::to_string(a.redirect_hops),
+               FmtF(b.seconds, 6), std::to_string(b.migrations)});
+  }
+  tl.Print(std::cout);
+
+  // ---- α variants ----
+  std::cout << "\nhome access coefficient α (paper: Hockney-derived):\n";
+  Table ta({"alpha", "r=2 time", "r=2 migs", "r=16 time", "r=16 migs"});
+  hmdsm::CsvWriter csv_a(hmdsm::bench::CsvPath("ablation_alpha"));
+  csv_a.Row({"alpha", "r2_seconds", "r2_migrations", "r16_seconds",
+             "r16_migrations"});
+  struct AlphaVariant {
+    const char* name;
+    bool approximate;
+    double fixed;
+  };
+  for (const AlphaVariant& v :
+       {AlphaVariant{"hockney-exact", false,
+                     std::numeric_limits<double>::quiet_NaN()},
+        AlphaVariant{"hockney-approx", true,
+                     std::numeric_limits<double>::quiet_NaN()},
+        AlphaVariant{"fixed-1", false, 1.0},
+        AlphaVariant{"fixed-0 (no E)", false, 0.0}}) {
+    auto p = Defaults();
+    p.approximate_alpha = v.approximate;
+    p.fixed_alpha = v.fixed;
+    const Out a = Run(2, p);
+    const Out b = Run(16, p);
+    ta.AddRow({v.name, FmtF(a.seconds * 1e3, 2) + " ms", FmtI(a.migrations),
+               FmtF(b.seconds * 1e3, 2) + " ms", FmtI(b.migrations)});
+    csv_a.Row({v.name, FmtF(a.seconds, 6), std::to_string(a.migrations),
+               FmtF(b.seconds, 6), std::to_string(b.migrations)});
+  }
+  ta.Print(std::cout);
+
+  // ---- T_init sweep ----
+  std::cout << "\ninitial threshold T_init (paper: 1, to speed up initial "
+               "relocation):\n";
+  Table ti({"t_init", "r=2 time", "r=2 migs", "r=16 time", "r=16 migs"});
+  hmdsm::CsvWriter csv_t(hmdsm::bench::CsvPath("ablation_tinit"));
+  csv_t.Row({"t_init", "r2_seconds", "r2_migrations", "r16_seconds",
+             "r16_migrations"});
+  for (double tinit : {1.0, 2.0, 4.0, 8.0}) {
+    auto p = Defaults();
+    p.initial_threshold = tinit;
+    const Out a = Run(2, p);
+    const Out b = Run(16, p);
+    ti.AddRow({FmtF(tinit, 0), FmtF(a.seconds * 1e3, 2) + " ms",
+               FmtI(a.migrations), FmtF(b.seconds * 1e3, 2) + " ms",
+               FmtI(b.migrations)});
+    csv_t.Row({FmtF(tinit, 0), FmtF(a.seconds, 6),
+               std::to_string(a.migrations), FmtF(b.seconds, 6),
+               std::to_string(b.migrations)});
+  }
+  ti.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Ablation — protocol family shoot-out across all workloads.
+//
+// Adds the related-work baselines the paper discusses in Section 2:
+//  * MH (JUMP-style): the home follows every faulting node, ignoring
+//    access history — its "worst case happens when the shared page is
+//    written by processes sequentially" shows up as a redirection storm
+//    on the synthetic benchmark and TSP's bound object;
+//  * BR (Jidia-style): objects written by exactly one process between two
+//    barriers migrate to that writer — competitive on the barrier apps
+//    (ASP/SOR) but inert on the lock-based synthetic benchmark, the
+//    paper's "will not work if the application does not use barriers".
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/apps/asp.h"
+#include "src/apps/sor.h"
+#include "src/apps/synthetic.h"
+#include "src/apps/tsp.h"
+#include "src/util/csv.h"
+#include "src/util/table.h"
+
+namespace {
+
+using hmdsm::FmtI;
+using hmdsm::FmtSeconds;
+using hmdsm::Table;
+using hmdsm::gos::RunReport;
+
+RunReport RunOne(const std::string& app, const std::string& policy) {
+  const bool full = hmdsm::bench::FullScale();
+  hmdsm::gos::VmOptions vm;
+  vm.nodes = 8;
+  vm.dsm.policy = policy;
+  if (app == "asp") {
+    hmdsm::apps::AspConfig cfg;
+    cfg.n = full ? 512 : 128;
+    return hmdsm::apps::RunAsp(vm, cfg).report;
+  }
+  if (app == "sor") {
+    hmdsm::apps::SorConfig cfg;
+    cfg.n = full ? 1024 : 128;
+    return hmdsm::apps::RunSor(vm, cfg).report;
+  }
+  if (app == "tsp") {
+    hmdsm::apps::TspConfig cfg;
+    cfg.cities = full ? 12 : 10;
+    return hmdsm::apps::RunTsp(vm, cfg).report;
+  }
+  // synthetic, transient pattern r=2 — the worst case for naive migration
+  vm.nodes = 9;
+  hmdsm::apps::SyntheticConfig cfg;
+  cfg.repetition = 2;
+  cfg.target = full ? 4096 : 512;
+  return hmdsm::apps::RunSynthetic(vm, cfg).report;
+}
+
+}  // namespace
+
+int main() {
+  hmdsm::bench::Banner("Ablation: protocol baselines",
+                       "NoHM vs FT1 vs FT2 vs MH (JUMP-style) vs AT on every "
+                       "workload");
+  const std::vector<std::string> policies{"NoHM", "FT1", "FT2",
+                                          "MH",   "BR",  "AT"};
+  for (const std::string& app :
+       {std::string("asp"), std::string("sor"), std::string("tsp"),
+        std::string("synthetic_r2")}) {
+    std::cout << "\n" << app << ":\n";
+    Table t({"policy", "exec time", "messages", "migrations",
+             "redirect hops"});
+    hmdsm::CsvWriter csv(hmdsm::bench::CsvPath("ablation_baselines_" + app));
+    csv.Row({"policy", "seconds", "messages", "migrations", "redirect_hops"});
+    for (const std::string& policy : policies) {
+      const RunReport r = RunOne(app, policy);
+      t.AddRow({policy, FmtSeconds(r.seconds), FmtI(r.messages),
+                FmtI(r.migrations), FmtI(r.redirect_hops)});
+      csv.Row({policy, hmdsm::FmtF(r.seconds, 6), std::to_string(r.messages),
+               std::to_string(r.migrations),
+               std::to_string(r.redirect_hops)});
+    }
+    t.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation — home location notification mechanisms (paper Section 3.2).
+//
+// The paper discusses three mechanisms (broadcast, home manager, forwarding
+// pointer) and argues the trade-off depends on how often migrated objects
+// are visited by how many nodes. This bench quantifies all three under the
+// adaptive protocol on two contrasting workloads:
+//   * synthetic r=16 (few readers, frequent writer churn): forwarding
+//     pointers should win — notifications would mostly be wasted;
+//   * ASP (every node reads every migrated row): broadcast's eager
+//     notification pays for itself by avoiding redirect chains.
+#include <iostream>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/apps/asp.h"
+#include "src/apps/synthetic.h"
+#include "src/util/csv.h"
+#include "src/util/table.h"
+
+namespace {
+
+using hmdsm::FmtI;
+using hmdsm::FmtSeconds;
+using hmdsm::Table;
+using hmdsm::dsm::NotifyMechanism;
+
+struct Row {
+  double seconds;
+  std::uint64_t messages;
+  std::uint64_t redirect_hops;
+  std::uint64_t notify_msgs;
+};
+
+Row Synthetic(NotifyMechanism m) {
+  hmdsm::gos::VmOptions vm;
+  vm.nodes = 9;
+  vm.dsm.policy = "AT";
+  vm.dsm.notify = m;
+  hmdsm::apps::SyntheticConfig cfg;
+  cfg.repetition = 16;
+  cfg.target = hmdsm::bench::FullScale() ? 4096 : 512;
+  const auto res = hmdsm::apps::RunSynthetic(vm, cfg);
+  return Row{res.report.seconds, res.report.messages,
+             res.report.redirect_hops,
+             res.report.cat[static_cast<int>(hmdsm::stats::MsgCat::kNotify)]
+                 .messages};
+}
+
+Row Asp(NotifyMechanism m) {
+  hmdsm::gos::VmOptions vm;
+  vm.nodes = 8;
+  vm.dsm.policy = "AT";
+  vm.dsm.notify = m;
+  hmdsm::apps::AspConfig cfg;
+  cfg.n = hmdsm::bench::FullScale() ? 512 : 128;
+  const auto res = hmdsm::apps::RunAsp(vm, cfg);
+  return Row{res.report.seconds, res.report.messages,
+             res.report.redirect_hops,
+             res.report.cat[static_cast<int>(hmdsm::stats::MsgCat::kNotify)]
+                 .messages};
+}
+
+void Panel(const std::string& name, Row (*run)(NotifyMechanism)) {
+  std::cout << "\n" << name << ":\n";
+  Table t({"mechanism", "exec time", "messages", "redirect hops",
+           "notify msgs"});
+  hmdsm::CsvWriter csv(hmdsm::bench::CsvPath("ablation_notify_" + name));
+  csv.Row({"mechanism", "seconds", "messages", "redirect_hops",
+           "notify_msgs"});
+  for (auto m : {NotifyMechanism::kForwardingPointer,
+                 NotifyMechanism::kHomeManager, NotifyMechanism::kBroadcast}) {
+    const Row r = run(m);
+    const std::string mn = hmdsm::dsm::NotifyMechanismName(m);
+    t.AddRow({mn, FmtSeconds(r.seconds), FmtI(r.messages),
+              FmtI(r.redirect_hops), FmtI(r.notify_msgs)});
+    csv.Row({mn, hmdsm::FmtF(r.seconds, 6), std::to_string(r.messages),
+             std::to_string(r.redirect_hops), std::to_string(r.notify_msgs)});
+  }
+  t.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  hmdsm::bench::Banner("Ablation: notification mechanism",
+                       "forwarding pointer vs home manager vs broadcast "
+                       "(paper Section 3.2)");
+  Panel("synthetic_r16", Synthetic);
+  Panel("asp", Asp);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 2 / ASP panel — execution time against the number of processors
+// with home migration disabled (NoHM) and enabled (HM = adaptive
+// threshold). Paper parameters: 1024-node graph, parallel Floyd.
+//
+// The shared 2-D distance matrix is one row-object per graph node, homed
+// round-robin; each thread's rows exhibit the lasting single-writer
+// pattern, so HM relocates them to their writers and eliminates the
+// per-iteration remote fault-in + diff pair.
+#include "bench/fig2_common.h"
+#include "src/apps/asp.h"
+
+int main() {
+  hmdsm::bench::Banner("Figure 2 (ASP)",
+                       "execution time vs processors, NoHM vs HM");
+  const int n = hmdsm::bench::FullScale() ? 1024 : 192;
+  std::cout << "graph size n=" << n << " (paper: 1024)\n\n";
+
+  hmdsm::bench::RunFig2Panel(
+      "asp", {2, 4, 8, 16},
+      [&](const hmdsm::gos::VmOptions& vm) {
+        hmdsm::apps::AspConfig cfg;
+        cfg.n = n;
+        const auto res = hmdsm::apps::RunAsp(vm, cfg);
+        return hmdsm::bench::Fig2Point{res.report.seconds,
+                                       res.report.messages,
+                                       res.report.bytes,
+                                       res.report.migrations};
+      });
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared driver for the four Figure-2 panels: execution time vs number of
+// processors with home migration disabled (NoHM) and enabled (HM = the
+// adaptive-threshold protocol of the paper).
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/gos/vm.h"
+#include "src/util/csv.h"
+#include "src/util/table.h"
+
+namespace hmdsm::bench {
+
+struct Fig2Point {
+  double seconds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t migrations = 0;
+};
+
+/// Runs `app(vm_options)` for P in `procs` with NoHM and AT, printing the
+/// Figure-2 series (execution time against the number of processors).
+inline void RunFig2Panel(
+    const std::string& app_name, const std::vector<int>& procs,
+    const std::function<Fig2Point(const gos::VmOptions&)>& app) {
+  Table t({"processors", "NoHM time", "HM time", "HM/NoHM", "NoHM msgs",
+           "HM msgs", "HM migrations"});
+  CsvWriter csv(CsvPath("fig2_" + app_name));
+  csv.Row({"processors", "nohm_seconds", "hm_seconds", "nohm_msgs",
+           "hm_msgs", "hm_migrations"});
+  for (int p : procs) {
+    gos::VmOptions nohm;
+    nohm.nodes = static_cast<std::size_t>(p);
+    nohm.dsm.policy = "NoHM";
+    gos::VmOptions hm = nohm;
+    hm.dsm.policy = "AT";
+
+    const Fig2Point a = app(nohm);
+    const Fig2Point b = app(hm);
+    t.AddRow({std::to_string(p), FmtSeconds(a.seconds), FmtSeconds(b.seconds),
+              FmtF(b.seconds / a.seconds, 3), FmtI(a.messages),
+              FmtI(b.messages), FmtI(b.migrations)});
+    csv.Row({std::to_string(p), FmtF(a.seconds, 6), FmtF(b.seconds, 6),
+             std::to_string(a.messages), std::to_string(b.messages),
+             std::to_string(b.migrations)});
+  }
+  t.Print(std::cout);
+}
+
+}  // namespace hmdsm::bench

@@ -1,0 +1,32 @@
+// Figure 2 / NBody panel — execution time against the number of processors
+// with home migration disabled/enabled. Paper parameters: Barnes-Hut over
+// 2048 particles.
+//
+// Particle blocks are created on their owning nodes, so the initial home
+// assignment is already optimal: the paper observes home migration has
+// little impact here, and the HM/NoHM ratio should sit at ~1.0.
+#include "bench/fig2_common.h"
+#include "src/apps/nbody.h"
+
+int main() {
+  hmdsm::bench::Banner("Figure 2 (NBody)",
+                       "execution time vs processors, NoHM vs HM");
+  const int bodies = hmdsm::bench::FullScale() ? 2048 : 512;
+  const int steps = 5;
+  std::cout << bodies << " bodies, " << steps
+            << " steps, theta=0.5 (paper: 2048 bodies)\n\n";
+
+  hmdsm::bench::RunFig2Panel(
+      "nbody", {2, 4, 8, 16},
+      [&](const hmdsm::gos::VmOptions& vm) {
+        hmdsm::apps::NbodyConfig cfg;
+        cfg.bodies = bodies;
+        cfg.steps = steps;
+        const auto res = hmdsm::apps::RunNbody(vm, cfg);
+        return hmdsm::bench::Fig2Point{res.report.seconds,
+                                       res.report.messages,
+                                       res.report.bytes,
+                                       res.report.migrations};
+      });
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 2 / SOR panel — execution time against the number of processors
+// with home migration disabled/enabled. Paper parameters: red-black SOR on
+// a 2048x2048 matrix.
+#include "bench/fig2_common.h"
+#include "src/apps/sor.h"
+
+int main() {
+  hmdsm::bench::Banner("Figure 2 (SOR)",
+                       "execution time vs processors, NoHM vs HM");
+  const int n = hmdsm::bench::FullScale() ? 2048 : 256;
+  const int iters = 10;
+  std::cout << "matrix " << n << "x" << n << ", " << iters
+            << " iterations (paper: 2048x2048)\n\n";
+
+  hmdsm::bench::RunFig2Panel(
+      "sor", {2, 4, 8, 16},
+      [&](const hmdsm::gos::VmOptions& vm) {
+        hmdsm::apps::SorConfig cfg;
+        cfg.n = n;
+        cfg.iterations = iters;
+        const auto res = hmdsm::apps::RunSor(vm, cfg);
+        return hmdsm::bench::Fig2Point{res.report.seconds,
+                                       res.report.messages,
+                                       res.report.bytes,
+                                       res.report.migrations};
+      });
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 2 / TSP panel — execution time against the number of processors
+// with home migration disabled/enabled. Paper parameters: 12 cities,
+// parallel branch and bound.
+//
+// The shared objects (job index, incumbent bound) are multiple-writer:
+// home migration makes little difference, matching the paper.
+#include "bench/fig2_common.h"
+#include "src/apps/tsp.h"
+
+int main() {
+  hmdsm::bench::Banner("Figure 2 (TSP)",
+                       "execution time vs processors, NoHM vs HM");
+  const int cities = hmdsm::bench::FullScale() ? 12 : 10;
+  std::cout << cities << " cities, branch-and-bound with depth-2 job "
+            << "prefixes (paper: 12 cities)\n\n";
+
+  hmdsm::bench::RunFig2Panel(
+      "tsp", {2, 4, 8, 16},
+      [&](const hmdsm::gos::VmOptions& vm) {
+        hmdsm::apps::TspConfig cfg;
+        cfg.cities = cities;
+        const auto res = hmdsm::apps::RunTsp(vm, cfg);
+        return hmdsm::bench::Fig2Point{res.report.seconds,
+                                       res.report.messages,
+                                       res.report.bytes,
+                                       res.report.migrations};
+      });
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 3 — "Comparison of home migration protocols against problem size"
+// (paper Section 5.1).
+//
+// For ASP and SOR on eight cluster nodes, reports the improvement of the
+// adaptive-threshold protocol (AT) over the fixed-threshold protocol with
+// threshold 2 (FT, the authors' previous work) in three metrics: reduced
+// execution time, reduced message number, and reduced network traffic,
+// against problem size. The paper scales both from 128 to 1024.
+//
+// Expected shape: AT improves on FT2 everywhere (FT2's threshold postpones
+// the initial data relocation); SOR's improvement grows with problem size,
+// ASP's stays roughly flat (amortized over its n iterations).
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/apps/asp.h"
+#include "src/apps/sor.h"
+#include "src/util/csv.h"
+#include "src/util/table.h"
+
+namespace {
+
+using hmdsm::CsvWriter;
+using hmdsm::FmtPct;
+using hmdsm::Table;
+
+struct Metrics {
+  double seconds = 0;
+  double messages = 0;
+  double bytes = 0;
+};
+
+void Panel(const std::string& name, const std::vector<int>& sizes,
+           const std::function<Metrics(int, const std::string&)>& run) {
+  std::cout << "\n" << name
+            << ": improvement of AT over FT2 (positive = AT better)\n";
+  Table t({"size", "exec time", "messages", "network traffic"});
+  CsvWriter csv(hmdsm::bench::CsvPath("fig3_" + name));
+  csv.Row({"size", "time_improvement", "msg_improvement",
+           "traffic_improvement"});
+  for (int n : sizes) {
+    const Metrics ft = run(n, "FT2");
+    const Metrics at = run(n, "AT");
+    const double dt = 1.0 - at.seconds / ft.seconds;
+    const double dm = 1.0 - at.messages / ft.messages;
+    const double db = 1.0 - at.bytes / ft.bytes;
+    t.AddRow({std::to_string(n), FmtPct(dt), FmtPct(dm), FmtPct(db)});
+    csv.Row({std::to_string(n), hmdsm::FmtF(dt, 4), hmdsm::FmtF(dm, 4),
+             hmdsm::FmtF(db, 4)});
+  }
+  t.Print(std::cout);
+}
+
+hmdsm::gos::VmOptions Vm8(const std::string& policy) {
+  hmdsm::gos::VmOptions vm;
+  vm.nodes = 8;  // paper: both ASP and SOR run on eight cluster nodes
+  vm.dsm.policy = policy;
+  return vm;
+}
+
+}  // namespace
+
+int main() {
+  hmdsm::bench::Banner("Figure 3",
+                       "AT vs FT2 improvement against problem size, 8 nodes");
+  const std::vector<int> sizes = hmdsm::bench::FullScale()
+                                     ? std::vector<int>{128, 256, 512, 1024}
+                                     : std::vector<int>{64, 128, 256};
+  std::cout << "sizes:";
+  for (int s : sizes) std::cout << ' ' << s;
+  std::cout << " (paper: 128 256 512 1024)\n";
+
+  Panel("asp", sizes, [](int n, const std::string& policy) {
+    hmdsm::apps::AspConfig cfg;
+    cfg.n = n;
+    const auto res = hmdsm::apps::RunAsp(Vm8(policy), cfg);
+    return Metrics{res.report.seconds,
+                   static_cast<double>(res.report.messages),
+                   static_cast<double>(res.report.bytes)};
+  });
+
+  Panel("sor", sizes, [](int n, const std::string& policy) {
+    hmdsm::apps::SorConfig cfg;
+    cfg.n = n;
+    cfg.iterations = 10;
+    const auto res = hmdsm::apps::RunSor(Vm8(policy), cfg);
+    return Metrics{res.report.seconds,
+                   static_cast<double>(res.report.messages),
+                   static_cast<double>(res.report.bytes)};
+  });
+
+  return 0;
+}

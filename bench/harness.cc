@@ -1,0 +1,34 @@
+#include "bench/harness.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace hmdsm::bench {
+
+bool FullScale() {
+  const char* env = std::getenv("REPRO_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+void Banner(const std::string& figure, const std::string& description) {
+  std::cout << "==============================================================="
+               "=================\n"
+            << figure << " — " << description << "\n"
+            << "Fang, Wang, Zhu, Lau: \"A Novel Adaptive Home Migration "
+               "Protocol in Home-based DSM\" (CLUSTER 2004)\n"
+            << "scale: " << (FullScale() ? "paper (REPRO_FULL=1)" : "CI default")
+            << "\n"
+            << "==============================================================="
+               "=================\n";
+}
+
+std::string CsvPath(const std::string& name) {
+  const char* dir = std::getenv("HMDSM_CSV_DIR");
+  if (dir == nullptr) return name + ".csv";
+  std::string d = dir;
+  if (d.empty()) return {};
+  if (d.back() != '/') d.push_back('/');
+  return d + name + ".csv";
+}
+
+}  // namespace hmdsm::bench

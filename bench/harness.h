@@ -1,0 +1,20 @@
+// Shared support for the figure-reproduction bench binaries: banner
+// printing, paper-scale vs CI-scale parameter selection, CSV output paths.
+#pragma once
+
+#include <string>
+
+namespace hmdsm::bench {
+
+/// True when REPRO_FULL=1 is set: run the paper-scale parameters instead of
+/// the CI-scale defaults. Each bench prints which mode is active.
+bool FullScale();
+
+/// Prints a standard banner naming the paper figure being reproduced.
+void Banner(const std::string& figure, const std::string& description);
+
+/// Returns the output path for a CSV twin of a printed table, honouring
+/// HMDSM_CSV_DIR (default: current directory). Empty string disables CSV.
+std::string CsvPath(const std::string& name);
+
+}  // namespace hmdsm::bench

@@ -1,0 +1,79 @@
+// Micro-benchmark: simulated network throughput — how fast the simulator
+// can push protocol messages through the Hockney model with delivery
+// callbacks (events/sec seen by figure benches).
+#include <benchmark/benchmark.h>
+
+#include "src/net/network.h"
+
+namespace {
+
+using namespace hmdsm;
+
+void BM_PointToPointMessages(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    stats::Recorder recorder;
+    net::Network network(kernel, net::HockneyModel(70.0, 12.5), 2, recorder);
+    int received = 0;
+    network.SetHandler(1, [&](net::Packet&&) { ++received; });
+    network.SetHandler(0, [](net::Packet&&) {});
+    kernel.ScheduleAt(0, [&] {
+      for (int i = 0; i < n; ++i)
+        network.Send(0, 1, stats::MsgCat::kObj, Bytes(64));
+    });
+    kernel.Run();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PointToPointMessages)->Arg(1000)->Arg(10000);
+
+void BM_RequestReplyPingPong(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    stats::Recorder recorder;
+    net::Network network(kernel, net::HockneyModel(70.0, 12.5), 2, recorder);
+    int remaining = rounds;
+    network.SetHandler(1, [&](net::Packet&& p) {
+      network.Send(1, 0, stats::MsgCat::kObj, std::move(p.payload));
+    });
+    network.SetHandler(0, [&](net::Packet&& p) {
+      if (--remaining > 0)
+        network.Send(0, 1, stats::MsgCat::kObj, std::move(p.payload));
+    });
+    kernel.ScheduleAt(0, [&] {
+      network.Send(0, 1, stats::MsgCat::kObj, Bytes(256));
+    });
+    kernel.Run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * rounds * 2);
+}
+BENCHMARK(BM_RequestReplyPingPong)->Arg(1000);
+
+void BM_BroadcastFanout(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Kernel kernel;
+    stats::Recorder recorder;
+    net::Network network(kernel, net::HockneyModel(70.0, 12.5), nodes,
+                         recorder);
+    int received = 0;
+    for (net::NodeId n = 0; n < nodes; ++n)
+      network.SetHandler(n, [&](net::Packet&&) { ++received; });
+    kernel.ScheduleAt(0, [&] {
+      for (int i = 0; i < 100; ++i)
+        network.Broadcast(0, stats::MsgCat::kNotify, Bytes(32));
+    });
+    kernel.Run();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * (state.range(0) - 1));
+}
+BENCHMARK(BM_BroadcastFanout)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

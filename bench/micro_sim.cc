@@ -1,0 +1,38 @@
+// Micro-benchmark: discrete-event kernel throughput (events/sec) and
+// process context-switch cost. Establishes that the simulator is not the
+// bottleneck for the figure-reproduction benches.
+#include <benchmark/benchmark.h>
+
+#include "src/sim/kernel.h"
+
+namespace {
+
+void BM_KernelEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    hmdsm::sim::Kernel k;
+    const int n = static_cast<int>(state.range(0));
+    int fired = 0;
+    for (int i = 0; i < n; ++i) k.ScheduleAt(i, [&] { ++fired; });
+    k.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KernelEventDispatch)->Arg(1000)->Arg(10000);
+
+void BM_ProcessSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    hmdsm::sim::Kernel k;
+    const int n = static_cast<int>(state.range(0));
+    k.Spawn("p", [&](hmdsm::sim::Process& self) {
+      for (int i = 0; i < n; ++i) self.Delay(1);
+    });
+    k.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProcessSwitch)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

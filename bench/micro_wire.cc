@@ -1,0 +1,46 @@
+// Micro-benchmark: protocol message encode/decode throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/proto/wire.h"
+
+namespace {
+
+using namespace hmdsm;
+using namespace hmdsm::proto;
+
+void BM_EncodeObjReply(benchmark::State& state) {
+  ObjReply msg{ObjectId::Make(3, 1, 7), Bytes(state.range(0), 0x5A)};
+  for (auto _ : state) {
+    Bytes wire = Encode(msg);
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeObjReply)->Arg(64)->Arg(4096)->Arg(16384);
+
+void BM_DecodeObjReply(benchmark::State& state) {
+  const Bytes wire =
+      Encode(ObjReply{ObjectId::Make(3, 1, 7), Bytes(state.range(0), 0x5A)});
+  for (auto _ : state) {
+    AnyMsg msg = Decode(wire);
+    benchmark::DoNotOptimize(msg);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeObjReply)->Arg(64)->Arg(4096)->Arg(16384);
+
+void BM_EncodeDecodeLockRelease(benchmark::State& state) {
+  LockReleaseMsg msg{LockId::Make(0, 1), {}};
+  msg.piggybacked_diffs.emplace_back(ObjectId::Make(0, 0, 1),
+                                     Bytes(128, 0xAB));
+  for (auto _ : state) {
+    AnyMsg decoded = Decode(Encode(msg));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodeDecodeLockRelease);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// ASP — all-pairs shortest paths (parallel Floyd–Warshall).
+//
+// Paper workload (1): "compute the shortest paths between any pair of nodes
+// in a graph of 1024 nodes using a parallel version of Floyd's algorithm."
+//
+// The distance matrix is one shared row-object per graph node (a Java 2-D
+// array in the paper). Rows are homed round-robin at creation; each thread
+// owns a contiguous block of rows and updates them every iteration — the
+// lasting single-writer pattern home migration exploits. At iteration k all
+// threads read row k from its (possibly migrated) home.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/gos/vm.h"
+
+namespace hmdsm::apps {
+
+struct AspConfig {
+  int n = 256;                 // graph size (paper: 1024)
+  std::uint64_t seed = 12345;  // edge-weight seed
+  bool model_compute = true;   // charge virtual time for the relax loops
+};
+
+struct AspResult {
+  gos::RunReport report;
+  std::uint64_t checksum = 0;  // sum of all finite distances
+};
+
+/// Runs ASP on the given VM configuration with one worker thread per node.
+AspResult RunAsp(const gos::VmOptions& vm_options, const AspConfig& config);
+
+/// Serial reference for validation.
+std::vector<std::int32_t> SerialAsp(int n, std::uint64_t seed);
+
+/// The random input matrix (row-major), shared by both paths.
+std::vector<std::int32_t> AspInput(int n, std::uint64_t seed);
+
+/// Checksum over a row-major distance matrix.
+std::uint64_t AspChecksum(const std::vector<std::int32_t>& dist);
+
+}  // namespace hmdsm::apps

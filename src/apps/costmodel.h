@@ -1,0 +1,31 @@
+// Computation cost model for the evaluation applications.
+//
+// The paper's testbed is a cluster of 2 GHz Pentium 4 PCs. The simulator
+// charges virtual time for computation through Env::Compute; these
+// constants approximate per-element costs of each kernel on that CPU
+// (cycle time 0.5 ns, modest IPC, memory-bound inner loops). Absolute
+// values shift the compute/communication balance but not who wins — the
+// protocols only differ in communication.
+#pragma once
+
+namespace hmdsm::apps {
+
+/// ASP (Floyd): one relax step — load d[i][k], d[k][j], add, compare, store.
+inline constexpr double kAspCostPerElement = 2.5e-9;
+
+/// SOR: 4 neighbor loads + scale + store per updated cell.
+inline constexpr double kSorCostPerElement = 4.0e-9;
+
+/// NBody: one body–cell (or body–body) interaction: ~20 flops incl. rsqrt.
+inline constexpr double kNbodyCostPerInteraction = 25.0e-9;
+
+/// NBody: octree insertion per body per step.
+inline constexpr double kNbodyCostPerTreeInsert = 150.0e-9;
+
+/// TSP: one branch-and-bound tree node expansion (bound check + copy).
+inline constexpr double kTspCostPerNode = 40.0e-9;
+
+/// Synthetic benchmark: the "simple arithmetic computation" per update.
+inline constexpr double kSyntheticCostPerUpdate = 5.0e-6;
+
+}  // namespace hmdsm::apps

@@ -1,0 +1,307 @@
+#include "src/apps/nbody.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/apps/costmodel.h"
+#include "src/gos/global.h"
+#include "src/util/rng.h"
+
+namespace hmdsm::apps {
+
+namespace {
+constexpr double kG = 1.0;         // gravitational constant (natural units)
+constexpr double kSoftening = 1e-3;  // Plummer softening
+}  // namespace
+
+std::vector<Body> NbodyInput(int bodies, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Body> out(bodies);
+  for (Body& b : out) {
+    // Uniform ball positions, small random velocities, equal masses.
+    double x, y, z;
+    do {
+      x = rng.uniform(-1.0, 1.0);
+      y = rng.uniform(-1.0, 1.0);
+      z = rng.uniform(-1.0, 1.0);
+    } while (x * x + y * y + z * z > 1.0);
+    b.px = x;
+    b.py = y;
+    b.pz = z;
+    b.vx = rng.uniform(-0.1, 0.1);
+    b.vy = rng.uniform(-0.1, 0.1);
+    b.vz = rng.uniform(-0.1, 0.1);
+    b.mass = 1.0 / bodies;
+  }
+  return out;
+}
+
+double NbodyChecksum(const std::vector<Body>& bodies) {
+  double sum = 0;
+  for (const Body& b : bodies)
+    sum += std::sqrt(b.px * b.px + b.py * b.py + b.pz * b.pz);
+  return sum;
+}
+
+// ---------------------------------------------------------------------------
+// Octree
+// ---------------------------------------------------------------------------
+
+Octree::Octree(std::span<const Body> bodies) : bodies_(bodies) {
+  double lo = -1, hi = 1;
+  for (const Body& b : bodies) {
+    lo = std::min({lo, b.px, b.py, b.pz});
+    hi = std::max({hi, b.px, b.py, b.pz});
+  }
+  Node root;
+  root.cx = root.cy = root.cz = (lo + hi) / 2;
+  root.half = (hi - lo) / 2 + 1e-9;
+  nodes_.push_back(root);
+  nodes_.reserve(bodies.size() * 2 + 16);
+  for (int i = 0; i < static_cast<int>(bodies.size()); ++i) Insert(0, i);
+  Finalize(0);
+}
+
+int Octree::ChildIndex(const Node& n, const Body& b) const {
+  return (b.px >= n.cx ? 1 : 0) | (b.py >= n.cy ? 2 : 0) |
+         (b.pz >= n.cz ? 4 : 0);
+}
+
+void Octree::MakeChildren(int node) {
+  const int base = static_cast<int>(nodes_.size());
+  // Reserve indexes first: nodes_ may reallocate.
+  Node parent = nodes_[node];
+  for (int c = 0; c < 8; ++c) {
+    Node child;
+    child.half = parent.half / 2;
+    child.cx = parent.cx + (c & 1 ? child.half : -child.half);
+    child.cy = parent.cy + (c & 2 ? child.half : -child.half);
+    child.cz = parent.cz + (c & 4 ? child.half : -child.half);
+    nodes_.push_back(child);
+  }
+  nodes_[node].first_child = base;
+}
+
+void Octree::Insert(int node, int body_idx) {
+  const Body& b = bodies_[body_idx];
+  for (;;) {
+    Node& n = nodes_[node];
+    n.mass += b.mass;
+    n.mx += b.mass * b.px;
+    n.my += b.mass * b.py;
+    n.mz += b.mass * b.pz;
+    n.count += 1;
+
+    if (n.count == 1) {  // empty leaf: store the body here
+      n.body = body_idx;
+      return;
+    }
+    if (n.first_child < 0) {
+      // Occupied leaf: split and push the resident body down (unless the
+      // cube is degenerate — coincident bodies share a leaf then).
+      if (n.half < 1e-12) return;
+      const int resident = n.body;
+      nodes_[node].body = -1;
+      MakeChildren(node);
+      if (resident >= 0) {
+        const Body& rb = bodies_[resident];
+        Node& n2 = nodes_[node];
+        const int rc = n2.first_child + ChildIndex(n2, rb);
+        Node& child = nodes_[rc];
+        child.mass += rb.mass;
+        child.mx += rb.mass * rb.px;
+        child.my += rb.mass * rb.py;
+        child.mz += rb.mass * rb.pz;
+        child.count += 1;
+        child.body = resident;
+      }
+    }
+    Node& n3 = nodes_[node];
+    node = n3.first_child + ChildIndex(n3, b);
+  }
+}
+
+void Octree::Finalize(int node) {
+  Node& n = nodes_[node];
+  if (n.mass > 0) {
+    n.mx /= n.mass;
+    n.my /= n.mass;
+    n.mz /= n.mass;
+  }
+  if (n.first_child >= 0)
+    for (int c = 0; c < 8; ++c) Finalize(n.first_child + c);
+}
+
+void Octree::Accel(const Body& b, int self, double theta, double out[3],
+                   std::uint64_t& interactions) const {
+  out[0] = out[1] = out[2] = 0;
+  AccelRec(0, b, self, theta, out, interactions);
+}
+
+void Octree::AccelRec(int node, const Body& b, int self, double theta,
+                      double out[3], std::uint64_t& interactions) const {
+  const Node& n = nodes_[node];
+  if (n.count == 0) return;
+  if (n.count == 1 && n.body == self) return;  // skip self-interaction
+
+  const double dx = n.mx - b.px;
+  const double dy = n.my - b.py;
+  const double dz = n.mz - b.pz;
+  const double dist2 = dx * dx + dy * dy + dz * dz + kSoftening * kSoftening;
+  const double dist = std::sqrt(dist2);
+
+  const bool is_leaf = n.first_child < 0;
+  if (is_leaf || (2 * n.half) / dist < theta) {
+    if (is_leaf && n.count > 1 && n.body < 0) {
+      // Degenerate coincident-body leaf treated as a point mass; if it
+      // contains `self`, subtract our own contribution.
+      double m = n.mass;
+      if (self >= 0) {
+        const Body& sb = bodies_[self];
+        if (sb.px == n.mx && sb.py == n.my && sb.pz == n.mz) m -= sb.mass;
+      }
+      if (m <= 0) return;
+      const double f = kG * m / (dist2 * dist);
+      out[0] += f * dx;
+      out[1] += f * dy;
+      out[2] += f * dz;
+      ++interactions;
+      return;
+    }
+    const double f = kG * n.mass / (dist2 * dist);
+    out[0] += f * dx;
+    out[1] += f * dy;
+    out[2] += f * dz;
+    ++interactions;
+    return;
+  }
+  for (int c = 0; c < 8; ++c)
+    AccelRec(n.first_child + c, b, self, theta, out, interactions);
+}
+
+// ---------------------------------------------------------------------------
+// Time integration
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Advances bodies [lo, hi) one leapfrog step using an octree over `all`.
+std::uint64_t StepRange(const std::vector<Body>& all, std::vector<Body>& out,
+                        int lo, int hi, const NbodyConfig& config) {
+  Octree tree(all);
+  std::uint64_t interactions = 0;
+  for (int i = lo; i < hi; ++i) {
+    double acc[3];
+    tree.Accel(all[i], i, config.theta, acc, interactions);
+    Body b = all[i];
+    b.vx += acc[0] * config.dt;
+    b.vy += acc[1] * config.dt;
+    b.vz += acc[2] * config.dt;
+    b.px += b.vx * config.dt;
+    b.py += b.vy * config.dt;
+    b.pz += b.vz * config.dt;
+    out[i - lo] = b;
+  }
+  return interactions;
+}
+
+}  // namespace
+
+std::vector<Body> SerialNbody(const NbodyConfig& config) {
+  std::vector<Body> bodies = NbodyInput(config.bodies, config.seed);
+  std::vector<Body> next(config.bodies);
+  for (int s = 0; s < config.steps; ++s) {
+    StepRange(bodies, next, 0, config.bodies, config);
+    bodies = next;
+  }
+  return bodies;
+}
+
+NbodyResult RunNbody(const gos::VmOptions& vm_options,
+                     const NbodyConfig& config) {
+  const auto p = static_cast<int>(vm_options.nodes);
+  const int n = config.bodies;
+  HMDSM_CHECK_MSG(n >= p, "NBody needs at least one body per node");
+
+  gos::Vm vm(vm_options);
+  NbodyResult result;
+
+  vm.Run([&](gos::Env& env) {
+    const std::vector<Body> input = NbodyInput(n, config.seed);
+    const gos::BarrierId barrier = vm.CreateBarrier(0);
+
+    // Each thread creates *its own* block so the home starts at the writer
+    // — there is no single-writer pattern left for migration to exploit.
+    std::vector<gos::GlobalArray<Body>> blocks(p);
+    std::vector<std::pair<int, int>> ranges(p);
+    {
+      std::vector<gos::Thread*> creators;
+      for (int t = 0; t < p; ++t) {
+        const int lo = static_cast<int>(static_cast<std::int64_t>(n) * t / p);
+        const int hi =
+            static_cast<int>(static_cast<std::int64_t>(n) * (t + 1) / p);
+        ranges[t] = {lo, hi};
+        creators.push_back(vm.Spawn(
+            static_cast<gos::NodeId>(t),
+            [&, t, lo, hi](gos::Env& me) {
+              blocks[t] = gos::GlobalArray<Body>::Create(
+                  me,
+                  std::span<const Body>(&input[lo],
+                                        static_cast<std::size_t>(hi - lo)),
+                  static_cast<gos::NodeId>(t));
+            },
+            "nbody-init" + std::to_string(t)));
+      }
+      for (gos::Thread* c : creators) vm.Join(env, c);
+    }
+
+    vm.ResetMeasurement();
+
+    std::vector<gos::Thread*> workers;
+    for (int t = 0; t < p; ++t) {
+      workers.push_back(vm.Spawn(
+          static_cast<gos::NodeId>(t),
+          [&, t](gos::Env& me) {
+            const auto [lo, hi] = ranges[t];
+            std::vector<Body> all(n), mine(hi - lo), block;
+            for (int s = 0; s < config.steps; ++s) {
+              // Gather the global snapshot (remote block fetches).
+              for (int o = 0; o < p; ++o) {
+                blocks[o].Load(me, block);
+                std::copy(block.begin(), block.end(),
+                          all.begin() + ranges[o].first);
+              }
+              // A store is a *home* write — immediately visible to later
+              // fault-ins (the home copy is always valid). Nobody may
+              // store until every thread has taken its snapshot.
+              me.Barrier(barrier, static_cast<std::uint32_t>(p));
+              const std::uint64_t interactions =
+                  StepRange(all, mine, lo, hi, config);
+              blocks[t].Store(me, mine);
+              if (config.model_compute) {
+                me.Compute(static_cast<double>(n) * kNbodyCostPerTreeInsert +
+                           static_cast<double>(interactions) *
+                               kNbodyCostPerInteraction);
+              }
+              me.Barrier(barrier, static_cast<std::uint32_t>(p));
+            }
+          },
+          "nbody" + std::to_string(t)));
+    }
+    for (gos::Thread* w : workers) vm.Join(env, w);
+
+    result.report = vm.Report();
+
+    std::vector<Body> final_bodies(n), block;
+    for (int t = 0; t < p; ++t) {
+      blocks[t].Load(env, block);
+      std::copy(block.begin(), block.end(),
+                final_bodies.begin() + ranges[t].first);
+    }
+    result.position_checksum = NbodyChecksum(final_bodies);
+  });
+
+  return result;
+}
+
+}  // namespace hmdsm::apps

@@ -1,0 +1,88 @@
+// NBody — Barnes–Hut gravitational simulation.
+//
+// Paper workload (3): "simulate the motion of 2048 particles due to
+// gravitational forces between each other over a number of simulation steps
+// using the algorithm of Barnes & Hut."
+//
+// Each thread owns one block of bodies stored as a single shared object
+// *created on the owner's node* — the home is already optimal, so home
+// migration has nothing to improve (the paper observes HM has little impact
+// on NBody). Every step each thread fetches all blocks, builds a local
+// octree, computes forces for its own bodies, and writes its block back.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/gos/vm.h"
+
+namespace hmdsm::apps {
+
+struct Body {
+  double px = 0, py = 0, pz = 0;
+  double vx = 0, vy = 0, vz = 0;
+  double mass = 1.0;
+};
+
+struct NbodyConfig {
+  int bodies = 512;  // paper: 2048
+  int steps = 4;
+  double theta = 0.5;  // Barnes–Hut opening angle
+  double dt = 1e-3;
+  std::uint64_t seed = 4242;
+  bool model_compute = true;
+};
+
+struct NbodyResult {
+  gos::RunReport report;
+  double position_checksum = 0;  // sum of |position| over all bodies
+};
+
+NbodyResult RunNbody(const gos::VmOptions& vm_options,
+                     const NbodyConfig& config);
+
+/// Initial Plummer-like body distribution (deterministic).
+std::vector<Body> NbodyInput(int bodies, std::uint64_t seed);
+
+/// Serial reference (same octree code path) for validation.
+std::vector<Body> SerialNbody(const NbodyConfig& config);
+
+double NbodyChecksum(const std::vector<Body>& bodies);
+
+/// Barnes–Hut octree over a snapshot of bodies. Exposed for direct unit
+/// testing (force accuracy vs. direct summation).
+class Octree {
+ public:
+  explicit Octree(std::span<const Body> bodies);
+
+  /// Gravitational acceleration on `b` using the opening-angle criterion.
+  /// `self` is the index of `b` in the building snapshot (excluded from
+  /// direct interactions); pass -1 for an external probe.
+  /// Increments `interactions` per visited node (the compute-cost metric).
+  void Accel(const Body& b, int self, double theta, double out[3],
+             std::uint64_t& interactions) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    double cx, cy, cz, half;     // cube center and half-width
+    double mx = 0, my = 0, mz = 0;  // center of mass (weighted sum first)
+    double mass = 0;
+    int body = -1;               // body index for singleton leaves
+    int first_child = -1;        // index of 8 consecutive children
+    int count = 0;               // bodies in subtree
+  };
+
+  void Insert(int node, int body_idx);
+  int ChildIndex(const Node& n, const Body& b) const;
+  void MakeChildren(int node);
+  void Finalize(int node);
+  void AccelRec(int node, const Body& b, int self, double theta,
+                double out[3], std::uint64_t& interactions) const;
+
+  std::span<const Body> bodies_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace hmdsm::apps

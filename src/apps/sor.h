@@ -1,0 +1,44 @@
+// SOR — red-black successive over-relaxation on a 2-D grid.
+//
+// Paper workload (2): "red-black successive over-relaxation on a 2-D matrix
+// of size 2048x2048 for a number of iterations."
+//
+// The grid is one shared row-object per matrix row, homed round-robin; each
+// thread owns a contiguous row block. Every half-iteration (red phase,
+// black phase) a thread updates its rows and exchanges boundary rows with
+// its neighbors at the barrier. Owned rows show the lasting single-writer
+// pattern; boundary rows are single-writer with remote readers — exactly
+// the access mix home migration targets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/gos/vm.h"
+
+namespace hmdsm::apps {
+
+struct SorConfig {
+  int n = 256;        // matrix is n x n (paper: 2048)
+  int iterations = 10;
+  double omega = 1.25;         // over-relaxation factor
+  std::uint64_t seed = 777;
+  bool model_compute = true;
+};
+
+struct SorResult {
+  gos::RunReport report;
+  double checksum = 0;  // sum over the final grid
+};
+
+SorResult RunSor(const gos::VmOptions& vm_options, const SorConfig& config);
+
+/// Serial reference for validation.
+std::vector<double> SerialSor(const SorConfig& config);
+
+/// Initial grid (row-major), shared by both paths.
+std::vector<double> SorInput(int n, std::uint64_t seed);
+
+double SorChecksum(const std::vector<double>& grid);
+
+}  // namespace hmdsm::apps

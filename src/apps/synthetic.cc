@@ -1,0 +1,70 @@
+#include "src/apps/synthetic.h"
+
+#include "src/apps/costmodel.h"
+#include "src/gos/global.h"
+
+namespace hmdsm::apps {
+
+SyntheticResult RunSynthetic(const gos::VmOptions& vm_options,
+                             const SyntheticConfig& config) {
+  HMDSM_CHECK_MSG(vm_options.nodes >= static_cast<std::size_t>(config.workers) + 1,
+                  "need workers+1 nodes (node 0 hosts the application)");
+  HMDSM_CHECK(config.repetition >= 1);
+
+  gos::Vm vm(vm_options);
+  SyntheticResult result;
+
+  vm.Run([&](gos::Env& env) {
+    // Created at the start node: the counter's initial home and both lock
+    // managers are node 0, so all synchronization is distributed (paper:
+    // "All synchronization operations are ... sent to the node where the
+    // application is started").
+    auto counter = gos::GlobalScalar<std::int64_t>::Create(env, 0, env.node());
+    const gos::LockId lock0 = vm.CreateLock(env.node());
+    const gos::LockId lock1 = vm.CreateLock(env.node());
+
+    vm.ResetMeasurement();
+
+    int turns = 0;
+    std::vector<gos::Thread*> workers;
+    for (int t = 0; t < config.workers; ++t) {
+      workers.push_back(vm.Spawn(
+          static_cast<gos::NodeId>(1 + t),
+          [&](gos::Env& me) {
+            for (;;) {
+              // Figure 4: synchronized (lock0) { check; first update }
+              me.Acquire(lock0);
+              const std::int64_t v = counter.Get(me);
+              if (v >= config.target) {
+                me.Release(lock0);
+                break;
+              }
+              counter.Set(me, v + 1);
+              for (int j = 0; j < config.repetition - 1; ++j) {
+                // Empty synchronized(lock1) block: a pure sync point that
+                // flushes the previous update to the home and invalidates
+                // the cached copy.
+                me.Acquire(lock1);
+                me.Release(lock1);
+                counter.Update(me, [](std::int64_t c) { return c + 1; });
+              }
+              me.Release(lock0);
+              ++turns;
+              // "Some simple arithmetic computation goes here."
+              if (config.model_compute)
+                me.Compute(config.repetition * kSyntheticCostPerUpdate);
+            }
+          },
+          "worker" + std::to_string(t)));
+    }
+    for (gos::Thread* w : workers) vm.Join(env, w);
+
+    result.report = vm.Report();
+    result.turns_taken = turns;
+    env.Synchronized(lock0, [&] { result.final_count = counter.Get(env); });
+  });
+
+  return result;
+}
+
+}  // namespace hmdsm::apps

@@ -1,0 +1,41 @@
+// The paper's synthetic single-writer benchmark (Figure 4, Section 5.2).
+//
+// Each worker thread repeatedly acquires lock0, checks/increments a shared
+// counter, then performs r-1 further increments each preceded by an empty
+// synchronized(lock1) block — a pure synchronization point that flushes the
+// previous increment to the counter's home and invalidates the cache, so
+// every one of the r updates in a turn is a distinct remote write at the
+// home. Turns are serialized by lock0, producing single-writer runs of
+// exactly r consecutive remote writes: r is the paper's "repetition of the
+// single-writer pattern".
+//
+// Per the paper's setup, the application starts on node 0 (which manages
+// all locks and initially homes the counter) and the workers run on nodes
+// 1..workers.
+#pragma once
+
+#include <cstdint>
+
+#include "src/gos/vm.h"
+
+namespace hmdsm::apps {
+
+struct SyntheticConfig {
+  int workers = 8;           // worker threads on nodes 1..workers
+  int repetition = 4;        // r
+  std::int64_t target = 512; // n: stop once the counter reaches this
+  bool model_compute = true;
+};
+
+struct SyntheticResult {
+  gos::RunReport report;
+  std::int64_t final_count = 0;
+  int turns_taken = 0;  // completed turns across all workers
+};
+
+/// Runs the benchmark. `vm_options.nodes` must be at least workers+1 (node
+/// 0 hosts the application and the lock managers).
+SyntheticResult RunSynthetic(const gos::VmOptions& vm_options,
+                             const SyntheticConfig& config);
+
+}  // namespace hmdsm::apps

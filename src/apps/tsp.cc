@@ -1,0 +1,222 @@
+#include "src/apps/tsp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/apps/costmodel.h"
+#include "src/gos/global.h"
+#include "src/util/rng.h"
+
+namespace hmdsm::apps {
+
+namespace {
+
+constexpr std::int32_t kInfLen = std::numeric_limits<std::int32_t>::max() / 4;
+constexpr int kMaxCities = 16;
+
+/// A branch-and-bound job: a fixed tour prefix starting at city 0.
+struct Job {
+  std::uint8_t path[kMaxCities] = {};
+  std::uint8_t length = 0;
+};
+
+struct SearchState {
+  const std::vector<std::int32_t>* dist;
+  int cities;
+  std::uint8_t path[kMaxCities];
+  bool visited[kMaxCities];
+  std::int32_t best;
+  std::uint8_t best_path[kMaxCities];
+  std::uint64_t explored = 0;
+};
+
+void Dfs(SearchState& s, int depth, std::int32_t length) {
+  ++s.explored;
+  if (length >= s.best) return;  // bound
+  const int n = s.cities;
+  if (depth == n) {
+    const std::int32_t total = length + (*s.dist)[s.path[n - 1] * n + 0];
+    if (total < s.best) {
+      s.best = total;
+      std::copy(s.path, s.path + n, s.best_path);
+    }
+    return;
+  }
+  const int last = s.path[depth - 1];
+  for (int c = 1; c < n; ++c) {
+    if (s.visited[c]) continue;
+    const std::int32_t step = (*s.dist)[last * n + c];
+    if (length + step >= s.best) continue;  // prune
+    s.visited[c] = true;
+    s.path[depth] = static_cast<std::uint8_t>(c);
+    Dfs(s, depth + 1, length + step);
+    s.visited[c] = false;
+  }
+}
+
+std::vector<Job> MakeJobs(int cities, int prefix_depth) {
+  std::vector<Job> jobs;
+  Job seed;
+  seed.path[0] = 0;
+  seed.length = 1;
+  std::vector<Job> frontier{seed};
+  for (int d = 0; d < prefix_depth; ++d) {
+    std::vector<Job> next;
+    for (const Job& j : frontier) {
+      for (int c = 1; c < cities; ++c) {
+        bool used = false;
+        for (int k = 0; k < j.length; ++k)
+          if (j.path[k] == c) used = true;
+        if (used) continue;
+        Job e = j;
+        e.path[e.length++] = static_cast<std::uint8_t>(c);
+        next.push_back(e);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+/// Runs one job to completion against the current incumbent; returns the
+/// number of explored nodes and updates best/best_path in-place if improved.
+std::uint64_t RunJob(const std::vector<std::int32_t>& dist, int cities,
+                     const Job& job, std::int32_t& best,
+                     std::vector<std::uint8_t>& best_path) {
+  SearchState s;
+  s.dist = &dist;
+  s.cities = cities;
+  s.best = best;
+  std::fill(std::begin(s.visited), std::end(s.visited), false);
+  std::int32_t length = 0;
+  for (int k = 0; k < job.length; ++k) {
+    s.path[k] = job.path[k];
+    s.visited[job.path[k]] = true;
+    if (k > 0) length += dist[job.path[k - 1] * cities + job.path[k]];
+  }
+  Dfs(s, job.length, length);
+  if (s.best < best) {
+    best = s.best;
+    best_path.assign(s.best_path, s.best_path + cities);
+  }
+  return s.explored;
+}
+
+}  // namespace
+
+std::vector<std::int32_t> TspInput(int cities, std::uint64_t seed) {
+  HMDSM_CHECK(cities >= 3 && cities <= kMaxCities);
+  Rng rng(seed);
+  std::vector<std::int32_t> d(static_cast<std::size_t>(cities) * cities, 0);
+  for (int i = 0; i < cities; ++i) {
+    for (int j = i + 1; j < cities; ++j) {
+      const auto w = static_cast<std::int32_t>(rng.range(10, 99));
+      d[i * cities + j] = w;
+      d[j * cities + i] = w;
+    }
+  }
+  return d;
+}
+
+std::int32_t TourLength(const std::vector<std::int32_t>& dist, int cities,
+                        std::span<const std::uint8_t> tour) {
+  HMDSM_CHECK(static_cast<int>(tour.size()) == cities);
+  std::int32_t len = 0;
+  for (int k = 0; k + 1 < cities; ++k)
+    len += dist[tour[k] * cities + tour[k + 1]];
+  len += dist[tour[cities - 1] * cities + tour[0]];
+  return len;
+}
+
+std::int32_t SerialTspBest(const TspConfig& config) {
+  const std::vector<std::int32_t> dist =
+      TspInput(config.cities, config.seed);
+  std::int32_t best = kInfLen;
+  std::vector<std::uint8_t> best_path;
+  Job root;
+  root.path[0] = 0;
+  root.length = 1;
+  RunJob(dist, config.cities, root, best, best_path);
+  return best;
+}
+
+TspResult RunTsp(const gos::VmOptions& vm_options, const TspConfig& config) {
+  const auto p = static_cast<int>(vm_options.nodes);
+  const int n = config.cities;
+
+  gos::Vm vm(vm_options);
+  TspResult result;
+
+  vm.Run([&](gos::Env& env) {
+    const std::vector<std::int32_t> dist = TspInput(n, config.seed);
+    const std::vector<Job> jobs = MakeJobs(n, config.prefix_depth);
+
+    // Shared state, all created by the application's start node (their
+    // default homes are the creation node, paper Section 5).
+    auto shared_dist = gos::GlobalArray<std::int32_t>::Create(
+        env, std::span<const std::int32_t>(dist), env.node());
+    auto job_pool = gos::GlobalArray<Job>::Create(
+        env, std::span<const Job>(jobs), env.node());
+    auto next_job = gos::GlobalScalar<std::int32_t>::Create(env, 0, env.node());
+    auto best_len =
+        gos::GlobalScalar<std::int32_t>::Create(env, kInfLen, env.node());
+    auto best_tour = gos::GlobalArray<std::uint8_t>::Create(
+        env, static_cast<std::size_t>(n), env.node());
+    const gos::LockId queue_lock = vm.CreateLock(env.node());
+    const gos::LockId best_lock = vm.CreateLock(env.node());
+
+    vm.ResetMeasurement();
+
+    std::vector<gos::Thread*> workers;
+    for (int t = 0; t < p; ++t) {
+      workers.push_back(vm.Spawn(
+          static_cast<gos::NodeId>(t),
+          [&](gos::Env& me) {
+            // The distance matrix and job pool are read-only: fetch once.
+            std::vector<std::int32_t> local_dist;
+            shared_dist.Load(me, local_dist);
+            std::vector<Job> local_jobs;
+            job_pool.Load(me, local_jobs);
+
+            for (;;) {
+              std::int32_t idx = -1;
+              me.Synchronized(queue_lock, [&] {
+                idx = next_job.Update(me, [](std::int32_t v) { return v + 1; }) - 1;
+              });
+              if (idx >= static_cast<std::int32_t>(local_jobs.size())) break;
+
+              std::int32_t incumbent = kInfLen;
+              me.Synchronized(best_lock,
+                              [&] { incumbent = best_len.Get(me); });
+
+              std::vector<std::uint8_t> improved;
+              const std::uint64_t explored = RunJob(
+                  local_dist, n, local_jobs[idx], incumbent, improved);
+              if (config.model_compute)
+                me.Compute(static_cast<double>(explored) * kTspCostPerNode);
+
+              if (!improved.empty()) {
+                me.Synchronized(best_lock, [&] {
+                  if (incumbent < best_len.Get(me)) {
+                    best_len.Set(me, incumbent);
+                    best_tour.Store(me, improved);
+                  }
+                });
+              }
+            }
+          },
+          "tsp" + std::to_string(t)));
+    }
+    for (gos::Thread* w : workers) vm.Join(env, w);
+
+    result.report = vm.Report();
+    env.Synchronized(best_lock, [&] {
+      result.best_length = best_len.Get(env);
+      best_tour.Load(env, result.best_tour);
+    });
+  });
+
+  return result;
+}
+
+}  // namespace hmdsm::apps

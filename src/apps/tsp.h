@@ -1,0 +1,46 @@
+// TSP — traveling salesman by parallel branch-and-bound.
+//
+// Paper workload (4): "solve the Traveling Salesman Problem by finding the
+// shortest way of visiting 12 cities and returning to the starting point
+// with a parallel branch-and-bound algorithm."
+//
+// A job pool of fixed-depth tour prefixes is consumed through a shared
+// index under one lock; the incumbent best bound is a shared object updated
+// under another lock by whichever thread improves it — a multiple-writer /
+// migratory object for which home migration makes little difference (the
+// paper's observation for TSP).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/gos/vm.h"
+
+namespace hmdsm::apps {
+
+struct TspConfig {
+  int cities = 10;  // paper: 12
+  int prefix_depth = 2;  // job = fixed prefix of this many hops from city 0
+  std::uint64_t seed = 2026;
+  bool model_compute = true;
+};
+
+struct TspResult {
+  gos::RunReport report;
+  std::int32_t best_length = 0;
+  std::vector<std::uint8_t> best_tour;  // starts at city 0
+};
+
+TspResult RunTsp(const gos::VmOptions& vm_options, const TspConfig& config);
+
+/// Random symmetric distance matrix (row-major, cities x cities).
+std::vector<std::int32_t> TspInput(int cities, std::uint64_t seed);
+
+/// Exhaustive reference for validation (cities <= 10).
+std::int32_t SerialTspBest(const TspConfig& config);
+
+/// Length of a closed tour over the given matrix.
+std::int32_t TourLength(const std::vector<std::int32_t>& dist, int cities,
+                        std::span<const std::uint8_t> tour);
+
+}  // namespace hmdsm::apps

@@ -1,0 +1,37 @@
+// The home access coefficient α (paper appendix).
+//
+// α is the communication-cost ratio of one *eliminated* pair of object
+// fault-in and diff propagation (the benefit of a good migration) to one
+// home redirection (the cost of a bad one), under Hockney's model
+// t(m) = t0 + m/r∞ with half-peak length m½ = t0·r∞:
+//
+//     α = (t(o) + t(d)) / t(1) = (2·m½ + o + d) / (m½ + 1)
+//
+// which, using m½ >> 1 and o > d, the paper simplifies to
+//
+//     α ≈ 2 + (o + d)/m½.
+#pragma once
+
+#include "src/util/check.h"
+
+namespace hmdsm::core {
+
+/// Exact ratio from the Hockney model. `object_bytes` = o, `diff_bytes` = d,
+/// `half_peak_bytes` = m½.
+inline double HomeAccessCoefficient(double object_bytes, double diff_bytes,
+                                    double half_peak_bytes) {
+  HMDSM_CHECK(half_peak_bytes > 0.0);
+  HMDSM_CHECK(object_bytes >= 0.0 && diff_bytes >= 0.0);
+  return (2.0 * half_peak_bytes + object_bytes + diff_bytes) /
+         (half_peak_bytes + 1.0);
+}
+
+/// The paper's simplified closed form (Eq. 4): α ≈ 2 + (o + d)/m½.
+inline double HomeAccessCoefficientApprox(double object_bytes,
+                                          double diff_bytes,
+                                          double half_peak_bytes) {
+  HMDSM_CHECK(half_peak_bytes > 0.0);
+  return 2.0 + (object_bytes + diff_bytes) / half_peak_bytes;
+}
+
+}  // namespace hmdsm::core

@@ -1,0 +1,62 @@
+// Cluster: kernel + network + one DSM agent per node, wired together.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/dsm/agent.h"
+#include "src/dsm/config.h"
+#include "src/net/hockney.h"
+#include "src/net/network.h"
+#include "src/sim/kernel.h"
+#include "src/stats/stats.h"
+
+namespace hmdsm::dsm {
+
+struct ClusterOptions {
+  std::size_t nodes = 8;
+  net::HockneyModel model{70.0, 12.5};
+  DsmConfig dsm;
+  /// Model NIC transmit serialization (see net::Network::Send).
+  bool model_tx_occupancy = true;
+};
+
+/// A simulated cluster running the home-based DSM on every node.
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+
+  std::size_t nodes() const { return agents_.size(); }
+  sim::Kernel& kernel() { return kernel_; }
+  const sim::Kernel& kernel() const { return kernel_; }
+  net::Network& network() { return network_; }
+  stats::Recorder& recorder() { return recorder_; }
+  const stats::Recorder& recorder() const { return recorder_; }
+  /// Protocol event trace (disabled unless Trace::Enable is called).
+  trace::Trace& trace() { return trace_; }
+  const trace::Trace& trace() const { return trace_; }
+  Agent& agent(NodeId node) {
+    HMDSM_CHECK(node < agents_.size());
+    return *agents_[node];
+  }
+  const ClusterOptions& options() const { return options_; }
+
+  /// Fresh identifiers. Ids are allocated centrally (deterministic); the
+  /// encoded home/manager node is what matters to the protocol.
+  ObjectId NewObjectId(NodeId initial_home, NodeId creator);
+  LockId NewLockId(NodeId manager);
+  BarrierId NewBarrierId(NodeId manager);
+
+ private:
+  ClusterOptions options_;
+  sim::Kernel kernel_;
+  stats::Recorder recorder_;
+  trace::Trace trace_;
+  net::Network network_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::uint32_t next_object_seq_ = 1;
+  std::uint64_t next_lock_seq_ = 1;
+  std::uint64_t next_barrier_seq_ = 1;
+};
+
+}  // namespace hmdsm::dsm

@@ -1,0 +1,95 @@
+// Identifiers for the DSM coherence layer.
+//
+// The coherence unit is an *object* (the paper's GOS manages Java objects,
+// not pages). Object ids encode their initial home so every node can compute
+// a first home hint without a directory lookup; after migrations, per-node
+// hint tables and forwarding pointers take over.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/net/network.h"
+#include "src/util/check.h"
+
+namespace hmdsm::dsm {
+
+using net::NodeId;
+
+constexpr NodeId kNoNode = 0xFFFFFFFFu;
+
+/// Globally unique object identifier.
+/// Layout: [63:48] initial home | [47:32] creator node | [31:0] sequence.
+struct ObjectId {
+  std::uint64_t value = 0;
+
+  static ObjectId Make(NodeId initial_home, NodeId creator,
+                       std::uint32_t seq) {
+    HMDSM_CHECK(initial_home < 0x10000 && creator < 0x10000);
+    return ObjectId{(static_cast<std::uint64_t>(initial_home) << 48) |
+                    (static_cast<std::uint64_t>(creator) << 32) | seq};
+  }
+
+  NodeId initial_home() const {
+    return static_cast<NodeId>((value >> 48) & 0xFFFF);
+  }
+  NodeId creator() const { return static_cast<NodeId>((value >> 32) & 0xFFFF); }
+  std::uint32_t seq() const { return static_cast<std::uint32_t>(value); }
+
+  bool operator==(const ObjectId&) const = default;
+  auto operator<=>(const ObjectId&) const = default;
+};
+
+/// Distributed lock identifier.
+/// Layout: [63:48] manager node | [47:0] sequence.
+struct LockId {
+  std::uint64_t value = 0;
+
+  static LockId Make(NodeId manager, std::uint64_t seq) {
+    HMDSM_CHECK(manager < 0x10000);
+    HMDSM_CHECK(seq < (1ull << 48));
+    return LockId{(static_cast<std::uint64_t>(manager) << 48) | seq};
+  }
+
+  NodeId manager() const { return static_cast<NodeId>((value >> 48) & 0xFFFF); }
+
+  bool operator==(const LockId&) const = default;
+};
+
+/// Distributed barrier identifier; the manager node is encoded like LockId.
+struct BarrierId {
+  std::uint64_t value = 0;
+
+  static BarrierId Make(NodeId manager, std::uint64_t seq) {
+    HMDSM_CHECK(manager < 0x10000);
+    HMDSM_CHECK(seq < (1ull << 48));
+    return BarrierId{(static_cast<std::uint64_t>(manager) << 48) | seq};
+  }
+
+  NodeId manager() const { return static_cast<NodeId>((value >> 48) & 0xFFFF); }
+
+  bool operator==(const BarrierId&) const = default;
+};
+
+}  // namespace hmdsm::dsm
+
+template <>
+struct std::hash<hmdsm::dsm::ObjectId> {
+  std::size_t operator()(const hmdsm::dsm::ObjectId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<hmdsm::dsm::LockId> {
+  std::size_t operator()(const hmdsm::dsm::LockId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<hmdsm::dsm::BarrierId> {
+  std::size_t operator()(const hmdsm::dsm::BarrierId& id) const noexcept {
+    return std::hash<std::uint64_t>{}(id.value);
+  }
+};

@@ -1,0 +1,147 @@
+// Typed shared objects over the GOS — the stand-in for Java objects.
+//
+// A GlobalArray<T> is ONE coherence unit (one object id), mirroring the
+// paper's layout where a Java 2-D matrix is an array object whose elements
+// are row array objects: build a matrix as std::vector<GlobalArray<T>>, one
+// object per row, so rows migrate independently.
+#pragma once
+
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "src/gos/vm.h"
+
+namespace hmdsm::gos {
+
+template <typename T>
+class GlobalArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "shared objects must be trivially copyable");
+
+ public:
+  GlobalArray() = default;
+
+  /// Allocates a shared array of `count` elements homed at `home`,
+  /// zero-initialized.
+  static GlobalArray<T> Create(Env& env, std::size_t count, NodeId home) {
+    GlobalArray<T> a;
+    a.count_ = count;
+    a.id_ = env.vm().CreateObject(env, home, ZeroBytes(count * sizeof(T)));
+    return a;
+  }
+
+  /// Allocates and stores initial contents in one step.
+  static GlobalArray<T> Create(Env& env, std::span<const T> initial,
+                               NodeId home) {
+    GlobalArray<T> a;
+    a.count_ = initial.size();
+    a.id_ = env.vm().CreateObject(
+        env, home,
+        ByteSpan(reinterpret_cast<const Byte*>(initial.data()),
+                 initial.size_bytes()));
+    return a;
+  }
+
+  ObjectId id() const { return id_; }
+  std::size_t size() const { return count_; }
+  bool valid() const { return id_.value != 0; }
+
+  /// Read-only view access (single coherence read).
+  void View(Env& env, const std::function<void(std::span<const T>)>& fn) const {
+    env.Read(id_, [&](ByteSpan bytes) {
+      fn(std::span<const T>(reinterpret_cast<const T*>(bytes.data()), count_));
+    });
+  }
+
+  /// Mutable access (single coherence write).
+  void Update(Env& env, const std::function<void(std::span<T>)>& fn) {
+    env.Write(id_, [&](MutByteSpan bytes) {
+      fn(std::span<T>(reinterpret_cast<T*>(bytes.data()), count_));
+    });
+  }
+
+  /// Copies the whole array into `out`.
+  void Load(Env& env, std::vector<T>& out) const {
+    out.resize(count_);
+    View(env, [&](std::span<const T> s) {
+      std::copy(s.begin(), s.end(), out.begin());
+    });
+  }
+
+  /// Overwrites the whole array.
+  void Store(Env& env, std::span<const T> values) {
+    HMDSM_CHECK(values.size() == count_);
+    Update(env, [&](std::span<T> s) {
+      std::copy(values.begin(), values.end(), s.begin());
+    });
+  }
+
+  T Get(Env& env, std::size_t i) const {
+    HMDSM_CHECK(i < count_);
+    T v{};
+    View(env, [&](std::span<const T> s) { v = s[i]; });
+    return v;
+  }
+
+  void Set(Env& env, std::size_t i, const T& v) {
+    HMDSM_CHECK(i < count_);
+    Update(env, [&](std::span<T> s) { s[i] = v; });
+  }
+
+ private:
+  ObjectId id_{};
+  std::size_t count_ = 0;
+};
+
+/// A single shared value (e.g., the synthetic benchmark's counter object).
+template <typename T>
+class GlobalScalar {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  GlobalScalar() = default;
+
+  static GlobalScalar<T> Create(Env& env, const T& initial, NodeId home) {
+    GlobalScalar<T> s;
+    s.id_ = env.vm().CreateObject(env, home, AsBytes(initial));
+    return s;
+  }
+
+  ObjectId id() const { return id_; }
+  bool valid() const { return id_.value != 0; }
+
+  T Get(Env& env) const {
+    T v{};
+    env.Read(id_, [&](ByteSpan bytes) {
+      HMDSM_CHECK(bytes.size() == sizeof(T));
+      std::memcpy(&v, bytes.data(), sizeof(T));
+    });
+    return v;
+  }
+
+  void Set(Env& env, const T& v) {
+    env.Write(id_, [&](MutByteSpan bytes) {
+      HMDSM_CHECK(bytes.size() == sizeof(T));
+      std::memcpy(bytes.data(), &v, sizeof(T));
+    });
+  }
+
+  /// Read-modify-write as a single coherence write access.
+  T Update(Env& env, const std::function<T(T)>& fn) {
+    T result{};
+    env.Write(id_, [&](MutByteSpan bytes) {
+      HMDSM_CHECK(bytes.size() == sizeof(T));
+      T v;
+      std::memcpy(&v, bytes.data(), sizeof(T));
+      result = fn(v);
+      std::memcpy(bytes.data(), &result, sizeof(T));
+    });
+    return result;
+  }
+
+ private:
+  ObjectId id_{};
+};
+
+}  // namespace hmdsm::gos

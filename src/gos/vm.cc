@@ -1,0 +1,73 @@
+#include "src/gos/vm.h"
+
+namespace hmdsm::gos {
+
+Vm::Vm(VmOptions options)
+    : options_(options),
+      cluster_(dsm::ClusterOptions{options.nodes, options.model, options.dsm,
+                                   options.model_tx_occupancy}) {
+  HMDSM_CHECK(options_.start_node < options_.nodes);
+}
+
+void Vm::Run(ThreadBody main) {
+  Spawn(options_.start_node, std::move(main), "main");
+  cluster_.kernel().Run();
+}
+
+Thread* Vm::Spawn(NodeId node, ThreadBody body, std::string name) {
+  HMDSM_CHECK(node < cluster_.nodes());
+  threads_.emplace_back();
+  Thread* t = &threads_.back();
+  if (name.empty()) name = "thread" + std::to_string(next_thread_idx_);
+  ++next_thread_idx_;
+  name += "@n" + std::to_string(node);
+  cluster_.kernel().Spawn(
+      std::move(name), [this, t, node, body = std::move(body)](
+                           sim::Process& proc) {
+        Env env(*this, cluster_.agent(node), proc);
+        body(env);
+        t->done_ = true;
+        if (!t->joiners_.empty()) t->joiners_.NotifyAll();
+      });
+  return t;
+}
+
+void Vm::Join(Env& env, Thread* t) {
+  HMDSM_CHECK(t != nullptr);
+  if (!t->done_) t->joiners_.Wait(env.process());
+}
+
+ObjectId Vm::CreateObject(Env& env, NodeId home, ByteSpan initial) {
+  ObjectId id = cluster_.NewObjectId(home, env.node());
+  env.agent().CreateObject(env.process(), id, initial);
+  return id;
+}
+
+void Vm::ResetMeasurement() {
+  cluster_.recorder().Reset();
+  measure_start_ = cluster_.kernel().now();
+}
+
+double Vm::ElapsedSeconds() const {
+  return sim::ToSeconds(cluster_.kernel().now() - measure_start_);
+}
+
+RunReport Vm::Report() const {
+  const stats::Recorder& rec = cluster_.recorder();
+  RunReport report;
+  report.seconds = ElapsedSeconds();
+  report.messages = rec.TotalMessages(true);
+  report.messages_nosync = rec.TotalMessages(false);
+  report.bytes = rec.TotalBytes(true);
+  report.bytes_nosync = rec.TotalBytes(false);
+  for (std::size_t i = 0; i < stats::kNumMsgCats; ++i)
+    report.cat[i] = rec.Cat(static_cast<stats::MsgCat>(i));
+  report.migrations = rec.Count(stats::Ev::kMigrations);
+  report.redirect_hops = rec.Count(stats::Ev::kRedirectHops);
+  report.diffs_created = rec.Count(stats::Ev::kDiffsCreated);
+  report.exclusive_home_writes = rec.Count(stats::Ev::kExclusiveHomeWrites);
+  report.fault_ins = rec.Count(stats::Ev::kFaultIns);
+  return report;
+}
+
+}  // namespace hmdsm::gos

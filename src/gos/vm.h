@@ -1,0 +1,160 @@
+// The Global Object Space runtime — the distributed-JVM stand-in.
+//
+// The paper implements its protocol inside a distributed JVM whose GOS
+// "virtualizes" one object heap across the cluster: Java threads are
+// dispatched to nodes, `synchronized` blocks drive the consistency actions,
+// and every object access passes an access check. This module provides the
+// same execution model in C++: a Vm owns a simulated cluster; distributed
+// threads are spawned onto nodes and receive an Env with shared-memory,
+// lock, and barrier operations; typed wrappers (GlobalArray / GlobalScalar)
+// stand in for Java objects.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/dsm/cluster.h"
+#include "src/sim/waitqueue.h"
+
+namespace hmdsm::gos {
+
+using dsm::BarrierId;
+using dsm::LockId;
+using dsm::NodeId;
+using dsm::ObjectId;
+
+class Vm;
+
+/// Handle for joining a distributed thread.
+class Thread {
+ public:
+  bool done() const { return done_; }
+
+ private:
+  friend class Vm;
+  bool done_ = false;
+  sim::WaitQueue joiners_;
+};
+
+/// Per-thread execution context: the node's DSM agent plus this thread's
+/// simulated process. Every GOS operation goes through an Env.
+class Env {
+ public:
+  Env(Vm& vm, dsm::Agent& agent, sim::Process& proc)
+      : vm_(vm), agent_(agent), proc_(proc) {}
+
+  Vm& vm() { return vm_; }
+  NodeId node() const { return agent_.node(); }
+  dsm::Agent& agent() { return agent_; }
+  sim::Process& process() { return proc_; }
+
+  // ---- shared memory (untyped; see global.h for typed wrappers) ----
+  void Read(ObjectId obj, const std::function<void(ByteSpan)>& fn) {
+    agent_.Read(proc_, obj, fn);
+  }
+  void Write(ObjectId obj, const std::function<void(MutByteSpan)>& fn) {
+    agent_.Write(proc_, obj, fn);
+  }
+
+  // ---- synchronization ----
+  void Acquire(LockId lock) { agent_.Acquire(proc_, lock); }
+  void Release(LockId lock) { agent_.Release(proc_, lock); }
+
+  /// Java-style synchronized block.
+  void Synchronized(LockId lock, const std::function<void()>& body) {
+    Acquire(lock);
+    body();
+    Release(lock);
+  }
+
+  void Barrier(BarrierId barrier, std::uint32_t participants) {
+    agent_.Barrier(proc_, barrier, participants);
+  }
+
+  /// Models local computation: advances this thread's virtual time.
+  void Compute(double seconds) {
+    if (seconds > 0) proc_.Delay(sim::FromSeconds(seconds));
+  }
+
+ private:
+  Vm& vm_;
+  dsm::Agent& agent_;
+  sim::Process& proc_;
+};
+
+using ThreadBody = std::function<void(Env&)>;
+
+struct VmOptions {
+  std::size_t nodes = 8;
+  NodeId start_node = 0;  // where the "application" (main thread) runs
+  net::HockneyModel model{70.0, 12.5};
+  dsm::DsmConfig dsm;
+  bool model_tx_occupancy = true;  // NIC transmit serialization
+};
+
+/// Snapshot of run metrics since the last ResetMeasurement().
+struct RunReport {
+  double seconds = 0;  // virtual wall time
+  std::uint64_t messages = 0;          // all categories
+  std::uint64_t messages_nosync = 0;   // paper Fig. 5 convention
+  std::uint64_t bytes = 0;
+  std::uint64_t bytes_nosync = 0;
+  stats::MsgTotals cat[stats::kNumMsgCats] = {};
+  std::uint64_t migrations = 0;
+  std::uint64_t redirect_hops = 0;
+  std::uint64_t diffs_created = 0;
+  std::uint64_t exclusive_home_writes = 0;
+  std::uint64_t fault_ins = 0;
+};
+
+class Vm {
+ public:
+  explicit Vm(VmOptions options);
+
+  std::size_t nodes() const { return cluster_.nodes(); }
+  dsm::Cluster& cluster() { return cluster_; }
+  const VmOptions& options() const { return options_; }
+
+  /// Runs `main` as the application thread on the start node and drives the
+  /// simulation until all threads finish.
+  void Run(ThreadBody main);
+
+  /// Spawns a distributed thread on `node` (the paper's thread dispatch).
+  Thread* Spawn(NodeId node, ThreadBody body, std::string name = {});
+
+  /// Blocks `env`'s thread until `t` finishes.
+  void Join(Env& env, Thread* t);
+
+  // ---- shared-object / lock / barrier factories ----
+
+  /// Creates a shared object with `initial` bytes homed at `home`.
+  /// Blocking (callable from thread bodies only).
+  ObjectId CreateObject(Env& env, NodeId home, ByteSpan initial);
+
+  LockId CreateLock(NodeId manager) { return cluster_.NewLockId(manager); }
+  BarrierId CreateBarrier(NodeId manager) {
+    return cluster_.NewBarrierId(manager);
+  }
+
+  // ---- measurement ----
+
+  /// Starts the measured window: zeroes counters and marks the clock. Call
+  /// after setup/data creation (the paper's timings exclude JVM startup).
+  void ResetMeasurement();
+
+  /// Metrics accumulated since the last ResetMeasurement().
+  RunReport Report() const;
+
+  /// Virtual seconds since the last ResetMeasurement().
+  double ElapsedSeconds() const;
+
+ private:
+  VmOptions options_;
+  dsm::Cluster cluster_;
+  std::deque<Thread> threads_;
+  sim::Time measure_start_ = 0;
+  int next_thread_idx_ = 0;
+};
+
+}  // namespace hmdsm::gos

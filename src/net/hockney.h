@@ -1,0 +1,53 @@
+// Hockney point-to-point communication model.
+//
+// The paper's home-access coefficient α is derived from Hockney's model
+// (paper appendix): t(m) = t0 + m/r∞, with the half-peak length
+// m½ = t0 · r∞ — the message size at which half the asymptotic bandwidth is
+// reached. The same model drives the simulated network latency, so protocol
+// decisions and the environment they are tuned for are mutually consistent,
+// exactly as on the paper's real cluster.
+#pragma once
+
+#include <cstddef>
+
+#include "src/sim/time.h"
+#include "src/util/check.h"
+
+namespace hmdsm::net {
+
+/// Communication cost model for one point-to-point message.
+class HockneyModel {
+ public:
+  /// `startup_us`: t0 in microseconds; `bandwidth_mbps`: r∞ in MB/s.
+  /// Defaults approximate the paper's testbed (Fast Ethernet, TCP, Linux
+  /// 2.4-era stack): t0 = 70 us, r∞ = 12.5 MB/s ⇒ m½ = 875 bytes.
+  HockneyModel(double startup_us = 70.0, double bandwidth_mbps = 12.5)
+      : startup_us_(startup_us), bandwidth_mbps_(bandwidth_mbps) {
+    HMDSM_CHECK(startup_us_ > 0.0);
+    HMDSM_CHECK(bandwidth_mbps_ > 0.0);
+  }
+
+  /// One-way latency for an m-byte message.
+  sim::Time Latency(std::size_t message_bytes) const {
+    const double us =
+        startup_us_ + static_cast<double>(message_bytes) / bandwidth_mbps_;
+    return sim::FromSeconds(us * 1e-6);
+  }
+
+  /// Round-trip time for a request of `req` bytes answered by `rsp` bytes.
+  sim::Time RoundTrip(std::size_t req, std::size_t rsp) const {
+    return Latency(req) + Latency(rsp);
+  }
+
+  double startup_us() const { return startup_us_; }
+  double bandwidth_mbps() const { return bandwidth_mbps_; }
+
+  /// Half-peak message length in bytes: m½ = t0 · r∞.
+  double half_peak_bytes() const { return startup_us_ * bandwidth_mbps_; }
+
+ private:
+  double startup_us_;
+  double bandwidth_mbps_;
+};
+
+}  // namespace hmdsm::net

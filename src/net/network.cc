@@ -1,0 +1,58 @@
+#include "src/net/network.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace hmdsm::net {
+
+void Network::Send(NodeId src, NodeId dst, stats::MsgCat cat, Bytes payload) {
+  HMDSM_CHECK(src < handlers_.size() && dst < handlers_.size());
+  Packet packet{src, dst, cat, std::move(payload)};
+  if (src == dst) {
+    // Local handoff: no wire traffic, no latency, but still asynchronous so
+    // the handler never runs re-entrantly inside the sender's call stack.
+    kernel_.ScheduleAfter(0, [this, p = std::make_shared<Packet>(
+                                  std::move(packet))]() mutable {
+      Deliver(std::move(*p));
+    });
+    return;
+  }
+  const std::size_t wire_bytes = packet.payload.size() + kHeaderBytes;
+  recorder_.RecordMessage(cat, wire_bytes);
+  recorder_.RecordEndpoints(src, dst, wire_bytes);
+  ++packets_sent_;
+  sim::Time arrival;
+  if (model_tx_occupancy_) {
+    // The transmit term m/r∞ occupies the sender NIC; the startup term t0
+    // pipelines. An isolated message still arrives at now + t0 + m/r∞.
+    const sim::Time now = kernel_.now();
+    const sim::Time occupancy =
+        model_.Latency(wire_bytes) - model_.Latency(0);
+    const sim::Time tx_start = std::max(now, tx_free_[src]);
+    tx_free_[src] = tx_start + occupancy;
+    arrival = tx_free_[src] + model_.Latency(0);
+  } else {
+    arrival = kernel_.now() + model_.Latency(wire_bytes);
+  }
+  kernel_.ScheduleAt(
+      arrival,
+      [this, p = std::make_shared<Packet>(std::move(packet))]() mutable {
+        Deliver(std::move(*p));
+      });
+}
+
+void Network::Broadcast(NodeId src, stats::MsgCat cat, const Bytes& payload) {
+  for (NodeId dst = 0; dst < handlers_.size(); ++dst) {
+    if (dst == src) continue;
+    Send(src, dst, cat, payload);
+  }
+}
+
+void Network::Deliver(Packet&& packet) {
+  Handler& handler = handlers_[packet.dst];
+  HMDSM_CHECK_MSG(handler, "no handler registered for node " << packet.dst);
+  handler(std::move(packet));
+}
+
+}  // namespace hmdsm::net

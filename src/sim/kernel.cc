@@ -1,0 +1,180 @@
+#include "src/sim/kernel.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hmdsm::sim {
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+Process::Process(Kernel* kernel, std::string name,
+                 std::function<void(Process&)> body)
+    : kernel_(kernel), name_(std::move(name)), body_(std::move(body)) {
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+Process::~Process() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Process::ThreadMain() {
+  {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return baton_process_; });
+    baton_process_ = false;
+    if (kill_) {
+      state_ = State::kDone;
+      baton_kernel_ = true;
+      cv_.notify_all();
+      return;
+    }
+    state_ = State::kRunning;
+  }
+  try {
+    body_(*this);
+  } catch (Killed&) {
+    // Kernel shutdown unwound us; nothing to record.
+  } catch (...) {
+    error_ = std::current_exception();
+  }
+  std::lock_guard lock(mu_);
+  state_ = State::kDone;
+  baton_kernel_ = true;
+  cv_.notify_all();
+}
+
+void Process::YieldToKernel() {
+  std::unique_lock lock(mu_);
+  baton_kernel_ = true;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return baton_process_; });
+  baton_process_ = false;
+  if (kill_) throw Killed{};
+  state_ = State::kRunning;
+}
+
+void Process::ResumeFromKernel() {
+  {
+    std::unique_lock lock(mu_);
+    HMDSM_CHECK_MSG(state_ == State::kRunnable || state_ == State::kCreated,
+                    "resuming process '" << name_ << "' in invalid state");
+    baton_process_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return baton_kernel_; });
+    baton_kernel_ = false;
+  }
+  if (error_) {
+    kernel_->pending_error_ = error_;
+    error_ = nullptr;
+  }
+}
+
+void Process::Start() {
+  HMDSM_CHECK(state_ == State::kCreated);
+  ResumeFromKernel();
+}
+
+void Process::Delay(Time dt) {
+  HMDSM_CHECK_MSG(dt >= 0, "negative delay in process '" << name_ << "'");
+  kernel_->ScheduleAfter(dt, [this] { ResumeFromKernel(); });
+  {
+    std::lock_guard lock(mu_);
+    state_ = State::kRunnable;
+  }
+  YieldToKernel();
+}
+
+std::uint64_t Process::Park() {
+  {
+    std::lock_guard lock(mu_);
+    state_ = State::kParked;
+  }
+  YieldToKernel();
+  return park_token_;
+}
+
+void Process::Unpark(std::uint64_t token) {
+  {
+    std::lock_guard lock(mu_);
+    HMDSM_CHECK_MSG(state_ == State::kParked,
+                    "unparking process '" << name_ << "' that is not parked");
+    park_token_ = token;
+    state_ = State::kRunnable;
+  }
+  kernel_->ScheduleAfter(0, [this] { ResumeFromKernel(); });
+}
+
+// ---------------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------------
+
+Kernel::~Kernel() {
+  // Unwind any process still alive (parked daemons, or early destruction
+  // after an error): set the kill flag and hand each its baton so it can
+  // throw Killed and exit its thread.
+  for (auto& p : processes_) {
+    std::unique_lock lock(p->mu_);
+    if (p->state_ == Process::State::kDone) continue;
+    p->kill_ = true;
+    p->baton_process_ = true;
+    p->cv_.notify_all();
+    p->cv_.wait(lock, [&] { return p->baton_kernel_; });
+    p->baton_kernel_ = false;
+  }
+  // ~Process joins the threads.
+}
+
+void Kernel::ScheduleAt(Time at, std::function<void()> fn) {
+  HMDSM_CHECK_MSG(at >= now_, "event scheduled in the past");
+  queue_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+Process* Kernel::Spawn(std::string name, std::function<void(Process&)> body) {
+  auto proc = std::unique_ptr<Process>(
+      new Process(this, std::move(name), std::move(body)));
+  Process* p = proc.get();
+  processes_.push_back(std::move(proc));
+  ScheduleAfter(0, [p] { p->Start(); });
+  return p;
+}
+
+void Kernel::Run() {
+  HMDSM_CHECK_MSG(!running_, "Kernel::Run is not reentrant");
+  running_ = true;
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the function object must be moved out,
+    // so we const_cast before pop (the element is removed immediately after).
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    HMDSM_DCHECK(ev.at >= now_);
+    now_ = ev.at;
+    ++events_executed_;
+    ev.fn();
+    if (pending_error_) {
+      running_ = false;
+      std::exception_ptr err = pending_error_;
+      pending_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+  running_ = false;
+  CheckForDeadlock();
+}
+
+void Kernel::CheckForDeadlock() const {
+  std::ostringstream stuck;
+  int count = 0;
+  for (const auto& p : processes_) {
+    if (p->parked() && !p->daemon()) {
+      if (count++) stuck << ", ";
+      stuck << '\'' << p->name() << '\'';
+    }
+  }
+  HMDSM_CHECK_MSG(count == 0, "deadlock: event queue empty but "
+                                  << count << " process(es) still parked: "
+                                  << stuck.str());
+}
+
+}  // namespace hmdsm::sim

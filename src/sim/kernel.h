@@ -1,0 +1,157 @@
+// Discrete-event simulation kernel with cooperative, thread-backed processes.
+//
+// The kernel owns a priority queue of timestamped events. Exactly one thread
+// runs at any instant: either the kernel (executing non-blocking event
+// callbacks such as message-delivery handlers) or a single simulated process
+// (application thread). Processes hand control back to the kernel whenever
+// they wait — for virtual time (`Delay`), or for a wakeup (`Park`/`Unpark`).
+// This single-baton design makes every run bit-deterministic: ties in the
+// event queue are broken by insertion sequence number.
+//
+// The DSM protocol handlers (src/dsm) run as kernel-context callbacks and
+// must never block; only application code runs inside processes.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/util/check.h"
+
+namespace hmdsm::sim {
+
+class Kernel;
+
+/// A simulated thread of control. Created via Kernel::Spawn; the body runs
+/// on a dedicated OS thread but only while the kernel grants it the baton.
+class Process {
+ public:
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process();
+
+  const std::string& name() const { return name_; }
+  bool done() const { return state_ == State::kDone; }
+  bool parked() const { return state_ == State::kParked; }
+
+  /// Marks this process as a daemon: the simulation is allowed to end while
+  /// it is still parked (service loops). Non-daemon processes still parked
+  /// when the event queue drains indicate deadlock and fail the run.
+  void set_daemon(bool daemon) { daemon_ = daemon; }
+  bool daemon() const { return daemon_; }
+
+  // ---- Callable only from inside this process's body ----
+
+  /// Advances virtual time by `dt` (models computation or waiting).
+  void Delay(Time dt);
+
+  /// Blocks until another party calls Unpark(). Returns the value passed to
+  /// Unpark (an opaque token, useful to distinguish wakeup reasons).
+  std::uint64_t Park();
+
+  // ---- Callable from kernel context or from other processes ----
+
+  /// Makes a parked process runnable at the current virtual time. It is an
+  /// error to unpark a process that is not parked (lost-wakeup bugs in the
+  /// protocol layer should fail loudly, not be absorbed).
+  void Unpark(std::uint64_t token = 0);
+
+ private:
+  friend class Kernel;
+
+  enum class State { kCreated, kRunnable, kRunning, kParked, kDone };
+
+  Process(Kernel* kernel, std::string name,
+          std::function<void(Process&)> body);
+
+  void Start();
+  void ThreadMain();
+  /// Process side of the baton handoff.
+  void YieldToKernel();
+  /// Kernel side: give the baton to the process, wait until it yields back.
+  void ResumeFromKernel();
+
+  struct Killed {};  // thrown inside the process to unwind on shutdown
+
+  Kernel* kernel_;
+  std::string name_;
+  std::function<void(Process&)> body_;
+  State state_ = State::kCreated;
+  bool daemon_ = false;
+  std::uint64_t park_token_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool baton_process_ = false;  // kernel -> process grant
+  bool baton_kernel_ = false;   // process -> kernel yield
+  bool kill_ = false;
+  std::exception_ptr error_;
+  std::thread thread_;
+};
+
+/// The event-driven scheduler. Not thread-safe by design: all calls must be
+/// made while holding the simulation baton (i.e., from kernel-context
+/// callbacks or from the currently running process).
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+  ~Kernel();
+
+  Time now() const { return now_; }
+
+  /// Schedules a kernel-context callback at absolute virtual time `at`
+  /// (>= now). Callbacks must not block.
+  void ScheduleAt(Time at, std::function<void()> fn);
+
+  /// Schedules a callback `dt` after now.
+  void ScheduleAfter(Time dt, std::function<void()> fn) {
+    ScheduleAt(now_ + dt, std::move(fn));
+  }
+
+  /// Creates a process whose body starts at the current virtual time. The
+  /// body receives its own Process handle (for Delay/Park). The returned
+  /// pointer stays valid for the kernel's lifetime.
+  Process* Spawn(std::string name, std::function<void(Process&)> body);
+
+  /// Runs until the event queue is empty. Throws if a process body threw, or
+  /// if non-daemon processes remain parked when the queue drains (deadlock).
+  void Run();
+
+  /// Number of events executed so far (observability / micro-bench metric).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  friend class Process;
+
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  void CheckForDeadlock() const;
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::exception_ptr pending_error_;
+  bool running_ = false;
+};
+
+}  // namespace hmdsm::sim

@@ -1,0 +1,27 @@
+// Virtual time for the discrete-event cluster simulation.
+//
+// Time is integral nanoseconds: deterministic across platforms, immune to
+// floating-point accumulation drift over millions of events.
+#pragma once
+
+#include <cstdint>
+
+namespace hmdsm::sim {
+
+/// Virtual nanoseconds since simulation start.
+using Time = std::int64_t;
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000 * kNanosecond;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Converts a floating-point duration in seconds to virtual Time, rounding
+/// to the nearest nanosecond. Used by cost models (Hockney, compute).
+constexpr Time FromSeconds(double seconds) {
+  return static_cast<Time>(seconds * 1e9 + (seconds >= 0 ? 0.5 : -0.5));
+}
+
+constexpr double ToSeconds(Time t) { return static_cast<double>(t) * 1e-9; }
+
+}  // namespace hmdsm::sim

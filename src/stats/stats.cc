@@ -1,0 +1,71 @@
+#include "src/stats/stats.h"
+
+#include <algorithm>
+
+namespace hmdsm::stats {
+
+std::string_view MsgCatName(MsgCat cat) {
+  switch (cat) {
+    case MsgCat::kObj: return "obj";
+    case MsgCat::kMig: return "mig";
+    case MsgCat::kDiff: return "diff";
+    case MsgCat::kRedir: return "redir";
+    case MsgCat::kSync: return "sync";
+    case MsgCat::kNotify: return "notify";
+    case MsgCat::kInit: return "init";
+    case MsgCat::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view EvName(Ev ev) {
+  switch (ev) {
+    case Ev::kFaultIns: return "fault_ins";
+    case Ev::kLocalHits: return "local_hits";
+    case Ev::kHomeAccesses: return "home_accesses";
+    case Ev::kRemoteReads: return "remote_reads";
+    case Ev::kRemoteWrites: return "remote_writes";
+    case Ev::kHomeReads: return "home_reads";
+    case Ev::kHomeWrites: return "home_writes";
+    case Ev::kExclusiveHomeWrites: return "exclusive_home_writes";
+    case Ev::kRedirectHops: return "redirect_hops";
+    case Ev::kMigrations: return "migrations";
+    case Ev::kTwinsCreated: return "twins_created";
+    case Ev::kDiffsCreated: return "diffs_created";
+    case Ev::kDiffsApplied: return "diffs_applied";
+    case Ev::kDiffBytes: return "diff_bytes";
+    case Ev::kPiggybackedDiffs: return "piggybacked_diffs";
+    case Ev::kLockAcquires: return "lock_acquires";
+    case Ev::kLockHandoffs: return "lock_handoffs";
+    case Ev::kBarrierWaits: return "barrier_waits";
+    case Ev::kCount: break;
+  }
+  return "?";
+}
+
+std::uint64_t Recorder::TotalMessages(bool include_sync) const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumMsgCats; ++i) {
+    if (!include_sync && static_cast<MsgCat>(i) == MsgCat::kSync) continue;
+    total += by_cat_[i].messages;
+  }
+  return total;
+}
+
+std::uint64_t Recorder::TotalBytes(bool include_sync) const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kNumMsgCats; ++i) {
+    if (!include_sync && static_cast<MsgCat>(i) == MsgCat::kSync) continue;
+    total += by_cat_[i].bytes;
+  }
+  return total;
+}
+
+void Recorder::Reset() {
+  by_cat_.fill(MsgTotals{});
+  evs_.fill(0);
+  std::fill(sent_by_node_.begin(), sent_by_node_.end(), MsgTotals{});
+  std::fill(received_by_node_.begin(), received_by_node_.end(), MsgTotals{});
+}
+
+}  // namespace hmdsm::stats

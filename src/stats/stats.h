@@ -1,0 +1,130 @@
+// Run statistics: message/byte accounting by protocol category plus named
+// protocol event counters. The Figure-5b message breakdown (obj / mig /
+// diff / redir) and the Figure-3 traffic metrics come straight from here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hmdsm::stats {
+
+/// Wire-message categories, matching the paper's Figure 5(b) breakdown plus
+/// the categories the paper tracks but does not plot.
+enum class MsgCat : std::uint8_t {
+  kObj,     // object fault-in (request or plain reply), no migration
+  kMig,     // object reply that also transfers the home
+  kDiff,    // standalone diff propagation message
+  kRedir,   // redirection reply from an obsolete home
+  kSync,    // lock acquire/grant/release, barrier arrive/release
+  kNotify,  // new-home notification (home manager posts, broadcasts)
+  kInit,    // object placement at creation time (setup phase)
+  kCount,
+};
+
+constexpr std::size_t kNumMsgCats = static_cast<std::size_t>(MsgCat::kCount);
+
+std::string_view MsgCatName(MsgCat cat);
+
+/// Named protocol events (not wire messages).
+enum class Ev : std::uint8_t {
+  kFaultIns,            // non-home access misses needing a remote fetch
+  kLocalHits,           // accesses served from a valid cached copy
+  kHomeAccesses,        // accesses served by the local home copy
+  kRemoteReads,         // object requests served at the home
+  kRemoteWrites,        // diffs applied at the home
+  kHomeReads,           // first home read per sync interval (trapped)
+  kHomeWrites,          // first home write per sync interval (trapped)
+  kExclusiveHomeWrites, // paper's positive feedback E
+  kRedirectHops,        // paper's negative feedback R (accumulated hops)
+  kMigrations,          // completed home migrations
+  kTwinsCreated,
+  kDiffsCreated,
+  kDiffsApplied,
+  kDiffBytes,           // encoded diff payload bytes
+  kPiggybackedDiffs,    // diffs that rode on a lock-release message
+  kLockAcquires,
+  kLockHandoffs,        // grants that crossed nodes
+  kBarrierWaits,
+  kCount,
+};
+
+constexpr std::size_t kNumEvs = static_cast<std::size_t>(Ev::kCount);
+
+std::string_view EvName(Ev ev);
+
+/// Per-category message and byte totals.
+struct MsgTotals {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Mutable statistics sink for one simulation run. The cluster resets it
+/// after the setup phase so steady-state numbers exclude initial placement,
+/// mirroring the paper's timing methodology (JVM startup excluded).
+class Recorder {
+ public:
+  /// Sizes the per-node tables (optional; per-node queries return zeros
+  /// for unknown nodes otherwise).
+  void SetNodeCount(std::size_t nodes) {
+    sent_by_node_.assign(nodes, MsgTotals{});
+    received_by_node_.assign(nodes, MsgTotals{});
+  }
+
+  void RecordMessage(MsgCat cat, std::size_t bytes) {
+    auto& t = by_cat_[static_cast<std::size_t>(cat)];
+    t.messages += 1;
+    t.bytes += bytes;
+  }
+
+  /// Per-node attribution (called by the network alongside RecordMessage).
+  void RecordEndpoints(std::uint32_t src, std::uint32_t dst,
+                       std::size_t bytes) {
+    if (src < sent_by_node_.size()) {
+      sent_by_node_[src].messages += 1;
+      sent_by_node_[src].bytes += bytes;
+    }
+    if (dst < received_by_node_.size()) {
+      received_by_node_[dst].messages += 1;
+      received_by_node_[dst].bytes += bytes;
+    }
+  }
+
+  MsgTotals SentBy(std::uint32_t node) const {
+    return node < sent_by_node_.size() ? sent_by_node_[node] : MsgTotals{};
+  }
+  MsgTotals ReceivedBy(std::uint32_t node) const {
+    return node < received_by_node_.size() ? received_by_node_[node]
+                                           : MsgTotals{};
+  }
+
+  void Bump(Ev ev, std::uint64_t delta = 1) {
+    evs_[static_cast<std::size_t>(ev)] += delta;
+  }
+
+  const MsgTotals& Cat(MsgCat cat) const {
+    return by_cat_[static_cast<std::size_t>(cat)];
+  }
+
+  std::uint64_t Count(Ev ev) const {
+    return evs_[static_cast<std::size_t>(ev)];
+  }
+
+  /// Total messages across categories; `include_sync=false` reproduces the
+  /// paper's Figure 5 convention (sync messages are invariant and excluded).
+  std::uint64_t TotalMessages(bool include_sync = true) const;
+
+  /// Total bytes on the wire across categories.
+  std::uint64_t TotalBytes(bool include_sync = true) const;
+
+  void Reset();
+
+ private:
+  std::array<MsgTotals, kNumMsgCats> by_cat_{};
+  std::array<std::uint64_t, kNumEvs> evs_{};
+  std::vector<MsgTotals> sent_by_node_;
+  std::vector<MsgTotals> received_by_node_;
+};
+
+}  // namespace hmdsm::stats

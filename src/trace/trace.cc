@@ -1,0 +1,62 @@
+#include "src/trace/trace.h"
+
+#include <ostream>
+
+#include "src/util/table.h"
+
+namespace hmdsm::trace {
+
+std::string_view WhatName(What what) {
+  switch (what) {
+    case What::kObjectCreated: return "object-created";
+    case What::kFaultIn: return "fault-in";
+    case What::kServeRequest: return "serve-request";
+    case What::kRedirected: return "redirected";
+    case What::kDiffSent: return "diff-sent";
+    case What::kDiffApplied: return "diff-applied";
+    case What::kMigrated: return "migrated";
+    case What::kHomeInstalled: return "home-installed";
+    case What::kLockGranted: return "lock-granted";
+    case What::kBarrierDone: return "barrier-done";
+  }
+  return "?";
+}
+
+std::vector<Event> Trace::Select(
+    const std::function<bool(const Event&)>& pred) const {
+  std::vector<Event> out;
+  for (const Event& e : events_)
+    if (pred(e)) out.push_back(e);
+  return out;
+}
+
+std::vector<Event> Trace::ForObject(dsm::ObjectId obj) const {
+  return Select([&](const Event& e) {
+    switch (e.what) {
+      case What::kLockGranted:
+      case What::kBarrierDone:
+        return false;
+      default:
+        return e.id == obj.value;
+    }
+  });
+}
+
+void Trace::Dump(std::ostream& os, std::size_t limit) const {
+  std::size_t shown = 0;
+  for (const Event& e : events_) {
+    if (shown++ >= limit) {
+      os << "... (" << events_.size() - limit << " more)\n";
+      break;
+    }
+    os << FmtSeconds(sim::ToSeconds(e.at)) << "  node" << e.node << "  "
+       << WhatName(e.what);
+    if (e.peer != dsm::kNoNode) os << " peer=node" << e.peer;
+    os << " id=" << std::hex << e.id << std::dec;
+    if (e.value != 0) os << " value=" << e.value;
+    os << '\n';
+  }
+  if (dropped_ > 0) os << "(" << dropped_ << " events dropped)\n";
+}
+
+}  // namespace hmdsm::trace

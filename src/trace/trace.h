@@ -1,0 +1,91 @@
+// Protocol event tracing.
+//
+// An optional, zero-cost-when-disabled event sink the DSM agents feed with
+// coherence-protocol events (fault-ins, diffs, migrations, redirects, lock
+// transfers). Used by tests to assert event orderings, by examples to
+// narrate a run, and by developers to debug protocol changes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/dsm/types.h"
+#include "src/sim/time.h"
+
+namespace hmdsm::trace {
+
+enum class What : std::uint8_t {
+  kObjectCreated,
+  kFaultIn,        // request sent (node = requester, peer = target)
+  kServeRequest,   // served at home (node = home, peer = requester)
+  kRedirected,     // redirect reply (node = obsolete home, peer = requester)
+  kDiffSent,       // standalone diff (node = writer, peer = target)
+  kDiffApplied,    // at home (node = home, peer = writer)
+  kMigrated,       // home transfer (node = old home, peer = new home)
+  kHomeInstalled,  // migration reply installed (node = new home)
+  kLockGranted,    // manager granted (node = manager, peer = holder)
+  kBarrierDone,    // barrier released (node = manager)
+};
+
+std::string_view WhatName(What what);
+
+/// One trace record. `value` is event-specific: hops for kRedirected /
+/// kServeRequest, diff bytes for diff events, live threshold (scaled by
+/// 1000) for kMigrated.
+struct Event {
+  sim::Time at = 0;
+  What what = What::kFaultIn;
+  dsm::NodeId node = 0;
+  dsm::NodeId peer = dsm::kNoNode;
+  std::uint64_t id = 0;  // object / lock / barrier id value
+  std::int64_t value = 0;
+};
+
+/// Bounded in-memory trace buffer. Disabled by default; enabling costs one
+/// branch per protocol event.
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
+
+  void Enable() { enabled_ = true; }
+  void Disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  void Record(Event event) {
+    if (!enabled_) return;
+    if (events_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(event);
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::uint64_t dropped() const { return dropped_; }
+  void Clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Events matching a predicate (e.g., one object's history).
+  std::vector<Event> Select(
+      const std::function<bool(const Event&)>& pred) const;
+
+  /// All events touching one object, in order.
+  std::vector<Event> ForObject(dsm::ObjectId obj) const;
+
+  /// Human-readable dump (one line per event).
+  void Dump(std::ostream& os, std::size_t limit = ~std::size_t{0}) const;
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = false;
+  std::vector<Event> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hmdsm::trace

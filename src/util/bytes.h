@@ -1,0 +1,31 @@
+// Byte-buffer aliases and small helpers shared by the serialization layer,
+// the diff codec, and the object store.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace hmdsm {
+
+using Byte = std::uint8_t;
+using Bytes = std::vector<Byte>;
+using ByteSpan = std::span<const Byte>;
+using MutByteSpan = std::span<Byte>;
+
+/// Returns a read-only byte view over an arbitrary trivially-copyable value.
+template <typename T>
+ByteSpan AsBytes(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return ByteSpan(reinterpret_cast<const Byte*>(&value), sizeof(T));
+}
+
+/// Copies a span into a fresh owning buffer.
+inline Bytes ToBytes(ByteSpan s) { return Bytes(s.begin(), s.end()); }
+
+/// Constant-size, zero-filled buffer.
+inline Bytes ZeroBytes(std::size_t n) { return Bytes(n, Byte{0}); }
+
+}  // namespace hmdsm

@@ -1,0 +1,53 @@
+// Lightweight runtime-check macros used across the library.
+//
+// HMDSM_CHECK is always on (protocol invariants must hold in release builds:
+// a silently-corrupt DSM is worse than a crashed one). HMDSM_DCHECK compiles
+// out in NDEBUG builds and is reserved for hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hmdsm {
+
+/// Error thrown when a checked invariant fails. Carries the failing
+/// expression and location so test assertions can match on substrings.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void CheckFail(const char* expr, const char* file,
+                                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace hmdsm
+
+#define HMDSM_CHECK(expr)                                            \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::hmdsm::detail::CheckFail(#expr, __FILE__, __LINE__, {});     \
+  } while (0)
+
+#define HMDSM_CHECK_MSG(expr, msg)                                   \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream os_;                                        \
+      os_ << msg;                                                    \
+      ::hmdsm::detail::CheckFail(#expr, __FILE__, __LINE__,          \
+                                 os_.str());                         \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define HMDSM_DCHECK(expr) ((void)0)
+#else
+#define HMDSM_DCHECK(expr) HMDSM_CHECK(expr)
+#endif

@@ -1,0 +1,27 @@
+#include "src/util/csv.h"
+
+namespace hmdsm {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+void CsvWriter::Row(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << Escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::Escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace hmdsm

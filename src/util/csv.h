@@ -1,0 +1,29 @@
+// CSV emission for bench harnesses — machine-readable twin of Table output,
+// so figure data can be replotted directly.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hmdsm {
+
+/// Writes rows of comma-separated values with minimal quoting. If the file
+/// cannot be opened the writer degrades to a no-op (benches must still run
+/// in read-only sandboxes).
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+  explicit CsvWriter(const std::string& path);
+
+  void Row(const std::vector<std::string>& cells);
+  bool ok() const { return out_.is_open() && out_.good(); }
+
+  /// Quotes a cell if it contains a comma, quote, or newline.
+  static std::string Escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace hmdsm

@@ -1,0 +1,79 @@
+#include "src/util/flags.h"
+
+#include <cstdlib>
+
+#include "src/util/check.h"
+
+namespace hmdsm {
+
+Flags::Flags(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // --name value (if the next token is not itself a flag), else bare bool.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::string Flags::Get(const std::string& name,
+                       const std::string& fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Flags::GetInt(const std::string& name,
+                           std::int64_t fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  HMDSM_CHECK_MSG(end != nullptr && *end == '\0',
+                  "flag --" << name << " is not an integer: '" << it->second
+                            << "'");
+  return v;
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  HMDSM_CHECK_MSG(end != nullptr && *end == '\0',
+                  "flag --" << name << " is not a number: '" << it->second
+                            << "'");
+  return v;
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  return !(v == "0" || v == "false" || v == "no" || v == "off");
+}
+
+std::vector<std::string> Flags::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, value] : values_)
+    if (!queried_.contains(name)) unused.push_back(name);
+  return unused;
+}
+
+}  // namespace hmdsm

@@ -1,0 +1,41 @@
+// Minimal command-line flag parsing for the tools and examples.
+//
+// Supports --name=value, --name value, bare boolean --name, and positional
+// arguments. Unknown-flag detection is the caller's job via Consumed().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hmdsm {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+  std::string Get(const std::string& name,
+                  const std::string& fallback = {}) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  /// Bare --name counts as true; "0", "false", "no" count as false.
+  bool GetBool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names seen on the command line but never queried — typo detection.
+  std::vector<std::string> UnusedFlags() const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hmdsm

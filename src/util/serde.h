@@ -1,0 +1,138 @@
+// Minimal byte-oriented serialization used for DSM protocol messages.
+//
+// Message sizes feed the Hockney network model, so encoding is explicit and
+// deterministic: little-endian fixed-width integers, length-prefixed byte
+// strings, no padding. The same primitives back the diff codec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/util/bytes.h"
+#include "src/util/check.h"
+
+namespace hmdsm {
+
+/// Appends primitive values to an owned byte buffer.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(Bytes initial) : buf_(std::move(initial)) {}
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<Byte>(v));
+    buf_.push_back(static_cast<Byte>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<Byte>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<Byte>(v >> (8 * i)));
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+
+  /// Length-prefixed byte string.
+  void bytes(ByteSpan s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s);
+  }
+
+  /// Raw bytes, no length prefix (caller knows the framing).
+  void raw(ByteSpan s) { buf_.insert(buf_.end(), s.begin(), s.end()); }
+
+  void str(std::string_view s) {
+    bytes(ByteSpan(reinterpret_cast<const Byte*>(s.data()), s.size()));
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  const Bytes& buffer() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads primitive values back out of a byte span. Throws CheckError on
+/// truncated input — a truncated protocol message is always a bug.
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) : data_(data) {}
+
+  std::uint8_t u8() { return take(1)[0]; }
+
+  std::uint16_t u16() {
+    auto s = take(2);
+    return static_cast<std::uint16_t>(s[0] | (s[1] << 8));
+  }
+
+  std::uint32_t u32() {
+    auto s = take(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(s[i]) << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    auto s = take(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(s[i]) << (8 * i);
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  Bytes bytes() {
+    std::uint32_t n = u32();
+    auto s = take(n);
+    return Bytes(s.begin(), s.end());
+  }
+
+  std::string str() {
+    std::uint32_t n = u32();
+    auto s = take(n);
+    return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+  }
+
+  /// Zero-copy view of the next `n` bytes (valid while the source buffer
+  /// lives). Used by bulk consumers (diff apply) to avoid byte loops.
+  ByteSpan raw(std::size_t n) { return take(n); }
+
+  /// Remaining unread bytes.
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  ByteSpan take(std::size_t n) {
+    HMDSM_CHECK_MSG(pos_ + n <= data_.size(),
+                    "truncated message: need " << n << " bytes, have "
+                                               << remaining());
+    ByteSpan s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hmdsm

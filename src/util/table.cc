@@ -1,0 +1,107 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace hmdsm {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  HMDSM_CHECK(!header_.empty());
+}
+
+Table& Table::AddRow(std::vector<std::string> cells) {
+  HMDSM_CHECK_MSG(cells.size() == header_.size(),
+                  "row has " << cells.size() << " cells, header has "
+                             << header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      // First column left-aligned (labels), the rest right-aligned (numbers).
+      if (c == 0) {
+        os << row[c] << std::string(width[c] - row[c].size(), ' ');
+      } else {
+        os << std::string(width[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string FmtF(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string FmtI(long long v) {
+  const bool neg = v < 0;
+  unsigned long long mag =
+      neg ? 0ull - static_cast<unsigned long long>(v)
+          : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(mag);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string FmtPct(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string FmtBytes(double bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  while (std::fabs(bytes) >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f %s", bytes, kUnits[unit]);
+  return buf;
+}
+
+std::string FmtSeconds(double seconds) {
+  char buf[64];
+  const double a = std::fabs(seconds);
+  if (a >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  } else if (a >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.2f ms", seconds * 1e3);
+  } else if (a >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace hmdsm

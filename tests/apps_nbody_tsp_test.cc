@@ -1,0 +1,180 @@
+// Correctness and protocol-behavior tests for NBody (Barnes–Hut) and TSP.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/apps/nbody.h"
+#include "src/apps/tsp.h"
+
+namespace hmdsm::apps {
+namespace {
+
+gos::VmOptions Opts(std::size_t nodes, const std::string& policy) {
+  gos::VmOptions o;
+  o.nodes = nodes;
+  o.dsm.policy = policy;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Octree / Barnes–Hut physics
+// ---------------------------------------------------------------------------
+
+void DirectAccel(const std::vector<Body>& bodies, int i, double out[3]) {
+  out[0] = out[1] = out[2] = 0;
+  const Body& b = bodies[i];
+  for (int j = 0; j < static_cast<int>(bodies.size()); ++j) {
+    if (j == i) continue;
+    const double dx = bodies[j].px - b.px;
+    const double dy = bodies[j].py - b.py;
+    const double dz = bodies[j].pz - b.pz;
+    const double d2 = dx * dx + dy * dy + dz * dz + 1e-6;
+    const double f = bodies[j].mass / (d2 * std::sqrt(d2));
+    out[0] += f * dx;
+    out[1] += f * dy;
+    out[2] += f * dz;
+  }
+}
+
+TEST(Octree, ZeroThetaMatchesDirectSummation) {
+  // With theta=0 the tree never opens a cell approximation: exact forces.
+  const auto bodies = NbodyInput(64, 9);
+  Octree tree(bodies);
+  for (int i = 0; i < 64; i += 7) {
+    double direct[3], approx[3];
+    std::uint64_t interactions = 0;
+    DirectAccel(bodies, i, direct);
+    tree.Accel(bodies[i], i, 0.0, approx, interactions);
+    for (int k = 0; k < 3; ++k)
+      EXPECT_NEAR(approx[k], direct[k], 1e-9 + std::fabs(direct[k]) * 1e-9);
+  }
+}
+
+TEST(Octree, ModerateThetaApproximatesWithin5Percent) {
+  const auto bodies = NbodyInput(256, 17);
+  Octree tree(bodies);
+  double worst = 0;
+  for (int i = 0; i < 256; i += 13) {
+    double direct[3], approx[3];
+    std::uint64_t interactions = 0;
+    DirectAccel(bodies, i, direct);
+    tree.Accel(bodies[i], i, 0.5, approx, interactions);
+    const double mag = std::sqrt(direct[0] * direct[0] +
+                                 direct[1] * direct[1] +
+                                 direct[2] * direct[2]);
+    const double err = std::sqrt(
+        (approx[0] - direct[0]) * (approx[0] - direct[0]) +
+        (approx[1] - direct[1]) * (approx[1] - direct[1]) +
+        (approx[2] - direct[2]) * (approx[2] - direct[2]));
+    worst = std::max(worst, err / (mag + 1e-12));
+  }
+  EXPECT_LT(worst, 0.05);
+}
+
+TEST(Octree, ThetaTradesAccuracyForInteractions) {
+  const auto bodies = NbodyInput(512, 5);
+  Octree tree(bodies);
+  std::uint64_t tight = 0, loose = 0;
+  double out[3];
+  for (int i = 0; i < 512; i += 31) {
+    tree.Accel(bodies[i], i, 0.1, out, tight);
+    tree.Accel(bodies[i], i, 1.0, out, loose);
+  }
+  EXPECT_GT(tight, loose * 2);  // smaller theta opens many more cells
+}
+
+TEST(Octree, CoincidentBodiesDoNotExplode) {
+  std::vector<Body> bodies(4);
+  for (auto& b : bodies) {
+    b.px = b.py = b.pz = 0.25;  // all at the same point
+    b.mass = 1.0;
+  }
+  Octree tree(bodies);
+  double out[3];
+  std::uint64_t n = 0;
+  tree.Accel(bodies[0], 0, 0.5, out, n);
+  for (int k = 0; k < 3; ++k) EXPECT_TRUE(std::isfinite(out[k]));
+}
+
+class NbodyPolicyCorrectness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NbodyPolicyCorrectness, MatchesSerialReference) {
+  NbodyConfig cfg;
+  cfg.bodies = 64;
+  cfg.steps = 3;
+  cfg.model_compute = false;
+  const auto serial = SerialNbody(cfg);
+  const auto result = RunNbody(Opts(4, GetParam()), cfg);
+  EXPECT_NEAR(result.position_checksum, NbodyChecksum(serial), 1e-9)
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, NbodyPolicyCorrectness,
+                         ::testing::Values("NoHM", "AT"));
+
+TEST(Nbody, HomesAlreadyOptimalSoMigrationIsIdle) {
+  // Blocks are created at their writers: the paper's observation that home
+  // migration has little impact on NBody.
+  NbodyConfig cfg;
+  cfg.bodies = 128;
+  cfg.steps = 3;
+  const auto no_hm = RunNbody(Opts(4, "NoHM"), cfg);
+  const auto at = RunNbody(Opts(4, "AT"), cfg);
+  EXPECT_EQ(at.report.migrations, 0u);
+  EXPECT_EQ(at.report.messages, no_hm.report.messages);
+  EXPECT_DOUBLE_EQ(at.report.seconds, no_hm.report.seconds);
+}
+
+// ---------------------------------------------------------------------------
+// TSP
+// ---------------------------------------------------------------------------
+
+TEST(Tsp, SerialBranchAndBoundFindsOptimumOnKnownInstance) {
+  // 4-city instance with a hand-computed optimum: 0-1-3-2-0 = 10+30+12+20?
+  // Use exhaustive TourLength comparison instead of a baked-in constant.
+  TspConfig cfg;
+  cfg.cities = 7;
+  const auto dist = TspInput(cfg.cities, cfg.seed);
+  // Exhaustive check over all permutations of 1..6.
+  std::vector<std::uint8_t> perm{0, 1, 2, 3, 4, 5, 6};
+  std::int32_t brute = 1 << 30;
+  std::sort(perm.begin() + 1, perm.end());
+  do {
+    brute = std::min(brute, TourLength(dist, cfg.cities, perm));
+  } while (std::next_permutation(perm.begin() + 1, perm.end()));
+  EXPECT_EQ(SerialTspBest(cfg), brute);
+}
+
+class TspPolicyCorrectness : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TspPolicyCorrectness, FindsTheOptimalTour) {
+  TspConfig cfg;
+  cfg.cities = 8;
+  cfg.model_compute = false;
+  const std::int32_t optimum = SerialTspBest(cfg);
+  const auto result = RunTsp(Opts(4, GetParam()), cfg);
+  EXPECT_EQ(result.best_length, optimum) << GetParam();
+  // The reported tour really has the reported length.
+  const auto dist = TspInput(cfg.cities, cfg.seed);
+  EXPECT_EQ(TourLength(dist, cfg.cities, result.best_tour),
+            result.best_length);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, TspPolicyCorrectness,
+                         ::testing::Values("NoHM", "FT2", "AT"));
+
+TEST(Tsp, MigrationIndifferentOnMultipleWriterObjects) {
+  // The bound/queue objects are written by many nodes: migration can't
+  // help much (paper's TSP observation). Allow small deviations either way.
+  TspConfig cfg;
+  cfg.cities = 9;
+  const auto no_hm = RunTsp(Opts(4, "NoHM"), cfg);
+  const auto at = RunTsp(Opts(4, "AT"), cfg);
+  EXPECT_EQ(no_hm.best_length, at.best_length);
+  const double ratio = at.report.seconds / no_hm.report.seconds;
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.3);
+}
+
+}  // namespace
+}  // namespace hmdsm::apps

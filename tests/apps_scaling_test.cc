@@ -1,0 +1,123 @@
+// Parameterized scaling sweeps: every application must stay correct and
+// well-behaved across cluster sizes (including the degenerate single-node
+// cluster) and across problem sizes, under both NoHM and AT.
+#include <gtest/gtest.h>
+
+#include "src/apps/asp.h"
+#include "src/apps/nbody.h"
+#include "src/apps/sor.h"
+#include "src/apps/synthetic.h"
+#include "src/apps/tsp.h"
+
+namespace hmdsm::apps {
+namespace {
+
+gos::VmOptions Opts(std::size_t nodes, const std::string& policy) {
+  gos::VmOptions o;
+  o.nodes = nodes;
+  o.dsm.policy = policy;
+  return o;
+}
+
+using NodesPolicy = std::tuple<int, const char*>;
+
+std::string SweepName(const ::testing::TestParamInfo<NodesPolicy>& info) {
+  return std::string("p") + std::to_string(std::get<0>(info.param)) + "_" +
+         std::get<1>(info.param);
+}
+
+class AppSweep : public ::testing::TestWithParam<NodesPolicy> {};
+
+TEST_P(AppSweep, AspMatchesSerial) {
+  const auto [nodes, policy] = GetParam();
+  AspConfig cfg;
+  cfg.n = 24;
+  cfg.model_compute = false;
+  const auto res = RunAsp(Opts(nodes, policy), cfg);
+  EXPECT_EQ(res.checksum, AspChecksum(SerialAsp(cfg.n, cfg.seed)));
+}
+
+TEST_P(AppSweep, SorMatchesSerial) {
+  const auto [nodes, policy] = GetParam();
+  SorConfig cfg;
+  cfg.n = 24;
+  cfg.iterations = 3;
+  cfg.model_compute = false;
+  const auto res = RunSor(Opts(nodes, policy), cfg);
+  EXPECT_DOUBLE_EQ(res.checksum, SorChecksum(SerialSor(cfg)));
+}
+
+TEST_P(AppSweep, NbodyMatchesSerial) {
+  const auto [nodes, policy] = GetParam();
+  NbodyConfig cfg;
+  cfg.bodies = 48;
+  cfg.steps = 2;
+  cfg.model_compute = false;
+  const auto res = RunNbody(Opts(nodes, policy), cfg);
+  EXPECT_NEAR(res.position_checksum, NbodyChecksum(SerialNbody(cfg)), 1e-9);
+}
+
+TEST_P(AppSweep, TspFindsOptimum) {
+  const auto [nodes, policy] = GetParam();
+  TspConfig cfg;
+  cfg.cities = 7;
+  cfg.model_compute = false;
+  const auto res = RunTsp(Opts(nodes, policy), cfg);
+  EXPECT_EQ(res.best_length, SerialTspBest(cfg));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NodesTimesPolicy, AppSweep,
+    ::testing::Combine(::testing::Values(1, 2, 3, 8, 12),
+                       ::testing::Values("NoHM", "AT")),
+    SweepName);
+
+TEST(AppSweepExtra, SyntheticWorkerCountSweep) {
+  for (int workers : {1, 2, 4, 8}) {
+    SyntheticConfig cfg;
+    cfg.workers = workers;
+    cfg.repetition = 4;
+    cfg.target = 64;
+    const auto res =
+        RunSynthetic(Opts(workers + 1, "AT"), cfg);
+    EXPECT_GE(res.final_count, 64) << workers << " workers";
+    EXPECT_LT(res.final_count, 64 + 4 * workers) << workers << " workers";
+  }
+}
+
+TEST(AppSweepExtra, SingleNodeRunsAreMessageFree) {
+  // Everything homed and executed on one node: no wire traffic at all.
+  AspConfig cfg;
+  cfg.n = 16;
+  const auto res = RunAsp(Opts(1, "AT"), cfg);
+  EXPECT_EQ(res.report.messages, 0u);
+  EXPECT_EQ(res.report.migrations, 0u);
+}
+
+TEST(AppSweepExtra, MoreNodesMoreTrafficLessTimeForNoHM) {
+  // NoHM's execution time should improve with parallelism even as its
+  // traffic grows (the Figure-2 scalability premise).
+  AspConfig cfg;
+  cfg.n = 64;
+  const auto p2 = RunAsp(Opts(2, "NoHM"), cfg);
+  const auto p8 = RunAsp(Opts(8, "NoHM"), cfg);
+  EXPECT_GT(p8.report.messages, p2.report.messages);
+  EXPECT_LT(p8.report.seconds, p2.report.seconds);
+}
+
+TEST(AppSweepExtra, MigrationCountIsBoundedByForeignHomedRows) {
+  // AT migrates each misplaced row at most once in ASP (no thrashing on a
+  // pure lasting-single-writer workload).
+  AspConfig cfg;
+  cfg.n = 32;
+  cfg.model_compute = false;
+  for (int nodes : {2, 4, 8}) {
+    const auto res = RunAsp(Opts(nodes, "AT"), cfg);
+    const auto foreign_rows =
+        static_cast<std::uint64_t>(cfg.n - cfg.n / nodes);
+    EXPECT_EQ(res.report.migrations, foreign_rows) << nodes << " nodes";
+  }
+}
+
+}  // namespace
+}  // namespace hmdsm::apps

@@ -1,0 +1,186 @@
+#include "src/dsm/diff.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace hmdsm::dsm {
+namespace {
+
+Bytes Pattern(std::size_t n, Byte seed) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i)
+    b[i] = static_cast<Byte>(seed + i * 7);
+  return b;
+}
+
+TEST(Diff, IdenticalBuffersProduceEmptyDiff) {
+  Bytes twin = Pattern(256, 3);
+  Bytes current = twin;
+  Bytes diff = Diff::Encode(twin, current);
+  EXPECT_TRUE(Diff::IsEmpty(diff));
+  EXPECT_EQ(Diff::PayloadBytes(diff), 0u);
+  EXPECT_EQ(Diff::TargetSize(diff), 256u);
+}
+
+TEST(Diff, SingleByteChange) {
+  Bytes twin = Pattern(128, 0);
+  Bytes current = twin;
+  current[64] ^= 0xFF;
+  Bytes diff = Diff::Encode(twin, current);
+  EXPECT_FALSE(Diff::IsEmpty(diff));
+  EXPECT_EQ(Diff::PayloadBytes(diff), 1u);
+
+  Bytes target = twin;
+  Diff::Apply(diff, target);
+  EXPECT_EQ(target, current);
+}
+
+TEST(Diff, ChangeAtBufferEdges) {
+  Bytes twin = Pattern(64, 9);
+  Bytes current = twin;
+  current[0] ^= 1;
+  current[63] ^= 1;
+  Bytes diff = Diff::Encode(twin, current);
+  Bytes target = twin;
+  Diff::Apply(diff, target);
+  EXPECT_EQ(target, current);
+}
+
+TEST(Diff, DefaultDiffsAreExact) {
+  Bytes twin(64, 0);
+  Bytes current = twin;
+  current[10] = 1;
+  current[15] = 1;
+  Bytes diff = Diff::Encode(twin, current);
+  // Exactly the two changed bytes — never the clean gap between them.
+  EXPECT_EQ(Diff::PayloadBytes(diff), 2u);
+  Bytes target = twin;
+  Diff::Apply(diff, target);
+  EXPECT_EQ(target, current);
+}
+
+TEST(Diff, OptionalGapMergeCoalescesRuns) {
+  Bytes twin(64, 0);
+  Bytes current = twin;
+  current[10] = 1;
+  current[15] = 1;  // 4 clean bytes apart
+  Bytes diff = Diff::Encode(twin, current, /*merge_gap=*/8);
+  // One run spanning [10,16): payload 6 bytes (includes clean bytes).
+  EXPECT_EQ(Diff::PayloadBytes(diff), 6u);
+  Bytes target = twin;
+  Diff::Apply(diff, target);
+  EXPECT_EQ(target, current);
+}
+
+TEST(Diff, ExactDiffsPreserveConcurrentAdjacentWrites) {
+  // The false-sharing hazard that mandates exact diffs: from the same twin,
+  // A writes bytes 4 and 6 while B writes byte 5. With exact diffs, both
+  // updates survive at the home regardless of apply order.
+  Bytes twin(16, 0);
+  Bytes a = twin, b = twin;
+  a[4] = 0xAA;
+  a[6] = 0xCC;
+  b[5] = 0xBB;
+  Bytes diff_a = Diff::Encode(twin, a);
+  Bytes diff_b = Diff::Encode(twin, b);
+
+  Bytes home = twin;
+  Diff::Apply(diff_b, home);
+  Diff::Apply(diff_a, home);  // A applied after B — must not clobber B
+  EXPECT_EQ(home[4], 0xAA);
+  EXPECT_EQ(home[5], 0xBB);
+  EXPECT_EQ(home[6], 0xCC);
+
+  // The same scenario with gap merging demonstrably loses B's update:
+  // A's merged run [4,7) carries byte 5's stale twin value.
+  Bytes merged_home = twin;
+  Diff::Apply(diff_b, merged_home);
+  Diff::Apply(Diff::Encode(twin, a, /*merge_gap=*/8), merged_home);
+  EXPECT_EQ(merged_home[5], 0x00);  // B's write clobbered — the hazard
+}
+
+TEST(Diff, DistantChangesStaySeparateRuns) {
+  Bytes twin(128, 0);
+  Bytes current = twin;
+  current[10] = 1;
+  current[100] = 1;
+  Bytes diff = Diff::Encode(twin, current);
+  EXPECT_EQ(Diff::PayloadBytes(diff), 2u);
+  Bytes target = twin;
+  Diff::Apply(diff, target);
+  EXPECT_EQ(target, current);
+}
+
+TEST(Diff, FullRewrite) {
+  Bytes twin = Pattern(1024, 1);
+  Bytes current = Pattern(1024, 200);
+  Bytes diff = Diff::Encode(twin, current);
+  EXPECT_EQ(Diff::PayloadBytes(diff), 1024u);
+  Bytes target = twin;
+  Diff::Apply(diff, target);
+  EXPECT_EQ(target, current);
+}
+
+TEST(Diff, EmptyObject) {
+  Bytes twin, current;
+  Bytes diff = Diff::Encode(twin, current);
+  EXPECT_TRUE(Diff::IsEmpty(diff));
+  Bytes target;
+  Diff::Apply(diff, MutByteSpan(target));
+}
+
+TEST(Diff, SizeMismatchThrows) {
+  Bytes twin(10), current(11);
+  EXPECT_THROW(Diff::Encode(twin, current), CheckError);
+
+  Bytes diff = Diff::Encode(Bytes(10), Bytes(10));
+  Bytes target(11);
+  EXPECT_THROW(Diff::Apply(diff, target), CheckError);
+}
+
+TEST(Diff, ApplyToStaleBaseOnlyOverwritesChangedRanges) {
+  // The home copy may contain other writers' non-overlapping updates; the
+  // diff must not disturb them (multiple-writer property / false sharing).
+  Bytes twin(32, 0);
+  Bytes writer_a = twin;
+  writer_a[5] = 0xAA;
+  Bytes diff_a = Diff::Encode(twin, writer_a);
+
+  Bytes home = twin;
+  home[20] = 0xBB;  // concurrent update from elsewhere, already applied
+  Diff::Apply(diff_a, home);
+  EXPECT_EQ(home[5], 0xAA);
+  EXPECT_EQ(home[20], 0xBB);
+}
+
+// Property test: random twin/current pairs round-trip for many sizes and
+// densities.
+class DiffFuzz : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(DiffFuzz, RoundTrips) {
+  const auto [size, density] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(size * 1000 + density * 100));
+  for (int iter = 0; iter < 50; ++iter) {
+    Bytes twin(size);
+    for (auto& b : twin) b = static_cast<Byte>(rng.next());
+    Bytes current = twin;
+    for (auto& b : current)
+      if (rng.chance(density)) b = static_cast<Byte>(rng.next());
+    Bytes diff = Diff::Encode(twin, current);
+    Bytes target = twin;
+    Diff::Apply(diff, target);
+    ASSERT_EQ(target, current) << "size=" << size << " density=" << density;
+    // The diff payload can't exceed the object size, and the whole encoding
+    // is bounded by size + per-run headers (runs ≤ size/2 + 1).
+    EXPECT_LE(Diff::PayloadBytes(diff), static_cast<std::size_t>(size));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndDensities, DiffFuzz,
+    ::testing::Combine(::testing::Values(1, 7, 64, 1000, 16384),
+                       ::testing::Values(0.0, 0.01, 0.2, 0.9, 1.0)));
+
+}  // namespace
+}  // namespace hmdsm::dsm

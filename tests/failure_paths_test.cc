@@ -1,0 +1,139 @@
+// Failure-injection / negative-path tests: the protocol must fail loudly
+// and precisely on misuse and on wire-level corruption, never silently
+// corrupt shared state.
+#include <gtest/gtest.h>
+
+#include "src/dsm/agent.h"
+#include "src/dsm/cluster.h"
+#include "src/dsm/diff.h"
+#include "src/proto/wire.h"
+
+namespace hmdsm::dsm {
+namespace {
+
+using stats::MsgCat;
+
+struct World {
+  Cluster cluster;
+  explicit World(std::size_t nodes, DsmConfig cfg = {})
+      : cluster(ClusterOptions{nodes, net::HockneyModel(70.0, 12.5),
+                               std::move(cfg)}) {}
+  void On(NodeId node, std::function<void(sim::Process&, Agent&)> fn) {
+    cluster.kernel().Spawn("prog@" + std::to_string(node),
+                           [this, node, fn = std::move(fn)](sim::Process& p) {
+                             fn(p, cluster.agent(node));
+                           });
+  }
+};
+
+TEST(FailurePaths, ReleaseWithoutAcquireIsRejectedAtTheManager) {
+  World w(2);
+  const LockId lock = LockId::Make(0, 1);
+  w.On(1, [&](sim::Process& p, Agent& a) { a.Release(p, lock); });
+  EXPECT_THROW(w.cluster.kernel().Run(), CheckError);
+}
+
+TEST(FailurePaths, ReleaseByNonHolderIsRejected) {
+  World w(3);
+  const LockId lock = LockId::Make(0, 1);
+  w.On(1, [&](sim::Process& p, Agent& a) {
+    a.Acquire(p, lock);
+    p.Delay(sim::kSecond);  // hold
+    a.Release(p, lock);
+  });
+  w.On(2, [&](sim::Process& p, Agent& a) {
+    p.Delay(100 * sim::kMillisecond);
+    a.Release(p, lock);  // never acquired
+  });
+  EXPECT_THROW(w.cluster.kernel().Run(), CheckError);
+}
+
+TEST(FailurePaths, AccessToNonexistentObjectFailsAtInitialHome) {
+  World w(2);
+  const ObjectId ghost = ObjectId::Make(0, 0, 99);  // never created
+  w.On(1, [&](sim::Process& p, Agent& a) {
+    a.Read(p, ghost, [](ByteSpan) {});
+  });
+  EXPECT_THROW(w.cluster.kernel().Run(), CheckError);
+}
+
+TEST(FailurePaths, BarrierParticipantMismatchIsRejected) {
+  World w(2);
+  const BarrierId barrier = BarrierId::Make(0, 1);
+  w.On(0, [&](sim::Process& p, Agent& a) { a.Barrier(p, barrier, 2); });
+  w.On(1, [&](sim::Process& p, Agent& a) { a.Barrier(p, barrier, 3); });
+  EXPECT_THROW(w.cluster.kernel().Run(), CheckError);
+}
+
+TEST(FailurePaths, DuplicateObjectCreationIsRejected) {
+  World w(2);
+  const ObjectId obj = ObjectId::Make(0, 0, 1);
+  w.On(0, [&](sim::Process& p, Agent& a) {
+    a.CreateObject(p, obj, Bytes(8, 0));
+    EXPECT_THROW(a.CreateObject(p, obj, Bytes(8, 0)), CheckError);
+  });
+  w.cluster.kernel().Run();
+}
+
+TEST(FailurePaths, CorruptWireMessageIsRejected) {
+  World w(2);
+  w.On(1, [&](sim::Process& p, Agent&) {
+    p.Delay(sim::kMillisecond);
+    // Truncated ObjRequest: kind byte only.
+    w.cluster.network().Send(1, 0, MsgCat::kObj, Bytes{1});
+  });
+  EXPECT_THROW(w.cluster.kernel().Run(), CheckError);
+}
+
+TEST(FailurePaths, StrayDiffAckIsRejected) {
+  World w(2);
+  w.On(1, [&](sim::Process& p, Agent&) {
+    p.Delay(sim::kMillisecond);
+    w.cluster.network().Send(
+        1, 0, MsgCat::kDiff, proto::Encode(proto::DiffAck{0xDEAD}));
+  });
+  EXPECT_THROW(w.cluster.kernel().Run(), CheckError);
+}
+
+TEST(FailurePaths, DiffForUnknownObjectIsRejected) {
+  World w(2);
+  w.On(1, [&](sim::Process& p, Agent&) {
+    p.Delay(sim::kMillisecond);
+    Bytes twin(4, 0), cur(4, 1);
+    w.cluster.network().Send(
+        1, 0, MsgCat::kDiff,
+        proto::Encode(proto::DiffMsg{ObjectId::Make(0, 0, 7),
+                                     Diff::Encode(twin, cur), 0, false, 1}));
+  });
+  EXPECT_THROW(w.cluster.kernel().Run(), CheckError);
+}
+
+TEST(FailurePaths, HomeStateQueryOnNonHomeFails) {
+  World w(2);
+  const ObjectId obj = ObjectId::Make(0, 0, 1);
+  w.On(0, [&](sim::Process& p, Agent& a) { a.CreateObject(p, obj, Bytes(8, 0)); });
+  w.cluster.kernel().Run();
+  EXPECT_THROW(w.cluster.agent(1).HomeState(obj), CheckError);
+  EXPECT_THROW(w.cluster.agent(1).PeekHomeData(obj), CheckError);
+  EXPECT_THROW(w.cluster.agent(1).HomeLiveThreshold(obj), CheckError);
+}
+
+TEST(FailurePaths, AppExceptionUnwindsCleanly) {
+  // A throwing application body propagates out of Run; the kernel
+  // destructor then reaps parked daemons without hanging.
+  World w(3);
+  const LockId lock = LockId::Make(0, 1);
+  w.On(1, [&](sim::Process& p, Agent& a) {
+    a.Acquire(p, lock);
+    throw std::runtime_error("app bug");
+  });
+  w.On(2, [&](sim::Process& p, Agent& a) {
+    p.Delay(10 * sim::kMillisecond);
+    a.Acquire(p, lock);  // will never be granted — parked at teardown
+  });
+  EXPECT_THROW(w.cluster.kernel().Run(), std::runtime_error);
+  // World destruction must not deadlock (covered by test completion).
+}
+
+}  // namespace
+}  // namespace hmdsm::dsm

@@ -1,0 +1,164 @@
+// Additional coverage for the typed GOS wrappers and the Vm facade:
+// wrapper edge cases, multiple threads per node, measured windows, and
+// option plumbing.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/gos/global.h"
+#include "src/gos/vm.h"
+
+namespace hmdsm::gos {
+namespace {
+
+VmOptions Opts(std::size_t nodes, const std::string& policy = "NoHM") {
+  VmOptions o;
+  o.nodes = nodes;
+  o.dsm.policy = policy;
+  return o;
+}
+
+TEST(GlobalArray, DefaultConstructedIsInvalid) {
+  GlobalArray<int> a;
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(GlobalArray, ZeroInitializedOnCreate) {
+  Vm vm(Opts(2));
+  vm.Run([&](Env& env) {
+    auto a = GlobalArray<double>::Create(env, 64, 1);
+    EXPECT_TRUE(a.valid());
+    std::vector<double> v;
+    a.Load(env, v);
+    for (double x : v) EXPECT_EQ(x, 0.0);
+  });
+}
+
+TEST(GlobalArray, OutOfRangeAccessesThrow) {
+  Vm vm(Opts(2));
+  vm.Run([&](Env& env) {
+    auto a = GlobalArray<int>::Create(env, 4, 0);
+    EXPECT_THROW(a.Get(env, 4), CheckError);
+    EXPECT_THROW(a.Set(env, 99, 1), CheckError);
+    std::vector<int> wrong(3);
+    EXPECT_THROW(a.Store(env, wrong), CheckError);
+  });
+}
+
+TEST(GlobalArray, StructElementsRoundTrip) {
+  struct Pair {
+    std::int32_t a;
+    float b;
+  };
+  Vm vm(Opts(3));
+  vm.Run([&](Env& env) {
+    auto arr = GlobalArray<Pair>::Create(env, 8, 2);
+    LockId lock = vm.CreateLock(0);
+    // The write must reach the home via a release before others read it
+    // (LRC: unsynchronized writes stay in the writer's cache).
+    env.Synchronized(lock, [&] { arr.Set(env, 3, Pair{42, 2.5f}); });
+    Thread* t = vm.Spawn(1, [&](Env& me) {
+      Pair p{};
+      me.Synchronized(lock, [&] { p = arr.Get(me, 3); });
+      EXPECT_EQ(p.a, 42);
+      EXPECT_EQ(p.b, 2.5f);
+    });
+    vm.Join(env, t);
+  });
+}
+
+TEST(GlobalScalar, GetSetAcrossNodes) {
+  Vm vm(Opts(3));
+  vm.Run([&](Env& env) {
+    auto s = GlobalScalar<double>::Create(env, 1.25, 2);
+    Thread* t = vm.Spawn(1, [&](Env& me) {
+      EXPECT_DOUBLE_EQ(s.Get(me), 1.25);
+      s.Set(me, 7.5);
+      // Flush so other nodes can observe (release on a lock).
+      LockId lock = me.vm().CreateLock(1);
+      me.Acquire(lock);
+      me.Release(lock);
+    });
+    vm.Join(env, t);
+    LockId lock2 = vm.CreateLock(0);
+    env.Synchronized(lock2, [&] { EXPECT_DOUBLE_EQ(s.Get(env), 7.5); });
+  });
+}
+
+TEST(Vm, TwoThreadsOnOneNodeShareTheCache) {
+  Vm vm(Opts(2));
+  vm.Run([&](Env& env) {
+    auto a = GlobalArray<int>::Create(env, 8, 0);
+    vm.ResetMeasurement();
+    // Both threads on node 1: the first fault caches; the second thread's
+    // read is a local hit.
+    Thread* t1 = vm.Spawn(1, [&](Env& me) { (void)a.Get(me, 0); });
+    vm.Join(env, t1);
+    Thread* t2 = vm.Spawn(1, [&](Env& me) { (void)a.Get(me, 1); });
+    vm.Join(env, t2);
+    const RunReport r = vm.Report();
+    EXPECT_EQ(r.fault_ins, 1u);
+    EXPECT_EQ(r.cat[static_cast<int>(stats::MsgCat::kObj)].messages, 2u);
+  });
+}
+
+TEST(Vm, ResetMeasurementZeroesTheWindow) {
+  Vm vm(Opts(2));
+  vm.Run([&](Env& env) {
+    auto a = GlobalArray<int>::Create(env, 1024, 1);
+    Thread* t = vm.Spawn(0, [&](Env& me) { (void)a.Get(me, 0); });
+    vm.Join(env, t);
+    EXPECT_GT(vm.Report().messages, 0u);
+    vm.ResetMeasurement();
+    EXPECT_EQ(vm.Report().messages, 0u);
+    EXPECT_EQ(vm.Report().seconds, 0.0);
+  });
+}
+
+TEST(Vm, HockneyModelIsConfigurable) {
+  // Halving bandwidth roughly doubles the transfer term of a bulk fetch.
+  auto run = [](double mbps) {
+    VmOptions o = Opts(2);
+    o.model = net::HockneyModel(70.0, mbps);
+    Vm vm(o);
+    double seconds = 0;
+    vm.Run([&](Env& env) {
+      auto a = GlobalArray<int>::Create(env, 65536, 1);
+      vm.ResetMeasurement();
+      (void)a.Get(env, 0);
+      seconds = vm.ElapsedSeconds();
+    });
+    return seconds;
+  };
+  const double fast = run(25.0);
+  const double slow = run(12.5);
+  EXPECT_GT(slow, fast * 1.7);
+  EXPECT_LT(slow, fast * 2.3);
+}
+
+TEST(Vm, PolicyNameSurfacesOnAgents) {
+  Vm vm(Opts(2, "FT2"));
+  EXPECT_EQ(vm.cluster().agent(0).policy().name(), "FT2");
+  EXPECT_EQ(vm.cluster().agent(1).policy().name(), "FT2");
+}
+
+TEST(Vm, ManyThreadsJoinInAnyOrder) {
+  Vm vm(Opts(4));
+  vm.Run([&](Env& env) {
+    std::vector<Thread*> ts;
+    int done = 0;
+    for (int i = 0; i < 12; ++i) {
+      ts.push_back(vm.Spawn(static_cast<NodeId>(i % 4), [&, i](Env& me) {
+        me.Compute(1e-4 * (12 - i));  // later spawns finish earlier
+        ++done;
+      }));
+    }
+    // Join in reverse spawn order.
+    for (auto it = ts.rbegin(); it != ts.rend(); ++it) vm.Join(env, *it);
+    EXPECT_EQ(done, 12);
+  });
+}
+
+}  // namespace
+}  // namespace hmdsm::gos

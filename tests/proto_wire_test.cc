@@ -1,0 +1,134 @@
+#include "src/proto/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace hmdsm::proto {
+namespace {
+
+template <typename T>
+T RoundTrip(const T& msg) {
+  Bytes wire = Encode(msg);
+  AnyMsg any = Decode(wire);
+  EXPECT_TRUE(std::holds_alternative<T>(any));
+  return std::get<T>(any);
+}
+
+TEST(Wire, ObjRequest) {
+  ObjRequest m{ObjectId::Make(3, 1, 42), 7, true};
+  auto d = RoundTrip(m);
+  EXPECT_EQ(d.obj, m.obj);
+  EXPECT_EQ(d.hops, 7u);
+  EXPECT_TRUE(d.for_write);
+}
+
+TEST(Wire, ObjReplyCarriesData) {
+  ObjReply m{ObjectId::Make(0, 0, 1), Bytes{1, 2, 3, 4}};
+  auto d = RoundTrip(m);
+  EXPECT_EQ(d.data, m.data);
+  // Wire size reflects the payload (drives the Hockney model).
+  EXPECT_GE(Encode(m).size(), m.data.size());
+}
+
+TEST(Wire, MigrateReplyCarriesPolicyState) {
+  core::ObjPolicyState pol;
+  pol.frozen_threshold = 3.5;
+  pol.consecutive_remote_writes = 9;
+  pol.consecutive_writer = 4;
+  pol.redirected_requests = 11;
+  pol.exclusive_home_writes = 6;
+  pol.epoch = 2;
+  pol.home_written_since_remote = true;
+  pol.avg_diff_bytes = 123.25;
+  pol.diff_samples = 8;
+
+  MigrateReply m{ObjectId::Make(1, 1, 5), Bytes{9, 9}, pol};
+  auto d = RoundTrip(m);
+  EXPECT_EQ(d.policy_state.frozen_threshold, 3.5);
+  EXPECT_EQ(d.policy_state.consecutive_remote_writes, 9u);
+  EXPECT_EQ(d.policy_state.consecutive_writer, 4u);
+  EXPECT_EQ(d.policy_state.redirected_requests, 11u);
+  EXPECT_EQ(d.policy_state.exclusive_home_writes, 6u);
+  EXPECT_EQ(d.policy_state.epoch, 2u);
+  EXPECT_TRUE(d.policy_state.home_written_since_remote);
+  EXPECT_EQ(d.policy_state.avg_diff_bytes, 123.25);
+  EXPECT_EQ(d.policy_state.diff_samples, 8u);
+}
+
+TEST(Wire, Redirect) {
+  Redirect m{ObjectId::Make(2, 0, 3), 5, true};
+  auto d = RoundTrip(m);
+  EXPECT_EQ(d.new_home, 5u);
+  EXPECT_TRUE(d.ask_manager);
+  // A redirect is a near-unit-size message — the α asymmetry depends on it.
+  EXPECT_LT(Encode(m).size(), 32u);
+}
+
+TEST(Wire, DiffPreservesWriterAndAck) {
+  DiffMsg m{ObjectId::Make(0, 2, 9), Bytes{1, 2, 3}, 0xABCDEF, true, 6};
+  auto d = RoundTrip(m);
+  EXPECT_EQ(d.diff, m.diff);
+  EXPECT_EQ(d.ack_tag, 0xABCDEFull);
+  EXPECT_TRUE(d.ack_required);
+  EXPECT_EQ(d.writer, 6u);
+}
+
+TEST(Wire, LockMessages) {
+  LockId lock = LockId::Make(2, 77);
+  EXPECT_EQ(RoundTrip(LockAcquireMsg{lock, {}}).lock, lock);
+  EXPECT_EQ(RoundTrip(LockGrantMsg{lock}).lock, lock);
+
+  LockReleaseMsg rel{lock, {}};
+  rel.piggybacked_diffs.emplace_back(ObjectId::Make(0, 0, 1), Bytes{5});
+  rel.piggybacked_diffs.emplace_back(ObjectId::Make(1, 1, 2), Bytes{6, 7});
+  auto d = RoundTrip(rel);
+  ASSERT_EQ(d.piggybacked_diffs.size(), 2u);
+  EXPECT_EQ(d.piggybacked_diffs[0].second, Bytes{5});
+  EXPECT_EQ(d.piggybacked_diffs[1].first, (ObjectId::Make(1, 1, 2)));
+}
+
+TEST(Wire, BarrierMessages) {
+  BarrierId b = BarrierId::Make(0, 12);
+  BarrierArriveMsg arrive{b, 8, {}};
+  auto d = RoundTrip(arrive);
+  EXPECT_EQ(d.barrier, b);
+  EXPECT_EQ(d.expected, 8u);
+  EXPECT_EQ(RoundTrip(BarrierReleaseMsg{b}).barrier, b);
+}
+
+TEST(Wire, InitAndManagerAndBroadcast) {
+  auto init = RoundTrip(InitObjectMsg{ObjectId::Make(4, 0, 8), Bytes{1}, 3});
+  EXPECT_EQ(init.ack_tag, 3u);
+  EXPECT_EQ(RoundTrip(InitAckMsg{3}).ack_tag, 3u);
+  EXPECT_EQ(RoundTrip(ManagerUpdateMsg{ObjectId::Make(1, 0, 2), 9}).home, 9u);
+  EXPECT_EQ(RoundTrip(ManagerLookupMsg{ObjectId::Make(1, 0, 2)}).obj,
+            (ObjectId::Make(1, 0, 2)));
+  EXPECT_EQ(RoundTrip(ManagerReplyMsg{ObjectId::Make(1, 0, 2), 7}).home, 7u);
+  EXPECT_EQ(RoundTrip(HomeBroadcastMsg{ObjectId::Make(1, 0, 2), 6}).home, 6u);
+}
+
+TEST(Wire, PeekKindMatchesDecode) {
+  EXPECT_EQ(PeekKind(Encode(ObjRequest{})), Kind::kObjRequest);
+  EXPECT_EQ(PeekKind(Encode(DiffAck{})), Kind::kDiffAck);
+  EXPECT_EQ(PeekKind(Encode(BarrierReleaseMsg{})), Kind::kBarrierRelease);
+}
+
+TEST(Wire, GarbageKindThrows) {
+  Bytes junk{0xEE, 0, 0};
+  EXPECT_THROW(Decode(junk), CheckError);
+}
+
+TEST(Ids, ObjectIdFieldPacking) {
+  ObjectId id = ObjectId::Make(0xABC, 0x123, 0xDEADBEEF);
+  EXPECT_EQ(id.initial_home(), 0xABCu);
+  EXPECT_EQ(id.creator(), 0x123u);
+  EXPECT_EQ(id.seq(), 0xDEADBEEFu);
+}
+
+TEST(Ids, LockAndBarrierManagerPacking) {
+  EXPECT_EQ(LockId::Make(7, 99).manager(), 7u);
+  EXPECT_EQ(BarrierId::Make(3, 1).manager(), 3u);
+  EXPECT_THROW(LockId::Make(0x10000, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace hmdsm::proto

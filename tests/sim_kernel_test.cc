@@ -1,0 +1,242 @@
+#include "src/sim/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/waitqueue.h"
+
+namespace hmdsm::sim {
+namespace {
+
+TEST(Kernel, EventsRunInTimeOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.ScheduleAt(30, [&] { order.push_back(3); });
+  k.ScheduleAt(10, [&] { order.push_back(1); });
+  k.ScheduleAt(20, [&] { order.push_back(2); });
+  k.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.now(), 30);
+}
+
+TEST(Kernel, TiesBreakByScheduleOrder) {
+  Kernel k;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) k.ScheduleAt(5, [&, i] { order.push_back(i); });
+  k.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Kernel, EventsMayScheduleMoreEvents) {
+  Kernel k;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) k.ScheduleAfter(1, chain);
+  };
+  k.ScheduleAt(0, chain);
+  k.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(k.now(), 99);
+}
+
+TEST(Kernel, SchedulingInThePastThrows) {
+  Kernel k;
+  k.ScheduleAt(10, [&] { EXPECT_THROW(k.ScheduleAt(5, [] {}), CheckError); });
+  k.Run();
+}
+
+TEST(Kernel, ProcessDelayAdvancesVirtualTime) {
+  Kernel k;
+  Time observed = -1;
+  k.Spawn("worker", [&](Process& self) {
+    self.Delay(10 * kNanosecond);
+    self.Delay(20 * kNanosecond);
+    self.Delay(30 * kNanosecond);
+    observed = k.now();
+  });
+  k.Run();
+  EXPECT_EQ(observed, 60);
+}
+
+TEST(Kernel, NegativeDelayThrows) {
+  Kernel k;
+  k.Spawn("worker", [&](Process& self) {
+    EXPECT_THROW(self.Delay(-1), CheckError);
+  });
+  k.Run();
+}
+
+TEST(Kernel, TwoProcessesInterleaveDeterministically) {
+  Kernel k;
+  std::vector<std::string> log;
+  k.Spawn("a", [&](Process& self) {
+    log.push_back("a0");
+    self.Delay(10);
+    log.push_back("a10");
+    self.Delay(20);
+    log.push_back("a30");
+  });
+  k.Spawn("b", [&](Process& self) {
+    log.push_back("b0");
+    self.Delay(15);
+    log.push_back("b15");
+    self.Delay(20);
+    log.push_back("b35");
+  });
+  k.Run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a0", "b0", "a10", "b15", "a30",
+                                           "b35"}));
+  EXPECT_EQ(k.now(), 35);
+}
+
+TEST(Kernel, ParkUnparkHandsOffToken) {
+  Kernel k;
+  Process* waiter = nullptr;
+  std::uint64_t got = 0;
+  waiter = k.Spawn("waiter", [&](Process& self) { got = self.Park(); });
+  k.Spawn("waker", [&](Process&) { waiter->Unpark(777); });
+  k.Run();
+  EXPECT_EQ(got, 777u);
+}
+
+TEST(Kernel, UnparkFromKernelContextEvent) {
+  Kernel k;
+  Process* waiter = nullptr;
+  Time woke_at = -1;
+  waiter = k.Spawn("waiter", [&](Process& self) {
+    self.Park();
+    woke_at = k.now();
+  });
+  k.ScheduleAt(500, [&] { waiter->Unpark(); });
+  k.Run();
+  EXPECT_EQ(woke_at, 500);
+}
+
+TEST(Kernel, UnparkOfNonParkedProcessThrows) {
+  Kernel k;
+  Process* idle = nullptr;
+  idle = k.Spawn("idle", [](Process&) {});
+  k.ScheduleAt(10, [&] { EXPECT_THROW(idle->Unpark(), CheckError); });
+  k.Run();
+}
+
+TEST(Kernel, DeadlockDetectionNamesTheProcess) {
+  Kernel k;
+  k.Spawn("stuck-proc", [](Process& self) { self.Park(); });
+  try {
+    k.Run();
+    FAIL() << "expected deadlock";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("stuck-proc"), std::string::npos);
+  }
+}
+
+TEST(Kernel, DaemonsMayOutliveTheRun) {
+  Kernel k;
+  Process* daemon = k.Spawn("service", [](Process& self) {
+    for (;;) self.Park();
+  });
+  daemon->set_daemon(true);
+  k.Spawn("app", [](Process&) {});
+  k.Run();  // must not report deadlock
+  EXPECT_TRUE(daemon->parked());
+}
+
+TEST(Kernel, ProcessExceptionPropagatesToRun) {
+  Kernel k;
+  k.Spawn("thrower", [](Process&) { throw std::runtime_error("app failure"); });
+  EXPECT_THROW(k.Run(), std::runtime_error);
+}
+
+TEST(Kernel, ProcessesCanSpawnProcesses) {
+  Kernel k;
+  std::vector<int> ids;
+  k.Spawn("parent", [&](Process& self) {
+    for (int i = 0; i < 3; ++i) {
+      k.Spawn("child" + std::to_string(i),
+              [&, i](Process&) { ids.push_back(i); });
+    }
+    self.Delay(5);
+  });
+  k.Run();
+  EXPECT_EQ(ids, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Kernel, EventCountIsTracked) {
+  Kernel k;
+  for (int i = 0; i < 7; ++i) k.ScheduleAt(i, [] {});
+  k.Run();
+  EXPECT_EQ(k.events_executed(), 7u);
+}
+
+TEST(Kernel, ManyProcessesStress) {
+  Kernel k;
+  int done = 0;
+  for (int i = 0; i < 64; ++i) {
+    k.Spawn("p" + std::to_string(i), [&, i](Process& self) {
+      for (int j = 0; j < 20; ++j) self.Delay(1 + (i % 7));
+      ++done;
+    });
+  }
+  k.Run();
+  EXPECT_EQ(done, 64);
+}
+
+TEST(WaitQueue, FifoOrder) {
+  Kernel k;
+  WaitQueue q;
+  std::vector<int> woke;
+  for (int i = 0; i < 3; ++i) {
+    k.Spawn("w" + std::to_string(i), [&, i](Process& self) {
+      q.Wait(self);
+      woke.push_back(i);
+    });
+  }
+  k.Spawn("notifier", [&](Process& self) {
+    self.Delay(10);
+    while (!q.empty()) q.NotifyOne();
+  });
+  k.Run();
+  EXPECT_EQ(woke, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(WaitQueue, NotifyAllWakesEveryone) {
+  Kernel k;
+  WaitQueue q;
+  int woke = 0;
+  for (int i = 0; i < 5; ++i) {
+    k.Spawn("w" + std::to_string(i), [&](Process& self) {
+      q.Wait(self);
+      ++woke;
+    });
+  }
+  k.Spawn("notifier", [&](Process& self) {
+    self.Delay(1);
+    q.NotifyAll();
+  });
+  k.Run();
+  EXPECT_EQ(woke, 5);
+}
+
+TEST(WaitQueue, NotifyOneOnEmptyThrows) {
+  WaitQueue q;
+  EXPECT_THROW(q.NotifyOne(), CheckError);
+}
+
+TEST(WaitQueue, TokenDistinguishesWakeReasons) {
+  Kernel k;
+  WaitQueue q;
+  std::uint64_t token = 0;
+  k.Spawn("w", [&](Process& self) { token = q.Wait(self); });
+  k.Spawn("n", [&](Process& self) {
+    self.Delay(1);
+    q.NotifyOne(42);
+  });
+  k.Run();
+  EXPECT_EQ(token, 42u);
+}
+
+}  // namespace
+}  // namespace hmdsm::sim

@@ -1,0 +1,199 @@
+// Tests for the protocol event trace and the lazy-flushing (LF) baseline.
+#include "src/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/dsm/cluster.h"
+
+namespace hmdsm {
+namespace {
+
+using dsm::Agent;
+using dsm::Cluster;
+using dsm::ClusterOptions;
+using dsm::LockId;
+using dsm::ObjectId;
+using trace::What;
+
+ClusterOptions Opts(const std::string& policy, std::size_t nodes = 3) {
+  ClusterOptions o;
+  o.nodes = nodes;
+  o.dsm.policy = policy;
+  return o;
+}
+
+void WriterBurst(sim::Process& p, Agent& a, ObjectId obj, LockId lock,
+                 int count) {
+  for (int i = 1; i <= count; ++i) {
+    a.Acquire(p, lock);
+    a.Write(p, obj, [&](MutByteSpan b) { b[0] = static_cast<Byte>(i); });
+    a.Release(p, lock);
+  }
+}
+
+TEST(Trace, DisabledByDefaultAndRecordsNothing) {
+  Cluster cluster(Opts("FT1"));
+  const ObjectId obj = ObjectId::Make(0, 0, 1);
+  const LockId lock = LockId::Make(0, 1);
+  cluster.kernel().Spawn("w", [&](sim::Process& p) {
+    cluster.agent(0).CreateObject(p, obj, Bytes(8, 0));
+    WriterBurst(p, cluster.agent(1), obj, lock, 3);
+  });
+  cluster.kernel().Run();
+  EXPECT_TRUE(cluster.trace().events().empty());
+}
+
+TEST(Trace, RecordsTheMigrationStory) {
+  Cluster cluster(Opts("FT1"));
+  cluster.trace().Enable();
+  const ObjectId obj = ObjectId::Make(0, 0, 1);
+  const LockId lock = LockId::Make(0, 1);
+  cluster.kernel().Spawn("w", [&](sim::Process& p) {
+    cluster.agent(0).CreateObject(p, obj, Bytes(8, 0));
+    WriterBurst(p, cluster.agent(1), obj, lock, 3);
+  });
+  cluster.kernel().Run();
+
+  const auto story = cluster.trace().ForObject(obj);
+  ASSERT_FALSE(story.empty());
+  EXPECT_EQ(story.front().what, What::kObjectCreated);
+
+  // The story must contain, in causal order: a fault-in by node 1, the
+  // home serving it, the migration, and its installation at node 1.
+  auto find = [&](What what) {
+    for (std::size_t i = 0; i < story.size(); ++i)
+      if (story[i].what == what) return static_cast<std::ptrdiff_t>(i);
+    return static_cast<std::ptrdiff_t>(-1);
+  };
+  const auto fault = find(What::kFaultIn);
+  const auto serve = find(What::kServeRequest);
+  const auto migrated = find(What::kMigrated);
+  const auto installed = find(What::kHomeInstalled);
+  ASSERT_NE(fault, -1);
+  ASSERT_NE(serve, -1);
+  ASSERT_NE(migrated, -1);
+  ASSERT_NE(installed, -1);
+  EXPECT_LT(fault, serve);
+  EXPECT_LT(serve, migrated + 1);
+  EXPECT_LT(migrated, installed);
+  // The migration event names the new home and carries the live threshold
+  // (scaled by 1000; FT1's threshold is 1).
+  EXPECT_EQ(story[migrated].peer, 1u);
+  EXPECT_EQ(story[migrated].value, 1000);
+}
+
+TEST(Trace, TimestampsAreMonotonic) {
+  Cluster cluster(Opts("AT"));
+  cluster.trace().Enable();
+  const ObjectId obj = ObjectId::Make(0, 0, 1);
+  const LockId lock = LockId::Make(0, 1);
+  cluster.kernel().Spawn("w", [&](sim::Process& p) {
+    cluster.agent(0).CreateObject(p, obj, Bytes(8, 0));
+    WriterBurst(p, cluster.agent(1), obj, lock, 5);
+    WriterBurst(p, cluster.agent(2), obj, lock, 5);
+  });
+  cluster.kernel().Run();
+  const auto& events = cluster.trace().events();
+  for (std::size_t i = 1; i < events.size(); ++i)
+    ASSERT_GE(events[i].at, events[i - 1].at);
+}
+
+TEST(Trace, CapacityBoundsAndDropCounting) {
+  trace::Trace t(4);
+  t.Enable();
+  for (int i = 0; i < 10; ++i)
+    t.Record({i, What::kFaultIn, 0, dsm::kNoNode, 1, 0});
+  EXPECT_EQ(t.events().size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  t.Clear();
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Trace, DumpIsHumanReadable) {
+  trace::Trace t;
+  t.Enable();
+  t.Record({1000, What::kMigrated, 2, 3, 0xAB, 1500});
+  std::ostringstream os;
+  t.Dump(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("migrated"), std::string::npos);
+  EXPECT_NE(out.find("node2"), std::string::npos);
+  EXPECT_NE(out.find("peer=node3"), std::string::npos);
+}
+
+TEST(Trace, LockGrantsAreTraced) {
+  Cluster cluster(Opts("NoHM"));
+  cluster.trace().Enable();
+  const LockId lock = LockId::Make(0, 1);
+  for (net::NodeId n = 0; n < 3; ++n) {
+    cluster.kernel().Spawn("w", [&, n](sim::Process& p) {
+      Agent& a = cluster.agent(n);
+      a.Acquire(p, lock);
+      p.Delay(sim::kMillisecond);
+      a.Release(p, lock);
+    });
+  }
+  cluster.kernel().Run();
+  const auto grants = cluster.trace().Select(
+      [](const trace::Event& e) { return e.what == What::kLockGranted; });
+  EXPECT_EQ(grants.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Lazy-flushing policy through the engine
+// ---------------------------------------------------------------------------
+
+TEST(LazyFlushing, UnsharedWriteFaultTransfersOwnership) {
+  Cluster cluster(Opts("LF"));
+  const ObjectId obj = ObjectId::Make(0, 0, 1);
+  const LockId lock = LockId::Make(0, 1);
+  cluster.kernel().Spawn("w", [&](sim::Process& p) {
+    cluster.agent(0).CreateObject(p, obj, Bytes(8, 0));
+    WriterBurst(p, cluster.agent(1), obj, lock, 2);
+  });
+  cluster.kernel().Run();
+  EXPECT_TRUE(cluster.agent(1).IsHome(obj));
+  EXPECT_EQ(cluster.recorder().Count(stats::Ev::kMigrations), 1u);
+}
+
+TEST(LazyFlushing, SharedUnitStaysPut) {
+  Cluster cluster(Opts("LF"));
+  const ObjectId obj = ObjectId::Make(0, 0, 1);
+  const LockId lock = LockId::Make(0, 1);
+  cluster.kernel().Spawn("w", [&](sim::Process& p) {
+    cluster.agent(0).CreateObject(p, obj, Bytes(8, 0));
+    // Node 2 reads first (creating sharing), then node 1 write-faults:
+    // the unit is shared, so LF refuses to hand over ownership.
+    cluster.agent(2).Read(p, obj, [](ByteSpan) {});
+    WriterBurst(p, cluster.agent(1), obj, lock, 2);
+  });
+  cluster.kernel().Run();
+  EXPECT_TRUE(cluster.agent(0).IsHome(obj));
+  EXPECT_EQ(cluster.recorder().Count(stats::Ev::kMigrations), 0u);
+}
+
+TEST(LazyFlushing, TransitionCountIsCapped) {
+  // Writers strictly alternate with full handoffs; Jackal caps ownership
+  // transitions at five.
+  Cluster cluster(Opts("LF", 6));
+  const ObjectId obj = ObjectId::Make(0, 0, 1);
+  const LockId lock = LockId::Make(0, 1);
+  cluster.kernel().Spawn("w", [&](sim::Process& p) {
+    cluster.agent(0).CreateObject(p, obj, Bytes(8, 0));
+    for (int round = 0; round < 10; ++round) {
+      Agent& a = cluster.agent(1 + (round % 5));
+      a.Acquire(p, lock);
+      a.Write(p, obj, [&](MutByteSpan b) { b[0] ^= 1; });
+      a.Release(p, lock);
+    }
+  });
+  cluster.kernel().Run();
+  EXPECT_LE(cluster.recorder().Count(stats::Ev::kMigrations),
+            core::LazyFlushingPolicy::kMaxTransitions);
+}
+
+}  // namespace
+}  // namespace hmdsm

@@ -1,0 +1,125 @@
+#include "src/util/serde.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "src/util/rng.h"
+
+namespace hmdsm {
+namespace {
+
+TEST(Serde, RoundTripPrimitives) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.14159265358979);
+  w.str("hello, dsm");
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159265358979);
+  EXPECT_EQ(r.str(), "hello, dsm");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, EncodingIsLittleEndianAndPacked) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.buffer()[0], 0x04);
+  EXPECT_EQ(w.buffer()[1], 0x03);
+  EXPECT_EQ(w.buffer()[2], 0x02);
+  EXPECT_EQ(w.buffer()[3], 0x01);
+}
+
+TEST(Serde, LengthPrefixedBytes) {
+  Bytes payload = {1, 2, 3, 4, 5};
+  Writer w;
+  w.bytes(payload);
+  EXPECT_EQ(w.size(), 4u + payload.size());
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.bytes(), payload);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, EmptyByteStringRoundTrips) {
+  Writer w;
+  w.bytes({});
+  Reader r(w.buffer());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, TruncatedReadThrows) {
+  Writer w;
+  w.u32(7);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_THROW(r.u8(), CheckError);
+}
+
+TEST(Serde, TruncatedLengthPrefixThrows) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow; none do
+  Reader r(w.buffer());
+  EXPECT_THROW(r.bytes(), CheckError);
+}
+
+TEST(Serde, ExtremeValues) {
+  Writer w;
+  w.u64(std::numeric_limits<std::uint64_t>::max());
+  w.i64(std::numeric_limits<std::int64_t>::min());
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.u64(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(r.f64(), 0.0);
+  EXPECT_EQ(r.f64(), std::numeric_limits<double>::infinity());
+}
+
+TEST(Serde, FuzzRoundTripMixedSequence) {
+  Rng rng(1234);
+  for (int iter = 0; iter < 200; ++iter) {
+    Writer w;
+    std::vector<std::uint64_t> values;
+    std::vector<int> kinds;
+    const int n = static_cast<int>(rng.range(1, 30));
+    for (int i = 0; i < n; ++i) {
+      int kind = static_cast<int>(rng.range(0, 3));
+      std::uint64_t v = rng.next();
+      kinds.push_back(kind);
+      switch (kind) {
+        case 0: w.u8(static_cast<std::uint8_t>(v)); values.push_back(v & 0xFF); break;
+        case 1: w.u16(static_cast<std::uint16_t>(v)); values.push_back(v & 0xFFFF); break;
+        case 2: w.u32(static_cast<std::uint32_t>(v)); values.push_back(v & 0xFFFFFFFF); break;
+        default: w.u64(v); values.push_back(v); break;
+      }
+    }
+    Reader r(w.buffer());
+    for (int i = 0; i < n; ++i) {
+      std::uint64_t got = 0;
+      switch (kinds[i]) {
+        case 0: got = r.u8(); break;
+        case 1: got = r.u16(); break;
+        case 2: got = r.u32(); break;
+        default: got = r.u64(); break;
+      }
+      ASSERT_EQ(got, values[i]) << "iter " << iter << " item " << i;
+    }
+    EXPECT_TRUE(r.done());
+  }
+}
+
+}  // namespace
+}  // namespace hmdsm

@@ -1,0 +1,155 @@
+// hmdsm_cli — run any evaluation workload under any protocol configuration
+// from the command line and print the full run report.
+//
+//   hmdsm_cli --app=asp --policy=AT --nodes=8 --size=256
+//   hmdsm_cli --app=synthetic --policy=FT1 --repetition=2 --target=512
+//   hmdsm_cli --app=sor --policy=NoHM --nodes=16 --size=512 --iterations=20
+//   hmdsm_cli --app=tsp --cities=11 --policy=MH
+//   hmdsm_cli --app=nbody --bodies=1024 --steps=4
+//
+// Protocol knobs: --policy=NoHM|FT<k>|AT|MH|LF  --notify=fp|manager|broadcast
+//                 --piggyback=0|1  --lambda=<float>  --tinit=<float>
+//                 --t0-us=<float>  --bandwidth-mbps=<float>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/apps/asp.h"
+#include "src/apps/nbody.h"
+#include "src/apps/sor.h"
+#include "src/apps/synthetic.h"
+#include "src/apps/tsp.h"
+#include "src/util/flags.h"
+#include "src/util/table.h"
+
+namespace {
+
+using namespace hmdsm;
+
+int Usage(const char* error) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: hmdsm_cli --app=asp|sor|nbody|tsp|synthetic [options]\n"
+               "  common:    --policy=NoHM|FT<k>|AT|MH|LF --nodes=N\n"
+               "             --notify=fp|manager|broadcast --piggyback=0|1\n"
+               "             --lambda=F --tinit=F --t0-us=F --bandwidth-mbps=F\n"
+               "  asp/sor:   --size=N   (sor: --iterations=N)\n"
+               "  nbody:     --bodies=N --steps=N\n"
+               "  tsp:       --cities=N\n"
+               "  synthetic: --repetition=R --target=N --workers=W\n");
+  return 2;
+}
+
+void PrintReport(const gos::RunReport& r) {
+  std::printf("\nvirtual execution time: %s\n",
+              FmtSeconds(r.seconds).c_str());
+  Table t({"category", "messages", "bytes"});
+  for (std::size_t i = 0; i < stats::kNumMsgCats; ++i) {
+    const auto cat = static_cast<stats::MsgCat>(i);
+    if (r.cat[i].messages == 0) continue;
+    t.AddRow({std::string(stats::MsgCatName(cat)),
+              FmtI(static_cast<long long>(r.cat[i].messages)),
+              FmtBytes(static_cast<double>(r.cat[i].bytes))});
+  }
+  t.AddRow({"total", FmtI(static_cast<long long>(r.messages)),
+            FmtBytes(static_cast<double>(r.bytes))});
+  t.Print(std::cout);
+  std::printf(
+      "\nmigrations=%llu redirect-hops=%llu diffs=%llu fault-ins=%llu "
+      "exclusive-home-writes=%llu\n",
+      static_cast<unsigned long long>(r.migrations),
+      static_cast<unsigned long long>(r.redirect_hops),
+      static_cast<unsigned long long>(r.diffs_created),
+      static_cast<unsigned long long>(r.fault_ins),
+      static_cast<unsigned long long>(r.exclusive_home_writes));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::string app = flags.Get("app");
+  if (app.empty()) return Usage("missing --app");
+
+  gos::VmOptions vm;
+  vm.nodes = static_cast<std::size_t>(flags.GetInt("nodes", 8));
+  vm.dsm.policy = flags.Get("policy", "AT");
+  vm.model = net::HockneyModel(flags.GetDouble("t0-us", 70.0),
+                               flags.GetDouble("bandwidth-mbps", 12.5));
+  vm.dsm.piggyback_diffs = flags.GetBool("piggyback", true);
+  vm.dsm.adaptive.feedback_coefficient = flags.GetDouble("lambda", 1.0);
+  vm.dsm.adaptive.initial_threshold = flags.GetDouble("tinit", 1.0);
+  const std::string notify = flags.Get("notify", "fp");
+  if (notify == "fp") {
+    vm.dsm.notify = dsm::NotifyMechanism::kForwardingPointer;
+  } else if (notify == "manager") {
+    vm.dsm.notify = dsm::NotifyMechanism::kHomeManager;
+  } else if (notify == "broadcast") {
+    vm.dsm.notify = dsm::NotifyMechanism::kBroadcast;
+  } else {
+    return Usage("bad --notify (fp|manager|broadcast)");
+  }
+
+  // The synthetic benchmark needs node 0 for the application plus one node
+  // per worker.
+  if (app == "synthetic") {
+    const auto workers =
+        static_cast<std::size_t>(flags.GetInt("workers", 8));
+    if (vm.nodes < workers + 1) vm.nodes = workers + 1;
+  }
+
+  std::printf("app=%s policy=%s nodes=%zu notify=%s\n", app.c_str(),
+              vm.dsm.policy.c_str(), vm.nodes,
+              dsm::NotifyMechanismName(vm.dsm.notify).c_str());
+
+  try {
+    if (app == "asp") {
+      apps::AspConfig cfg;
+      cfg.n = static_cast<int>(flags.GetInt("size", 256));
+      const auto res = apps::RunAsp(vm, cfg);
+      std::printf("checksum: %llu\n",
+                  static_cast<unsigned long long>(res.checksum));
+      PrintReport(res.report);
+    } else if (app == "sor") {
+      apps::SorConfig cfg;
+      cfg.n = static_cast<int>(flags.GetInt("size", 256));
+      cfg.iterations = static_cast<int>(flags.GetInt("iterations", 10));
+      const auto res = apps::RunSor(vm, cfg);
+      std::printf("checksum: %.6f\n", res.checksum);
+      PrintReport(res.report);
+    } else if (app == "nbody") {
+      apps::NbodyConfig cfg;
+      cfg.bodies = static_cast<int>(flags.GetInt("bodies", 512));
+      cfg.steps = static_cast<int>(flags.GetInt("steps", 4));
+      const auto res = apps::RunNbody(vm, cfg);
+      std::printf("position checksum: %.6f\n", res.position_checksum);
+      PrintReport(res.report);
+    } else if (app == "tsp") {
+      apps::TspConfig cfg;
+      cfg.cities = static_cast<int>(flags.GetInt("cities", 10));
+      const auto res = apps::RunTsp(vm, cfg);
+      std::printf("best tour length: %d\n", res.best_length);
+      PrintReport(res.report);
+    } else if (app == "synthetic") {
+      apps::SyntheticConfig cfg;
+      cfg.repetition = static_cast<int>(flags.GetInt("repetition", 4));
+      cfg.target = flags.GetInt("target", 512);
+      cfg.workers = static_cast<int>(flags.GetInt("workers", 8));
+      if (vm.nodes < static_cast<std::size_t>(cfg.workers) + 1)
+        vm.nodes = static_cast<std::size_t>(cfg.workers) + 1;
+      const auto res = apps::RunSynthetic(vm, cfg);
+      std::printf("final count: %lld (turns: %d)\n",
+                  static_cast<long long>(res.final_count), res.turns_taken);
+      PrintReport(res.report);
+    } else {
+      return Usage("unknown --app");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run failed: %s\n", e.what());
+    return 1;
+  }
+
+  for (const std::string& unused : flags.UnusedFlags())
+    std::fprintf(stderr, "warning: unused flag --%s\n", unused.c_str());
+  return 0;
+}
