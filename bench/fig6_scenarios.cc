@@ -1,0 +1,95 @@
+// "Figure 6" — beyond the paper: the workload-subsystem scenario sweep.
+//
+// The paper evaluates its adaptive protocol (AT) against NoHM/FT/MH on four
+// applications and one synthetic benchmark. This bench drives the generated
+// scenario families from src/workload through every policy — including the
+// related-work baselines BR (Jidia-style barrier migration) and LF
+// (Jackal-style lazy flushing) — on bit-identical access streams, which the
+// fixed applications cannot guarantee once migrations change timing.
+// For each (pattern, policy) cell it reports virtual execution time,
+// non-sync wire traffic, and migrations.
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/util/csv.h"
+#include "src/util/table.h"
+#include "src/workload/patterns.h"
+#include "src/workload/runner.h"
+
+namespace {
+
+using hmdsm::CsvWriter;
+using hmdsm::FmtF;
+using hmdsm::FmtI;
+using hmdsm::Table;
+namespace workload = hmdsm::workload;
+
+struct Cell {
+  double seconds = 0;
+  std::uint64_t messages = 0;  // non-sync (paper Fig. 5 convention)
+  std::uint64_t bytes = 0;
+  std::uint64_t migrations = 0;
+};
+
+Cell RunOne(const workload::Scenario& scenario, const std::string& policy) {
+  hmdsm::gos::VmOptions vm;
+  vm.nodes = scenario.nodes;
+  vm.dsm.policy = policy;
+  const workload::ScenarioResult res = workload::RunScenario(vm, scenario);
+  return Cell{res.report.seconds, res.report.messages_nosync,
+              res.report.bytes_nosync, res.report.migrations};
+}
+
+}  // namespace
+
+int main() {
+  hmdsm::bench::Banner(
+      "Figure 6 (new)",
+      "generated sharing-pattern scenarios under every migration policy");
+  workload::PatternParams params;
+  params.nodes = 8;
+  params.objects = 4;
+  params.object_bytes = 256;
+  params.repetitions = hmdsm::bench::FullScale() ? 32 : 8;
+  params.seed = 1;
+
+  const std::vector<std::string> policies{"NoHM", "FT1", "FT2",
+                                          "AT",   "MH",  "BR", "LF"};
+  std::cout << "nodes=" << params.nodes << " objects=" << params.objects
+            << " bytes=" << params.object_bytes
+            << " reps=" << params.repetitions << " seed=" << params.seed
+            << " (identical access stream per row)\n\n";
+
+  Table t({"pattern", "policy", "time", "msgs(nosync)", "bytes(nosync)",
+           "migrations", "norm time"});
+  CsvWriter csv(hmdsm::bench::CsvPath("fig6_scenarios"));
+  csv.Row({"pattern", "policy", "seconds", "messages_nosync", "bytes_nosync",
+           "migrations"});
+  for (const std::string& pattern : workload::PatternNames()) {
+    params.pattern = pattern;
+    const workload::Scenario scenario = workload::GeneratePattern(params);
+    std::map<std::string, Cell> row;
+    double worst = 0;
+    for (const std::string& policy : policies) {
+      row[policy] = RunOne(scenario, policy);
+      worst = std::max(worst, row[policy].seconds);
+    }
+    for (const std::string& policy : policies) {
+      const Cell& c = row[policy];
+      t.AddRow({pattern, policy, hmdsm::FmtSeconds(c.seconds),
+                FmtI(static_cast<long long>(c.messages)),
+                hmdsm::FmtBytes(static_cast<double>(c.bytes)),
+                FmtI(static_cast<long long>(c.migrations)),
+                FmtF(100.0 * c.seconds / worst, 1) + "%"});
+      csv.Row({pattern, policy, FmtF(c.seconds, 6),
+               std::to_string(c.messages), std::to_string(c.bytes),
+               std::to_string(c.migrations)});
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "\nnorm time: 100% = slowest policy on that pattern.\n";
+  return 0;
+}

@@ -127,6 +127,8 @@ struct ObjPolicyState {
   /// Serialization: the state travels inside migration replies.
   void Encode(Writer& w) const;
   static ObjPolicyState Decode(Reader& r);
+
+  bool operator==(const ObjPolicyState&) const = default;
 };
 
 /// Decision interface. Implementations must be deterministic and cheap —

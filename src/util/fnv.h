@@ -1,0 +1,24 @@
+// FNV-1a folding, shared by every checksum that participates in the
+// record/replay equality contract (workload digests). Keeping the constants
+// in one place means the contract cannot drift between call sites.
+#pragma once
+
+#include <cstdint>
+
+namespace hmdsm {
+
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+constexpr std::uint64_t FnvFold(std::uint64_t digest, std::uint8_t byte) {
+  return (digest ^ byte) * kFnvPrime;
+}
+
+/// Folds all eight bytes of `v`, little-endian.
+constexpr std::uint64_t FnvFold64(std::uint64_t digest, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    digest = FnvFold(digest, static_cast<std::uint8_t>(v >> (8 * i)));
+  return digest;
+}
+
+}  // namespace hmdsm

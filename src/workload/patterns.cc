@@ -1,0 +1,261 @@
+#include "src/workload/patterns.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace hmdsm::workload {
+
+namespace {
+
+// Consecutive same-node writes per migratory turn. Three is enough to cross
+// FT1/FT2 and the adaptive policy's T_init while keeping scenarios small.
+constexpr int kMigratoryBurst = 3;
+// Writes each sole writer performs per phased_writer phase.
+constexpr int kPhasedWrites = 2;
+// Barrier epochs a phased_writer writer holds before rotating (BR needs at
+// least one full sole-writer epoch behind it to migrate).
+constexpr int kPhasedHold = 4;
+// Reads of every object per read_mostly round, per worker.
+constexpr int kReadMostlyReads = 3;
+// Dirty bytes for small-diff writes (read_mostly); clamped to object size.
+constexpr std::uint32_t kSmallDirty = 16;
+
+/// Per-worker timing perturbation: a short compute delay, driven entirely by
+/// the scenario seed. Never emitted between an acquire and its release so
+/// jitter cannot reorder the access pattern itself, only its timing.
+void Jitter(Rng& rng, std::vector<Op>& prog) {
+  if (rng.chance(0.25))
+    prog.push_back({OpKind::kDelay, 0, 1000 + rng.below(20000)});
+}
+
+Rng WorkerRng(const PatternParams& p, std::uint32_t worker) {
+  SplitMix64 sm(p.seed);
+  return Rng(sm.next() + 0x9E3779B97F4A7C15ull * (worker + 1));
+}
+
+std::string SpecName(const PatternParams& p) {
+  return p.pattern + ",nodes=" + std::to_string(p.nodes) +
+         ",objects=" + std::to_string(p.objects) +
+         ",bytes=" + std::to_string(p.object_bytes) +
+         ",reps=" + std::to_string(p.repetitions) +
+         ",seed=" + std::to_string(p.seed);
+}
+
+/// Skeleton shared by all patterns: one object table (homes chosen by
+/// `home_of`), one lock per object, one barrier, `workers` empty programs
+/// with worker i on node `node_of(i)`.
+Scenario Skeleton(const PatternParams& p, std::uint32_t workers,
+                  const std::function<NodeId(std::uint32_t)>& home_of,
+                  const std::function<NodeId(std::uint32_t)>& node_of) {
+  Scenario s;
+  s.name = SpecName(p);
+  s.nodes = p.nodes;
+  for (std::uint32_t i = 0; i < p.objects; ++i)
+    s.objects.push_back({p.object_bytes, home_of(i)});
+  s.lock_managers.assign(p.objects, 0);
+  s.barrier_managers.assign(1, 0);
+  for (std::uint32_t w = 0; w < workers; ++w)
+    s.workers.push_back(
+        {node_of(w), "w" + std::to_string(w), /*program=*/{}});
+  return s;
+}
+
+void LockedWrite(std::vector<Op>& prog, std::uint32_t obj,
+                 std::uint64_t dirty = 0) {
+  prog.push_back({OpKind::kAcquire, obj, 0});
+  prog.push_back({OpKind::kWrite, obj, dirty});
+  prog.push_back({OpKind::kRelease, obj, 0});
+}
+
+// ---------------------------------------------------------------------------
+// The six canonical patterns.
+// ---------------------------------------------------------------------------
+
+Scenario Migratory(const PatternParams& p) {
+  const std::uint32_t kW = p.nodes;
+  Scenario s = Skeleton(
+      p, kW, [&](std::uint32_t i) { return i % p.nodes; },
+      [](std::uint32_t w) { return w; });
+  for (std::uint32_t w = 0; w < kW; ++w) {
+    Rng rng = WorkerRng(p, w);
+    auto& prog = s.workers[w].program;
+    for (std::uint32_t r = 0; r < p.repetitions; ++r) {
+      for (std::uint32_t turn = 0; turn < kW; ++turn) {
+        if (turn == w) {
+          for (std::uint32_t o = 0; o < p.objects; ++o)
+            for (int b = 0; b < kMigratoryBurst; ++b) LockedWrite(prog, o);
+        }
+        prog.push_back({OpKind::kBarrier, 0, kW});
+        Jitter(rng, prog);
+      }
+    }
+  }
+  return s;
+}
+
+Scenario PingPong(const PatternParams& p) {
+  HMDSM_CHECK_MSG(p.nodes >= 2, "pingpong needs at least 2 nodes");
+  // Writers on nodes 1 and 2 when possible so the (stable) home on node 0 is
+  // a third party; on a 2-node cluster node 0 is both home and a writer.
+  const NodeId a = p.nodes >= 3 ? 1 : 0;
+  const NodeId b = p.nodes >= 3 ? 2 : 1;
+  Scenario s = Skeleton(
+      p, 2, [](std::uint32_t) { return 0; },
+      [&](std::uint32_t w) { return w == 0 ? a : b; });
+  for (std::uint32_t w = 0; w < 2; ++w) {
+    Rng rng = WorkerRng(p, w);
+    auto& prog = s.workers[w].program;
+    for (std::uint32_t i = 0; i < 2 * p.repetitions; ++i) {
+      if (i % 2 == w) {
+        for (std::uint32_t o = 0; o < p.objects; ++o) LockedWrite(prog, o);
+      }
+      prog.push_back({OpKind::kBarrier, 0, 2});
+      Jitter(rng, prog);
+    }
+  }
+  return s;
+}
+
+Scenario ProducerConsumer(const PatternParams& p) {
+  HMDSM_CHECK_MSG(p.nodes >= 2, "producer_consumer needs at least 2 nodes");
+  const std::uint32_t kW = p.nodes;  // worker 0 produces, the rest consume
+  Scenario s = Skeleton(
+      p, kW, [&](std::uint32_t i) { return i % p.nodes; },
+      [](std::uint32_t w) { return w; });
+  for (std::uint32_t w = 0; w < kW; ++w) {
+    Rng rng = WorkerRng(p, w);
+    auto& prog = s.workers[w].program;
+    for (std::uint32_t r = 0; r < p.repetitions; ++r) {
+      if (w == 0)
+        for (std::uint32_t o = 0; o < p.objects; ++o) LockedWrite(prog, o);
+      prog.push_back({OpKind::kBarrier, 0, kW});
+      if (w != 0)
+        for (std::uint32_t o = 0; o < p.objects; ++o)
+          prog.push_back({OpKind::kRead, o, 0});
+      prog.push_back({OpKind::kBarrier, 0, kW});
+      Jitter(rng, prog);
+    }
+  }
+  return s;
+}
+
+Scenario Hotspot(const PatternParams& p) {
+  const std::uint32_t kW = p.nodes;
+  // All objects homed on node 0; one global lock serializes the updates —
+  // the all-to-one shared-counter shape.
+  Scenario s = Skeleton(
+      p, kW, [](std::uint32_t) { return 0; },
+      [](std::uint32_t w) { return w; });
+  s.lock_managers.assign(1, 0);
+  for (std::uint32_t w = 0; w < kW; ++w) {
+    Rng rng = WorkerRng(p, w);
+    auto& prog = s.workers[w].program;
+    for (std::uint32_t r = 0; r < p.repetitions; ++r) {
+      prog.push_back({OpKind::kAcquire, 0, 0});
+      prog.push_back({OpKind::kWrite, r % p.objects, 0});
+      prog.push_back({OpKind::kRelease, 0, 0});
+      Jitter(rng, prog);
+    }
+  }
+  return s;
+}
+
+Scenario ReadMostly(const PatternParams& p) {
+  const std::uint32_t kW = p.nodes;  // worker 0 is the occasional writer
+  Scenario s = Skeleton(
+      p, kW, [&](std::uint32_t i) { return i % p.nodes; },
+      [](std::uint32_t w) { return w; });
+  const std::uint64_t dirty = std::min(kSmallDirty, p.object_bytes);
+  for (std::uint32_t w = 0; w < kW; ++w) {
+    Rng rng = WorkerRng(p, w);
+    auto& prog = s.workers[w].program;
+    for (std::uint32_t r = 0; r < p.repetitions; ++r) {
+      if (w == 0)
+        for (std::uint32_t o = 0; o < p.objects; ++o)
+          LockedWrite(prog, o, dirty);
+      prog.push_back({OpKind::kBarrier, 0, kW});
+      for (int k = 0; k < kReadMostlyReads; ++k) {
+        for (std::uint32_t o = 0; o < p.objects; ++o)
+          prog.push_back({OpKind::kRead, o, 0});
+        Jitter(rng, prog);
+      }
+      prog.push_back({OpKind::kBarrier, 0, kW});
+    }
+  }
+  return s;
+}
+
+Scenario PhasedWriter(const PatternParams& p) {
+  const std::uint32_t kW = p.nodes;
+  Scenario s = Skeleton(
+      p, kW, [&](std::uint32_t i) { return i % p.nodes; },
+      [](std::uint32_t w) { return w; });
+  // Each phase is one barrier epoch with a single sole writer; the writer
+  // holds for kPhasedHold consecutive epochs (the BR-favoring shape).
+  const std::uint32_t phases = p.repetitions * kPhasedHold;
+  for (std::uint32_t w = 0; w < kW; ++w) {
+    Rng rng = WorkerRng(p, w);
+    auto& prog = s.workers[w].program;
+    for (std::uint32_t phase = 0; phase < phases; ++phase) {
+      const std::uint32_t writer = (phase / kPhasedHold) % kW;
+      if (writer == w) {
+        for (std::uint32_t o = 0; o < p.objects; ++o)
+          for (int k = 0; k < kPhasedWrites; ++k) LockedWrite(prog, o);
+      }
+      prog.push_back({OpKind::kBarrier, 0, kW});
+      Jitter(rng, prog);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+const std::vector<std::string>& PatternNames() {
+  static const std::vector<std::string> kNames{
+      "migratory",   "pingpong",    "producer_consumer",
+      "hotspot",     "read_mostly", "phased_writer",
+  };
+  return kNames;
+}
+
+bool IsPatternName(const std::string& name) {
+  const auto& names = PatternNames();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+Scenario GeneratePattern(const PatternParams& params) {
+  HMDSM_CHECK_MSG(params.nodes >= 1 && params.nodes < 0x10000,
+                  "bad node count " << params.nodes);
+  HMDSM_CHECK_MSG(params.objects >= 1, "need at least one object");
+  HMDSM_CHECK_MSG(params.object_bytes >= 8, "objects must be >= 8 bytes");
+  HMDSM_CHECK_MSG(params.repetitions >= 1, "need at least one repetition");
+
+  Scenario s;
+  if (params.pattern == "migratory") {
+    s = Migratory(params);
+  } else if (params.pattern == "pingpong") {
+    s = PingPong(params);
+  } else if (params.pattern == "producer_consumer") {
+    s = ProducerConsumer(params);
+  } else if (params.pattern == "hotspot") {
+    s = Hotspot(params);
+  } else if (params.pattern == "read_mostly") {
+    s = ReadMostly(params);
+  } else if (params.pattern == "phased_writer") {
+    s = PhasedWriter(params);
+  } else {
+    HMDSM_CHECK_MSG(false, "unknown pattern '" << params.pattern
+                                               << "' (have: migratory, "
+                                                  "pingpong, producer_consumer,"
+                                                  " hotspot, read_mostly, "
+                                                  "phased_writer)");
+  }
+  ValidateScenario(s);
+  return s;
+}
+
+}  // namespace hmdsm::workload

@@ -1,0 +1,45 @@
+// Canonical sharing-pattern generators.
+//
+// Each generator compiles a parameterized sharing pattern into a concrete
+// Scenario (scenario.h): a static per-worker op program whose shape — who
+// writes which object when, separated by which synchronization — reproduces
+// one of the classic DSM access patterns the home-migration literature
+// argues about. The RNG seed only perturbs *timing* (small compute delays
+// between rounds), never the access sequence, so two scenarios generated
+// with the same parameters issue bit-identical access streams while
+// different seeds still shake out timing-dependent protocol races.
+//
+// Patterns (paper context in parentheses):
+//   migratory       — objects move node-to-node in bursts of consecutive
+//                     writes (the single-writer runs FT/AT migrate on).
+//   pingpong        — two nodes alternate writes to the same objects homed
+//                     on a third (the interleaving that defeats C-counting
+//                     and makes MH thrash).
+//   producer_consumer — one writer, many readers, phase-separated by
+//                     barriers (migration toward the producer pays off).
+//   hotspot         — every node updates one shared counter-like object
+//                     under a lock (all-to-one; homes should stay put).
+//   read_mostly     — rare writes, broadcast-style re-reads by all nodes.
+//   phased_writer   — barrier-separated phases with one sole writer that
+//                     holds for several epochs (the BR-favoring case).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/workload/scenario.h"
+
+namespace hmdsm::workload {
+
+/// The canonical pattern names accepted by GeneratePattern.
+const std::vector<std::string>& PatternNames();
+
+/// True if `name` is one of PatternNames().
+bool IsPatternName(const std::string& name);
+
+/// Compiles `params` into a runnable scenario. CHECK-fails on an unknown
+/// pattern name or parameters the pattern cannot honour (e.g. pingpong on a
+/// one-node cluster).
+Scenario GeneratePattern(const PatternParams& params);
+
+}  // namespace hmdsm::workload

@@ -1,0 +1,120 @@
+// Access-trace recording: a shim over dsm::Agent plus the trace collector.
+//
+// AgentShim is the single execution path for workload ops: every scenario
+// op a worker issues goes Agent-ward through it (Read/Write/Acquire/Release/
+// Barrier via the worker's gos::Env, Delay via its sim::Process). When a
+// TraceRecorder is attached, each op is appended to that worker's recorded
+// program as it executes, so the recorder captures exactly the access
+// stream the protocol saw — replaying the recorded scenario re-issues a
+// bit-identical stream under whatever policy/config the replayer picks.
+//
+// Write payloads are derived deterministically from (worker, op ordinal), so
+// a replayed write produces the same bytes — and therefore the same diffs —
+// as the recorded one.
+#pragma once
+
+#include <vector>
+
+#include "src/gos/vm.h"
+#include "src/util/check.h"
+#include "src/util/fnv.h"
+#include "src/util/rng.h"
+#include "src/workload/scenario.h"
+
+namespace hmdsm::workload {
+
+/// Collects per-worker op streams during a run. Single-baton simulation
+/// means workers never record concurrently, so no locking is needed.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const Scenario& skeleton) : scenario_(skeleton) {
+    for (WorkerSpec& w : scenario_.workers) w.program.clear();
+  }
+
+  void Record(std::uint32_t worker, const Op& op) {
+    HMDSM_CHECK(worker < scenario_.workers.size());
+    scenario_.workers[worker].program.push_back(op);
+  }
+
+  /// The recorded trace: the source scenario's metadata with each worker's
+  /// program replaced by the ops it actually executed.
+  const Scenario& trace() const { return scenario_; }
+
+ private:
+  Scenario scenario_;
+};
+
+/// Resolved scenario resources: index -> simulator identifier.
+struct Bindings {
+  std::vector<gos::ObjectId> objects;
+  std::vector<gos::LockId> locks;
+  std::vector<gos::BarrierId> barriers;
+};
+
+/// Executes ops for one worker against its node's DSM agent, recording them
+/// when a TraceRecorder is attached.
+class AgentShim {
+ public:
+  AgentShim(gos::Env& env, const Bindings& bindings, std::uint32_t worker,
+            TraceRecorder* recorder)
+      : env_(env), bindings_(bindings), worker_(worker), recorder_(recorder) {}
+
+  /// Executes one op (may block in the DSM layer). Returns the number of
+  /// payload bytes this worker has read so far (observability).
+  void Execute(const Op& op) {
+    switch (op.kind) {
+      case OpKind::kRead:
+        env_.Read(bindings_.objects[op.id], [&](ByteSpan bytes) {
+          // Fold the visible contents into the checksum so replay equality
+          // covers data, not just message counts.
+          for (std::size_t i = 0; i < std::min<std::size_t>(bytes.size(), 8);
+               ++i)
+            read_checksum_ = FnvFold(read_checksum_, bytes[i]);
+        });
+        break;
+      case OpKind::kWrite:
+        env_.Write(bindings_.objects[op.id], [&](MutByteSpan bytes) {
+          const std::size_t dirty =
+              op.arg == 0 ? bytes.size()
+                          : std::min<std::size_t>(op.arg, bytes.size());
+          // Payload depends only on (worker, ordinal): identical on replay.
+          SplitMix64 fill(0xC0FFEEull + worker_ * 0x9E3779B97F4A7C15ull +
+                          ordinal_);
+          std::uint64_t word = fill.next();
+          for (std::size_t i = 0; i < dirty; ++i) {
+            if (i % 8 == 0 && i > 0) word = fill.next();
+            bytes[i] = static_cast<Byte>(word >> ((i % 8) * 8));
+          }
+        });
+        break;
+      case OpKind::kAcquire:
+        env_.Acquire(bindings_.locks[op.id]);
+        break;
+      case OpKind::kRelease:
+        env_.Release(bindings_.locks[op.id]);
+        break;
+      case OpKind::kBarrier:
+        env_.Barrier(bindings_.barriers[op.id],
+                     static_cast<std::uint32_t>(op.arg));
+        break;
+      case OpKind::kDelay:
+        env_.process().Delay(static_cast<sim::Time>(op.arg));
+        break;
+    }
+    ++ordinal_;
+    if (recorder_ != nullptr) recorder_->Record(worker_, op);
+  }
+
+  std::uint64_t ops_executed() const { return ordinal_; }
+  std::uint64_t read_checksum() const { return read_checksum_; }
+
+ private:
+  gos::Env& env_;
+  const Bindings& bindings_;
+  std::uint32_t worker_;
+  TraceRecorder* recorder_;
+  std::uint64_t ordinal_ = 0;
+  std::uint64_t read_checksum_ = kFnvOffsetBasis;
+};
+
+}  // namespace hmdsm::workload

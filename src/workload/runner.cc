@@ -1,0 +1,79 @@
+#include "src/workload/runner.h"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/util/bytes.h"
+#include "src/util/fnv.h"
+#include "src/workload/recorder.h"
+
+namespace hmdsm::workload {
+
+ScenarioResult RunScenario(const gos::VmOptions& vm_options,
+                           const Scenario& scenario, bool record) {
+  ValidateScenario(scenario);
+
+  gos::VmOptions options = vm_options;
+  options.nodes = std::max<std::size_t>(options.nodes, scenario.nodes);
+
+  gos::Vm vm(options);
+  ScenarioResult result;
+  std::optional<TraceRecorder> recorder;
+  if (record) recorder.emplace(scenario);
+
+  vm.Run([&](gos::Env& env) {
+    Bindings bindings;
+    for (const ObjectSpec& o : scenario.objects)
+      bindings.objects.push_back(
+          vm.CreateObject(env, o.home, ZeroBytes(o.bytes)));
+    for (NodeId m : scenario.lock_managers)
+      bindings.locks.push_back(vm.CreateLock(m));
+    for (NodeId m : scenario.barrier_managers)
+      bindings.barriers.push_back(vm.CreateBarrier(m));
+
+    vm.ResetMeasurement();
+
+    std::vector<std::unique_ptr<AgentShim>> shims(scenario.workers.size());
+    std::vector<gos::Thread*> threads;
+    for (std::uint32_t w = 0; w < scenario.workers.size(); ++w) {
+      const WorkerSpec& spec = scenario.workers[w];
+      threads.push_back(vm.Spawn(
+          spec.node,
+          [&, w](gos::Env& me) {
+            shims[w] = std::make_unique<AgentShim>(
+                me, bindings, w, recorder ? &*recorder : nullptr);
+            for (const Op& op : scenario.workers[w].program)
+              shims[w]->Execute(op);
+          },
+          spec.name.empty() ? "w" + std::to_string(w) : spec.name));
+    }
+    for (gos::Thread* t : threads) vm.Join(env, t);
+
+    result.report = vm.Report();
+
+    // Digest: per-worker read checksums combined in worker order, then the
+    // final contents of every object (read outside the measured window).
+    std::uint64_t digest = kFnvOffsetBasis;
+    for (std::uint32_t w = 0; w < scenario.workers.size(); ++w) {
+      result.ops_executed += shims[w]->ops_executed();
+      digest = FnvFold64(digest, shims[w]->read_checksum());
+    }
+    for (gos::ObjectId obj : bindings.objects)
+      env.Read(obj, [&](ByteSpan bytes) {
+        for (Byte b : bytes) digest = FnvFold(digest, b);
+      });
+    result.checksum = digest;
+  });
+
+  if (recorder) result.recorded = recorder->trace();
+  return result;
+}
+
+ScenarioResult ReplayTraceFile(const gos::VmOptions& vm_options,
+                               const std::string& path, bool record) {
+  return RunScenario(vm_options, LoadScenario(path), record);
+}
+
+}  // namespace hmdsm::workload

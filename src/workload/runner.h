@@ -1,0 +1,38 @@
+// The scenario/replay driver: executes any Scenario — generated, parsed, or
+// recorded — on a simulated cluster under any MigrationPolicy / DsmConfig.
+//
+// The driver builds a gos::Vm (which owns the sim::Kernel, network, and one
+// dsm::Agent per node), materializes the scenario's object/lock/barrier
+// tables, then spawns one simulated process per worker that executes its op
+// program through an AgentShim. Setup (object creation) happens before
+// ResetMeasurement, matching the benchmarking methodology everywhere else in
+// the repo: reported totals cover only the access program.
+#pragma once
+
+#include "src/gos/vm.h"
+#include "src/workload/scenario.h"
+
+namespace hmdsm::workload {
+
+struct ScenarioResult {
+  gos::RunReport report;
+  /// Ops executed across all workers (== scenario.total_ops()).
+  std::uint64_t ops_executed = 0;
+  /// Order-independent digest of every byte read by workers plus the final
+  /// object contents; identical streams must produce identical checksums.
+  std::uint64_t checksum = 0;
+  /// The recorded trace (only populated when `record` was set).
+  Scenario recorded;
+};
+
+/// Runs `scenario` under `vm_options` (nodes are raised to the scenario's
+/// node count if needed; policy/notify/network come from the options).
+/// With `record` set, the result carries the captured access trace.
+ScenarioResult RunScenario(const gos::VmOptions& vm_options,
+                           const Scenario& scenario, bool record = false);
+
+/// Convenience: LoadScenario + RunScenario.
+ScenarioResult ReplayTraceFile(const gos::VmOptions& vm_options,
+                               const std::string& path, bool record = false);
+
+}  // namespace hmdsm::workload

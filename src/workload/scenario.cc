@@ -1,0 +1,234 @@
+#include "src/workload/scenario.h"
+
+#include <charconv>
+#include <fstream>
+
+#include "src/util/check.h"
+
+namespace hmdsm::workload {
+
+namespace {
+
+// Trace framing: magic + format version. Bump the version on any layout
+// change; Decode rejects mismatches loudly instead of misparsing.
+constexpr std::uint32_t kTraceMagic = 0x4C574D48;  // "HMWL"
+constexpr std::uint16_t kTraceVersion = 1;
+
+}  // namespace
+
+std::string_view OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kRead: return "read";
+    case OpKind::kWrite: return "write";
+    case OpKind::kAcquire: return "acquire";
+    case OpKind::kRelease: return "release";
+    case OpKind::kBarrier: return "barrier";
+    case OpKind::kDelay: return "delay";
+  }
+  return "?";
+}
+
+void Scenario::Encode(Writer& w) const {
+  w.u32(kTraceMagic);
+  w.u16(kTraceVersion);
+  w.str(name);
+  w.u32(nodes);
+  w.u32(static_cast<std::uint32_t>(objects.size()));
+  for (const ObjectSpec& o : objects) {
+    w.u32(o.bytes);
+    w.u32(o.home);
+  }
+  w.u32(static_cast<std::uint32_t>(lock_managers.size()));
+  for (NodeId m : lock_managers) w.u32(m);
+  w.u32(static_cast<std::uint32_t>(barrier_managers.size()));
+  for (NodeId m : barrier_managers) w.u32(m);
+  w.u32(static_cast<std::uint32_t>(workers.size()));
+  for (const WorkerSpec& worker : workers) {
+    w.u32(worker.node);
+    w.str(worker.name);
+    w.u32(static_cast<std::uint32_t>(worker.program.size()));
+    for (const Op& op : worker.program) {
+      w.u8(static_cast<std::uint8_t>(op.kind));
+      w.u32(op.id);
+      w.u64(op.arg);
+    }
+  }
+}
+
+Scenario Scenario::Decode(Reader& r) {
+  HMDSM_CHECK_MSG(r.u32() == kTraceMagic, "not a workload trace (bad magic)");
+  const std::uint16_t version = r.u16();
+  HMDSM_CHECK_MSG(version == kTraceVersion,
+                  "unsupported trace version " << version << " (want "
+                                               << kTraceVersion << ")");
+  // Bound every element count by the bytes actually remaining before
+  // resizing, so a corrupt count fails as a CheckError instead of a
+  // multi-gigabyte allocation.
+  const auto bounded = [&r](std::uint32_t count, std::size_t min_elem_bytes) {
+    HMDSM_CHECK_MSG(count <= r.remaining() / min_elem_bytes,
+                    "corrupt trace: count " << count << " exceeds remaining "
+                                            << r.remaining() << " bytes");
+    return count;
+  };
+  Scenario s;
+  s.name = r.str();
+  s.nodes = r.u32();
+  s.objects.resize(bounded(r.u32(), 8));
+  for (ObjectSpec& o : s.objects) {
+    o.bytes = r.u32();
+    o.home = r.u32();
+  }
+  s.lock_managers.resize(bounded(r.u32(), 4));
+  for (NodeId& m : s.lock_managers) m = r.u32();
+  s.barrier_managers.resize(bounded(r.u32(), 4));
+  for (NodeId& m : s.barrier_managers) m = r.u32();
+  s.workers.resize(bounded(r.u32(), 12));
+  for (WorkerSpec& worker : s.workers) {
+    worker.node = r.u32();
+    worker.name = r.str();
+    worker.program.resize(bounded(r.u32(), 13));
+    for (Op& op : worker.program) {
+      const std::uint8_t kind = r.u8();
+      HMDSM_CHECK_MSG(kind <= static_cast<std::uint8_t>(OpKind::kDelay),
+                      "bad op kind " << int{kind} << " in trace");
+      op.kind = static_cast<OpKind>(kind);
+      op.id = r.u32();
+      op.arg = r.u64();
+    }
+  }
+  return s;
+}
+
+void ValidateScenario(const Scenario& s) {
+  HMDSM_CHECK_MSG(s.nodes >= 1, "scenario '" << s.name << "' has no nodes");
+  for (const ObjectSpec& o : s.objects) {
+    HMDSM_CHECK_MSG(o.bytes > 0, "zero-byte object in '" << s.name << "'");
+    HMDSM_CHECK_MSG(o.home < s.nodes, "object homed off-cluster (node "
+                                          << o.home << " of " << s.nodes
+                                          << ") in '" << s.name << "'");
+  }
+  for (NodeId m : s.lock_managers)
+    HMDSM_CHECK_MSG(m < s.nodes, "lock manager off-cluster in '" << s.name
+                                                                 << "'");
+  for (NodeId m : s.barrier_managers)
+    HMDSM_CHECK_MSG(m < s.nodes, "barrier manager off-cluster in '" << s.name
+                                                                    << "'");
+  for (const WorkerSpec& w : s.workers) {
+    HMDSM_CHECK_MSG(w.node < s.nodes, "worker '" << w.name
+                                                 << "' placed off-cluster");
+    for (const Op& op : w.program) {
+      switch (op.kind) {
+        case OpKind::kRead:
+        case OpKind::kWrite:
+          HMDSM_CHECK_MSG(op.id < s.objects.size(),
+                          "op references object " << op.id << " but '"
+                                                  << s.name << "' has "
+                                                  << s.objects.size());
+          break;
+        case OpKind::kAcquire:
+        case OpKind::kRelease:
+          HMDSM_CHECK_MSG(op.id < s.lock_managers.size(),
+                          "op references lock " << op.id << " but '" << s.name
+                                                << "' has "
+                                                << s.lock_managers.size());
+          break;
+        case OpKind::kBarrier:
+          HMDSM_CHECK_MSG(op.id < s.barrier_managers.size(),
+                          "op references barrier " << op.id << " but '"
+                                                   << s.name << "' has "
+                                                   << s.barrier_managers.size());
+          HMDSM_CHECK_MSG(op.arg > 0 && op.arg <= s.workers.size(),
+                          "barrier op expects " << op.arg << " arrivals with "
+                                                << s.workers.size()
+                                                << " workers");
+          break;
+        case OpKind::kDelay:
+          break;
+      }
+    }
+  }
+}
+
+void SaveScenario(const Scenario& scenario, const std::string& path) {
+  Writer w;
+  scenario.Encode(w);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  HMDSM_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out.write(reinterpret_cast<const char*>(w.buffer().data()),
+            static_cast<std::streamsize>(w.size()));
+  out.flush();
+  HMDSM_CHECK_MSG(out.good(), "short write to '" << path << "'");
+}
+
+Scenario LoadScenario(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HMDSM_CHECK_MSG(in.good(), "cannot open trace '" << path << "'");
+  Bytes data((std::istreambuf_iterator<char>(in)),
+             std::istreambuf_iterator<char>());
+  Reader r(data);
+  Scenario s = Scenario::Decode(r);
+  HMDSM_CHECK_MSG(r.done(), "trailing garbage in trace '" << path << "'");
+  return s;
+}
+
+namespace {
+
+std::uint64_t ParseU64(const std::string& key, const std::string& value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  HMDSM_CHECK_MSG(ec == std::errc{} && ptr == value.data() + value.size(),
+                  "bad value '" << value << "' for spec key '" << key << "'");
+  return out;
+}
+
+}  // namespace
+
+PatternParams ParsePatternSpec(const std::string& spec) {
+  PatternParams params;
+  params.pattern.clear();
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) {
+      HMDSM_CHECK_MSG(first && spec.empty(), "empty token in spec '" << spec
+                                                                     << "'");
+      break;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      HMDSM_CHECK_MSG(first, "bare token '" << token
+                                            << "' must come first in spec '"
+                                            << spec << "'");
+      params.pattern = token;
+    } else {
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "pattern") {
+        params.pattern = value;
+      } else if (key == "nodes") {
+        params.nodes = static_cast<std::uint32_t>(ParseU64(key, value));
+      } else if (key == "objects") {
+        params.objects = static_cast<std::uint32_t>(ParseU64(key, value));
+      } else if (key == "bytes") {
+        params.object_bytes = static_cast<std::uint32_t>(ParseU64(key, value));
+      } else if (key == "reps") {
+        params.repetitions = static_cast<std::uint32_t>(ParseU64(key, value));
+      } else if (key == "seed") {
+        params.seed = ParseU64(key, value);
+      } else {
+        HMDSM_CHECK_MSG(false, "unknown spec key '" << key << "' in '" << spec
+                                                    << "'");
+      }
+    }
+    first = false;
+  }
+  HMDSM_CHECK_MSG(!params.pattern.empty(),
+                  "spec '" << spec << "' names no pattern");
+  return params;
+}
+
+}  // namespace hmdsm::workload

@@ -1,0 +1,116 @@
+// Declarative workload scenarios and the access-trace format.
+//
+// A Scenario is a complete, self-contained description of a DSM workload:
+// the shared objects (sizes and initial homes), the lock and barrier
+// managers, and one *program* — a flat list of access/synchronization ops —
+// per worker thread, together with that worker's node placement. Scenarios
+// are produced three ways: generated from a named sharing pattern
+// (patterns.h), parsed from a compact text spec, or recorded from a live run
+// (recorder.h). Because the program is data, the identical access stream can
+// be replayed under any MigrationPolicy / DsmConfig / network model for
+// apples-to-apples protocol comparisons — the same scenario file yields
+// bit-identical access sequences on every run.
+//
+// The on-disk trace format uses the little-endian serde primitives from
+// util/serde.h (the same codec the wire protocol uses), so traces are
+// portable across machines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/dsm/types.h"
+#include "src/util/serde.h"
+
+namespace hmdsm::workload {
+
+using dsm::NodeId;
+
+/// One step of a worker program. `id` indexes into the scenario's object /
+/// lock / barrier tables depending on the kind.
+enum class OpKind : std::uint8_t {
+  kRead,     // coherence read of object `id`
+  kWrite,    // coherence write of object `id`; arg = dirty-byte count (0=all)
+  kAcquire,  // acquire lock `id`
+  kRelease,  // release lock `id`
+  kBarrier,  // barrier `id`; arg = expected number of arrivals
+  kDelay,    // local computation; arg = virtual nanoseconds
+};
+
+std::string_view OpKindName(OpKind kind);
+
+struct Op {
+  OpKind kind = OpKind::kDelay;
+  std::uint32_t id = 0;
+  std::uint64_t arg = 0;
+
+  bool operator==(const Op&) const = default;
+};
+
+/// A shared object: size in bytes and the node that initially homes it.
+struct ObjectSpec {
+  std::uint32_t bytes = 64;
+  NodeId home = 0;
+
+  bool operator==(const ObjectSpec&) const = default;
+};
+
+/// A worker thread: where it runs and what it does.
+struct WorkerSpec {
+  NodeId node = 0;
+  std::string name;
+  std::vector<Op> program;
+
+  bool operator==(const WorkerSpec&) const = default;
+};
+
+struct Scenario {
+  std::string name;
+  std::uint32_t nodes = 1;
+  std::vector<ObjectSpec> objects;
+  std::vector<NodeId> lock_managers;
+  std::vector<NodeId> barrier_managers;
+  std::vector<WorkerSpec> workers;
+
+  bool operator==(const Scenario&) const = default;
+
+  std::uint64_t total_ops() const {
+    std::uint64_t n = 0;
+    for (const WorkerSpec& w : workers) n += w.program.size();
+    return n;
+  }
+
+  /// Serialization (the trace format). Encode writes the versioned framing;
+  /// Decode throws CheckError on bad magic / version / truncation.
+  void Encode(Writer& w) const;
+  static Scenario Decode(Reader& r);
+};
+
+/// CHECK-fails with a descriptive message if any op references an object /
+/// lock / barrier out of range, a worker is placed off-cluster, or a
+/// barrier op expects zero arrivals.
+void ValidateScenario(const Scenario& scenario);
+
+/// Trace file I/O. Save overwrites; both throw CheckError on I/O failure.
+void SaveScenario(const Scenario& scenario, const std::string& path);
+Scenario LoadScenario(const std::string& path);
+
+/// Parameters every generated pattern understands (patterns.h).
+struct PatternParams {
+  std::string pattern = "pingpong";
+  std::uint32_t nodes = 8;
+  std::uint32_t objects = 2;
+  std::uint32_t object_bytes = 256;
+  std::uint32_t repetitions = 8;
+  std::uint64_t seed = 1;
+};
+
+/// Parses the compact text spec used by --spec and scenario files' names:
+///   "<pattern>[,nodes=N][,objects=N][,bytes=N][,reps=N][,seed=N]"
+/// e.g. "pingpong,nodes=8,objects=2,bytes=256,reps=16,seed=7".
+/// The leading pattern name may also be written "pattern=<name>".
+/// Throws CheckError on an unknown key or malformed value.
+PatternParams ParsePatternSpec(const std::string& spec);
+
+}  // namespace hmdsm::workload

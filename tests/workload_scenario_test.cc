@@ -1,0 +1,149 @@
+// Workload subsystem: pattern generation, cross-policy execution, and
+// determinism guarantees.
+#include "src/workload/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/runner.h"
+
+namespace hmdsm::workload {
+namespace {
+
+PatternParams SmallParams(const std::string& pattern, std::uint64_t seed = 7) {
+  PatternParams p;
+  p.pattern = pattern;
+  p.nodes = 4;
+  p.objects = 2;
+  p.object_bytes = 64;
+  p.repetitions = 3;
+  p.seed = seed;
+  return p;
+}
+
+ScenarioResult RunUnder(const Scenario& scenario, const std::string& policy) {
+  gos::VmOptions vm;
+  vm.nodes = scenario.nodes;
+  vm.dsm.policy = policy;
+  return RunScenario(vm, scenario);
+}
+
+TEST(Patterns, NamesAreTheSixCanonicalOnes) {
+  EXPECT_EQ(PatternNames().size(), 6u);
+  for (const std::string& name : PatternNames())
+    EXPECT_TRUE(IsPatternName(name)) << name;
+  EXPECT_FALSE(IsPatternName("tornado"));
+}
+
+TEST(Patterns, UnknownPatternThrows) {
+  EXPECT_THROW(GeneratePattern(SmallParams("tornado")), CheckError);
+}
+
+TEST(Patterns, GenerationIsDeterministic) {
+  for (const std::string& name : PatternNames()) {
+    const Scenario a = GeneratePattern(SmallParams(name));
+    const Scenario b = GeneratePattern(SmallParams(name));
+    EXPECT_EQ(a, b) << name;
+  }
+}
+
+TEST(Patterns, SeedOnlyPerturbsTiming) {
+  for (const std::string& name : PatternNames()) {
+    const Scenario a = GeneratePattern(SmallParams(name, /*seed=*/1));
+    const Scenario b = GeneratePattern(SmallParams(name, /*seed=*/2));
+    ASSERT_EQ(a.workers.size(), b.workers.size()) << name;
+    for (std::size_t w = 0; w < a.workers.size(); ++w) {
+      // Strip the jitter delays: the remaining access/sync streams must be
+      // identical across seeds.
+      auto strip = [](const std::vector<Op>& prog) {
+        std::vector<Op> out;
+        for (const Op& op : prog)
+          if (op.kind != OpKind::kDelay) out.push_back(op);
+        return out;
+      };
+      EXPECT_EQ(strip(a.workers[w].program), strip(b.workers[w].program))
+          << name << " worker " << w;
+    }
+  }
+}
+
+// Acceptance: all six patterns exercised across at least AT, FT1, and NoHM.
+TEST(Patterns, AllPatternsRunUnderAtFt1NoHm) {
+  for (const std::string& name : PatternNames()) {
+    const Scenario scenario = GeneratePattern(SmallParams(name));
+    for (const char* policy : {"AT", "FT1", "NoHM"}) {
+      const ScenarioResult res = RunUnder(scenario, policy);
+      EXPECT_EQ(res.ops_executed, scenario.total_ops())
+          << name << " under " << policy;
+      EXPECT_GT(res.report.messages, 0u) << name << " under " << policy;
+      EXPECT_GT(res.report.seconds, 0.0) << name << " under " << policy;
+    }
+  }
+}
+
+// Acceptance: same scenario + seed => identical stats::Recorder totals.
+TEST(Patterns, SameScenarioSameSeedIsBitDeterministic) {
+  for (const std::string& name : PatternNames()) {
+    const Scenario scenario = GeneratePattern(SmallParams(name));
+    const ScenarioResult a = RunUnder(scenario, "AT");
+    const ScenarioResult b = RunUnder(scenario, "AT");
+    EXPECT_EQ(a.checksum, b.checksum) << name;
+    EXPECT_EQ(a.report.seconds, b.report.seconds) << name;
+    for (std::size_t c = 0; c < stats::kNumMsgCats; ++c) {
+      EXPECT_EQ(a.report.cat[c].messages, b.report.cat[c].messages)
+          << name << " cat " << c;
+      EXPECT_EQ(a.report.cat[c].bytes, b.report.cat[c].bytes)
+          << name << " cat " << c;
+    }
+  }
+}
+
+TEST(Patterns, MigratoryMigratesUnderAtButNotNoHm) {
+  const Scenario scenario = GeneratePattern(SmallParams("migratory"));
+  EXPECT_GT(RunUnder(scenario, "AT").report.migrations, 0u);
+  EXPECT_GT(RunUnder(scenario, "FT1").report.migrations, 0u);
+  EXPECT_EQ(RunUnder(scenario, "NoHM").report.migrations, 0u);
+}
+
+TEST(Patterns, PingpongAlternationDefeatsConsecutiveCounting) {
+  // Strictly alternating writers never accumulate C >= T at the moment the
+  // same node re-faults, so threshold policies keep the home put while MH
+  // chases every fault.
+  const Scenario scenario = GeneratePattern(SmallParams("pingpong"));
+  EXPECT_EQ(RunUnder(scenario, "AT").report.migrations, 0u);
+  EXPECT_EQ(RunUnder(scenario, "FT1").report.migrations, 0u);
+  EXPECT_GT(RunUnder(scenario, "MH").report.migrations, 0u);
+}
+
+TEST(Patterns, PhasedWriterFavorsBarrierMigration) {
+  const Scenario scenario = GeneratePattern(SmallParams("phased_writer"));
+  EXPECT_GT(RunUnder(scenario, "BR").report.migrations, 0u);
+  // The sole-writer phases also give AT its positive-feedback case.
+  EXPECT_GT(RunUnder(scenario, "AT").report.migrations, 0u);
+}
+
+TEST(Patterns, HotspotMixedWritersKeepHomeStableUnderThresholds) {
+  const Scenario scenario = GeneratePattern(SmallParams("hotspot"));
+  EXPECT_EQ(RunUnder(scenario, "AT").report.migrations, 0u);
+  EXPECT_GT(RunUnder(scenario, "MH").report.migrations, 0u);
+}
+
+TEST(Patterns, ScenarioRunsOnLargerClusterThanItNeeds) {
+  const Scenario scenario = GeneratePattern(SmallParams("pingpong"));
+  gos::VmOptions vm;
+  vm.nodes = 16;  // more nodes than the scenario's 4
+  vm.dsm.policy = "AT";
+  const ScenarioResult res = RunScenario(vm, scenario);
+  EXPECT_EQ(res.ops_executed, scenario.total_ops());
+}
+
+TEST(Patterns, ResultChecksumCoversObjectContents) {
+  // Different patterns write different payload streams, so their digests
+  // should differ — a constant checksum would mean we digest nothing.
+  const ScenarioResult a =
+      RunUnder(GeneratePattern(SmallParams("migratory")), "AT");
+  const ScenarioResult b = RunUnder(GeneratePattern(SmallParams("hotspot")), "AT");
+  EXPECT_NE(a.checksum, b.checksum);
+}
+
+}  // namespace
+}  // namespace hmdsm::workload

@@ -1,0 +1,223 @@
+// Workload subsystem: the trace format (serde + files), the text spec
+// parser, and record/replay fidelity.
+#include "src/workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/workload/patterns.h"
+#include "src/workload/runner.h"
+
+namespace hmdsm::workload {
+namespace {
+
+Scenario SmallScenario(const std::string& pattern = "pingpong") {
+  PatternParams p;
+  p.pattern = pattern;
+  p.nodes = 4;
+  p.objects = 2;
+  p.object_bytes = 64;
+  p.repetitions = 3;
+  p.seed = 11;
+  return GeneratePattern(p);
+}
+
+// ---------------------------------------------------------------------------
+// Text spec parser
+// ---------------------------------------------------------------------------
+
+TEST(PatternSpec, FullSpecParses) {
+  const PatternParams p =
+      ParsePatternSpec("migratory,nodes=16,objects=8,bytes=1024,reps=32,seed=9");
+  EXPECT_EQ(p.pattern, "migratory");
+  EXPECT_EQ(p.nodes, 16u);
+  EXPECT_EQ(p.objects, 8u);
+  EXPECT_EQ(p.object_bytes, 1024u);
+  EXPECT_EQ(p.repetitions, 32u);
+  EXPECT_EQ(p.seed, 9u);
+}
+
+TEST(PatternSpec, BarePatternUsesDefaults) {
+  const PatternParams defaults;
+  const PatternParams p = ParsePatternSpec("hotspot");
+  EXPECT_EQ(p.pattern, "hotspot");
+  EXPECT_EQ(p.nodes, defaults.nodes);
+  EXPECT_EQ(p.objects, defaults.objects);
+}
+
+TEST(PatternSpec, PatternKeyFormAccepted) {
+  EXPECT_EQ(ParsePatternSpec("pattern=read_mostly,reps=4").pattern,
+            "read_mostly");
+}
+
+TEST(PatternSpec, RejectsUnknownKeyBadValueAndMissingPattern) {
+  EXPECT_THROW(ParsePatternSpec("pingpong,turbo=1"), CheckError);
+  EXPECT_THROW(ParsePatternSpec("pingpong,nodes=many"), CheckError);
+  EXPECT_THROW(ParsePatternSpec("nodes=4"), CheckError);
+  EXPECT_THROW(ParsePatternSpec(""), CheckError);
+}
+
+TEST(PatternSpec, RoundTripsThroughScenarioName) {
+  // Generated scenarios carry their spec as the name, so a scenario can be
+  // regenerated from its own label.
+  const Scenario s = SmallScenario("migratory");
+  const PatternParams p = ParsePatternSpec(s.name);
+  EXPECT_EQ(GeneratePattern(p), s);
+}
+
+// ---------------------------------------------------------------------------
+// Trace serde + files
+// ---------------------------------------------------------------------------
+
+TEST(TraceFormat, EncodeDecodeRoundTrips) {
+  const Scenario s = SmallScenario();
+  Writer w;
+  s.Encode(w);
+  Reader r(w.buffer());
+  EXPECT_EQ(Scenario::Decode(r), s);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(TraceFormat, BadMagicAndTruncationThrow) {
+  Writer w;
+  SmallScenario().Encode(w);
+
+  Bytes corrupt = w.buffer();
+  corrupt[0] ^= 0xFF;
+  Reader bad_magic(corrupt);
+  EXPECT_THROW(Scenario::Decode(bad_magic), CheckError);
+
+  Bytes truncated(w.buffer().begin(), w.buffer().begin() + w.size() / 2);
+  Reader short_read(truncated);
+  EXPECT_THROW(Scenario::Decode(short_read), CheckError);
+}
+
+TEST(TraceFormat, HugeClaimedCountsThrowInsteadOfAllocating) {
+  // A corrupt trace claiming 4 billion objects must fail the bounds check,
+  // not attempt a multi-gigabyte resize.
+  Writer w;
+  w.u32(0x4C574D48);  // magic
+  w.u16(1);           // version
+  w.str("evil");
+  w.u32(4);           // nodes
+  w.u32(0xFFFFFFFFu); // object count far beyond the remaining bytes
+  Reader r(w.buffer());
+  EXPECT_THROW(Scenario::Decode(r), CheckError);
+}
+
+TEST(TraceFormat, SaveLoadFileRoundTrips) {
+  const Scenario s = SmallScenario("producer_consumer");
+  const std::string path = testing::TempDir() + "hmdsm_trace_test.trace";
+  SaveScenario(s, path);
+  EXPECT_EQ(LoadScenario(path), s);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFormat, LoadMissingFileThrows) {
+  EXPECT_THROW(LoadScenario("/nonexistent/of/course.trace"), CheckError);
+}
+
+TEST(TraceFormat, ValidateRejectsDanglingReferences) {
+  Scenario s = SmallScenario();
+  s.workers[0].program.push_back(
+      {OpKind::kWrite, static_cast<std::uint32_t>(s.objects.size()), 0});
+  EXPECT_THROW(ValidateScenario(s), CheckError);
+
+  Scenario off_cluster = SmallScenario();
+  off_cluster.workers[0].node = off_cluster.nodes;
+  EXPECT_THROW(ValidateScenario(off_cluster), CheckError);
+
+  Scenario zero_barrier = SmallScenario();
+  for (WorkerSpec& w : zero_barrier.workers)
+    for (Op& op : w.program)
+      if (op.kind == OpKind::kBarrier) op.arg = 0;
+  EXPECT_THROW(ValidateScenario(zero_barrier), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Record / replay
+// ---------------------------------------------------------------------------
+
+// Acceptance: record-then-replay of the same scenario reproduces identical
+// message/byte totals for every stats::MsgCat.
+TEST(RecordReplay, ReplayReproducesEveryMsgCatExactly) {
+  for (const std::string& name : PatternNames()) {
+    const Scenario scenario = SmallScenario(name);
+    gos::VmOptions vm;
+    vm.nodes = scenario.nodes;
+    vm.dsm.policy = "AT";
+
+    const ScenarioResult recorded =
+        RunScenario(vm, scenario, /*record=*/true);
+    ASSERT_EQ(recorded.recorded.total_ops(), scenario.total_ops()) << name;
+
+    const ScenarioResult replayed = RunScenario(vm, recorded.recorded);
+    EXPECT_EQ(replayed.ops_executed, recorded.ops_executed) << name;
+    EXPECT_EQ(replayed.checksum, recorded.checksum) << name;
+    EXPECT_EQ(replayed.report.seconds, recorded.report.seconds) << name;
+    for (std::size_t c = 0; c < stats::kNumMsgCats; ++c) {
+      EXPECT_EQ(replayed.report.cat[c].messages,
+                recorded.report.cat[c].messages)
+          << name << " cat " << stats::MsgCatName(
+                 static_cast<stats::MsgCat>(c));
+      EXPECT_EQ(replayed.report.cat[c].bytes, recorded.report.cat[c].bytes)
+          << name << " cat " << stats::MsgCatName(
+                 static_cast<stats::MsgCat>(c));
+    }
+  }
+}
+
+TEST(RecordReplay, RecordedTraceCarriesSourceMetadata) {
+  const Scenario scenario = SmallScenario("hotspot");
+  gos::VmOptions vm;
+  vm.nodes = scenario.nodes;
+  const ScenarioResult res = RunScenario(vm, scenario, /*record=*/true);
+  EXPECT_EQ(res.recorded.nodes, scenario.nodes);
+  EXPECT_EQ(res.recorded.objects, scenario.objects);
+  EXPECT_EQ(res.recorded.workers.size(), scenario.workers.size());
+  // A scenario program is already a flat op list, so the recorded stream is
+  // the program itself — the recorder saw exactly what the agent executed.
+  for (std::size_t w = 0; w < scenario.workers.size(); ++w)
+    EXPECT_EQ(res.recorded.workers[w].program, scenario.workers[w].program);
+}
+
+TEST(RecordReplay, TraceReplaysUnderDifferentPolicyAndConfig) {
+  const Scenario scenario = SmallScenario("migratory");
+  gos::VmOptions record_vm;
+  record_vm.nodes = scenario.nodes;
+  record_vm.dsm.policy = "NoHM";
+  const ScenarioResult recorded =
+      RunScenario(record_vm, scenario, /*record=*/true);
+
+  gos::VmOptions replay_vm;
+  replay_vm.nodes = scenario.nodes;
+  replay_vm.dsm.policy = "AT";
+  replay_vm.dsm.notify = dsm::NotifyMechanism::kBroadcast;
+  const ScenarioResult replayed = RunScenario(replay_vm, recorded.recorded);
+  EXPECT_EQ(replayed.ops_executed, recorded.ops_executed);
+  // Same access stream, different protocol: data outcome identical...
+  EXPECT_EQ(replayed.checksum, recorded.checksum);
+  // ...but AT migrates where NoHM cannot.
+  EXPECT_EQ(recorded.report.migrations, 0u);
+  EXPECT_GT(replayed.report.migrations, 0u);
+}
+
+TEST(RecordReplay, RoundTripThroughFileIsExact) {
+  const Scenario scenario = SmallScenario("phased_writer");
+  gos::VmOptions vm;
+  vm.nodes = scenario.nodes;
+  const ScenarioResult recorded = RunScenario(vm, scenario, /*record=*/true);
+
+  const std::string path = testing::TempDir() + "hmdsm_recorded.trace";
+  SaveScenario(recorded.recorded, path);
+  const ScenarioResult replayed = ReplayTraceFile(vm, path);
+  std::remove(path.c_str());
+  EXPECT_EQ(replayed.checksum, recorded.checksum);
+  EXPECT_EQ(replayed.report.messages, recorded.report.messages);
+  EXPECT_EQ(replayed.report.bytes, recorded.report.bytes);
+}
+
+}  // namespace
+}  // namespace hmdsm::workload

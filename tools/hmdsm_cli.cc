@@ -6,10 +6,14 @@
 //   hmdsm_cli --app=sor --policy=NoHM --nodes=16 --size=512 --iterations=20
 //   hmdsm_cli --app=tsp --cities=11 --policy=MH
 //   hmdsm_cli --app=nbody --bodies=1024 --steps=4
+//   hmdsm_cli --app=scenario --pattern=pingpong --policy=AT --nodes=8
+//   hmdsm_cli --app=scenario --pattern=migratory --record=/tmp/mig.trace
+//   hmdsm_cli --app=scenario --replay=/tmp/mig.trace --policy=BR
 //
-// Protocol knobs: --policy=NoHM|FT<k>|AT|MH|LF  --notify=fp|manager|broadcast
+// Protocol knobs: --policy=NoHM|FT<k>|AT|MH|BR|LF
+//                 --notify=fp|manager|broadcast
 //                 --piggyback=0|1  --lambda=<float>  --tinit=<float>
-//                 --t0-us=<float>  --bandwidth-mbps=<float>
+//                 --t0-us=<float>  --bandwidth-mbps=<float>  --seed=<int>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -21,6 +25,8 @@
 #include "src/apps/tsp.h"
 #include "src/util/flags.h"
 #include "src/util/table.h"
+#include "src/workload/patterns.h"
+#include "src/workload/runner.h"
 
 namespace {
 
@@ -28,15 +34,20 @@ using namespace hmdsm;
 
 int Usage(const char* error) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
-  std::fprintf(stderr,
-               "usage: hmdsm_cli --app=asp|sor|nbody|tsp|synthetic [options]\n"
-               "  common:    --policy=NoHM|FT<k>|AT|MH|LF --nodes=N\n"
-               "             --notify=fp|manager|broadcast --piggyback=0|1\n"
-               "             --lambda=F --tinit=F --t0-us=F --bandwidth-mbps=F\n"
-               "  asp/sor:   --size=N   (sor: --iterations=N)\n"
-               "  nbody:     --bodies=N --steps=N\n"
-               "  tsp:       --cities=N\n"
-               "  synthetic: --repetition=R --target=N --workers=W\n");
+  std::fprintf(
+      stderr,
+      "usage: hmdsm_cli --app=asp|sor|nbody|tsp|synthetic|scenario [options]\n"
+      "  common:    --policy=NoHM|FT<k>|AT|MH|BR|LF --nodes=N --seed=N\n"
+      "             --notify=fp|manager|broadcast --piggyback=0|1\n"
+      "             --lambda=F --tinit=F --t0-us=F --bandwidth-mbps=F\n"
+      "  asp/sor:   --size=N   (sor: --iterations=N)\n"
+      "  nbody:     --bodies=N --steps=N\n"
+      "  tsp:       --cities=N\n"
+      "  synthetic: --repetition=R --target=N --workers=W\n"
+      "  scenario:  --pattern=migratory|pingpong|producer_consumer|hotspot|\n"
+      "                       read_mostly|phased_writer\n"
+      "             --objects=N --bytes=N --reps=N [--spec=pattern,k=v,...]\n"
+      "             [--record=/path/trace] [--replay=/path/trace]\n");
   return 2;
 }
 
@@ -106,6 +117,8 @@ int main(int argc, char** argv) {
     if (app == "asp") {
       apps::AspConfig cfg;
       cfg.n = static_cast<int>(flags.GetInt("size", 256));
+      cfg.seed = static_cast<std::uint64_t>(
+          flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
       const auto res = apps::RunAsp(vm, cfg);
       std::printf("checksum: %llu\n",
                   static_cast<unsigned long long>(res.checksum));
@@ -114,6 +127,8 @@ int main(int argc, char** argv) {
       apps::SorConfig cfg;
       cfg.n = static_cast<int>(flags.GetInt("size", 256));
       cfg.iterations = static_cast<int>(flags.GetInt("iterations", 10));
+      cfg.seed = static_cast<std::uint64_t>(
+          flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
       const auto res = apps::RunSor(vm, cfg);
       std::printf("checksum: %.6f\n", res.checksum);
       PrintReport(res.report);
@@ -121,12 +136,16 @@ int main(int argc, char** argv) {
       apps::NbodyConfig cfg;
       cfg.bodies = static_cast<int>(flags.GetInt("bodies", 512));
       cfg.steps = static_cast<int>(flags.GetInt("steps", 4));
+      cfg.seed = static_cast<std::uint64_t>(
+          flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
       const auto res = apps::RunNbody(vm, cfg);
       std::printf("position checksum: %.6f\n", res.position_checksum);
       PrintReport(res.report);
     } else if (app == "tsp") {
       apps::TspConfig cfg;
       cfg.cities = static_cast<int>(flags.GetInt("cities", 10));
+      cfg.seed = static_cast<std::uint64_t>(
+          flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
       const auto res = apps::RunTsp(vm, cfg);
       std::printf("best tour length: %d\n", res.best_length);
       PrintReport(res.report);
@@ -140,6 +159,46 @@ int main(int argc, char** argv) {
       const auto res = apps::RunSynthetic(vm, cfg);
       std::printf("final count: %lld (turns: %d)\n",
                   static_cast<long long>(res.final_count), res.turns_taken);
+      PrintReport(res.report);
+    } else if (app == "scenario") {
+      workload::Scenario scenario;
+      const std::string replay = flags.Get("replay");
+      if (!replay.empty()) {
+        scenario = workload::LoadScenario(replay);
+      } else {
+        workload::PatternParams params;
+        const std::string spec = flags.Get("spec");
+        if (!spec.empty()) params = workload::ParsePatternSpec(spec);
+        if (flags.Has("pattern")) params.pattern = flags.Get("pattern");
+        // --nodes was already consumed for vm.nodes above; only an explicit
+        // flag may override the spec's node count.
+        if (flags.Has("nodes"))
+          params.nodes = static_cast<std::uint32_t>(
+              flags.GetInt("nodes", static_cast<std::int64_t>(params.nodes)));
+        params.objects = static_cast<std::uint32_t>(
+            flags.GetInt("objects", params.objects));
+        params.object_bytes = static_cast<std::uint32_t>(
+            flags.GetInt("bytes", params.object_bytes));
+        params.repetitions = static_cast<std::uint32_t>(
+            flags.GetInt("reps", params.repetitions));
+        params.seed = static_cast<std::uint64_t>(
+            flags.GetInt("seed", static_cast<std::int64_t>(params.seed)));
+        scenario = workload::GeneratePattern(params);
+      }
+      const std::string record = flags.Get("record");
+      const auto res = workload::RunScenario(vm, scenario, !record.empty());
+      std::printf("scenario: %s\nworkers=%zu objects=%zu ops=%llu "
+                  "checksum=%016llx\n",
+                  scenario.name.c_str(), scenario.workers.size(),
+                  scenario.objects.size(),
+                  static_cast<unsigned long long>(res.ops_executed),
+                  static_cast<unsigned long long>(res.checksum));
+      if (!record.empty()) {
+        workload::SaveScenario(res.recorded, record);
+        std::printf("recorded trace (%llu ops) -> %s\n",
+                    static_cast<unsigned long long>(res.recorded.total_ops()),
+                    record.c_str());
+      }
       PrintReport(res.report);
     } else {
       return Usage("unknown --app");
