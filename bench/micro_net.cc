@@ -13,8 +13,7 @@ void BM_PointToPointMessages(benchmark::State& state) {
   const auto n = static_cast<int>(state.range(0));
   for (auto _ : state) {
     sim::Kernel kernel;
-    stats::Recorder recorder;
-    net::Network network(kernel, net::HockneyModel(70.0, 12.5), 2, recorder);
+    net::Network network(kernel, net::HockneyModel(70.0, 12.5), 2);
     int received = 0;
     network.SetHandler(1, [&](net::Packet&&) { ++received; });
     network.SetHandler(0, [](net::Packet&&) {});
@@ -33,8 +32,7 @@ void BM_RequestReplyPingPong(benchmark::State& state) {
   const auto rounds = static_cast<int>(state.range(0));
   for (auto _ : state) {
     sim::Kernel kernel;
-    stats::Recorder recorder;
-    net::Network network(kernel, net::HockneyModel(70.0, 12.5), 2, recorder);
+    net::Network network(kernel, net::HockneyModel(70.0, 12.5), 2);
     int remaining = rounds;
     network.SetHandler(1, [&](net::Packet&& p) {
       network.Send(1, 0, stats::MsgCat::kObj, std::move(p.payload));
@@ -57,9 +55,7 @@ void BM_BroadcastFanout(benchmark::State& state) {
   const auto nodes = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     sim::Kernel kernel;
-    stats::Recorder recorder;
-    net::Network network(kernel, net::HockneyModel(70.0, 12.5), nodes,
-                         recorder);
+    net::Network network(kernel, net::HockneyModel(70.0, 12.5), nodes);
     int received = 0;
     for (net::NodeId n = 0; n < nodes; ++n)
       network.SetHandler(n, [&](net::Packet&&) { ++received; });

@@ -91,7 +91,7 @@ int main() {
   });
   cluster.kernel().Run();
 
-  const auto& rec = cluster.recorder();
+  const stats::Recorder rec = cluster.Totals();
   std::printf("\ntotals: migrations=%llu redirect-hops=%llu "
               "remote-writes=%llu exclusive-home-writes=%llu\n",
               static_cast<unsigned long long>(

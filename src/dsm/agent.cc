@@ -9,15 +9,15 @@ namespace hmdsm::dsm {
 using stats::Ev;
 using stats::MsgCat;
 
-Agent::Agent(NodeId node, sim::Kernel& kernel, net::Network& network,
-             const DsmConfig& config, trace::Trace* trace)
+Agent::Agent(NodeId node, net::Transport& transport, const DsmConfig& config,
+             trace::Trace* trace)
     : node_(node),
-      kernel_(kernel),
-      network_(network),
+      net_(transport),
+      recorder_(transport.RecorderFor(node)),
       config_(config),
       trace_(trace),
       policy_(core::MakePolicy(config.policy, config.adaptive)) {
-  network_.SetHandler(node_, [this](net::Packet&& p) {
+  net_.SetHandler(node_, [this](net::Packet&& p) {
     HandlePacket(std::move(p));
   });
 }
@@ -27,7 +27,7 @@ Agent::Agent(NodeId node, sim::Kernel& kernel, net::Network& network,
 // ---------------------------------------------------------------------------
 
 void Agent::SendMsg(NodeId dst, MsgCat cat, Bytes wire) {
-  network_.Send(node_, dst, cat, std::move(wire));
+  net_.Send(node_, dst, cat, std::move(wire));
 }
 
 void Agent::HandlePacket(net::Packet&& packet) {
@@ -81,7 +81,7 @@ void Agent::HandlePacket(net::Packet&& packet) {
 // Object lifecycle
 // ---------------------------------------------------------------------------
 
-void Agent::CreateObject(sim::Process& proc, ObjectId obj, ByteSpan initial) {
+void Agent::CreateObject(runtime::Exec& proc, ObjectId obj, ByteSpan initial) {
   const NodeId home = obj.initial_home();
   HMDSM_CHECK_MSG(!homes_.contains(obj) && !cache_.contains(obj),
                   "object created twice");
@@ -124,18 +124,18 @@ void Agent::OnInitAck(proto::InitAckMsg msg) {
 // Shared-memory access
 // ---------------------------------------------------------------------------
 
-void Agent::Read(sim::Process& proc, ObjectId obj,
+void Agent::Read(runtime::Exec& proc, ObjectId obj,
                  const std::function<void(ByteSpan)>& fn) {
   bool faulted = false;
   for (;;) {
     if (auto it = homes_.find(obj); it != homes_.end()) {
       TrapHomeRead(it->second);
-      network_.recorder().Bump(Ev::kHomeAccesses);
+      recorder_.Bump(Ev::kHomeAccesses);
       fn(it->second.data);
       return;
     }
     if (auto it = cache_.find(obj); it != cache_.end()) {
-      if (!faulted) network_.recorder().Bump(Ev::kLocalHits);
+      if (!faulted) recorder_.Bump(Ev::kLocalHits);
       fn(it->second.data);
       if (config_.write_through) {
         // SC emulation: copies are never retained, so the next access
@@ -150,13 +150,13 @@ void Agent::Read(sim::Process& proc, ObjectId obj,
   }
 }
 
-void Agent::Write(sim::Process& proc, ObjectId obj,
+void Agent::Write(runtime::Exec& proc, ObjectId obj,
                   const std::function<void(MutByteSpan)>& fn) {
   bool faulted = false;
   for (;;) {
     if (auto it = homes_.find(obj); it != homes_.end()) {
       TrapHomeWrite(it->second);
-      network_.recorder().Bump(Ev::kHomeAccesses);
+      recorder_.Bump(Ev::kHomeAccesses);
       fn(it->second.data);
       return;
     }
@@ -166,9 +166,9 @@ void Agent::Write(sim::Process& proc, ObjectId obj,
         // First write in this interval: snapshot the twin (paper §3.1).
         ce.twin = ce.data;
         ce.dirty = true;
-        network_.recorder().Bump(Ev::kTwinsCreated);
+        recorder_.Bump(Ev::kTwinsCreated);
       }
-      if (!faulted) network_.recorder().Bump(Ev::kLocalHits);
+      if (!faulted) recorder_.Bump(Ev::kLocalHits);
       fn(ce.data);
       if (config_.write_through) {
         // SC emulation: the write is propagated to (and acknowledged by)
@@ -183,8 +183,8 @@ void Agent::Write(sim::Process& proc, ObjectId obj,
   }
 }
 
-void Agent::EnsureValidCopy(sim::Process& proc, ObjectId obj, bool for_write) {
-  network_.recorder().Bump(Ev::kFaultIns);
+void Agent::EnsureValidCopy(runtime::Exec& proc, ObjectId obj, bool for_write) {
+  recorder_.Bump(Ev::kFaultIns);
   PendingFetch& pf = pending_fetch_[obj];
   pf.for_write |= for_write;
   if (!pf.request_in_flight) {
@@ -248,7 +248,7 @@ void Agent::ServeAtHome(NodeId requester, const proto::ObjRequest& msg) {
   auto it = homes_.find(msg.obj);
   HMDSM_CHECK(it != homes_.end());
   HomeEntry& entry = it->second;
-  auto& rec = network_.recorder();
+  auto& rec = recorder_;
 
   // Feedback first: redirections suffered by this request count against
   // migration (paper's R with redirection accumulation).
@@ -295,7 +295,7 @@ void Agent::ServeAtHome(NodeId requester, const proto::ObjRequest& msg) {
               proto::Encode(proto::ManagerUpdateMsg{msg.obj, requester}));
       break;
     case NotifyMechanism::kBroadcast:
-      network_.Broadcast(
+      net_.Broadcast(
           node_, MsgCat::kNotify,
           proto::Encode(proto::HomeBroadcastMsg{msg.obj, requester}));
       break;
@@ -466,7 +466,7 @@ void Agent::OnDiff(NodeId /*src*/, proto::DiffMsg msg) {
 void Agent::ApplyPiggybacked(
     NodeId src, std::vector<std::pair<ObjectId, Bytes>>& diffs) {
   for (auto& [obj, diff] : diffs) {
-    network_.recorder().Bump(Ev::kPiggybackedDiffs);
+    recorder_.Bump(Ev::kPiggybackedDiffs);
     if (auto it = homes_.find(obj); it != homes_.end()) {
       ApplyDiffAtHome(it->second, obj, src, diff);
     } else if (forwards_.contains(obj)) {
@@ -495,7 +495,7 @@ void Agent::ApplyDiffAtHome(HomeEntry& entry, ObjectId obj, NodeId writer,
   entry.pol.RecordRemoteWrite(writer);
   entry.pol.RecordEpochWrite(writer, barrier_epoch_);
   entry.pol.RecordDiffSize(payload);
-  auto& rec = network_.recorder();
+  auto& rec = recorder_;
   rec.Bump(Ev::kDiffsApplied);
   rec.Bump(Ev::kRemoteWrites);
   rec.Bump(Ev::kDiffBytes, payload);
@@ -513,8 +513,8 @@ void Agent::OnDiffAck(proto::DiffAck msg) {
 // Synchronization: locks
 // ---------------------------------------------------------------------------
 
-void Agent::Acquire(sim::Process& proc, LockId lock) {
-  network_.recorder().Bump(Ev::kLockAcquires);
+void Agent::Acquire(runtime::Exec& proc, LockId lock) {
+  recorder_.Bump(Ev::kLockAcquires);
   const NodeId manager = lock.manager();
   // Acquiring is a synchronization point: dirty objects written outside
   // this lock's scope are flushed now (their diffs ride the acquire message
@@ -531,7 +531,7 @@ void Agent::Acquire(sim::Process& proc, LockId lock) {
   InvalidateCache();
 }
 
-void Agent::Release(sim::Process& proc, LockId lock) {
+void Agent::Release(runtime::Exec& proc, LockId lock) {
   const NodeId manager = lock.manager();
   auto piggy =
       FlushDirty(proc, config_.piggyback_diffs ? manager : kNoNode);
@@ -570,7 +570,7 @@ void Agent::OnLockRelease(NodeId src, proto::LockReleaseMsg msg) {
   } else {
     ls.holder = ls.queue.front();
     ls.queue.pop_front();
-    network_.recorder().Bump(Ev::kLockHandoffs);
+    recorder_.Bump(Ev::kLockHandoffs);
     Emit(trace::What::kLockGranted, msg.lock.value, ls.holder);
     SendMsg(ls.holder, MsgCat::kSync,
             proto::Encode(proto::LockGrantMsg{msg.lock}));
@@ -581,9 +581,9 @@ void Agent::OnLockRelease(NodeId src, proto::LockReleaseMsg msg) {
 // Synchronization: barriers
 // ---------------------------------------------------------------------------
 
-void Agent::Barrier(sim::Process& proc, BarrierId barrier,
+void Agent::Barrier(runtime::Exec& proc, BarrierId barrier,
                     std::uint32_t expected) {
-  network_.recorder().Bump(Ev::kBarrierWaits);
+  recorder_.Bump(Ev::kBarrierWaits);
   const NodeId manager = barrier.manager();
   auto piggy =
       FlushDirty(proc, config_.piggyback_diffs ? manager : kNoNode);
@@ -630,9 +630,9 @@ void Agent::OnBarrierRelease(proto::BarrierReleaseMsg msg) {
 // ---------------------------------------------------------------------------
 
 std::vector<std::pair<ObjectId, Bytes>> Agent::FlushDirty(
-    sim::Process& proc, NodeId sync_manager) {
+    runtime::Exec& proc, NodeId sync_manager) {
   std::vector<std::pair<ObjectId, Bytes>> piggy;
-  auto& rec = network_.recorder();
+  auto& rec = recorder_;
   const std::uint64_t tag = next_ack_tag_;
   std::uint32_t standalone = 0;
 
@@ -685,15 +685,15 @@ void Agent::InvalidateCache() {
 void Agent::TrapHomeRead(HomeEntry& entry) {
   if (entry.read_trap_interval == interval_seq_) return;
   entry.read_trap_interval = interval_seq_;
-  network_.recorder().Bump(Ev::kHomeReads);
+  recorder_.Bump(Ev::kHomeReads);
 }
 
 void Agent::TrapHomeWrite(HomeEntry& entry) {
   if (entry.write_trap_interval == interval_seq_) return;
   entry.write_trap_interval = interval_seq_;
-  network_.recorder().Bump(Ev::kHomeWrites);
+  recorder_.Bump(Ev::kHomeWrites);
   if (entry.pol.RecordHomeWrite())
-    network_.recorder().Bump(Ev::kExclusiveHomeWrites);
+    recorder_.Bump(Ev::kExclusiveHomeWrites);
   // A home write disqualifies the epoch from single-remote-writer status.
   entry.pol.RecordEpochWrite(kNoNode, barrier_epoch_);
 }

@@ -3,9 +3,16 @@
 // One Agent runs on every cluster node. It owns the node's home table,
 // object cache, forwarding pointers, home hints, the manager side of locks
 // and barriers, and the pending tables that park/unpark application
-// processes. All message handlers run in kernel context and never block;
-// the blocking API (Read/Write/Acquire/Release/Barrier) is only callable
-// from application processes.
+// contexts. All message handlers run in delivery context (kernel callback
+// on the simulator, dispatcher thread under the node agent lock on the
+// threads backend) and never block; the blocking API
+// (Read/Write/Acquire/Release/Barrier) is only callable from application
+// contexts (simulated processes or runtime guests).
+//
+// The Agent is backend-agnostic: it talks to the cluster through the
+// net::Transport seam and blocks callers through the runtime::Exec seam,
+// so the identical protocol code runs under the deterministic simulator
+// and on real hardware threads.
 //
 // Coherence model (the paper's GOS flavor of LRC / the Java memory model):
 //  * acquire semantics  — all non-home cached copies are invalidated;
@@ -20,6 +27,7 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -27,46 +35,46 @@
 #include "src/core/policy.h"
 #include "src/dsm/config.h"
 #include "src/dsm/types.h"
-#include "src/net/network.h"
+#include "src/net/transport.h"
 #include "src/proto/wire.h"
-#include "src/sim/kernel.h"
-#include "src/sim/waitqueue.h"
+#include "src/runtime/exec.h"
 #include "src/trace/trace.h"
 
 namespace hmdsm::dsm {
 
 class Agent {
  public:
-  Agent(NodeId node, sim::Kernel& kernel, net::Network& network,
-        const DsmConfig& config, trace::Trace* trace = nullptr);
+  Agent(NodeId node, net::Transport& transport, const DsmConfig& config,
+        trace::Trace* trace = nullptr);
 
   NodeId node() const { return node_; }
   const core::MigrationPolicy& policy() const { return *policy_; }
 
-  // ---- Object lifecycle (setup phase; callable from app processes) ----
+  // ---- Object lifecycle (setup phase; callable from app contexts) ----
 
   /// Registers a new shared object whose initial home is `home` (encoded in
   /// the id). If the home is remote, ships the initial data and blocks
   /// until installation is acknowledged.
-  void CreateObject(sim::Process& proc, ObjectId obj, ByteSpan initial);
+  void CreateObject(runtime::Exec& proc, ObjectId obj, ByteSpan initial);
 
-  // ---- Shared-memory access (callable from app processes) ----
+  // ---- Shared-memory access (callable from app contexts) ----
 
   /// Read access: presents a read-only view of a valid copy. May block to
   /// fault the object in.
-  void Read(sim::Process& proc, ObjectId obj,
+  void Read(runtime::Exec& proc, ObjectId obj,
             const std::function<void(ByteSpan)>& fn);
 
   /// Write access: presents a mutable view; creates the twin on the first
   /// write in the interval. May block to fault the object in.
-  void Write(sim::Process& proc, ObjectId obj,
+  void Write(runtime::Exec& proc, ObjectId obj,
              const std::function<void(MutByteSpan)>& fn);
 
-  // ---- Synchronization (callable from app processes) ----
+  // ---- Synchronization (callable from app contexts) ----
 
-  void Acquire(sim::Process& proc, LockId lock);
-  void Release(sim::Process& proc, LockId lock);
-  void Barrier(sim::Process& proc, BarrierId barrier, std::uint32_t expected);
+  void Acquire(runtime::Exec& proc, LockId lock);
+  void Release(runtime::Exec& proc, LockId lock);
+  void Barrier(runtime::Exec& proc, BarrierId barrier,
+               std::uint32_t expected);
 
   // ---- Observability (tests, benches) ----
 
@@ -100,7 +108,7 @@ class Agent {
   };
 
   struct PendingFetch {
-    sim::WaitQueue waiters;
+    runtime::WaitQueue waiters;
     std::uint32_t hops = 0;
     bool for_write = false;
     bool request_in_flight = false;
@@ -124,7 +132,7 @@ class Agent {
 
   struct AckWait {
     std::uint32_t remaining = 0;
-    sim::WaitQueue waiter;
+    runtime::WaitQueue waiter;
   };
 
   // ---- messaging ----
@@ -176,7 +184,7 @@ class Agent {
                         std::vector<std::pair<ObjectId, Bytes>>& diffs);
 
   /// Ensures a valid local copy (home or cache); may block `proc`.
-  void EnsureValidCopy(sim::Process& proc, ObjectId obj, bool for_write);
+  void EnsureValidCopy(runtime::Exec& proc, ObjectId obj, bool for_write);
 
   /// Sends (or re-sends) the fault-in request for a pending fetch.
   void SendFetchRequest(ObjectId obj, NodeId target);
@@ -185,7 +193,7 @@ class Agent {
   /// Diffs whose home is `sync_manager` are returned for piggybacking
   /// (when enabled); the rest are sent standalone. Blocks until standalone
   /// diffs are acknowledged.
-  std::vector<std::pair<ObjectId, Bytes>> FlushDirty(sim::Process& proc,
+  std::vector<std::pair<ObjectId, Bytes>> FlushDirty(runtime::Exec& proc,
                                                      NodeId sync_manager);
 
   /// Acquire semantics: drop all non-home cached copies.
@@ -204,12 +212,14 @@ class Agent {
   void Emit(trace::What what, std::uint64_t id, NodeId peer = kNoNode,
             std::int64_t value = 0) {
     if (trace_ != nullptr)
-      trace_->Record({kernel_.now(), what, node_, peer, id, value});
+      trace_->Record({net_.Now(), what, node_, peer, id, value});
   }
 
   NodeId node_;
-  sim::Kernel& kernel_;
-  net::Network& network_;
+  net::Transport& net_;
+  /// This node's statistics sink (mutated only under this node's
+  /// serialization — kernel baton or node agent lock).
+  stats::Recorder& recorder_;
   DsmConfig config_;
   trace::Trace* trace_;
   std::unique_ptr<core::MigrationPolicy> policy_;
@@ -230,9 +240,9 @@ class Agent {
   std::unordered_map<ObjectId, NodeId> manager_locations_;
 
   std::unordered_map<LockId, LockState> managed_locks_;
-  std::unordered_map<LockId, sim::WaitQueue> lock_waiters_;
+  std::unordered_map<LockId, runtime::WaitQueue> lock_waiters_;
   std::unordered_map<BarrierId, BarrierState> managed_barriers_;
-  std::unordered_map<BarrierId, sim::WaitQueue> barrier_waiters_;
+  std::unordered_map<BarrierId, runtime::WaitQueue> barrier_waiters_;
 
   std::unordered_map<std::uint64_t, AckWait> pending_acks_;
   std::uint64_t next_ack_tag_ = 1;

@@ -17,12 +17,12 @@ ClusterOptions Finalize(ClusterOptions options) {
 
 Cluster::Cluster(ClusterOptions options)
     : options_(Finalize(std::move(options))),
-      network_(kernel_, options_.model, options_.nodes, recorder_,
+      network_(kernel_, options_.model, options_.nodes,
                options_.model_tx_occupancy) {
   agents_.reserve(options_.nodes);
   for (NodeId n = 0; n < options_.nodes; ++n) {
     agents_.push_back(
-        std::make_unique<Agent>(n, kernel_, network_, options_.dsm, &trace_));
+        std::make_unique<Agent>(n, network_, options_.dsm, &trace_));
   }
 }
 

@@ -30,8 +30,15 @@ class Cluster {
   sim::Kernel& kernel() { return kernel_; }
   const sim::Kernel& kernel() const { return kernel_; }
   net::Network& network() { return network_; }
-  stats::Recorder& recorder() { return recorder_; }
-  const stats::Recorder& recorder() const { return recorder_; }
+  /// Node-local statistics (each node records under its own serialization).
+  stats::Recorder& recorder(NodeId node) { return network_.RecorderFor(node); }
+  const stats::Recorder& recorder(NodeId node) const {
+    return network_.RecorderFor(node);
+  }
+  /// Run totals: all per-node recorders merged.
+  stats::Recorder Totals() const { return network_.Totals(); }
+  /// Zeroes every per-node recorder (start of a measured window).
+  void ResetStats() { network_.ResetStats(); }
   /// Protocol event trace (disabled unless Trace::Enable is called).
   trace::Trace& trace() { return trace_; }
   const trace::Trace& trace() const { return trace_; }
@@ -50,7 +57,6 @@ class Cluster {
  private:
   ClusterOptions options_;
   sim::Kernel kernel_;
-  stats::Recorder recorder_;
   trace::Trace trace_;
   net::Network network_;
   std::vector<std::unique_ptr<Agent>> agents_;

@@ -9,7 +9,7 @@
 #include <cstdint>
 #include <functional>
 
-#include "src/net/network.h"
+#include "src/net/transport.h"
 #include "src/util/check.h"
 
 namespace hmdsm::dsm {

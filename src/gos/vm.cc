@@ -2,6 +2,31 @@
 
 namespace hmdsm::gos {
 
+std::string_view BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kSim: return "sim";
+    case Backend::kThreads: return "threads";
+  }
+  return "?";
+}
+
+RunReport MakeRunReport(const stats::Recorder& rec, double seconds) {
+  RunReport report;
+  report.seconds = seconds;
+  report.messages = rec.TotalMessages(true);
+  report.messages_nosync = rec.TotalMessages(false);
+  report.bytes = rec.TotalBytes(true);
+  report.bytes_nosync = rec.TotalBytes(false);
+  for (std::size_t i = 0; i < stats::kNumMsgCats; ++i)
+    report.cat[i] = rec.Cat(static_cast<stats::MsgCat>(i));
+  report.migrations = rec.Count(stats::Ev::kMigrations);
+  report.redirect_hops = rec.Count(stats::Ev::kRedirectHops);
+  report.diffs_created = rec.Count(stats::Ev::kDiffsCreated);
+  report.exclusive_home_writes = rec.Count(stats::Ev::kExclusiveHomeWrites);
+  report.fault_ins = rec.Count(stats::Ev::kFaultIns);
+  return report;
+}
+
 Vm::Vm(VmOptions options)
     : options_(options),
       cluster_(dsm::ClusterOptions{options.nodes, options.model, options.dsm,
@@ -37,6 +62,14 @@ void Vm::Join(Env& env, Thread* t) {
   if (!t->done_) t->joiners_.Wait(env.process());
 }
 
+void Vm::Quiesce(Env& env) {
+  sim::WaitQueue idle;
+  cluster_.kernel().ScheduleWhenIdle([&idle] { idle.NotifyOne(); });
+  // The baton is ours until Park, so the callback cannot fire before the
+  // process is enqueued as a waiter.
+  idle.Wait(env.process());
+}
+
 ObjectId Vm::CreateObject(Env& env, NodeId home, ByteSpan initial) {
   ObjectId id = cluster_.NewObjectId(home, env.node());
   env.agent().CreateObject(env.process(), id, initial);
@@ -44,7 +77,7 @@ ObjectId Vm::CreateObject(Env& env, NodeId home, ByteSpan initial) {
 }
 
 void Vm::ResetMeasurement() {
-  cluster_.recorder().Reset();
+  cluster_.ResetStats();
   measure_start_ = cluster_.kernel().now();
 }
 
@@ -53,21 +86,7 @@ double Vm::ElapsedSeconds() const {
 }
 
 RunReport Vm::Report() const {
-  const stats::Recorder& rec = cluster_.recorder();
-  RunReport report;
-  report.seconds = ElapsedSeconds();
-  report.messages = rec.TotalMessages(true);
-  report.messages_nosync = rec.TotalMessages(false);
-  report.bytes = rec.TotalBytes(true);
-  report.bytes_nosync = rec.TotalBytes(false);
-  for (std::size_t i = 0; i < stats::kNumMsgCats; ++i)
-    report.cat[i] = rec.Cat(static_cast<stats::MsgCat>(i));
-  report.migrations = rec.Count(stats::Ev::kMigrations);
-  report.redirect_hops = rec.Count(stats::Ev::kRedirectHops);
-  report.diffs_created = rec.Count(stats::Ev::kDiffsCreated);
-  report.exclusive_home_writes = rec.Count(stats::Ev::kExclusiveHomeWrites);
-  report.fault_ins = rec.Count(stats::Ev::kFaultIns);
-  return report;
+  return MakeRunReport(cluster_.Totals(), ElapsedSeconds());
 }
 
 }  // namespace hmdsm::gos

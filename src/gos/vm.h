@@ -77,6 +77,13 @@ class Env {
     if (seconds > 0) proc_.Delay(sim::FromSeconds(seconds));
   }
 
+  /// Like Compute, in integral nanoseconds (the workload op unit). Part of
+  /// the informal Env concept shared with runtime::Guest so the same
+  /// AgentShimT drives both backends.
+  void Delay(sim::Time ns) {
+    if (ns > 0) proc_.Delay(ns);
+  }
+
  private:
   Vm& vm_;
   dsm::Agent& agent_;
@@ -85,17 +92,28 @@ class Env {
 
 using ThreadBody = std::function<void(Env&)>;
 
+/// Which execution backend runs the protocol.
+enum class Backend {
+  kSim,      // deterministic discrete-event simulator (gos::Vm)
+  kThreads,  // real OS threads + in-process channels (runtime::Runtime)
+};
+
+std::string_view BackendName(Backend backend);
+
 struct VmOptions {
   std::size_t nodes = 8;
   NodeId start_node = 0;  // where the "application" (main thread) runs
   net::HockneyModel model{70.0, 12.5};
   dsm::DsmConfig dsm;
   bool model_tx_occupancy = true;  // NIC transmit serialization
+  /// Consumed by workload::RunScenario to pick the execution backend; the
+  /// Vm itself always runs the simulator.
+  Backend backend = Backend::kSim;
 };
 
 /// Snapshot of run metrics since the last ResetMeasurement().
 struct RunReport {
-  double seconds = 0;  // virtual wall time
+  double seconds = 0;  // virtual time (sim) or wall time (threads)
   std::uint64_t messages = 0;          // all categories
   std::uint64_t messages_nosync = 0;   // paper Fig. 5 convention
   std::uint64_t bytes = 0;
@@ -107,6 +125,10 @@ struct RunReport {
   std::uint64_t exclusive_home_writes = 0;
   std::uint64_t fault_ins = 0;
 };
+
+/// Builds a RunReport from merged per-node statistics. Shared between the
+/// sim backend (Vm::Report) and the threads backend (runtime runner).
+RunReport MakeRunReport(const stats::Recorder& totals, double seconds);
 
 class Vm {
  public:
@@ -125,6 +147,14 @@ class Vm {
 
   /// Blocks `env`'s thread until `t` finishes.
   void Join(Env& env, Thread* t);
+
+  /// Blocks `env`'s thread until the cluster is quiescent: every in-flight
+  /// protocol message (and any follow-on traffic its handlers generate) has
+  /// been delivered and handled. Use before digesting final shared-object
+  /// state — workers may finish with unacknowledged traffic still in
+  /// flight (a release's piggybacked diff, a notification broadcast). The
+  /// threads backend's counterpart is runtime::Runtime::AwaitQuiescence.
+  void Quiesce(Env& env);
 
   // ---- shared-object / lock / barrier factories ----
 

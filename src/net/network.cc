@@ -19,8 +19,8 @@ void Network::Send(NodeId src, NodeId dst, stats::MsgCat cat, Bytes payload) {
     return;
   }
   const std::size_t wire_bytes = packet.payload.size() + kHeaderBytes;
-  recorder_.RecordMessage(cat, wire_bytes);
-  recorder_.RecordEndpoints(src, dst, wire_bytes);
+  recorders_[src].RecordMessage(cat, wire_bytes);
+  recorders_[src].RecordSent(src, wire_bytes);
   ++packets_sent_;
   sim::Time arrival;
   if (model_tx_occupancy_) {
@@ -42,16 +42,14 @@ void Network::Send(NodeId src, NodeId dst, stats::MsgCat cat, Bytes payload) {
       });
 }
 
-void Network::Broadcast(NodeId src, stats::MsgCat cat, const Bytes& payload) {
-  for (NodeId dst = 0; dst < handlers_.size(); ++dst) {
-    if (dst == src) continue;
-    Send(src, dst, cat, payload);
-  }
-}
-
 void Network::Deliver(Packet&& packet) {
   Handler& handler = handlers_[packet.dst];
   HMDSM_CHECK_MSG(handler, "no handler registered for node " << packet.dst);
+  if (packet.src != packet.dst) {
+    recorders_[packet.dst].RecordReceived(packet.dst,
+                                          packet.payload.size() +
+                                              kHeaderBytes);
+  }
   handler(std::move(packet));
 }
 

@@ -1,60 +1,40 @@
-// Simulated cluster interconnect.
+// Simulated cluster interconnect — the sim backend's Transport.
 //
 // Point-to-point delivery with Hockney latency, per-category message/byte
-// accounting, and kernel-context delivery callbacks. Handlers registered by
-// the DSM agents must be non-blocking (they run inside the event loop).
+// accounting into per-node recorders, and kernel-context delivery
+// callbacks. Handlers registered by the DSM agents must be non-blocking
+// (they run inside the event loop).
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <vector>
 
 #include "src/net/hockney.h"
+#include "src/net/transport.h"
 #include "src/sim/kernel.h"
-#include "src/stats/stats.h"
 #include "src/util/bytes.h"
 
 namespace hmdsm::net {
 
-/// Cluster node identifier, dense in [0, node_count).
-using NodeId = std::uint32_t;
-
-/// A message in flight. `payload` is the serialized protocol message; the
-/// wire size adds the fixed transport header.
-struct Packet {
-  NodeId src = 0;
-  NodeId dst = 0;
-  stats::MsgCat cat = stats::MsgCat::kObj;
-  Bytes payload;
-};
-
 /// The simulated network fabric. One instance per cluster.
-class Network {
+class Network final : public Transport {
  public:
-  /// Fixed per-message transport header charged on the wire (Ethernet + IP
-  /// + TCP framing, amortized). Counted in traffic and in latency.
-  static constexpr std::size_t kHeaderBytes = 40;
-
-  using Handler = std::function<void(Packet&&)>;
-
   Network(sim::Kernel& kernel, HockneyModel model, std::size_t node_count,
-          stats::Recorder& recorder, bool model_tx_occupancy = true)
+          bool model_tx_occupancy = true)
       : kernel_(kernel),
         model_(model),
-        recorder_(recorder),
         handlers_(node_count),
+        recorders_(node_count),
         tx_free_(node_count, 0),
         model_tx_occupancy_(model_tx_occupancy) {
-    recorder_.SetNodeCount(node_count);
+    for (stats::Recorder& r : recorders_) r.SetNodeCount(node_count);
   }
 
-  std::size_t node_count() const { return handlers_.size(); }
+  std::size_t node_count() const override { return handlers_.size(); }
   const HockneyModel& model() const { return model_; }
-  stats::Recorder& recorder() { return recorder_; }
 
-  /// Registers the delivery callback for `node`. Must be set before any
-  /// message addressed to that node arrives.
-  void SetHandler(NodeId node, Handler handler) {
+  void SetHandler(NodeId node, Handler handler) override {
     HMDSM_CHECK(node < handlers_.size());
     handlers_[node] = std::move(handler);
   }
@@ -66,12 +46,20 @@ class Network {
   /// release fan-out) queue behind each other — the contention the paper's
   /// testbed would see on Fast Ethernet. Self-sends are free and only
   /// asynchronous.
-  void Send(NodeId src, NodeId dst, stats::MsgCat cat, Bytes payload);
+  void Send(NodeId src, NodeId dst, stats::MsgCat cat,
+            Bytes payload) override;
 
-  /// Sends the same payload to every node except `src` (notification
-  /// broadcast). Charged as node_count-1 point-to-point messages — the
-  /// paper's testbed had no reliable hardware multicast.
-  void Broadcast(NodeId src, stats::MsgCat cat, const Bytes& payload);
+  /// Virtual time.
+  sim::Time Now() const override { return kernel_.now(); }
+
+  stats::Recorder& RecorderFor(NodeId node) override {
+    HMDSM_CHECK(node < recorders_.size());
+    return recorders_[node];
+  }
+  const stats::Recorder& RecorderFor(NodeId node) const override {
+    HMDSM_CHECK(node < recorders_.size());
+    return recorders_[node];
+  }
 
   /// Total messages delivered so far (self-sends excluded).
   std::uint64_t packets_sent() const { return packets_sent_; }
@@ -81,8 +69,8 @@ class Network {
 
   sim::Kernel& kernel_;
   HockneyModel model_;
-  stats::Recorder& recorder_;
   std::vector<Handler> handlers_;
+  std::deque<stats::Recorder> recorders_;  // per node; deque: stable refs
   std::vector<sim::Time> tx_free_;  // per-node NIC transmit availability
   bool model_tx_occupancy_;
   std::uint64_t packets_sent_ = 0;

@@ -1,0 +1,24 @@
+#include "src/net/transport.h"
+
+namespace hmdsm::net {
+
+void Transport::Broadcast(NodeId src, stats::MsgCat cat,
+                          const Bytes& payload) {
+  for (NodeId dst = 0; dst < node_count(); ++dst) {
+    if (dst == src) continue;
+    Send(src, dst, cat, payload);
+  }
+}
+
+stats::Recorder Transport::Totals() const {
+  stats::Recorder total;
+  total.SetNodeCount(node_count());
+  for (NodeId n = 0; n < node_count(); ++n) total.Merge(RecorderFor(n));
+  return total;
+}
+
+void Transport::ResetStats() {
+  for (NodeId n = 0; n < node_count(); ++n) RecorderFor(n).Reset();
+}
+
+}  // namespace hmdsm::net

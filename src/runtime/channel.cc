@@ -1,0 +1,43 @@
+#include "src/runtime/channel.h"
+
+#include <utility>
+
+namespace hmdsm::runtime {
+
+ChannelTransport::ChannelTransport(std::size_t node_count)
+    : channels_(node_count),
+      handlers_(node_count),
+      recorders_(node_count),
+      epoch_(std::chrono::steady_clock::now()) {
+  for (stats::Recorder& r : recorders_) r.SetNodeCount(node_count);
+}
+
+void ChannelTransport::Send(NodeId src, NodeId dst, stats::MsgCat cat,
+                            Bytes payload) {
+  HMDSM_CHECK(src < channels_.size() && dst < channels_.size());
+  if (src != dst) {
+    const std::size_t wire_bytes = payload.size() + kHeaderBytes;
+    recorders_[src].RecordMessage(cat, wire_bytes);
+    recorders_[src].RecordSent(src, wire_bytes);
+    packets_sent_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  // Count before the push: once the packet is visible to the dispatcher,
+  // enqueued() must already cover it, or AwaitQuiescence could observe
+  // enqueued == dispatched with a packet still in flight.
+  enqueued_.fetch_add(1, std::memory_order_acq_rel);
+  channels_[dst].Push(net::Packet{src, dst, cat, std::move(payload)});
+}
+
+void ChannelTransport::Dispatch(net::Packet&& packet) {
+  Handler& handler = handlers_[packet.dst];
+  HMDSM_CHECK_MSG(handler, "no handler registered for node " << packet.dst);
+  if (packet.src != packet.dst) {
+    recorders_[packet.dst].RecordReceived(
+        packet.dst, packet.payload.size() + kHeaderBytes);
+  }
+  handler(std::move(packet));
+  // After the handler: anything it sent has already bumped enqueued_.
+  dispatched_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace hmdsm::runtime

@@ -1,0 +1,151 @@
+// In-process channel transport for the threads backend.
+//
+// Every node owns one mailbox (an MPSC channel: any node's thread may push,
+// only the node's dispatcher pops). A message is one serialized proto::wire
+// payload — exactly what the simulated network carries — so the protocol
+// cannot tell the backends apart except through timing.
+//
+// Ordering: Agent code always sends while holding its own node's agent
+// lock, so all pushes from one source node are serialized; each push
+// appends atomically to the destination deque. Together that yields the
+// per-sender FIFO the protocol relies on (the sim gets the same property
+// from NIC transmit serialization). Self-sends go through the mailbox too,
+// so a handler never runs re-entrantly inside the sender's call stack.
+//
+// Statistics: per-node recorders, send half recorded by the sender, receive
+// half by the dispatcher at delivery (each under its node's agent lock).
+// The enqueued/dispatched counters feed Runtime::AwaitQuiescence.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "src/net/transport.h"
+#include "src/util/check.h"
+
+namespace hmdsm::runtime {
+
+using net::NodeId;
+
+/// One node's mailbox: multi-producer, single-consumer (the dispatcher).
+class Channel {
+ public:
+  void Push(net::Packet&& packet) {
+    {
+      std::lock_guard lock(mu_);
+      HMDSM_CHECK_MSG(!closed_, "send on closed channel");
+      q_.push_back(std::move(packet));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until a packet is available or the channel is closed. Returns
+  /// false only when the channel is closed (remaining packets are dropped:
+  /// close means the run is over).
+  bool WaitPop(net::Packet& out) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    if (closed_) return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+  }
+
+  void Close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<net::Packet> q_;
+  bool closed_ = false;
+};
+
+/// The threads backend's Transport: wall clock, per-node mailboxes.
+class ChannelTransport final : public net::Transport {
+ public:
+  explicit ChannelTransport(std::size_t node_count);
+
+  std::size_t node_count() const override { return channels_.size(); }
+
+  void SetHandler(NodeId node, Handler handler) override {
+    HMDSM_CHECK(node < handlers_.size());
+    handlers_[node] = std::move(handler);
+  }
+
+  /// Enqueues the packet into the destination mailbox. Called with the
+  /// sender's node serialization in force (agent lock), which is what makes
+  /// the per-node send accounting race-free.
+  void Send(NodeId src, NodeId dst, stats::MsgCat cat,
+            Bytes payload) override;
+
+  /// Wall-clock nanoseconds since transport construction.
+  sim::Time Now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  stats::Recorder& RecorderFor(NodeId node) override {
+    HMDSM_CHECK(node < recorders_.size());
+    return recorders_[node];
+  }
+  const stats::Recorder& RecorderFor(NodeId node) const override {
+    HMDSM_CHECK(node < recorders_.size());
+    return recorders_[node];
+  }
+
+  // ---- dispatcher plumbing (Runtime's per-node threads) ----
+
+  /// Blocks for the next packet addressed to `node`; false when closed.
+  bool WaitPop(NodeId node, net::Packet& out) {
+    HMDSM_CHECK(node < channels_.size());
+    return channels_[node].WaitPop(out);
+  }
+
+  /// Delivers one popped packet: receive accounting plus the registered
+  /// handler. Must be called under the destination node's agent lock.
+  void Dispatch(net::Packet&& packet);
+
+  /// Closes every mailbox; dispatchers drain out of WaitPop with false.
+  void CloseAll() {
+    for (Channel& c : channels_) c.Close();
+  }
+
+  /// Messages enqueued / fully handled so far. `enqueued() == dispatched()`
+  /// while no worker is running means the cluster is quiescent (a handler
+  /// increments `dispatched` only after it returns, and any message it sent
+  /// bumped `enqueued` first).
+  std::uint64_t enqueued() const {
+    return enqueued_.load(std::memory_order_acquire);
+  }
+  std::uint64_t dispatched() const {
+    return dispatched_.load(std::memory_order_acquire);
+  }
+
+  /// Total messages delivered so far (self-sends excluded).
+  std::uint64_t packets_sent() const {
+    return packets_sent_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::deque<Channel> channels_;           // per node; deque: stable refs
+  std::vector<Handler> handlers_;          // written before dispatch starts
+  std::deque<stats::Recorder> recorders_;  // per node; deque: stable refs
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> packets_sent_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace hmdsm::runtime

@@ -1,0 +1,192 @@
+#include "src/runtime/runtime.h"
+
+#include <chrono>
+#include <utility>
+
+namespace hmdsm::runtime {
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(RuntimeOptions options)
+    : options_(std::move(options)), transport_(options_.nodes) {
+  HMDSM_CHECK_MSG(options_.nodes >= 1 && options_.nodes <= 0x10000,
+                  "node count out of range");
+  cells_.reserve(options_.nodes);
+  for (dsm::NodeId n = 0; n < options_.nodes; ++n) {
+    auto cell = std::make_unique<NodeCell>();
+    cell->agent = std::make_unique<dsm::Agent>(n, transport_, options_.dsm);
+    cells_.push_back(std::move(cell));
+  }
+  // Handlers are all registered (agent constructors); only now may traffic
+  // start flowing, so the dispatcher threads start last.
+  dispatchers_.reserve(options_.nodes);
+  for (dsm::NodeId n = 0; n < options_.nodes; ++n)
+    dispatchers_.emplace_back([this, n] { DispatchLoop(n); });
+}
+
+Runtime::~Runtime() { Shutdown(); }
+
+void Runtime::DispatchLoop(dsm::NodeId node) {
+  net::Packet packet;
+  while (transport_.WaitPop(node, packet)) {
+    // The agent lock serializes this handler against the node's guests
+    // (and is the lock their Park waits release).
+    std::lock_guard lock(cells_[node]->mu);
+    transport_.Dispatch(std::move(packet));
+  }
+}
+
+dsm::ObjectId Runtime::NewObjectId(dsm::NodeId initial_home,
+                                   dsm::NodeId creator) {
+  return dsm::ObjectId::Make(initial_home, creator, next_object_seq_++);
+}
+
+dsm::LockId Runtime::NewLockId(dsm::NodeId manager) {
+  return dsm::LockId::Make(manager, next_lock_seq_++);
+}
+
+dsm::BarrierId Runtime::NewBarrierId(dsm::NodeId manager) {
+  return dsm::BarrierId::Make(manager, next_barrier_seq_++);
+}
+
+void Runtime::AwaitQuiescence() {
+  for (;;) {
+    // Order matters: read dispatched first. If both reads then agree, every
+    // enqueued message had completed its handler at the time of the second
+    // read — a handler still running would hold dispatched below enqueued,
+    // and any message it sends bumps enqueued before it finishes.
+    const std::uint64_t dispatched = transport_.dispatched();
+    const std::uint64_t enqueued = transport_.enqueued();
+    if (dispatched == enqueued) {
+      // One confirmation pass after a yield, guarding against a dispatcher
+      // between "popped the packet" and "ran the handler".
+      std::this_thread::yield();
+      if (transport_.dispatched() == dispatched &&
+          transport_.enqueued() == dispatched) {
+        return;
+      }
+      continue;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void Runtime::ResetMeasurement() {
+  AwaitQuiescence();
+  for (auto& cell : cells_) {
+    // The lock both serializes against any straggling handler and gives the
+    // reset visibility to the node's future recorder writes.
+    std::lock_guard lock(cell->mu);
+  }
+  transport_.ResetStats();
+  measure_start_ = transport_.Now();
+}
+
+double Runtime::ElapsedSeconds() const {
+  return sim::ToSeconds(transport_.Now() - measure_start_);
+}
+
+stats::Recorder Runtime::Totals() const {
+  stats::Recorder total;
+  total.SetNodeCount(cells_.size());
+  for (dsm::NodeId n = 0; n < cells_.size(); ++n) {
+    std::lock_guard lock(cells_[n]->mu);
+    total.Merge(transport_.RecorderFor(n));
+  }
+  return total;
+}
+
+void Runtime::Shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  // Drain before closing: a blocking op that just returned (a fault-in, a
+  // lock release) can leave follow-on traffic in flight — a migration
+  // notification, a forwarded diff — and the dispatcher handling it would
+  // otherwise send into a closed mailbox. With guests idle, quiescence
+  // means no handler is running and none will send again.
+  AwaitQuiescence();
+  transport_.CloseAll();
+  for (std::thread& t : dispatchers_) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Guest
+// ---------------------------------------------------------------------------
+
+Guest::Guest(Runtime& rt, dsm::NodeId node, std::string name)
+    : rt_(rt), node_(node), name_(std::move(name)) {
+  HMDSM_CHECK(node < rt_.nodes());
+  if (name_.empty()) name_ = "guest@n" + std::to_string(node);
+}
+
+template <typename Fn>
+void Guest::WithAgent(Fn&& fn) {
+  Runtime::NodeCell& cell = rt_.cell(node_);
+  std::unique_lock<std::mutex> lock(cell.mu);
+  active_lock_ = &lock;
+  struct Clear {  // reset even if the protocol CHECK-throws
+    Guest* g;
+    ~Clear() { g->active_lock_ = nullptr; }
+  } clear{this};
+  fn(*cell.agent);
+}
+
+void Guest::CreateObject(dsm::ObjectId obj, ByteSpan initial) {
+  WithAgent([&](dsm::Agent& a) { a.CreateObject(*this, obj, initial); });
+}
+
+void Guest::Read(dsm::ObjectId obj,
+                 const std::function<void(ByteSpan)>& fn) {
+  WithAgent([&](dsm::Agent& a) { a.Read(*this, obj, fn); });
+}
+
+void Guest::Write(dsm::ObjectId obj,
+                  const std::function<void(MutByteSpan)>& fn) {
+  WithAgent([&](dsm::Agent& a) { a.Write(*this, obj, fn); });
+}
+
+void Guest::Acquire(dsm::LockId lock) {
+  WithAgent([&](dsm::Agent& a) { a.Acquire(*this, lock); });
+}
+
+void Guest::Release(dsm::LockId lock) {
+  WithAgent([&](dsm::Agent& a) { a.Release(*this, lock); });
+}
+
+void Guest::Barrier(dsm::BarrierId barrier, std::uint32_t expected) {
+  WithAgent([&](dsm::Agent& a) { a.Barrier(*this, barrier, expected); });
+}
+
+void Guest::Delay(sim::Time dt) {
+  HMDSM_CHECK_MSG(active_lock_ == nullptr,
+                  "Delay inside an agent call in guest '" << name_ << "'");
+  HMDSM_CHECK_MSG(dt >= 0, "negative delay in guest '" << name_ << "'");
+  if (dt > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(dt));
+}
+
+std::uint64_t Guest::Park() {
+  HMDSM_CHECK_MSG(active_lock_ != nullptr && active_lock_->owns_lock(),
+                  "Park outside an agent call in guest '" << name_ << "'");
+  HMDSM_CHECK(!parked_);
+  parked_ = true;
+  // Releases the agent lock while waiting — the dispatcher takes over the
+  // node, exactly like the simulator's baton handoff to the kernel.
+  cv_.wait(*active_lock_, [&] { return notified_; });
+  parked_ = false;
+  notified_ = false;
+  return token_;
+}
+
+void Guest::Unpark(std::uint64_t token) {
+  // Caller holds this node's agent lock (handlers and guests only run
+  // under it), which is what makes this state change safe.
+  HMDSM_CHECK_MSG(parked_ && !notified_,
+                  "unparking guest '" << name_ << "' that is not parked");
+  token_ = token;
+  notified_ = true;
+  cv_.notify_one();
+}
+
+}  // namespace hmdsm::runtime

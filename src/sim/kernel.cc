@@ -143,15 +143,25 @@ Process* Kernel::Spawn(std::string name, std::function<void(Process&)> body) {
 void Kernel::Run() {
   HMDSM_CHECK_MSG(!running_, "Kernel::Run is not reentrant");
   running_ = true;
-  while (!queue_.empty()) {
-    // priority_queue::top is const; the function object must be moved out,
-    // so we const_cast before pop (the element is removed immediately after).
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    HMDSM_DCHECK(ev.at >= now_);
-    now_ = ev.at;
-    ++events_executed_;
-    ev.fn();
+  while (!queue_.empty() || !idle_.empty()) {
+    if (queue_.empty()) {
+      // Quiescent: no events left. Fire one idle callback; anything it
+      // schedules is processed before the next idle callback runs.
+      auto fn = std::move(idle_.front());
+      idle_.pop_front();
+      ++events_executed_;
+      fn();
+    } else {
+      // priority_queue::top is const; the function object must be moved
+      // out, so we const_cast before pop (the element is removed
+      // immediately after).
+      Event ev = std::move(const_cast<Event&>(queue_.top()));
+      queue_.pop();
+      HMDSM_DCHECK(ev.at >= now_);
+      now_ = ev.at;
+      ++events_executed_;
+      ev.fn();
+    }
     if (pending_error_) {
       running_ = false;
       std::exception_ptr err = pending_error_;

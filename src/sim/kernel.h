@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/runtime/exec.h"
 #include "src/sim/time.h"
 #include "src/util/check.h"
 
@@ -33,11 +34,13 @@ class Kernel;
 
 /// A simulated thread of control. Created via Kernel::Spawn; the body runs
 /// on a dedicated OS thread but only while the kernel grants it the baton.
-class Process {
+/// Implements the runtime::Exec execution-context seam, so the DSM blocking
+/// API works identically for simulated processes and real threads.
+class Process final : public runtime::Exec {
  public:
   Process(const Process&) = delete;
   Process& operator=(const Process&) = delete;
-  ~Process();
+  ~Process() override;
 
   const std::string& name() const { return name_; }
   bool done() const { return state_ == State::kDone; }
@@ -52,18 +55,18 @@ class Process {
   // ---- Callable only from inside this process's body ----
 
   /// Advances virtual time by `dt` (models computation or waiting).
-  void Delay(Time dt);
+  void Delay(Time dt) override;
 
   /// Blocks until another party calls Unpark(). Returns the value passed to
   /// Unpark (an opaque token, useful to distinguish wakeup reasons).
-  std::uint64_t Park();
+  std::uint64_t Park() override;
 
   // ---- Callable from kernel context or from other processes ----
 
   /// Makes a parked process runnable at the current virtual time. It is an
   /// error to unpark a process that is not parked (lost-wakeup bugs in the
   /// protocol layer should fail loudly, not be absorbed).
-  void Unpark(std::uint64_t token = 0);
+  void Unpark(std::uint64_t token = 0) override;
 
  private:
   friend class Kernel;
@@ -119,6 +122,16 @@ class Kernel {
     ScheduleAt(now_ + dt, std::move(fn));
   }
 
+  /// Schedules a callback to run (in kernel context, at the then-current
+  /// virtual time) once the event queue has fully drained — i.e., when the
+  /// cluster is quiescent: every in-flight message delivered and handled,
+  /// including any follow-on traffic the handlers generated. Idle callbacks
+  /// run one at a time; events they produce are processed before the next
+  /// idle callback fires.
+  void ScheduleWhenIdle(std::function<void()> fn) {
+    idle_.push_back(std::move(fn));
+  }
+
   /// Creates a process whose body starts at the current virtual time. The
   /// body receives its own Process handle (for Delay/Park). The returned
   /// pointer stays valid for the kernel's lifetime.
@@ -149,6 +162,7 @@ class Kernel {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::deque<std::function<void()>> idle_;  // quiescence callbacks (FIFO)
   std::vector<std::unique_ptr<Process>> processes_;
   std::exception_ptr pending_error_;
   bool running_ = false;

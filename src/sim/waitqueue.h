@@ -1,48 +1,14 @@
-// FIFO wait queue over sim::Process — the building block for simulated
-// blocking primitives (mailboxes, reply slots, barriers).
+// FIFO wait queue for simulated blocking primitives (mailboxes, reply
+// slots, barriers). The implementation lives in runtime/exec.h: the same
+// queue serves simulated processes and the threads backend's real-thread
+// contexts through the runtime::Exec seam.
 #pragma once
 
-#include <algorithm>
-#include <cstdint>
-#include <deque>
-
+#include "src/runtime/exec.h"
 #include "src/sim/kernel.h"
-#include "src/util/check.h"
 
 namespace hmdsm::sim {
 
-/// Strict-FIFO park/unpark queue. Wakeups are never lost: NotifyOne on an
-/// empty queue is an error by design (the DSM layer always checks for a
-/// waiter before notifying).
-class WaitQueue {
- public:
-  /// Parks `p` until a notify reaches it. Returns the token passed to the
-  /// corresponding NotifyOne/NotifyAll call.
-  std::uint64_t Wait(Process& p) {
-    waiters_.push_back(&p);
-    return p.Park();
-  }
-
-  bool empty() const { return waiters_.empty(); }
-  std::size_t size() const { return waiters_.size(); }
-
-  /// Wakes the longest-waiting process.
-  void NotifyOne(std::uint64_t token = 0) {
-    HMDSM_CHECK_MSG(!waiters_.empty(), "NotifyOne on empty wait queue");
-    Process* p = waiters_.front();
-    waiters_.pop_front();
-    p->Unpark(token);
-  }
-
-  /// Wakes every waiter (in FIFO order).
-  void NotifyAll(std::uint64_t token = 0) {
-    std::deque<Process*> batch;
-    batch.swap(waiters_);
-    for (Process* p : batch) p->Unpark(token);
-  }
-
- private:
-  std::deque<Process*> waiters_;
-};
+using WaitQueue = runtime::WaitQueue;
 
 }  // namespace hmdsm::sim

@@ -68,4 +68,24 @@ void Recorder::Reset() {
   std::fill(received_by_node_.begin(), received_by_node_.end(), MsgTotals{});
 }
 
+void Recorder::Merge(const Recorder& other) {
+  for (std::size_t i = 0; i < kNumMsgCats; ++i) {
+    by_cat_[i].messages += other.by_cat_[i].messages;
+    by_cat_[i].bytes += other.by_cat_[i].bytes;
+  }
+  for (std::size_t i = 0; i < kNumEvs; ++i) evs_[i] += other.evs_[i];
+  if (sent_by_node_.size() < other.sent_by_node_.size())
+    sent_by_node_.resize(other.sent_by_node_.size());
+  for (std::size_t n = 0; n < other.sent_by_node_.size(); ++n) {
+    sent_by_node_[n].messages += other.sent_by_node_[n].messages;
+    sent_by_node_[n].bytes += other.sent_by_node_[n].bytes;
+  }
+  if (received_by_node_.size() < other.received_by_node_.size())
+    received_by_node_.resize(other.received_by_node_.size());
+  for (std::size_t n = 0; n < other.received_by_node_.size(); ++n) {
+    received_by_node_[n].messages += other.received_by_node_[n].messages;
+    received_by_node_[n].bytes += other.received_by_node_[n].bytes;
+  }
+}
+
 }  // namespace hmdsm::stats

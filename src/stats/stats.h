@@ -60,9 +60,14 @@ struct MsgTotals {
   std::uint64_t bytes = 0;
 };
 
-/// Mutable statistics sink for one simulation run. The cluster resets it
-/// after the setup phase so steady-state numbers exclude initial placement,
-/// mirroring the paper's timing methodology (JVM startup excluded).
+/// Mutable statistics sink. One Recorder exists per cluster node (owned by
+/// the transport) so that the threads backend needs no cross-node locking:
+/// a node's recorder is only ever mutated under that node's serialization
+/// (kernel baton on the simulator, the node agent lock on the threads
+/// backend). Per-node recorders are combined into run totals with Merge().
+/// Runs reset recorders after the setup phase so steady-state numbers
+/// exclude initial placement, mirroring the paper's timing methodology
+/// (JVM startup excluded).
 class Recorder {
  public:
   /// Sizes the per-node tables (optional; per-node queries return zeros
@@ -78,16 +83,20 @@ class Recorder {
     t.bytes += bytes;
   }
 
-  /// Per-node attribution (called by the network alongside RecordMessage).
-  void RecordEndpoints(std::uint32_t src, std::uint32_t dst,
-                       std::size_t bytes) {
-    if (src < sent_by_node_.size()) {
-      sent_by_node_[src].messages += 1;
-      sent_by_node_[src].bytes += bytes;
+  /// Per-node attribution. The transport records the send half in the
+  /// sender's recorder when the message is posted and the receive half in
+  /// the receiver's recorder at delivery, so neither side ever mutates a
+  /// foreign node's recorder.
+  void RecordSent(std::uint32_t node, std::size_t bytes) {
+    if (node < sent_by_node_.size()) {
+      sent_by_node_[node].messages += 1;
+      sent_by_node_[node].bytes += bytes;
     }
-    if (dst < received_by_node_.size()) {
-      received_by_node_[dst].messages += 1;
-      received_by_node_[dst].bytes += bytes;
+  }
+  void RecordReceived(std::uint32_t node, std::size_t bytes) {
+    if (node < received_by_node_.size()) {
+      received_by_node_[node].messages += 1;
+      received_by_node_[node].bytes += bytes;
     }
   }
 
@@ -119,6 +128,11 @@ class Recorder {
   std::uint64_t TotalBytes(bool include_sync = true) const;
 
   void Reset();
+
+  /// Accumulates another recorder into this one (category totals, event
+  /// counters, per-node tables). Used to fold per-node recorders into run
+  /// totals at the end of a measured window.
+  void Merge(const Recorder& other);
 
  private:
   std::array<MsgTotals, kNumMsgCats> by_cat_{};

@@ -159,6 +159,19 @@ Scenario Hotspot(const PatternParams& p) {
       prog.push_back({OpKind::kRelease, 0, 0});
       Jitter(rng, prog);
     }
+    // Settle pass: hotspot is the one pattern whose last writer per object
+    // is decided by lock-arrival order, which real concurrency makes racy.
+    // A final barrier followed by one deterministic rewrite per object by
+    // worker 0 pins the final contents, so the scenario checksum is a pure
+    // data-integrity invariant on every backend.
+    prog.push_back({OpKind::kBarrier, 0, kW});
+    if (w == 0) {
+      for (std::uint32_t o = 0; o < p.objects; ++o) {
+        prog.push_back({OpKind::kAcquire, 0, 0});  // the single global lock
+        prog.push_back({OpKind::kWrite, o, 0});
+        prog.push_back({OpKind::kRelease, 0, 0});
+      }
+    }
   }
   return s;
 }

@@ -1,12 +1,16 @@
 // Access-trace recording: a shim over dsm::Agent plus the trace collector.
 //
-// AgentShim is the single execution path for workload ops: every scenario
-// op a worker issues goes Agent-ward through it (Read/Write/Acquire/Release/
-// Barrier via the worker's gos::Env, Delay via its sim::Process). When a
-// TraceRecorder is attached, each op is appended to that worker's recorded
-// program as it executes, so the recorder captures exactly the access
-// stream the protocol saw — replaying the recorded scenario re-issues a
-// bit-identical stream under whatever policy/config the replayer picks.
+// AgentShimT is the single execution path for workload ops: every scenario
+// op a worker issues goes Agent-ward through it. It is templated over the
+// env type so the identical op semantics — including the checksum folding
+// and the deterministic write payloads — drive both execution backends:
+// gos::Env (simulated processes) and runtime::Guest (real threads). That
+// sharing is what makes cross-backend checksum equality a meaningful data-
+// integrity check. When a TraceRecorder is attached, each op is appended to
+// that worker's recorded program as it executes, so the recorder captures
+// exactly the access stream the protocol saw — replaying the recorded
+// scenario re-issues a bit-identical stream under whatever policy/config
+// the replayer picks.
 //
 // Write payloads are derived deterministically from (worker, op ordinal), so
 // a replayed write produces the same bytes — and therefore the same diffs —
@@ -23,8 +27,9 @@
 
 namespace hmdsm::workload {
 
-/// Collects per-worker op streams during a run. Single-baton simulation
-/// means workers never record concurrently, so no locking is needed.
+/// Collects per-worker op streams during a run. Concurrent workers are
+/// fine without locking: worker w only ever appends to its own program
+/// (`workers[w]`), and the workers vector itself is never resized.
 class TraceRecorder {
  public:
   explicit TraceRecorder(const Scenario& skeleton) : scenario_(skeleton) {
@@ -52,11 +57,13 @@ struct Bindings {
 };
 
 /// Executes ops for one worker against its node's DSM agent, recording them
-/// when a TraceRecorder is attached.
-class AgentShim {
+/// when a TraceRecorder is attached. `EnvT` is any type with the gos::Env
+/// op surface: Read/Write/Acquire/Release/Barrier plus Delay(ns).
+template <typename EnvT>
+class AgentShimT {
  public:
-  AgentShim(gos::Env& env, const Bindings& bindings, std::uint32_t worker,
-            TraceRecorder* recorder)
+  AgentShimT(EnvT& env, const Bindings& bindings, std::uint32_t worker,
+             TraceRecorder* recorder)
       : env_(env), bindings_(bindings), worker_(worker), recorder_(recorder) {}
 
   /// Executes one op (may block in the DSM layer). Returns the number of
@@ -98,7 +105,7 @@ class AgentShim {
                      static_cast<std::uint32_t>(op.arg));
         break;
       case OpKind::kDelay:
-        env_.process().Delay(static_cast<sim::Time>(op.arg));
+        env_.Delay(static_cast<sim::Time>(op.arg));
         break;
     }
     ++ordinal_;
@@ -109,12 +116,15 @@ class AgentShim {
   std::uint64_t read_checksum() const { return read_checksum_; }
 
  private:
-  gos::Env& env_;
+  EnvT& env_;
   const Bindings& bindings_;
   std::uint32_t worker_;
   TraceRecorder* recorder_;
   std::uint64_t ordinal_ = 0;
   std::uint64_t read_checksum_ = kFnvOffsetBasis;
 };
+
+/// The simulated-backend shim (the historical name).
+using AgentShim = AgentShimT<gos::Env>;
 
 }  // namespace hmdsm::workload

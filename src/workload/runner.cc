@@ -13,6 +13,8 @@ namespace hmdsm::workload {
 
 ScenarioResult RunScenario(const gos::VmOptions& vm_options,
                            const Scenario& scenario, bool record) {
+  if (vm_options.backend == gos::Backend::kThreads)
+    return RunScenarioThreads(vm_options, scenario, record);
   ValidateScenario(scenario);
 
   gos::VmOptions options = vm_options;
@@ -50,6 +52,11 @@ ScenarioResult RunScenario(const gos::VmOptions& vm_options,
           spec.name.empty() ? "w" + std::to_string(w) : spec.name));
     }
     for (gos::Thread* t : threads) vm.Join(env, t);
+    // Settle in-flight traffic (final releases' piggybacked diffs,
+    // notification broadcasts) before reporting and digesting — the same
+    // quiescence point the threads backend reaches, so the final-contents
+    // digest is backend-independent.
+    vm.Quiesce(env);
 
     result.report = vm.Report();
 

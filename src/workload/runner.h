@@ -1,12 +1,21 @@
 // The scenario/replay driver: executes any Scenario — generated, parsed, or
-// recorded — on a simulated cluster under any MigrationPolicy / DsmConfig.
+// recorded — under any MigrationPolicy / DsmConfig, on either execution
+// backend (VmOptions::backend):
 //
-// The driver builds a gos::Vm (which owns the sim::Kernel, network, and one
-// dsm::Agent per node), materializes the scenario's object/lock/barrier
-// tables, then spawns one simulated process per worker that executes its op
-// program through an AgentShim. Setup (object creation) happens before
-// ResetMeasurement, matching the benchmarking methodology everywhere else in
-// the repo: reported totals cover only the access program.
+//   * kSim: builds a gos::Vm (which owns the sim::Kernel, network, and one
+//     dsm::Agent per node) and spawns one simulated process per worker.
+//     Deterministic; `report.seconds` is virtual time.
+//   * kThreads: builds a runtime::Runtime (one dispatcher thread + agent
+//     per node) and spawns one std::thread per worker. Real concurrency;
+//     `report.seconds` is wall-clock time; the network model only feeds
+//     the adaptive policy's α.
+//
+// Both paths execute ops through the same AgentShimT, so a scenario's
+// checksum — every byte read plus the final object contents — must agree
+// across backends (the cross-backend equivalence tests assert exactly
+// that). Setup (object creation) happens before ResetMeasurement, matching
+// the benchmarking methodology everywhere else in the repo: reported
+// totals cover only the access program.
 #pragma once
 
 #include "src/gos/vm.h"
@@ -25,11 +34,19 @@ struct ScenarioResult {
   Scenario recorded;
 };
 
-/// Runs `scenario` under `vm_options` (nodes are raised to the scenario's
-/// node count if needed; policy/notify/network come from the options).
-/// With `record` set, the result carries the captured access trace.
+/// Runs `scenario` under `vm_options` on the backend the options select
+/// (nodes are raised to the scenario's node count if needed; policy/notify/
+/// network come from the options). With `record` set, the result carries
+/// the captured access trace.
 ScenarioResult RunScenario(const gos::VmOptions& vm_options,
                            const Scenario& scenario, bool record = false);
+
+/// The threads-backend path (RunScenario dispatches here when
+/// `vm_options.backend == gos::Backend::kThreads`; exposed for tests and
+/// benches that want to force the backend).
+ScenarioResult RunScenarioThreads(const gos::VmOptions& vm_options,
+                                  const Scenario& scenario,
+                                  bool record = false);
 
 /// Convenience: LoadScenario + RunScenario.
 ScenarioResult ReplayTraceFile(const gos::VmOptions& vm_options,

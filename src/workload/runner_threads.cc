@@ -1,0 +1,105 @@
+// The threads-backend scenario driver: same contract as the sim path in
+// runner.cc, executed on runtime::Runtime.
+//
+// One std::thread per worker, each entering the DSM through a
+// runtime::Guest on its assigned node; the shared AgentShimT issues the
+// ops, so write payloads and checksum folding are bit-identical to the sim
+// backend. The run reaches quiescence (all in-flight protocol messages
+// drained and handled) before the report and the final-contents digest are
+// taken: workers may exit with un-acknowledged traffic still in their
+// mailboxes (a release's piggybacked diff, a notification broadcast), and
+// the digest must see the settled state — the state the simulator's
+// deterministic schedule also converges to.
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/runtime.h"
+#include "src/util/bytes.h"
+#include "src/util/fnv.h"
+#include "src/workload/recorder.h"
+#include "src/workload/runner.h"
+
+namespace hmdsm::workload {
+
+ScenarioResult RunScenarioThreads(const gos::VmOptions& vm_options,
+                                  const Scenario& scenario, bool record) {
+  ValidateScenario(scenario);
+
+  runtime::RuntimeOptions options;
+  options.nodes = std::max<std::size_t>(vm_options.nodes, scenario.nodes);
+  options.dsm = vm_options.dsm;
+  // Same policy parameterization as dsm::Cluster: the adaptive policy's α
+  // tracks the configured interconnect model unless a bench pinned it.
+  if (!options.dsm.pin_half_peak)
+    options.dsm.adaptive.half_peak_bytes = vm_options.model.half_peak_bytes();
+
+  runtime::Runtime rt(options);
+  ScenarioResult result;
+  std::optional<TraceRecorder> recorder;
+  if (record) recorder.emplace(scenario);
+
+  // The coordinating (calling) thread acts as the application main thread,
+  // guesting on the start node — mirroring the sim path's main process.
+  runtime::Guest main_guest(rt, vm_options.start_node, "main");
+
+  Bindings bindings;
+  for (const ObjectSpec& o : scenario.objects) {
+    const dsm::ObjectId id = rt.NewObjectId(o.home, main_guest.node());
+    main_guest.CreateObject(id, ZeroBytes(o.bytes));
+    bindings.objects.push_back(id);
+  }
+  for (NodeId m : scenario.lock_managers)
+    bindings.locks.push_back(rt.NewLockId(m));
+  for (NodeId m : scenario.barrier_managers)
+    bindings.barriers.push_back(rt.NewBarrierId(m));
+
+  rt.ResetMeasurement();
+
+  const std::size_t workers = scenario.workers.size();
+  std::vector<std::uint64_t> ops(workers, 0);
+  std::vector<std::uint64_t> read_checksums(workers, kFnvOffsetBasis);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      const WorkerSpec& spec = scenario.workers[w];
+      runtime::Guest env(rt, spec.node,
+                         spec.name.empty() ? "w" + std::to_string(w)
+                                           : spec.name);
+      AgentShimT<runtime::Guest> shim(env, bindings, w,
+                                      recorder ? &*recorder : nullptr);
+      for (const Op& op : spec.program) shim.Execute(op);
+      ops[w] = shim.ops_executed();
+      read_checksums[w] = shim.read_checksum();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Drain stragglers (diffs piggybacked on final releases, notification
+  // broadcasts) so the report and the digest see the settled cluster.
+  rt.AwaitQuiescence();
+  result.report = gos::MakeRunReport(rt.Totals(), rt.ElapsedSeconds());
+
+  // Digest: per-worker read checksums combined in worker order, then the
+  // final contents of every object (read outside the measured window) —
+  // the exact fold the sim path computes.
+  std::uint64_t digest = kFnvOffsetBasis;
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    result.ops_executed += ops[w];
+    digest = FnvFold64(digest, read_checksums[w]);
+  }
+  for (dsm::ObjectId obj : bindings.objects)
+    main_guest.Read(obj, [&](ByteSpan bytes) {
+      for (Byte b : bytes) digest = FnvFold(digest, b);
+    });
+  result.checksum = digest;
+
+  if (recorder) result.recorded = recorder->trace();
+  rt.Shutdown();
+  return result;
+}
+
+}  // namespace hmdsm::workload

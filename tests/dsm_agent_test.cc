@@ -35,7 +35,7 @@ struct World {
   }
 
   void Run() { cluster.kernel().Run(); }
-  stats::Recorder& rec() { return cluster.recorder(); }
+  stats::Recorder rec() const { return cluster.Totals(); }
 };
 
 DsmConfig Cfg(const std::string& policy) {

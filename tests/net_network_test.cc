@@ -11,12 +11,13 @@ using stats::MsgCat;
 
 struct World {
   sim::Kernel kernel;
-  stats::Recorder recorder;
   Network network;
 
   explicit World(std::size_t nodes,
                  HockneyModel model = HockneyModel(70.0, 12.5))
-      : network(kernel, model, nodes, recorder) {}
+      : network(kernel, model, nodes) {}
+
+  stats::Recorder totals() const { return network.Totals(); }
 };
 
 TEST(Hockney, LatencyIsAffineInMessageSize) {
@@ -61,7 +62,7 @@ TEST(Network, SelfSendIsFreeAndAsynchronous) {
   w.kernel.Run();
   EXPECT_TRUE(delivered);
   EXPECT_TRUE(returned_before_delivery);
-  EXPECT_EQ(w.recorder.TotalMessages(), 0u);  // not charged to the wire
+  EXPECT_EQ(w.totals().TotalMessages(), 0u);  // not charged to the wire
   EXPECT_EQ(w.network.packets_sent(), 0u);
 }
 
@@ -74,10 +75,10 @@ TEST(Network, AccountsMessagesAndBytesByCategory) {
     w.network.Send(2, 0, MsgCat::kDiff, Bytes(10));
   });
   w.kernel.Run();
-  EXPECT_EQ(w.recorder.Cat(MsgCat::kObj).messages, 2u);
-  EXPECT_EQ(w.recorder.Cat(MsgCat::kObj).bytes,
+  EXPECT_EQ(w.totals().Cat(MsgCat::kObj).messages, 2u);
+  EXPECT_EQ(w.totals().Cat(MsgCat::kObj).bytes,
             100u + 50u + 2 * Network::kHeaderBytes);
-  EXPECT_EQ(w.recorder.Cat(MsgCat::kDiff).messages, 1u);
+  EXPECT_EQ(w.totals().Cat(MsgCat::kDiff).messages, 1u);
   EXPECT_EQ(w.network.packets_sent(), 3u);
 }
 
@@ -94,7 +95,7 @@ TEST(Network, BroadcastReachesAllButSender) {
   });
   w.kernel.Run();
   EXPECT_EQ(hits, (std::vector<int>{1, 1, 0, 1, 1}));
-  EXPECT_EQ(w.recorder.Cat(MsgCat::kNotify).messages, 4u);
+  EXPECT_EQ(w.totals().Cat(MsgCat::kNotify).messages, 4u);
 }
 
 TEST(Network, MissingHandlerFailsLoudly) {
@@ -126,8 +127,7 @@ TEST(Network, BackToBackSendsSerializeOnTheSenderNic) {
 
 TEST(Network, OccupancyModelCanBeDisabled) {
   sim::Kernel kernel;
-  stats::Recorder recorder;
-  Network net(kernel, HockneyModel(100.0, 10.0), 3, recorder,
+  Network net(kernel, HockneyModel(100.0, 10.0), 3,
               /*model_tx_occupancy=*/false);
   std::vector<sim::Time> arrivals(3, -1);
   for (NodeId n = 1; n < 3; ++n)

@@ -1,0 +1,92 @@
+// Per-node recorder aggregation: Recorder::Merge and Transport::Totals.
+#include "src/net/network.h"
+#include "src/stats/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace hmdsm::stats {
+namespace {
+
+TEST(RecorderMerge, SumsCategoriesAndEvents) {
+  Recorder a, b;
+  a.RecordMessage(MsgCat::kObj, 100);
+  a.Bump(Ev::kMigrations, 2);
+  b.RecordMessage(MsgCat::kObj, 50);
+  b.RecordMessage(MsgCat::kSync, 40);
+  b.Bump(Ev::kMigrations, 3);
+  b.Bump(Ev::kDiffBytes, 128);
+
+  a.Merge(b);
+  EXPECT_EQ(a.Cat(MsgCat::kObj).messages, 2u);
+  EXPECT_EQ(a.Cat(MsgCat::kObj).bytes, 150u);
+  EXPECT_EQ(a.Cat(MsgCat::kSync).messages, 1u);
+  EXPECT_EQ(a.Count(Ev::kMigrations), 5u);
+  EXPECT_EQ(a.Count(Ev::kDiffBytes), 128u);
+  EXPECT_EQ(a.TotalMessages(true), 3u);
+  EXPECT_EQ(a.TotalBytes(true), 190u);
+  // b is untouched.
+  EXPECT_EQ(b.TotalMessages(true), 2u);
+}
+
+TEST(RecorderMerge, CombinesPerNodeTablesGrowingAsNeeded) {
+  Recorder a, b;
+  a.SetNodeCount(2);
+  b.SetNodeCount(4);
+  a.RecordSent(1, 10);
+  b.RecordSent(1, 5);
+  b.RecordSent(3, 7);
+  b.RecordReceived(2, 9);
+
+  a.Merge(b);
+  EXPECT_EQ(a.SentBy(1).messages, 2u);
+  EXPECT_EQ(a.SentBy(1).bytes, 15u);
+  EXPECT_EQ(a.SentBy(3).bytes, 7u);  // table grew to cover node 3
+  EXPECT_EQ(a.ReceivedBy(2).messages, 1u);
+  EXPECT_EQ(a.SentBy(0).messages, 0u);
+}
+
+TEST(RecorderMerge, MergeIntoFreshRecorderEqualsCopy) {
+  Recorder src;
+  src.RecordMessage(MsgCat::kDiff, 77);
+  src.Bump(Ev::kLockAcquires, 4);
+  Recorder dst;
+  dst.Merge(src);
+  EXPECT_EQ(dst.Cat(MsgCat::kDiff).bytes, 77u);
+  EXPECT_EQ(dst.Count(Ev::kLockAcquires), 4u);
+}
+
+TEST(TransportTotals, NetworkAttributesPerNodeAndMergesToRunTotals) {
+  sim::Kernel kernel;
+  net::Network network(kernel, net::HockneyModel(70.0, 12.5), 3);
+  for (net::NodeId n = 0; n < 3; ++n)
+    network.SetHandler(n, [](net::Packet&&) {});
+  kernel.ScheduleAt(0, [&] {
+    network.Send(0, 1, MsgCat::kObj, Bytes(100));
+    network.Send(1, 2, MsgCat::kDiff, Bytes(30));
+    network.Send(0, 0, MsgCat::kDiff, Bytes(8));  // self-send: not charged
+  });
+  kernel.Run();
+
+  // Send halves live in the senders' recorders, receive halves in the
+  // receivers' — each node only ever touches its own recorder.
+  EXPECT_EQ(network.RecorderFor(0).SentBy(0).messages, 1u);
+  EXPECT_EQ(network.RecorderFor(1).SentBy(1).messages, 1u);
+  EXPECT_EQ(network.RecorderFor(1).ReceivedBy(1).messages, 1u);
+  EXPECT_EQ(network.RecorderFor(2).ReceivedBy(2).messages, 1u);
+  EXPECT_EQ(network.RecorderFor(2).SentBy(2).messages, 0u);
+  EXPECT_EQ(network.RecorderFor(0).Cat(MsgCat::kObj).messages, 1u);
+  EXPECT_EQ(network.RecorderFor(1).Cat(MsgCat::kDiff).messages, 1u);
+
+  const Recorder totals = network.Totals();
+  EXPECT_EQ(totals.TotalMessages(true), 2u);
+  EXPECT_EQ(totals.TotalBytes(true),
+            100u + 30u + 2 * net::Transport::kHeaderBytes);
+  EXPECT_EQ(totals.SentBy(0).messages, 1u);
+  EXPECT_EQ(totals.ReceivedBy(2).messages, 1u);
+
+  network.ResetStats();
+  EXPECT_EQ(network.Totals().TotalMessages(true), 0u);
+}
+
+}  // namespace
+}  // namespace hmdsm::stats

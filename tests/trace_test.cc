@@ -156,7 +156,7 @@ TEST(LazyFlushing, UnsharedWriteFaultTransfersOwnership) {
   });
   cluster.kernel().Run();
   EXPECT_TRUE(cluster.agent(1).IsHome(obj));
-  EXPECT_EQ(cluster.recorder().Count(stats::Ev::kMigrations), 1u);
+  EXPECT_EQ(cluster.Totals().Count(stats::Ev::kMigrations), 1u);
 }
 
 TEST(LazyFlushing, SharedUnitStaysPut) {
@@ -172,7 +172,7 @@ TEST(LazyFlushing, SharedUnitStaysPut) {
   });
   cluster.kernel().Run();
   EXPECT_TRUE(cluster.agent(0).IsHome(obj));
-  EXPECT_EQ(cluster.recorder().Count(stats::Ev::kMigrations), 0u);
+  EXPECT_EQ(cluster.Totals().Count(stats::Ev::kMigrations), 0u);
 }
 
 TEST(LazyFlushing, TransitionCountIsCapped) {
@@ -191,7 +191,7 @@ TEST(LazyFlushing, TransitionCountIsCapped) {
     }
   });
   cluster.kernel().Run();
-  EXPECT_LE(cluster.recorder().Count(stats::Ev::kMigrations),
+  EXPECT_LE(cluster.Totals().Count(stats::Ev::kMigrations),
             core::LazyFlushingPolicy::kMaxTransitions);
 }
 

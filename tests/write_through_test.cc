@@ -133,7 +133,7 @@ TEST(PerNodeStats, AttributionMatchesTraffic) {
     vm.ResetMeasurement();
     Thread* t = vm.Spawn(1, [&](Env& me) { (void)x.Get(me); });
     vm.Join(env, t);
-    const auto& rec = vm.cluster().recorder();
+    const stats::Recorder rec = vm.cluster().Totals();
     // One request node1→node3, one reply node3→node1.
     EXPECT_EQ(rec.SentBy(1).messages, 1u);
     EXPECT_EQ(rec.ReceivedBy(3).messages, 1u);

@@ -9,11 +9,14 @@
 //   hmdsm_cli --app=scenario --pattern=pingpong --policy=AT --nodes=8
 //   hmdsm_cli --app=scenario --pattern=migratory --record=/tmp/mig.trace
 //   hmdsm_cli --app=scenario --replay=/tmp/mig.trace --policy=BR
+//   hmdsm_cli --app=scenario --pattern=hotspot --backend=threads
 //
 // Protocol knobs: --policy=NoHM|FT<k>|AT|MH|BR|LF
 //                 --notify=fp|manager|broadcast
 //                 --piggyback=0|1  --lambda=<float>  --tinit=<float>
 //                 --t0-us=<float>  --bandwidth-mbps=<float>  --seed=<int>
+// Execution:      --backend=sim|threads  (threads: scenarios only, runs the
+//                 protocol on real OS threads with a wall clock)
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -40,6 +43,8 @@ int Usage(const char* error) {
       "  common:    --policy=NoHM|FT<k>|AT|MH|BR|LF --nodes=N --seed=N\n"
       "             --notify=fp|manager|broadcast --piggyback=0|1\n"
       "             --lambda=F --tinit=F --t0-us=F --bandwidth-mbps=F\n"
+      "             --backend=sim|threads (threads: real OS threads +\n"
+      "             wall clock; scenarios only, no --record)\n"
       "  asp/sor:   --size=N   (sor: --iterations=N)\n"
       "  nbody:     --bodies=N --steps=N\n"
       "  tsp:       --cities=N\n"
@@ -51,8 +56,8 @@ int Usage(const char* error) {
   return 2;
 }
 
-void PrintReport(const gos::RunReport& r) {
-  std::printf("\nvirtual execution time: %s\n",
+void PrintReport(const gos::RunReport& r, bool wall_clock = false) {
+  std::printf("\n%s execution time: %s\n", wall_clock ? "wall-clock" : "virtual",
               FmtSeconds(r.seconds).c_str());
   Table t({"category", "messages", "bytes"});
   for (std::size_t i = 0; i < stats::kNumMsgCats; ++i) {
@@ -101,6 +106,27 @@ int main(int argc, char** argv) {
     return Usage("bad --notify (fp|manager|broadcast)");
   }
 
+  const std::string backend = flags.Get("backend", "sim");
+  if (backend == "sim") {
+    vm.backend = gos::Backend::kSim;
+  } else if (backend == "threads") {
+    vm.backend = gos::Backend::kThreads;
+  } else {
+    return Usage("bad --backend (sim|threads)");
+  }
+  if (vm.backend == gos::Backend::kThreads) {
+    // The threads backend can only honor what maps onto real execution:
+    // scenario programs (generated or replayed). The paper apps are coded
+    // against the simulated Vm, and --record needs the deterministic
+    // schedule for a reproducible capture.
+    if (app != "scenario")
+      return Usage("--backend=threads only runs --app=scenario "
+                   "(the paper apps are coded against the simulated Vm)");
+    if (flags.Has("record"))
+      return Usage("--record needs --backend=sim: a trace captured under "
+                   "real-thread timing is not a reproducible access stream");
+  }
+
   // The synthetic benchmark needs node 0 for the application plus one node
   // per worker.
   if (app == "synthetic") {
@@ -109,9 +135,10 @@ int main(int argc, char** argv) {
     if (vm.nodes < workers + 1) vm.nodes = workers + 1;
   }
 
-  std::printf("app=%s policy=%s nodes=%zu notify=%s\n", app.c_str(),
+  std::printf("app=%s policy=%s nodes=%zu notify=%s backend=%s\n", app.c_str(),
               vm.dsm.policy.c_str(), vm.nodes,
-              dsm::NotifyMechanismName(vm.dsm.notify).c_str());
+              dsm::NotifyMechanismName(vm.dsm.notify).c_str(),
+              std::string(gos::BackendName(vm.backend)).c_str());
 
   try {
     if (app == "asp") {
@@ -199,7 +226,7 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(res.recorded.total_ops()),
                     record.c_str());
       }
-      PrintReport(res.report);
+      PrintReport(res.report, vm.backend == gos::Backend::kThreads);
     } else {
       return Usage("unknown --app");
     }
