@@ -6,17 +6,24 @@
 // round-robin; each thread's rows exhibit the lasting single-writer
 // pattern, so HM relocates them to their writers and eliminates the
 // per-iteration remote fault-in + diff pair.
+//
+//   --backend=threads [--inject-latency]: run measured (wall-clock, real OS
+//   threads) next to modeled (sim) and report the ratio.
 #include "bench/fig2_common.h"
 #include "src/apps/asp.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const hmdsm::bench::Fig2Mode mode = hmdsm::bench::ParseFig2Mode(argc, argv);
+  const bool threads = mode.backend == hmdsm::gos::Backend::kThreads;
   hmdsm::bench::Banner("Figure 2 (ASP)",
                        "execution time vs processors, NoHM vs HM");
-  const int n = hmdsm::bench::FullScale() ? 1024 : 192;
+  // Threads mode runs every configuration twice (modeled + measured) in
+  // real time, so it uses a smaller CI-scale problem.
+  const int n = hmdsm::bench::FullScale() ? 1024 : (threads ? 64 : 192);
   std::cout << "graph size n=" << n << " (paper: 1024)\n\n";
 
   hmdsm::bench::RunFig2Panel(
-      "asp", {2, 4, 8, 16},
+      "asp", threads ? std::vector<int>{2, 4} : std::vector<int>{2, 4, 8, 16},
       [&](const hmdsm::gos::VmOptions& vm) {
         hmdsm::apps::AspConfig cfg;
         cfg.n = n;
@@ -25,6 +32,7 @@ int main() {
                                        res.report.messages,
                                        res.report.bytes,
                                        res.report.migrations};
-      });
+      },
+      mode);
   return 0;
 }

@@ -5,19 +5,25 @@
 // Particle blocks are created on their owning nodes, so the initial home
 // assignment is already optimal: the paper observes home migration has
 // little impact here, and the HM/NoHM ratio should sit at ~1.0.
+//
+//   --backend=threads [--inject-latency]: run measured (wall-clock, real OS
+//   threads) next to modeled (sim) and report the ratio.
 #include "bench/fig2_common.h"
 #include "src/apps/nbody.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const hmdsm::bench::Fig2Mode mode = hmdsm::bench::ParseFig2Mode(argc, argv);
+  const bool threads = mode.backend == hmdsm::gos::Backend::kThreads;
   hmdsm::bench::Banner("Figure 2 (NBody)",
                        "execution time vs processors, NoHM vs HM");
-  const int bodies = hmdsm::bench::FullScale() ? 2048 : 512;
-  const int steps = 5;
+  const int bodies = hmdsm::bench::FullScale() ? 2048 : (threads ? 128 : 512);
+  const int steps = threads && !hmdsm::bench::FullScale() ? 3 : 5;
   std::cout << bodies << " bodies, " << steps
             << " steps, theta=0.5 (paper: 2048 bodies)\n\n";
 
   hmdsm::bench::RunFig2Panel(
-      "nbody", {2, 4, 8, 16},
+      "nbody",
+      threads ? std::vector<int>{2, 4} : std::vector<int>{2, 4, 8, 16},
       [&](const hmdsm::gos::VmOptions& vm) {
         hmdsm::apps::NbodyConfig cfg;
         cfg.bodies = bodies;
@@ -27,6 +33,7 @@ int main() {
                                        res.report.messages,
                                        res.report.bytes,
                                        res.report.migrations};
-      });
+      },
+      mode);
   return 0;
 }

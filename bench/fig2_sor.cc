@@ -1,19 +1,24 @@
 // Figure 2 / SOR panel — execution time against the number of processors
 // with home migration disabled/enabled. Paper parameters: red-black SOR on
 // a 2048x2048 matrix.
+//
+//   --backend=threads [--inject-latency]: run measured (wall-clock, real OS
+//   threads) next to modeled (sim) and report the ratio.
 #include "bench/fig2_common.h"
 #include "src/apps/sor.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const hmdsm::bench::Fig2Mode mode = hmdsm::bench::ParseFig2Mode(argc, argv);
+  const bool threads = mode.backend == hmdsm::gos::Backend::kThreads;
   hmdsm::bench::Banner("Figure 2 (SOR)",
                        "execution time vs processors, NoHM vs HM");
-  const int n = hmdsm::bench::FullScale() ? 2048 : 256;
-  const int iters = 10;
+  const int n = hmdsm::bench::FullScale() ? 2048 : (threads ? 64 : 256);
+  const int iters = threads && !hmdsm::bench::FullScale() ? 4 : 10;
   std::cout << "matrix " << n << "x" << n << ", " << iters
             << " iterations (paper: 2048x2048)\n\n";
 
   hmdsm::bench::RunFig2Panel(
-      "sor", {2, 4, 8, 16},
+      "sor", threads ? std::vector<int>{2, 4} : std::vector<int>{2, 4, 8, 16},
       [&](const hmdsm::gos::VmOptions& vm) {
         hmdsm::apps::SorConfig cfg;
         cfg.n = n;
@@ -23,6 +28,7 @@ int main() {
                                        res.report.messages,
                                        res.report.bytes,
                                        res.report.migrations};
-      });
+      },
+      mode);
   return 0;
 }

@@ -8,6 +8,9 @@
 // every throughput row is also a data-integrity witness. Jitter delay ops
 // are stripped from the programs: on the threads backend they would be
 // real sleeps and this bench measures protocol throughput, not sleeping.
+// With --inject-latency [--inject-scale=F] every delivery is held until its
+// Hockney deadline, so the reported wall-clock times sit in the modeled
+// network regime instead of raw channel speed.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -15,6 +18,7 @@
 
 #include "bench/harness.h"
 #include "src/util/csv.h"
+#include "src/util/flags.h"
 #include "src/util/table.h"
 #include "src/workload/patterns.h"
 #include "src/workload/runner.h"
@@ -41,7 +45,8 @@ workload::Scenario StripDelays(workload::Scenario s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const hmdsm::Flags flags(argc, argv);
   hmdsm::bench::Banner(
       "threads throughput",
       "wall-clock ops/sec of the DSM protocol on real OS threads");
@@ -58,11 +63,16 @@ int main() {
   sim_opts.dsm.policy = "AT";
   gos::VmOptions thr_opts = sim_opts;
   thr_opts.backend = gos::Backend::kThreads;
+  thr_opts.inject_latency = flags.GetBool("inject-latency", false);
+  thr_opts.inject_scale = flags.GetDouble("inject-scale", 1.0);
 
   std::printf("nodes=%u objects=%u bytes=%u reps=%u policy=AT "
-              "(jitter delays stripped)\n\n",
+              "(jitter delays stripped)%s\n\n",
               params.nodes, params.objects, params.object_bytes,
-              params.repetitions);
+              params.repetitions,
+              thr_opts.inject_latency
+                  ? " + Hockney latency injection"
+                  : "");
 
   Table t({"pattern", "ops", "wall ms", "ops/sec", "msgs", "migrations",
            "data"});

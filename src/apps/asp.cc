@@ -105,6 +105,10 @@ AspResult RunAsp(const gos::VmOptions& vm_options, const AspConfig& config) {
           "asp" + std::to_string(t)));
     }
     for (gos::Thread* w : workers) vm.Join(env, w);
+    // Settle in-flight traffic (final barrier releases, notification
+    // broadcasts) so the validation reads below see the converged matrix on
+    // either backend.
+    vm.Quiesce(env);
 
     result.report = vm.Report();
 

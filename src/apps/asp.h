@@ -28,7 +28,8 @@ struct AspResult {
   std::uint64_t checksum = 0;  // sum of all finite distances
 };
 
-/// Runs ASP on the given VM configuration with one worker thread per node.
+/// Runs ASP on the given VM configuration with one worker thread per node,
+/// on whichever execution backend the options select (sim or real threads).
 AspResult RunAsp(const gos::VmOptions& vm_options, const AspConfig& config);
 
 /// Serial reference for validation.

@@ -289,6 +289,7 @@ NbodyResult RunNbody(const gos::VmOptions& vm_options,
           "nbody" + std::to_string(t)));
     }
     for (gos::Thread* w : workers) vm.Join(env, w);
+    vm.Quiesce(env);  // settle in-flight diffs before the validation reads
 
     result.report = vm.Report();
 

@@ -117,6 +117,7 @@ SorResult RunSor(const gos::VmOptions& vm_options, const SorConfig& config) {
           "sor" + std::to_string(t)));
     }
     for (gos::Thread* w : workers) vm.Join(env, w);
+    vm.Quiesce(env);  // settle in-flight diffs before the validation reads
 
     result.report = vm.Report();
 

@@ -31,6 +31,8 @@ struct SorResult {
   double checksum = 0;  // sum over the final grid
 };
 
+/// Runs SOR with one worker thread per node, on whichever execution backend
+/// the options select (sim or real threads).
 SorResult RunSor(const gos::VmOptions& vm_options, const SorConfig& config);
 
 /// Serial reference for validation.

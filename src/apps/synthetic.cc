@@ -1,5 +1,7 @@
 #include "src/apps/synthetic.h"
 
+#include <atomic>
+
 #include "src/apps/costmodel.h"
 #include "src/gos/global.h"
 
@@ -25,7 +27,10 @@ SyntheticResult RunSynthetic(const gos::VmOptions& vm_options,
 
     vm.ResetMeasurement();
 
-    int turns = 0;
+    // Atomic: workers are real concurrent threads on the threads backend.
+    // The turn total itself is interleaving-independent (each turn advances
+    // the counter by `repetition` from below the target).
+    std::atomic<int> turns{0};
     std::vector<gos::Thread*> workers;
     for (int t = 0; t < config.workers; ++t) {
       workers.push_back(vm.Spawn(
@@ -58,9 +63,10 @@ SyntheticResult RunSynthetic(const gos::VmOptions& vm_options,
           "worker" + std::to_string(t)));
     }
     for (gos::Thread* w : workers) vm.Join(env, w);
+    vm.Quiesce(env);  // settle the final release's flush before reading
 
     result.report = vm.Report();
-    result.turns_taken = turns;
+    result.turns_taken = turns.load();
     env.Synchronized(lock0, [&] { result.final_count = counter.Get(env); });
   });
 

@@ -208,6 +208,7 @@ TspResult RunTsp(const gos::VmOptions& vm_options, const TspConfig& config) {
           "tsp" + std::to_string(t)));
     }
     for (gos::Thread* w : workers) vm.Join(env, w);
+    vm.Quiesce(env);  // settle the last incumbent update before reading it
 
     result.report = vm.Report();
     env.Synchronized(best_lock, [&] {

@@ -1,5 +1,7 @@
 #include "src/gos/vm.h"
 
+#include "src/runtime/runtime.h"
+
 namespace hmdsm::gos {
 
 std::string_view BackendName(Backend backend) {
@@ -8,6 +10,21 @@ std::string_view BackendName(Backend backend) {
     case Backend::kThreads: return "threads";
   }
   return "?";
+}
+
+std::string ValidateBackendRequest(Backend backend, std::string_view app,
+                                   bool record, bool inject_latency) {
+  (void)app;  // every app (asp/sor/nbody/tsp/synthetic/scenario) runs on
+              // both backends since the Vm became a backend facade
+  if (backend == Backend::kSim && inject_latency) {
+    return "--inject-latency needs --backend=threads: the simulator already "
+           "prices every message with the Hockney model in virtual time";
+  }
+  if (backend == Backend::kThreads && record) {
+    return "--record needs --backend=sim: a trace captured under "
+           "real-thread timing is not a reproducible access stream";
+  }
+  return {};
 }
 
 RunReport MakeRunReport(const stats::Recorder& rec, double seconds) {
@@ -27,66 +44,25 @@ RunReport MakeRunReport(const stats::Recorder& rec, double seconds) {
   return report;
 }
 
-Vm::Vm(VmOptions options)
-    : options_(options),
-      cluster_(dsm::ClusterOptions{options.nodes, options.model, options.dsm,
-                                   options.model_tx_occupancy}) {
+Vm::Vm(VmOptions options) : options_(options) {
   HMDSM_CHECK(options_.start_node < options_.nodes);
+  impl_ = options_.backend == Backend::kThreads
+              ? MakeThreadsVmBackend(*this, options_)
+              : MakeSimVmBackend(*this, options_);
 }
 
-void Vm::Run(ThreadBody main) {
-  Spawn(options_.start_node, std::move(main), "main");
-  cluster_.kernel().Run();
+Vm::~Vm() = default;
+
+dsm::Cluster& Vm::cluster() {
+  dsm::Cluster* c = impl_->cluster();
+  HMDSM_CHECK_MSG(c != nullptr, "Vm::cluster() is sim-backend only");
+  return *c;
 }
 
-Thread* Vm::Spawn(NodeId node, ThreadBody body, std::string name) {
-  HMDSM_CHECK(node < cluster_.nodes());
-  threads_.emplace_back();
-  Thread* t = &threads_.back();
-  if (name.empty()) name = "thread" + std::to_string(next_thread_idx_);
-  ++next_thread_idx_;
-  name += "@n" + std::to_string(node);
-  cluster_.kernel().Spawn(
-      std::move(name), [this, t, node, body = std::move(body)](
-                           sim::Process& proc) {
-        Env env(*this, cluster_.agent(node), proc);
-        body(env);
-        t->done_ = true;
-        if (!t->joiners_.empty()) t->joiners_.NotifyAll();
-      });
-  return t;
-}
-
-void Vm::Join(Env& env, Thread* t) {
-  HMDSM_CHECK(t != nullptr);
-  if (!t->done_) t->joiners_.Wait(env.process());
-}
-
-void Vm::Quiesce(Env& env) {
-  sim::WaitQueue idle;
-  cluster_.kernel().ScheduleWhenIdle([&idle] { idle.NotifyOne(); });
-  // The baton is ours until Park, so the callback cannot fire before the
-  // process is enqueued as a waiter.
-  idle.Wait(env.process());
-}
-
-ObjectId Vm::CreateObject(Env& env, NodeId home, ByteSpan initial) {
-  ObjectId id = cluster_.NewObjectId(home, env.node());
-  env.agent().CreateObject(env.process(), id, initial);
-  return id;
-}
-
-void Vm::ResetMeasurement() {
-  cluster_.ResetStats();
-  measure_start_ = cluster_.kernel().now();
-}
-
-double Vm::ElapsedSeconds() const {
-  return sim::ToSeconds(cluster_.kernel().now() - measure_start_);
-}
-
-RunReport Vm::Report() const {
-  return MakeRunReport(cluster_.Totals(), ElapsedSeconds());
+runtime::Runtime& Vm::runtime() {
+  runtime::Runtime* rt = impl_->runtime();
+  HMDSM_CHECK_MSG(rt != nullptr, "Vm::runtime() is threads-backend only");
+  return *rt;
 }
 
 }  // namespace hmdsm::gos

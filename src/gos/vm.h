@@ -4,18 +4,40 @@
 // "virtualizes" one object heap across the cluster: Java threads are
 // dispatched to nodes, `synchronized` blocks drive the consistency actions,
 // and every object access passes an access check. This module provides the
-// same execution model in C++: a Vm owns a simulated cluster; distributed
-// threads are spawned onto nodes and receive an Env with shared-memory,
-// lock, and barrier operations; typed wrappers (GlobalArray / GlobalScalar)
-// stand in for Java objects.
+// same execution model in C++: a Vm owns a cluster; distributed threads are
+// spawned onto nodes and receive an Env with shared-memory, lock, and
+// barrier operations; typed wrappers (GlobalArray / GlobalScalar) stand in
+// for Java objects.
+//
+// The Vm is a facade over one of two execution backends
+// (VmOptions::backend), both running the identical dsm::Agent protocol
+// engine through the net::Transport / runtime::Exec seams:
+//
+//   * kSim — the discrete-event simulator: distributed threads are
+//     cooperative sim::Processes, time is virtual, scheduling is
+//     bit-deterministic, and the Hockney model prices every message.
+//   * kThreads — real OS threads: every Spawn starts a std::thread entering
+//     the DSM through a runtime::Guest, Join is a real thread join, time is
+//     the wall clock, and Env::Compute is a real (precise) sleep. With
+//     VmOptions::inject_latency the channel transport additionally holds
+//     each delivery until its Hockney deadline, so wall-clock runs
+//     reproduce the modeled network regime and the two backends' times are
+//     directly comparable.
+//
+// Application code (src/apps, examples, the workload runner) is written
+// once against Env/Vm and runs on both.
 #pragma once
 
-#include <deque>
 #include <functional>
+#include <memory>
 #include <string>
+#include <string_view>
 
 #include "src/dsm/cluster.h"
-#include "src/sim/waitqueue.h"
+
+namespace hmdsm::runtime {
+class Runtime;
+}  // namespace hmdsm::runtime
 
 namespace hmdsm::gos {
 
@@ -26,89 +48,110 @@ using dsm::ObjectId;
 
 class Vm;
 
-/// Handle for joining a distributed thread.
+/// Handle for joining a distributed thread. Owned by the Vm; the concrete
+/// type is backend-private (a simulated process or a std::thread).
 class Thread {
  public:
-  bool done() const { return done_; }
+  virtual ~Thread() = default;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
 
- private:
-  friend class Vm;
-  bool done_ = false;
-  sim::WaitQueue joiners_;
+  /// True once the thread body has returned. On the threads backend this is
+  /// a racy peek — Join for a happens-before edge.
+  virtual bool done() const = 0;
+
+ protected:
+  Thread() = default;
 };
 
-/// Per-thread execution context: the node's DSM agent plus this thread's
-/// simulated process. Every GOS operation goes through an Env.
+/// Per-thread execution context: every GOS operation goes through an Env.
+/// Backends supply the implementation (a node's agent + sim::Process on the
+/// simulator, a runtime::Guest on the threads backend); application code
+/// only ever sees this interface, which is what lets the same app source
+/// run on either backend.
 class Env {
  public:
-  Env(Vm& vm, dsm::Agent& agent, sim::Process& proc)
-      : vm_(vm), agent_(agent), proc_(proc) {}
+  virtual ~Env() = default;
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
 
   Vm& vm() { return vm_; }
-  NodeId node() const { return agent_.node(); }
-  dsm::Agent& agent() { return agent_; }
-  sim::Process& process() { return proc_; }
+  virtual NodeId node() const = 0;
+  virtual dsm::Agent& agent() = 0;
 
   // ---- shared memory (untyped; see global.h for typed wrappers) ----
-  void Read(ObjectId obj, const std::function<void(ByteSpan)>& fn) {
-    agent_.Read(proc_, obj, fn);
-  }
-  void Write(ObjectId obj, const std::function<void(MutByteSpan)>& fn) {
-    agent_.Write(proc_, obj, fn);
-  }
+  virtual void Read(ObjectId obj, const std::function<void(ByteSpan)>& fn) = 0;
+  virtual void Write(ObjectId obj,
+                     const std::function<void(MutByteSpan)>& fn) = 0;
 
   // ---- synchronization ----
-  void Acquire(LockId lock) { agent_.Acquire(proc_, lock); }
-  void Release(LockId lock) { agent_.Release(proc_, lock); }
+  virtual void Acquire(LockId lock) = 0;
+  virtual void Release(LockId lock) = 0;
+  virtual void Barrier(BarrierId barrier, std::uint32_t participants) = 0;
 
-  /// Java-style synchronized block.
+  /// Java-style synchronized block. Releases on exception too: a throwing
+  /// body (a protocol CHECK, app code) must not leave the distributed lock
+  /// held — on the threads backend a peer blocked in Acquire would hang
+  /// Run's straggler join and swallow the original error.
   void Synchronized(LockId lock, const std::function<void()>& body) {
     Acquire(lock);
-    body();
+    try {
+      body();
+    } catch (...) {
+      Release(lock);
+      throw;
+    }
     Release(lock);
   }
 
-  void Barrier(BarrierId barrier, std::uint32_t participants) {
-    agent_.Barrier(proc_, barrier, participants);
-  }
+  /// Integral-nanosecond delay (the workload op unit): virtual time on the
+  /// simulator, a precise wall-clock sleep on the threads backend.
+  virtual void Delay(sim::Time ns) = 0;
 
-  /// Models local computation: advances this thread's virtual time.
+  /// Models local computation: advances this thread's virtual time (sim) or
+  /// really sleeps (threads), so compute/communication balance carries
+  /// across backends.
   void Compute(double seconds) {
-    if (seconds > 0) proc_.Delay(sim::FromSeconds(seconds));
+    if (seconds > 0) Delay(sim::FromSeconds(seconds));
   }
 
-  /// Like Compute, in integral nanoseconds (the workload op unit). Part of
-  /// the informal Env concept shared with runtime::Guest so the same
-  /// AgentShimT drives both backends.
-  void Delay(sim::Time ns) {
-    if (ns > 0) proc_.Delay(ns);
-  }
+ protected:
+  explicit Env(Vm& vm) : vm_(vm) {}
 
  private:
   Vm& vm_;
-  dsm::Agent& agent_;
-  sim::Process& proc_;
 };
 
 using ThreadBody = std::function<void(Env&)>;
 
 /// Which execution backend runs the protocol.
 enum class Backend {
-  kSim,      // deterministic discrete-event simulator (gos::Vm)
+  kSim,      // deterministic discrete-event simulator
   kThreads,  // real OS threads + in-process channels (runtime::Runtime)
 };
 
 std::string_view BackendName(Backend backend);
+
+/// Checks a requested app/flag combination against a backend; returns an
+/// empty string when runnable, else the human-readable rejection reason.
+/// (The CLI and the benches share this; util_flags_test pins the matrix.)
+std::string ValidateBackendRequest(Backend backend, std::string_view app,
+                                   bool record, bool inject_latency);
 
 struct VmOptions {
   std::size_t nodes = 8;
   NodeId start_node = 0;  // where the "application" (main thread) runs
   net::HockneyModel model{70.0, 12.5};
   dsm::DsmConfig dsm;
-  bool model_tx_occupancy = true;  // NIC transmit serialization
-  /// Consumed by workload::RunScenario to pick the execution backend; the
-  /// Vm itself always runs the simulator.
+  bool model_tx_occupancy = true;  // NIC transmit serialization (sim only)
+  /// Which execution backend the Vm builds (and RunScenario dispatches on).
   Backend backend = Backend::kSim;
+  /// Threads backend only: hold every delivery until its Hockney deadline —
+  /// Now() at send + model.Latency(wire bytes) * inject_scale — so measured
+  /// wall-clock runs reproduce the modeled network regime. Rejected on the
+  /// sim backend (which already prices messages in virtual time).
+  bool inject_latency = false;
+  double inject_scale = 1.0;
 };
 
 /// Snapshot of run metrics since the last ResetMeasurement().
@@ -127,64 +170,104 @@ struct RunReport {
 };
 
 /// Builds a RunReport from merged per-node statistics. Shared between the
-/// sim backend (Vm::Report) and the threads backend (runtime runner).
+/// sim backend and the threads backend.
 RunReport MakeRunReport(const stats::Recorder& totals, double seconds);
+
+/// Internal: one execution backend behind the Vm facade. Everything the
+/// facade forwards is defined here; each backend lives in its own TU
+/// (vm_sim.cc / vm_threads.cc).
+class VmBackend {
+ public:
+  virtual ~VmBackend() = default;
+
+  virtual std::size_t nodes() const = 0;
+  virtual void Run(ThreadBody main) = 0;
+  virtual Thread* Spawn(NodeId node, ThreadBody body, std::string name) = 0;
+  virtual void Join(Env& env, Thread* t) = 0;
+  virtual void Quiesce(Env& env) = 0;
+  virtual ObjectId CreateObject(Env& env, NodeId home, ByteSpan initial) = 0;
+  virtual LockId CreateLock(NodeId manager) = 0;
+  virtual BarrierId CreateBarrier(NodeId manager) = 0;
+  virtual void ResetMeasurement() = 0;
+  virtual double ElapsedSeconds() const = 0;
+  virtual RunReport Report() const = 0;
+
+  /// Backend-specific escape hatches (null on the other backend).
+  virtual dsm::Cluster* cluster() { return nullptr; }
+  virtual runtime::Runtime* runtime() { return nullptr; }
+};
+
+std::unique_ptr<VmBackend> MakeSimVmBackend(Vm& vm, const VmOptions& options);
+std::unique_ptr<VmBackend> MakeThreadsVmBackend(Vm& vm,
+                                                const VmOptions& options);
 
 class Vm {
  public:
   explicit Vm(VmOptions options);
+  ~Vm();
+  Vm(const Vm&) = delete;
+  Vm& operator=(const Vm&) = delete;
 
-  std::size_t nodes() const { return cluster_.nodes(); }
-  dsm::Cluster& cluster() { return cluster_; }
+  std::size_t nodes() const { return impl_->nodes(); }
   const VmOptions& options() const { return options_; }
+  Backend backend() const { return options_.backend; }
 
-  /// Runs `main` as the application thread on the start node and drives the
-  /// simulation until all threads finish.
-  void Run(ThreadBody main);
+  /// The simulated cluster — sim backend only (CHECKs otherwise).
+  dsm::Cluster& cluster();
+  /// The thread runtime — threads backend only (CHECKs otherwise).
+  runtime::Runtime& runtime();
+
+  /// Runs `main` as the application thread on the start node and drives
+  /// execution until it (and, on the threads backend, every spawned thread)
+  /// finishes and all in-flight protocol traffic has settled.
+  void Run(ThreadBody main) { impl_->Run(std::move(main)); }
 
   /// Spawns a distributed thread on `node` (the paper's thread dispatch).
-  Thread* Spawn(NodeId node, ThreadBody body, std::string name = {});
+  Thread* Spawn(NodeId node, ThreadBody body, std::string name = {}) {
+    return impl_->Spawn(node, std::move(body), std::move(name));
+  }
 
-  /// Blocks `env`'s thread until `t` finishes.
-  void Join(Env& env, Thread* t);
+  /// Blocks `env`'s thread until `t` finishes. Each thread has one joiner.
+  void Join(Env& env, Thread* t) { impl_->Join(env, t); }
 
   /// Blocks `env`'s thread until the cluster is quiescent: every in-flight
   /// protocol message (and any follow-on traffic its handlers generate) has
   /// been delivered and handled. Use before digesting final shared-object
   /// state — workers may finish with unacknowledged traffic still in
-  /// flight (a release's piggybacked diff, a notification broadcast). The
-  /// threads backend's counterpart is runtime::Runtime::AwaitQuiescence.
-  void Quiesce(Env& env);
+  /// flight (a release's piggybacked diff, a notification broadcast). On
+  /// the threads backend, call only while no other spawned thread is
+  /// actively issuing operations (e.g., after joining the workers).
+  void Quiesce(Env& env) { impl_->Quiesce(env); }
 
   // ---- shared-object / lock / barrier factories ----
 
   /// Creates a shared object with `initial` bytes homed at `home`.
   /// Blocking (callable from thread bodies only).
-  ObjectId CreateObject(Env& env, NodeId home, ByteSpan initial);
+  ObjectId CreateObject(Env& env, NodeId home, ByteSpan initial) {
+    return impl_->CreateObject(env, home, initial);
+  }
 
-  LockId CreateLock(NodeId manager) { return cluster_.NewLockId(manager); }
+  LockId CreateLock(NodeId manager) { return impl_->CreateLock(manager); }
   BarrierId CreateBarrier(NodeId manager) {
-    return cluster_.NewBarrierId(manager);
+    return impl_->CreateBarrier(manager);
   }
 
   // ---- measurement ----
 
   /// Starts the measured window: zeroes counters and marks the clock. Call
   /// after setup/data creation (the paper's timings exclude JVM startup).
-  void ResetMeasurement();
+  void ResetMeasurement() { impl_->ResetMeasurement(); }
 
   /// Metrics accumulated since the last ResetMeasurement().
-  RunReport Report() const;
+  RunReport Report() const { return impl_->Report(); }
 
-  /// Virtual seconds since the last ResetMeasurement().
-  double ElapsedSeconds() const;
+  /// Seconds since the last ResetMeasurement(): virtual on the simulator,
+  /// wall-clock on the threads backend.
+  double ElapsedSeconds() const { return impl_->ElapsedSeconds(); }
 
  private:
   VmOptions options_;
-  dsm::Cluster cluster_;
-  std::deque<Thread> threads_;
-  sim::Time measure_start_ = 0;
-  int next_thread_idx_ = 0;
+  std::unique_ptr<VmBackend> impl_;
 };
 
 }  // namespace hmdsm::gos

@@ -45,6 +45,11 @@ struct Packet {
   NodeId dst = 0;
   stats::MsgCat cat = stats::MsgCat::kObj;
   Bytes payload;
+  /// Threads backend, latency injection only: the transport-clock deadline
+  /// (ChannelTransport::Now() units) before which the dispatcher must not
+  /// deliver this packet. 0 = deliver immediately. The simulated network
+  /// ignores it (virtual-time delivery is an event, not a deadline).
+  sim::Time deliver_after = 0;
 };
 
 class Transport {

@@ -1,8 +1,21 @@
 #include "src/runtime/channel.h"
 
+#include <thread>
 #include <utility>
 
 namespace hmdsm::runtime {
+
+void PreciseSleepFor(sim::Time dt) {
+  if (dt <= 0) return;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(dt);
+  // Leave the typical coarse-sleep overshoot as spin margin.
+  constexpr sim::Time kSpinMarginNs = 150'000;
+  if (dt > kSpinMarginNs)
+    std::this_thread::sleep_for(std::chrono::nanoseconds(dt - kSpinMarginNs));
+  while (std::chrono::steady_clock::now() < deadline)
+    std::this_thread::yield();
+}
 
 ChannelTransport::ChannelTransport(std::size_t node_count)
     : channels_(node_count),
@@ -15,17 +28,25 @@ ChannelTransport::ChannelTransport(std::size_t node_count)
 void ChannelTransport::Send(NodeId src, NodeId dst, stats::MsgCat cat,
                             Bytes payload) {
   HMDSM_CHECK(src < channels_.size() && dst < channels_.size());
+  const std::size_t wire_bytes = payload.size() + kHeaderBytes;
+  net::Packet packet{src, dst, cat, std::move(payload)};
   if (src != dst) {
-    const std::size_t wire_bytes = payload.size() + kHeaderBytes;
     recorders_[src].RecordMessage(cat, wire_bytes);
     recorders_[src].RecordSent(src, wire_bytes);
     packets_sent_.fetch_add(1, std::memory_order_acq_rel);
+    if (inject_scale_ > 0) {
+      // Self-sends stay immediate, matching the sim's free local delivery.
+      packet.deliver_after =
+          Now() + static_cast<sim::Time>(
+                      static_cast<double>(inject_model_.Latency(wire_bytes)) *
+                      inject_scale_);
+    }
   }
   // Count before the push: once the packet is visible to the dispatcher,
   // enqueued() must already cover it, or AwaitQuiescence could observe
   // enqueued == dispatched with a packet still in flight.
   enqueued_.fetch_add(1, std::memory_order_acq_rel);
-  channels_[dst].Push(net::Packet{src, dst, cat, std::move(payload)});
+  channels_[dst].Push(std::move(packet));
 }
 
 void ChannelTransport::Dispatch(net::Packet&& packet) {

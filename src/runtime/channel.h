@@ -15,6 +15,19 @@
 // Statistics: per-node recorders, send half recorded by the sender, receive
 // half by the dispatcher at delivery (each under its node's agent lock).
 // The enqueued/dispatched counters feed Runtime::AwaitQuiescence.
+//
+// Latency injection (optional): EnableLatencyInjection stamps every
+// cross-node Send with a delivery deadline of Now() + scale *
+// HockneyModel::Latency(wire bytes); the dispatcher holds each popped
+// packet (AwaitDeliveryTime) until its deadline before delivering. The
+// semantics are deadline-based, not cumulative sleep: packets queued
+// behind a sleeping dispatcher age toward their own deadlines meanwhile,
+// so same-size fan-in latencies overlap like the simulator's pipeline
+// latencies. Delivery stays per-destination FIFO, though, so a small
+// packet queued behind a large one inherits the larger deadline
+// (head-of-line blocking — a receive-side serialization the simulator
+// does not model; it bounds measured-vs-modeled fidelity for mixed-size
+// fan-in). Statistics are untouched — injection shapes time, not traffic.
 #pragma once
 
 #include <atomic>
@@ -23,14 +36,23 @@
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <thread>
 #include <vector>
 
+#include "src/net/hockney.h"
 #include "src/net/transport.h"
 #include "src/util/check.h"
 
 namespace hmdsm::runtime {
 
 using net::NodeId;
+
+/// Sleeps `dt` nanoseconds with sub-scheduler-jiffy accuracy: a coarse
+/// sleep_for for the bulk, then a yield-spin to the deadline. Plain
+/// sleep_for routinely overshoots by tens of microseconds — the same order
+/// as a modeled message latency or compute delay, which would swamp
+/// injected Hockney delays and Env::Compute sleeps.
+void PreciseSleepFor(sim::Time dt);
 
 /// One node's mailbox: multi-producer, single-consumer (the dispatcher).
 class Channel {
@@ -47,7 +69,29 @@ class Channel {
   /// Blocks until a packet is available or the channel is closed. Returns
   /// false only when the channel is closed (remaining packets are dropped:
   /// close means the run is over).
+  ///
+  /// Spin-then-block: protocol traffic is bursty request/response chains
+  /// where the next packet typically lands within microseconds, while a
+  /// condvar block costs a scheduler wake (tens of microseconds) — the same
+  /// order as a modeled message latency, which would distort
+  /// measured-vs-modeled comparisons. A short bounded spin absorbs the
+  /// common case; idle dispatchers still park on the condvar.
   bool WaitPop(net::Packet& out) {
+    const auto spin_deadline =
+        std::chrono::steady_clock::now() + std::chrono::microseconds(20);
+    do {
+      {
+        std::lock_guard lock(mu_);
+        if (closed_) return false;
+        if (!q_.empty()) {
+          out = std::move(q_.front());
+          q_.pop_front();
+          return true;
+        }
+      }
+      std::this_thread::yield();
+    } while (std::chrono::steady_clock::now() < spin_deadline);
+
     std::unique_lock lock(mu_);
     cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
     if (closed_) return false;
@@ -88,6 +132,23 @@ class ChannelTransport final : public net::Transport {
   /// the per-node send accounting race-free.
   void Send(NodeId src, NodeId dst, stats::MsgCat cat,
             Bytes payload) override;
+
+  /// Enables wall-clock latency injection (see file comment). `scale`
+  /// multiplies the modeled latency; <= 0 disables injection entirely.
+  /// Call before traffic starts flowing.
+  void EnableLatencyInjection(const net::HockneyModel& model, double scale) {
+    inject_model_ = model;
+    inject_scale_ = scale;
+  }
+  bool latency_injection_enabled() const { return inject_scale_ > 0; }
+
+  /// Blocks until `packet`'s injected delivery deadline. No-op when
+  /// injection is off or the deadline already passed. Dispatchers call this
+  /// after popping and *before* taking the destination agent lock, so a
+  /// sleeping delivery never blocks the node's guests.
+  void AwaitDeliveryTime(const net::Packet& packet) const {
+    if (packet.deliver_after > 0) PreciseSleepFor(packet.deliver_after - Now());
+  }
 
   /// Wall-clock nanoseconds since transport construction.
   sim::Time Now() const override {
@@ -146,6 +207,8 @@ class ChannelTransport final : public net::Transport {
   std::atomic<std::uint64_t> dispatched_{0};
   std::atomic<std::uint64_t> packets_sent_{0};
   std::chrono::steady_clock::time_point epoch_;
+  net::HockneyModel inject_model_{70.0, 12.5};  // written before dispatch
+  double inject_scale_ = 0.0;                   // starts; read-only after
 };
 
 }  // namespace hmdsm::runtime

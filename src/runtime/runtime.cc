@@ -13,6 +13,10 @@ Runtime::Runtime(RuntimeOptions options)
     : options_(std::move(options)), transport_(options_.nodes) {
   HMDSM_CHECK_MSG(options_.nodes >= 1 && options_.nodes <= 0x10000,
                   "node count out of range");
+  if (options_.inject_latency_scale > 0) {
+    transport_.EnableLatencyInjection(options_.model,
+                                      options_.inject_latency_scale);
+  }
   cells_.reserve(options_.nodes);
   for (dsm::NodeId n = 0; n < options_.nodes; ++n) {
     auto cell = std::make_unique<NodeCell>();
@@ -31,6 +35,9 @@ Runtime::~Runtime() { Shutdown(); }
 void Runtime::DispatchLoop(dsm::NodeId node) {
   net::Packet packet;
   while (transport_.WaitPop(node, packet)) {
+    // Injected Hockney delay first, outside the agent lock: a delivery
+    // sleeping toward its deadline must not block the node's guests.
+    transport_.AwaitDeliveryTime(packet);
     // The agent lock serializes this handler against the node's guests
     // (and is the lock their Park waits release).
     std::lock_guard lock(cells_[node]->mu);
@@ -163,7 +170,10 @@ void Guest::Delay(sim::Time dt) {
   HMDSM_CHECK_MSG(active_lock_ == nullptr,
                   "Delay inside an agent call in guest '" << name_ << "'");
   HMDSM_CHECK_MSG(dt >= 0, "negative delay in guest '" << name_ << "'");
-  if (dt > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(dt));
+  // Precise, not plain sleep_for: modeled compute delays are often a few
+  // microseconds, and coarse-sleep overshoot would dwarf them (breaking the
+  // measured-vs-modeled comparison latency injection exists for).
+  PreciseSleepFor(dt);
 }
 
 std::uint64_t Guest::Park() {

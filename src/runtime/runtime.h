@@ -37,6 +37,13 @@ namespace hmdsm::runtime {
 struct RuntimeOptions {
   std::size_t nodes = 8;
   dsm::DsmConfig dsm;
+  /// Interconnect model used for latency injection (callers typically also
+  /// derive the adaptive policy's α from it, as dsm::Cluster does).
+  net::HockneyModel model{70.0, 12.5};
+  /// > 0 enables wall-clock latency injection: each cross-node delivery is
+  /// held until send-time + model.Latency(wire bytes) * this scale, so the
+  /// measured run reproduces the modeled network regime (see channel.h).
+  double inject_latency_scale = 0.0;
 };
 
 class Guest;

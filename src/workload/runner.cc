@@ -11,10 +11,17 @@
 
 namespace hmdsm::workload {
 
+// One driver for both backends: the gos::Vm facade hides whether workers
+// are simulated processes or real std::threads, and the AgentShim issues
+// bit-identical op semantics either way. The run reaches quiescence (all
+// in-flight protocol messages drained and handled) before the report and
+// the final-contents digest are taken: workers may finish with
+// unacknowledged traffic still in flight (a release's piggybacked diff, a
+// notification broadcast), and the digest must see the settled state — the
+// same state on both backends, which is what makes the checksum a
+// cross-backend data-integrity witness.
 ScenarioResult RunScenario(const gos::VmOptions& vm_options,
                            const Scenario& scenario, bool record) {
-  if (vm_options.backend == gos::Backend::kThreads)
-    return RunScenarioThreads(vm_options, scenario, record);
   ValidateScenario(scenario);
 
   gos::VmOptions options = vm_options;
@@ -37,6 +44,8 @@ ScenarioResult RunScenario(const gos::VmOptions& vm_options,
 
     vm.ResetMeasurement();
 
+    // Worker w only ever touches shims[w]; the joins below give the main
+    // thread a happens-before edge on every slot before it reads them.
     std::vector<std::unique_ptr<AgentShim>> shims(scenario.workers.size());
     std::vector<gos::Thread*> threads;
     for (std::uint32_t w = 0; w < scenario.workers.size(); ++w) {
@@ -53,9 +62,8 @@ ScenarioResult RunScenario(const gos::VmOptions& vm_options,
     }
     for (gos::Thread* t : threads) vm.Join(env, t);
     // Settle in-flight traffic (final releases' piggybacked diffs,
-    // notification broadcasts) before reporting and digesting — the same
-    // quiescence point the threads backend reaches, so the final-contents
-    // digest is backend-independent.
+    // notification broadcasts) before reporting and digesting, so the
+    // final-contents digest is backend-independent.
     vm.Quiesce(env);
 
     result.report = vm.Report();

@@ -1,16 +1,12 @@
 // The scenario/replay driver: executes any Scenario — generated, parsed, or
 // recorded — under any MigrationPolicy / DsmConfig, on either execution
-// backend (VmOptions::backend):
+// backend. One code path serves both: the gos::Vm facade dispatches on
+// VmOptions::backend, so workers are simulated processes (deterministic,
+// `report.seconds` is virtual time) or real std::threads (`report.seconds`
+// is wall-clock time; the network model feeds the adaptive policy's α and,
+// with VmOptions::inject_latency, a per-delivery Hockney sleep).
 //
-//   * kSim: builds a gos::Vm (which owns the sim::Kernel, network, and one
-//     dsm::Agent per node) and spawns one simulated process per worker.
-//     Deterministic; `report.seconds` is virtual time.
-//   * kThreads: builds a runtime::Runtime (one dispatcher thread + agent
-//     per node) and spawns one std::thread per worker. Real concurrency;
-//     `report.seconds` is wall-clock time; the network model only feeds
-//     the adaptive policy's α.
-//
-// Both paths execute ops through the same AgentShimT, so a scenario's
+// Both backends execute ops through the same AgentShim, so a scenario's
 // checksum — every byte read plus the final object contents — must agree
 // across backends (the cross-backend equivalence tests assert exactly
 // that). Setup (object creation) happens before ResetMeasurement, matching
@@ -40,13 +36,6 @@ struct ScenarioResult {
 /// the captured access trace.
 ScenarioResult RunScenario(const gos::VmOptions& vm_options,
                            const Scenario& scenario, bool record = false);
-
-/// The threads-backend path (RunScenario dispatches here when
-/// `vm_options.backend == gos::Backend::kThreads`; exposed for tests and
-/// benches that want to force the backend).
-ScenarioResult RunScenarioThreads(const gos::VmOptions& vm_options,
-                                  const Scenario& scenario,
-                                  bool record = false);
 
 /// Convenience: LoadScenario + RunScenario.
 ScenarioResult ReplayTraceFile(const gos::VmOptions& vm_options,

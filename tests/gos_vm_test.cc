@@ -1,12 +1,16 @@
 // Tests for the distributed-JVM stand-in: thread dispatch, join, typed
-// shared objects, synchronized blocks, barriers, and run reports.
+// shared objects, synchronized blocks, barriers, and run reports — plus the
+// threads-backend regression suite for Quiesce/Join (all guests joined, no
+// in-flight messages, merged recorder totals consistent).
 #include "src/gos/vm.h"
 
 #include <gtest/gtest.h>
 
 #include <numeric>
+#include <stdexcept>
 
 #include "src/gos/global.h"
+#include "src/runtime/runtime.h"
 
 namespace hmdsm::gos {
 namespace {
@@ -217,6 +221,152 @@ TEST(Vm, StartNodeOption) {
   NodeId seen = 99;
   vm.Run([&](Env& env) { seen = env.node(); });
   EXPECT_EQ(seen, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Threads backend: the same Vm surface on real OS threads.
+// ---------------------------------------------------------------------------
+
+VmOptions ThreadsOpts(std::size_t nodes, const std::string& policy = "AT") {
+  VmOptions o = Opts(nodes, policy);
+  o.backend = Backend::kThreads;
+  return o;
+}
+
+TEST(VmThreads, SynchronizedCountersAreExact) {
+  // The classic distributed counter, now under genuine concurrency.
+  constexpr int kThreads = 4, kIncrements = 20;
+  Vm vm(ThreadsOpts(5));
+  vm.Run([&](Env& env) {
+    auto counter = GlobalScalar<std::int64_t>::Create(env, 0, 0);
+    LockId lock = vm.CreateLock(0);
+    std::vector<Thread*> ts;
+    for (int i = 0; i < kThreads; ++i) {
+      ts.push_back(vm.Spawn(1 + i, [&](Env& child) {
+        for (int k = 0; k < kIncrements; ++k) {
+          child.Synchronized(lock, [&] {
+            counter.Update(child, [](std::int64_t v) { return v + 1; });
+          });
+        }
+      }));
+    }
+    for (Thread* t : ts) vm.Join(env, t);
+    env.Synchronized(lock, [&] {
+      EXPECT_EQ(counter.Get(env), kThreads * kIncrements);
+    });
+  });
+}
+
+TEST(VmThreads, QuiesceJoinsGuestsDrainsTrafficAndBalancesRecorders) {
+  // Regression for the shutdown path: after joining every worker and
+  // quiescing, (1) every Thread reports done, (2) the transport has no
+  // in-flight messages (enqueued == dispatched), and (3) the merged
+  // per-node recorders are internally consistent — every cross-node send
+  // was received, and the category totals agree with the per-node tables.
+  constexpr NodeId kNodes = 4;
+  Vm vm(ThreadsOpts(kNodes));
+  vm.Run([&](Env& env) {
+    auto arr = GlobalArray<int>::Create(env, 64, 1);
+    BarrierId barrier = vm.CreateBarrier(0);
+    std::vector<Thread*> ts;
+    for (NodeId n = 0; n < kNodes; ++n) {
+      ts.push_back(vm.Spawn(n, [&, n](Env& me) {
+        for (int k = 0; k < 3; ++k) {
+          arr.Update(me, [&](std::span<int> s) { s[n * 4 + k] += 1; });
+          me.Barrier(barrier, kNodes);
+        }
+      }));
+    }
+    for (Thread* t : ts) vm.Join(env, t);
+    for (Thread* t : ts) EXPECT_TRUE(t->done());
+
+    vm.Quiesce(env);
+
+    runtime::ChannelTransport& transport = vm.runtime().transport();
+    EXPECT_EQ(transport.enqueued(), transport.dispatched());
+
+    const stats::Recorder totals = vm.runtime().Totals();
+    std::uint64_t sent_msgs = 0, recv_msgs = 0;
+    std::uint64_t sent_bytes = 0, recv_bytes = 0;
+    for (NodeId n = 0; n < kNodes; ++n) {
+      sent_msgs += totals.SentBy(n).messages;
+      sent_bytes += totals.SentBy(n).bytes;
+      recv_msgs += totals.ReceivedBy(n).messages;
+      recv_bytes += totals.ReceivedBy(n).bytes;
+    }
+    EXPECT_GT(sent_msgs, 0u);
+    EXPECT_EQ(sent_msgs, recv_msgs);
+    EXPECT_EQ(sent_bytes, recv_bytes);
+    EXPECT_EQ(totals.TotalMessages(true), sent_msgs);
+    EXPECT_EQ(totals.TotalBytes(true), sent_bytes);
+  });
+}
+
+TEST(VmThreads, JoinOnFinishedThreadAndDoubleJoinAreSafe) {
+  Vm vm(ThreadsOpts(2));
+  vm.Run([&](Env& env) {
+    Thread* t = vm.Spawn(1, [](Env&) {});
+    vm.Join(env, t);
+    EXPECT_TRUE(t->done());
+    vm.Join(env, t);  // second join is a no-op, not a crash
+  });
+}
+
+TEST(VmThreads, WorkerExceptionPropagatesThroughJoin) {
+  Vm vm(ThreadsOpts(2));
+  EXPECT_THROW(
+      vm.Run([&](Env& env) {
+        Thread* t = vm.Spawn(
+            1, [](Env&) { throw std::runtime_error("worker failed"); });
+        vm.Join(env, t);
+      }),
+      std::runtime_error);
+}
+
+TEST(VmThreads, SynchronizedReleasesTheLockWhenTheBodyThrows) {
+  // A throwing synchronized body must not leave the distributed lock held:
+  // the peer contending for it would hang forever (and with it the run).
+  Vm vm(ThreadsOpts(3));
+  int good_ran = 0;
+  EXPECT_THROW(
+      vm.Run([&](Env& env) {
+        auto x = GlobalScalar<int>::Create(env, 0, 0);
+        LockId lock = vm.CreateLock(0);
+        Thread* bad = vm.Spawn(1, [&](Env& me) {
+          me.Synchronized(lock, [] { throw std::runtime_error("boom"); });
+        });
+        Thread* good = vm.Spawn(2, [&](Env& me) {
+          me.Synchronized(lock, [&] {
+            good_ran = x.Update(me, [](int v) { return v + 1; });
+          });
+        });
+        vm.Join(env, good);  // must not hang on the orphaned lock
+        vm.Join(env, bad);   // rethrows the worker's exception
+      }),
+      std::runtime_error);
+  EXPECT_EQ(good_ran, 1);
+}
+
+TEST(VmThreads, RunJoinsStragglersLeftUnjoined) {
+  // A body that forgets to Join still leaves the Vm quiescent: Run joins
+  // the stragglers before returning. The shared handles live outside Run
+  // because stragglers may still use them after the body returns.
+  Vm vm(ThreadsOpts(3));
+  GlobalScalar<int> x;
+  LockId lock{};
+  vm.Run([&](Env& env) {
+    x = GlobalScalar<int>::Create(env, 0, 0);
+    lock = vm.CreateLock(0);
+    for (NodeId n = 1; n < 3; ++n)
+      vm.Spawn(n, [&](Env& me) {
+        me.Synchronized(lock, [&] {
+          x.Update(me, [](int v) { return v + 1; });
+        });
+      });
+    // no Join on purpose
+  });
+  runtime::ChannelTransport& transport = vm.runtime().transport();
+  EXPECT_EQ(transport.enqueued(), transport.dispatched());
 }
 
 }  // namespace

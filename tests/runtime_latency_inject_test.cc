@@ -1,0 +1,131 @@
+// Latency injection on the threads transport: the injected per-message
+// delay matches HockneyModel::Latency within tolerance, zero scale disables
+// injection entirely, and statistics still record the modeled wire bytes —
+// injection shapes time, not traffic.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/channel.h"
+
+namespace hmdsm::runtime {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+/// Drives one node's mailbox exactly the way Runtime::DispatchLoop does:
+/// pop, honor the injected delivery deadline, deliver under a lock.
+class MiniDispatcher {
+ public:
+  MiniDispatcher(ChannelTransport& tr, NodeId node)
+      : tr_(tr), th_([this, node] {
+          net::Packet packet;
+          while (tr_.WaitPop(node, packet)) {
+            tr_.AwaitDeliveryTime(packet);
+            std::lock_guard lock(mu_);
+            tr_.Dispatch(std::move(packet));
+          }
+        }) {}
+  ~MiniDispatcher() {
+    tr_.CloseAll();
+    th_.join();
+  }
+
+ private:
+  ChannelTransport& tr_;
+  std::mutex mu_;
+  std::thread th_;
+};
+
+/// Sends one packet of `payload_bytes` from node 0 to node 1 and returns
+/// the send-to-delivery wall time in seconds.
+double MeasureDelivery(ChannelTransport& tr, std::size_t payload_bytes) {
+  const std::uint64_t before = tr.dispatched();
+  const Clock::time_point start = Clock::now();
+  tr.Send(0, 1, stats::MsgCat::kObj, Bytes(payload_bytes, Byte{0xAB}));
+  while (tr.dispatched() == before) std::this_thread::yield();
+  return Seconds(Clock::now() - start);
+}
+
+TEST(LatencyInject, DelayMatchesHockneyModel) {
+  // Big t0 and a slow link so the modeled latency dwarfs scheduling noise.
+  const net::HockneyModel model(/*startup_us=*/3000.0,
+                                /*bandwidth_mbps=*/10.0);
+  ChannelTransport tr(2);
+  tr.EnableLatencyInjection(model, 1.0);
+  EXPECT_TRUE(tr.latency_injection_enabled());
+  tr.SetHandler(1, [](net::Packet&&) {});
+  MiniDispatcher dispatcher(tr, 1);
+
+  for (const std::size_t payload : {std::size_t{0}, std::size_t{40000}}) {
+    const double modeled =
+        sim::ToSeconds(model.Latency(payload + net::Transport::kHeaderBytes));
+    const double measured = MeasureDelivery(tr, payload);
+    // Lower bound is hard (the deadline is honored); upper is generous for
+    // loaded CI machines.
+    EXPECT_GE(measured, modeled * 0.95) << "payload " << payload;
+    EXPECT_LT(measured, modeled + 0.25) << "payload " << payload;
+  }
+}
+
+TEST(LatencyInject, ScaleMultipliesTheModeledDelay) {
+  const net::HockneyModel model(/*startup_us=*/1500.0, /*bandwidth_mbps=*/10.0);
+  ChannelTransport tr(2);
+  tr.EnableLatencyInjection(model, 3.0);
+  tr.SetHandler(1, [](net::Packet&&) {});
+  MiniDispatcher dispatcher(tr, 1);
+
+  const double modeled =
+      sim::ToSeconds(model.Latency(net::Transport::kHeaderBytes));
+  EXPECT_GE(MeasureDelivery(tr, 0), 3.0 * modeled * 0.95);
+}
+
+TEST(LatencyInject, ZeroScaleDisablesInjection) {
+  // With this t0, injection would add 300ms per delivery; disabled, the
+  // message must arrive orders of magnitude faster.
+  ChannelTransport tr(2);
+  tr.EnableLatencyInjection(net::HockneyModel(300000.0, 10.0), 0.0);
+  EXPECT_FALSE(tr.latency_injection_enabled());
+  tr.SetHandler(1, [](net::Packet&&) {});
+  MiniDispatcher dispatcher(tr, 1);
+
+  EXPECT_LT(MeasureDelivery(tr, 0), 0.2);
+}
+
+TEST(LatencyInject, StatsStillRecordModeledBytes) {
+  const net::HockneyModel model(/*startup_us=*/50.0, /*bandwidth_mbps=*/100.0);
+  ChannelTransport tr(2);
+  tr.EnableLatencyInjection(model, 1.0);
+  tr.SetHandler(1, [](net::Packet&&) {});
+  MiniDispatcher dispatcher(tr, 1);
+
+  const std::vector<std::size_t> payloads = {16, 256, 1000};
+  std::size_t wire_bytes = 0;
+  for (std::size_t p : payloads) {
+    MeasureDelivery(tr, p);
+    wire_bytes += p + net::Transport::kHeaderBytes;
+  }
+
+  // Send side (node 0) and receive side (node 1) both account the modeled
+  // wire size; the injected sleep must not perturb either.
+  const stats::MsgTotals sent = tr.RecorderFor(0).SentBy(0);
+  const stats::MsgTotals received = tr.RecorderFor(1).ReceivedBy(1);
+  EXPECT_EQ(sent.messages, payloads.size());
+  EXPECT_EQ(sent.bytes, wire_bytes);
+  EXPECT_EQ(received.messages, payloads.size());
+  EXPECT_EQ(received.bytes, wire_bytes);
+  const stats::MsgTotals cat =
+      tr.RecorderFor(0).Cat(stats::MsgCat::kObj);
+  EXPECT_EQ(cat.messages, payloads.size());
+  EXPECT_EQ(cat.bytes, wire_bytes);
+}
+
+}  // namespace
+}  // namespace hmdsm::runtime

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/gos/vm.h"
 #include "src/util/check.h"
 
 namespace hmdsm {
@@ -81,6 +82,74 @@ TEST(Flags, NegativeValueViaEquals) {
   auto f = Make({"--offset=-5", "--delta", "-7"});
   EXPECT_EQ(f.GetInt("offset", 0), -5);
   EXPECT_EQ(f.GetInt("delta", 0), -7);
+}
+
+// ---------------------------------------------------------------------------
+// Backend/flag combination matrix (the CLI's and the fig2 benches' gate).
+// Since the apps were ported onto the backend-neutral Vm, the threads
+// backend accepts every app; only --record (sim-deterministic capture) and
+// sim + --inject-latency (already modeled) are rejected.
+// ---------------------------------------------------------------------------
+
+TEST(BackendRequest, EveryAppAcceptedOnBothBackends) {
+  for (const char* app :
+       {"asp", "sor", "nbody", "tsp", "synthetic", "scenario"}) {
+    EXPECT_EQ(gos::ValidateBackendRequest(gos::Backend::kSim, app,
+                                          /*record=*/false,
+                                          /*inject_latency=*/false),
+              "")
+        << app;
+    EXPECT_EQ(gos::ValidateBackendRequest(gos::Backend::kThreads, app,
+                                          /*record=*/false,
+                                          /*inject_latency=*/false),
+              "")
+        << app;
+  }
+}
+
+TEST(BackendRequest, RecordIsSimOnly) {
+  EXPECT_EQ(gos::ValidateBackendRequest(gos::Backend::kSim, "scenario",
+                                        /*record=*/true, false),
+            "");
+  EXPECT_NE(gos::ValidateBackendRequest(gos::Backend::kThreads, "scenario",
+                                        /*record=*/true, false),
+            "");
+  EXPECT_NE(gos::ValidateBackendRequest(gos::Backend::kThreads, "asp",
+                                        /*record=*/true, false),
+            "");
+}
+
+TEST(BackendRequest, LatencyInjectionIsThreadsOnly) {
+  EXPECT_EQ(gos::ValidateBackendRequest(gos::Backend::kThreads, "asp",
+                                        false, /*inject_latency=*/true),
+            "");
+  EXPECT_EQ(gos::ValidateBackendRequest(gos::Backend::kThreads, "scenario",
+                                        false, /*inject_latency=*/true),
+            "");
+  EXPECT_NE(gos::ValidateBackendRequest(gos::Backend::kSim, "asp", false,
+                                        /*inject_latency=*/true),
+            "");
+}
+
+TEST(BackendRequest, CombinationsParsedFromFlagsMatchTheCliWiring) {
+  // The exact flag spellings the CLI consumes, end to end through Flags.
+  auto request = [](std::initializer_list<const char*> args) {
+    const Flags f = Make(args);
+    const gos::Backend backend = f.Get("backend", "sim") == "threads"
+                                     ? gos::Backend::kThreads
+                                     : gos::Backend::kSim;
+    return gos::ValidateBackendRequest(backend, f.Get("app"),
+                                       f.Has("record"),
+                                       f.GetBool("inject-latency", false));
+  };
+  EXPECT_EQ(request({"--app=asp", "--backend=threads"}), "");
+  EXPECT_EQ(request({"--app=tsp", "--backend=threads", "--inject-latency"}),
+            "");
+  EXPECT_EQ(request({"--app=scenario", "--record=/tmp/t"}), "");
+  EXPECT_NE(request({"--app=scenario", "--backend=threads",
+                     "--record=/tmp/t"}),
+            "");
+  EXPECT_NE(request({"--app=sor", "--inject-latency"}), "");
 }
 
 }  // namespace

@@ -10,13 +10,17 @@
 //   hmdsm_cli --app=scenario --pattern=migratory --record=/tmp/mig.trace
 //   hmdsm_cli --app=scenario --replay=/tmp/mig.trace --policy=BR
 //   hmdsm_cli --app=scenario --pattern=hotspot --backend=threads
+//   hmdsm_cli --app=asp --backend=threads --inject-latency
 //
 // Protocol knobs: --policy=NoHM|FT<k>|AT|MH|BR|LF
 //                 --notify=fp|manager|broadcast
 //                 --piggyback=0|1  --lambda=<float>  --tinit=<float>
 //                 --t0-us=<float>  --bandwidth-mbps=<float>  --seed=<int>
-// Execution:      --backend=sim|threads  (threads: scenarios only, runs the
-//                 protocol on real OS threads with a wall clock)
+// Execution:      --backend=sim|threads  (threads: every app on real OS
+//                 threads with a wall clock; --record stays sim-only)
+//                 --inject-latency [--inject-scale=F]  (threads: hold each
+//                 delivery until its Hockney deadline so the measured run
+//                 reproduces the modeled network regime)
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -43,8 +47,10 @@ int Usage(const char* error) {
       "  common:    --policy=NoHM|FT<k>|AT|MH|BR|LF --nodes=N --seed=N\n"
       "             --notify=fp|manager|broadcast --piggyback=0|1\n"
       "             --lambda=F --tinit=F --t0-us=F --bandwidth-mbps=F\n"
-      "             --backend=sim|threads (threads: real OS threads +\n"
-      "             wall clock; scenarios only, no --record)\n"
+      "             --backend=sim|threads (threads: every app on real OS\n"
+      "             threads + wall clock; no --record)\n"
+      "             --inject-latency [--inject-scale=F] (threads: sleep\n"
+      "             each delivery by the modeled Hockney latency)\n"
       "  asp/sor:   --size=N   (sor: --iterations=N)\n"
       "  nbody:     --bodies=N --steps=N\n"
       "  tsp:       --cities=N\n"
@@ -114,18 +120,11 @@ int main(int argc, char** argv) {
   } else {
     return Usage("bad --backend (sim|threads)");
   }
-  if (vm.backend == gos::Backend::kThreads) {
-    // The threads backend can only honor what maps onto real execution:
-    // scenario programs (generated or replayed). The paper apps are coded
-    // against the simulated Vm, and --record needs the deterministic
-    // schedule for a reproducible capture.
-    if (app != "scenario")
-      return Usage("--backend=threads only runs --app=scenario "
-                   "(the paper apps are coded against the simulated Vm)");
-    if (flags.Has("record"))
-      return Usage("--record needs --backend=sim: a trace captured under "
-                   "real-thread timing is not a reproducible access stream");
-  }
+  vm.inject_latency = flags.GetBool("inject-latency", false);
+  vm.inject_scale = flags.GetDouble("inject-scale", 1.0);
+  const std::string rejection = gos::ValidateBackendRequest(
+      vm.backend, app, flags.Has("record"), vm.inject_latency);
+  if (!rejection.empty()) return Usage(rejection.c_str());
 
   // The synthetic benchmark needs node 0 for the application plus one node
   // per worker.
@@ -140,6 +139,7 @@ int main(int argc, char** argv) {
               dsm::NotifyMechanismName(vm.dsm.notify).c_str(),
               std::string(gos::BackendName(vm.backend)).c_str());
 
+  const bool wall_clock = vm.backend == gos::Backend::kThreads;
   try {
     if (app == "asp") {
       apps::AspConfig cfg;
@@ -149,7 +149,7 @@ int main(int argc, char** argv) {
       const auto res = apps::RunAsp(vm, cfg);
       std::printf("checksum: %llu\n",
                   static_cast<unsigned long long>(res.checksum));
-      PrintReport(res.report);
+      PrintReport(res.report, wall_clock);
     } else if (app == "sor") {
       apps::SorConfig cfg;
       cfg.n = static_cast<int>(flags.GetInt("size", 256));
@@ -158,7 +158,7 @@ int main(int argc, char** argv) {
           flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
       const auto res = apps::RunSor(vm, cfg);
       std::printf("checksum: %.6f\n", res.checksum);
-      PrintReport(res.report);
+      PrintReport(res.report, wall_clock);
     } else if (app == "nbody") {
       apps::NbodyConfig cfg;
       cfg.bodies = static_cast<int>(flags.GetInt("bodies", 512));
@@ -167,7 +167,7 @@ int main(int argc, char** argv) {
           flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
       const auto res = apps::RunNbody(vm, cfg);
       std::printf("position checksum: %.6f\n", res.position_checksum);
-      PrintReport(res.report);
+      PrintReport(res.report, wall_clock);
     } else if (app == "tsp") {
       apps::TspConfig cfg;
       cfg.cities = static_cast<int>(flags.GetInt("cities", 10));
@@ -175,7 +175,7 @@ int main(int argc, char** argv) {
           flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
       const auto res = apps::RunTsp(vm, cfg);
       std::printf("best tour length: %d\n", res.best_length);
-      PrintReport(res.report);
+      PrintReport(res.report, wall_clock);
     } else if (app == "synthetic") {
       apps::SyntheticConfig cfg;
       cfg.repetition = static_cast<int>(flags.GetInt("repetition", 4));
@@ -186,7 +186,7 @@ int main(int argc, char** argv) {
       const auto res = apps::RunSynthetic(vm, cfg);
       std::printf("final count: %lld (turns: %d)\n",
                   static_cast<long long>(res.final_count), res.turns_taken);
-      PrintReport(res.report);
+      PrintReport(res.report, wall_clock);
     } else if (app == "scenario") {
       workload::Scenario scenario;
       const std::string replay = flags.Get("replay");
@@ -226,7 +226,7 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(res.recorded.total_ops()),
                     record.c_str());
       }
-      PrintReport(res.report, vm.backend == gos::Backend::kThreads);
+      PrintReport(res.report, wall_clock);
     } else {
       return Usage("unknown --app");
     }
