@@ -42,6 +42,8 @@ struct Fig2Mode {
 inline Fig2Mode ParseFig2Mode(int argc, char** argv) {
   Flags flags(argc, argv);
   Fig2Mode mode;
+  // CSV twins land in the git-ignored results/ directory unless overridden.
+  if (flags.Has("out")) SetCsvDir(flags.Get("out"));
   const std::string backend = flags.Get("backend", "sim");
   HMDSM_CHECK_MSG(backend == "sim" || backend == "threads",
                   "bad --backend (sim|threads)");

@@ -15,6 +15,7 @@
 
 #include "bench/harness.h"
 #include "src/util/csv.h"
+#include "src/util/flags.h"
 #include "src/util/table.h"
 #include "src/workload/patterns.h"
 #include "src/workload/runner.h"
@@ -45,7 +46,9 @@ Cell RunOne(const workload::Scenario& scenario, const std::string& policy) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const hmdsm::Flags flags(argc, argv);
+  if (flags.Has("out")) hmdsm::bench::SetCsvDir(flags.Get("out"));
   hmdsm::bench::Banner(
       "Figure 6 (new)",
       "generated sharing-pattern scenarios under every migration policy");

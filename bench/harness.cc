@@ -1,9 +1,15 @@
 #include "bench/harness.h"
 
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
+#include <optional>
 
 namespace hmdsm::bench {
+
+namespace {
+std::optional<std::string> g_csv_dir;  // SetCsvDir override
+}  // namespace
 
 bool FullScale() {
   const char* env = std::getenv("REPRO_FULL");
@@ -22,11 +28,22 @@ void Banner(const std::string& figure, const std::string& description) {
                "=================\n";
 }
 
+void SetCsvDir(std::string dir) { g_csv_dir = std::move(dir); }
+
 std::string CsvPath(const std::string& name) {
-  const char* dir = std::getenv("HMDSM_CSV_DIR");
-  if (dir == nullptr) return name + ".csv";
-  std::string d = dir;
-  if (d.empty()) return {};
+  std::string d;
+  if (g_csv_dir.has_value()) {
+    d = *g_csv_dir;
+  } else if (const char* env = std::getenv("HMDSM_CSV_DIR");
+             env != nullptr) {
+    d = env;
+  } else {
+    // Keep bench artifacts out of the repo root: results/ is git-ignored.
+    d = "results";
+  }
+  if (d.empty()) return {};  // CSV output disabled
+  std::error_code ec;
+  std::filesystem::create_directories(d, ec);  // best effort; writer no-ops
   if (d.back() != '/') d.push_back('/');
   return d + name + ".csv";
 }

@@ -13,8 +13,13 @@ bool FullScale();
 /// Prints a standard banner naming the paper figure being reproduced.
 void Banner(const std::string& figure, const std::string& description);
 
-/// Returns the output path for a CSV twin of a printed table, honouring
-/// HMDSM_CSV_DIR (default: current directory). Empty string disables CSV.
+/// Overrides the CSV output directory (the `--out` flag). Precedence:
+/// SetCsvDir > HMDSM_CSV_DIR > the git-ignored default `results/`.
+void SetCsvDir(std::string dir);
+
+/// Returns the output path for a CSV twin of a printed table, creating the
+/// output directory on first use. An empty directory (SetCsvDir("") or
+/// HMDSM_CSV_DIR="") disables CSV output entirely.
 std::string CsvPath(const std::string& name);
 
 }  // namespace hmdsm::bench

@@ -47,6 +47,7 @@ workload::Scenario StripDelays(workload::Scenario s) {
 
 int main(int argc, char** argv) {
   const hmdsm::Flags flags(argc, argv);
+  if (flags.Has("out")) hmdsm::bench::SetCsvDir(flags.Get("out"));
   hmdsm::bench::Banner(
       "threads throughput",
       "wall-clock ops/sec of the DSM protocol on real OS threads");

@@ -230,29 +230,22 @@ NbodyResult RunNbody(const gos::VmOptions& vm_options,
     const std::vector<Body> input = NbodyInput(n, config.seed);
     const gos::BarrierId barrier = vm.CreateBarrier(0);
 
-    // Each thread creates *its own* block so the home starts at the writer
-    // — there is no single-writer pattern left for migration to exploit.
+    // Every block is homed at its writer from the start, so there is no
+    // single-writer pattern left for migration to exploit. Creation happens
+    // on the main thread (setup traffic, excluded from measurement): the
+    // sockets backend requires setup before workers exist, so every rank's
+    // replica holds all the block handles.
     std::vector<gos::GlobalArray<Body>> blocks(p);
     std::vector<std::pair<int, int>> ranges(p);
-    {
-      std::vector<gos::Thread*> creators;
-      for (int t = 0; t < p; ++t) {
-        const int lo = static_cast<int>(static_cast<std::int64_t>(n) * t / p);
-        const int hi =
-            static_cast<int>(static_cast<std::int64_t>(n) * (t + 1) / p);
-        ranges[t] = {lo, hi};
-        creators.push_back(vm.Spawn(
-            static_cast<gos::NodeId>(t),
-            [&, t, lo, hi](gos::Env& me) {
-              blocks[t] = gos::GlobalArray<Body>::Create(
-                  me,
-                  std::span<const Body>(&input[lo],
-                                        static_cast<std::size_t>(hi - lo)),
-                  static_cast<gos::NodeId>(t));
-            },
-            "nbody-init" + std::to_string(t)));
-      }
-      for (gos::Thread* c : creators) vm.Join(env, c);
+    for (int t = 0; t < p; ++t) {
+      const int lo = static_cast<int>(static_cast<std::int64_t>(n) * t / p);
+      const int hi =
+          static_cast<int>(static_cast<std::int64_t>(n) * (t + 1) / p);
+      ranges[t] = {lo, hi};
+      blocks[t] = gos::GlobalArray<Body>::Create(
+          env,
+          std::span<const Body>(&input[lo], static_cast<std::size_t>(hi - lo)),
+          static_cast<gos::NodeId>(t));
     }
 
     vm.ResetMeasurement();

@@ -8,6 +8,7 @@ std::string_view BackendName(Backend backend) {
   switch (backend) {
     case Backend::kSim: return "sim";
     case Backend::kThreads: return "threads";
+    case Backend::kSockets: return "sockets";
   }
   return "?";
 }
@@ -15,12 +16,16 @@ std::string_view BackendName(Backend backend) {
 std::string ValidateBackendRequest(Backend backend, std::string_view app,
                                    bool record, bool inject_latency) {
   (void)app;  // every app (asp/sor/nbody/tsp/synthetic/scenario) runs on
-              // both backends since the Vm became a backend facade
+              // every backend since the Vm became a backend facade
   if (backend == Backend::kSim && inject_latency) {
     return "--inject-latency needs --backend=threads: the simulator already "
            "prices every message with the Hockney model in virtual time";
   }
-  if (backend == Backend::kThreads && record) {
+  if (backend == Backend::kSockets && inject_latency) {
+    return "--inject-latency needs --backend=threads: the sockets backend "
+           "pays real network latency on every message";
+  }
+  if (backend != Backend::kSim && record) {
     return "--record needs --backend=sim: a trace captured under "
            "real-thread timing is not a reproducible access stream";
   }
@@ -41,14 +46,29 @@ RunReport MakeRunReport(const stats::Recorder& rec, double seconds) {
   report.diffs_created = rec.Count(stats::Ev::kDiffsCreated);
   report.exclusive_home_writes = rec.Count(stats::Ev::kExclusiveHomeWrites);
   report.fault_ins = rec.Count(stats::Ev::kFaultIns);
+  const stats::MsgTotals sent = rec.TotalSent();
+  const stats::MsgTotals received = rec.TotalReceived();
+  report.sent_messages = sent.messages;
+  report.sent_bytes = sent.bytes;
+  report.received_messages = received.messages;
+  report.received_bytes = received.bytes;
   return report;
 }
 
 Vm::Vm(VmOptions options) : options_(options) {
   HMDSM_CHECK(options_.start_node < options_.nodes);
-  impl_ = options_.backend == Backend::kThreads
-              ? MakeThreadsVmBackend(*this, options_)
-              : MakeSimVmBackend(*this, options_);
+  switch (options_.backend) {
+    case Backend::kSim:
+      impl_ = MakeSimVmBackend(*this, options_);
+      break;
+    case Backend::kThreads:
+      impl_ = MakeThreadsVmBackend(*this, options_);
+      break;
+    case Backend::kSockets:
+      impl_ = MakeSocketsVmBackend(*this, options_);
+      break;
+  }
+  HMDSM_CHECK(impl_ != nullptr);
 }
 
 Vm::~Vm() = default;

@@ -9,8 +9,8 @@
 // barrier operations; typed wrappers (GlobalArray / GlobalScalar) stand in
 // for Java objects.
 //
-// The Vm is a facade over one of two execution backends
-// (VmOptions::backend), both running the identical dsm::Agent protocol
+// The Vm is a facade over one of three execution backends
+// (VmOptions::backend), all running the identical dsm::Agent protocol
 // engine through the net::Transport / runtime::Exec seams:
 //
 //   * kSim — the discrete-event simulator: distributed threads are
@@ -23,6 +23,17 @@
 //     each delivery until its Hockney deadline, so wall-clock runs
 //     reproduce the modeled network regime and the two backends' times are
 //     directly comparable.
+//   * kSockets — a real distributed system: one OS process per node and a
+//     TCP mesh (netio::SocketTransport). Every process runs the same
+//     program (SPMD): setup replicates deterministically so ids and
+//     spawned-thread closures exist everywhere, but only the start-node
+//     rank ("lead") executes main-thread DSM operations — on the other
+//     ranks the main replica is a ghost whose ops are no-ops, and spawned
+//     bodies run for real only on their home rank, gated on the lead's
+//     start signal. Results cross processes through shared objects or
+//     Env::PublishResult. Constraint: create objects/locks/barriers from
+//     the main thread before the workers that use them are spawned
+//     (every app and the scenario runner already do).
 //
 // Application code (src/apps, examples, the workload runner) is written
 // once against Env/Vm and runs on both.
@@ -49,7 +60,8 @@ using dsm::ObjectId;
 class Vm;
 
 /// Handle for joining a distributed thread. Owned by the Vm; the concrete
-/// type is backend-private (a simulated process or a std::thread).
+/// type is backend-private (a simulated process, a std::thread, or a
+/// possibly-remote sockets-backend thread).
 class Thread {
  public:
   virtual ~Thread() = default;
@@ -60,8 +72,16 @@ class Thread {
   /// a racy peek — Join for a happens-before edge.
   virtual bool done() const = 0;
 
+  /// The payload the body passed to Env::PublishResult (empty if none).
+  /// Valid after Join on the joining rank — on the sockets backend this is
+  /// how small worker results (not shared objects) cross process
+  /// boundaries, riding the thread-completion control frame.
+  const Bytes& result() const { return result_; }
+
  protected:
+  friend class Env;
   Thread() = default;
+  Bytes result_;
 };
 
 /// Per-thread execution context: every GOS operation goes through an Env.
@@ -115,11 +135,21 @@ class Env {
     if (seconds > 0) Delay(sim::FromSeconds(seconds));
   }
 
+  /// Publishes a small result payload for this thread, readable via
+  /// Thread::result() on the joining rank after Join. The only way (other
+  /// than shared objects) for worker data to reach the application main
+  /// thread on the multi-process sockets backend — captured locals stay in
+  /// the worker's process. No-op from the main thread (it has no handle).
+  void PublishResult(Bytes result) {
+    if (self_ != nullptr) self_->result_ = std::move(result);
+  }
+
  protected:
-  explicit Env(Vm& vm) : vm_(vm) {}
+  explicit Env(Vm& vm, Thread* self = nullptr) : vm_(vm), self_(self) {}
 
  private:
   Vm& vm_;
+  Thread* self_;  // the handle of the thread this Env belongs to, if any
 };
 
 using ThreadBody = std::function<void(Env&)>;
@@ -128,6 +158,7 @@ using ThreadBody = std::function<void(Env&)>;
 enum class Backend {
   kSim,      // deterministic discrete-event simulator
   kThreads,  // real OS threads + in-process channels (runtime::Runtime)
+  kSockets,  // one OS process per node + TCP mesh (netio::SocketTransport)
 };
 
 std::string_view BackendName(Backend backend);
@@ -152,6 +183,16 @@ struct VmOptions {
   /// sim backend (which already prices messages in virtual time).
   bool inject_latency = false;
   double inject_scale = 1.0;
+  /// Sockets backend only: this process's rank and the full peer list
+  /// ("host:port" per rank, index = rank; every process gets the identical
+  /// list, and `nodes` must equal its size). `listen_fd` optionally adopts
+  /// a pre-bound listening socket (the self-fork launcher).
+  struct SocketsConfig {
+    std::uint32_t rank = 0;
+    std::vector<std::string> peers;
+    int listen_fd = -1;
+  };
+  SocketsConfig sockets;
 };
 
 /// Snapshot of run metrics since the last ResetMeasurement().
@@ -167,6 +208,13 @@ struct RunReport {
   std::uint64_t diffs_created = 0;
   std::uint64_t exclusive_home_writes = 0;
   std::uint64_t fault_ins = 0;
+  /// Per-node attribution sums: sends counted by senders, receives by
+  /// receivers. Equal at quiescence iff no message was lost — the
+  /// cross-process conformance suite asserts it on every backend.
+  std::uint64_t sent_messages = 0;
+  std::uint64_t received_messages = 0;
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t received_bytes = 0;
 };
 
 /// Builds a RunReport from merged per-node statistics. Shared between the
@@ -192,13 +240,19 @@ class VmBackend {
   virtual double ElapsedSeconds() const = 0;
   virtual RunReport Report() const = 0;
 
-  /// Backend-specific escape hatches (null on the other backend).
+  /// Whether this process reports results (always, except sockets-backend
+  /// ghost replicas — every rank but the start node).
+  virtual bool reporting() const { return true; }
+
+  /// Backend-specific escape hatches (null on the other backends).
   virtual dsm::Cluster* cluster() { return nullptr; }
   virtual runtime::Runtime* runtime() { return nullptr; }
 };
 
 std::unique_ptr<VmBackend> MakeSimVmBackend(Vm& vm, const VmOptions& options);
 std::unique_ptr<VmBackend> MakeThreadsVmBackend(Vm& vm,
+                                                const VmOptions& options);
+std::unique_ptr<VmBackend> MakeSocketsVmBackend(Vm& vm,
                                                 const VmOptions& options);
 
 class Vm {
@@ -211,6 +265,14 @@ class Vm {
   std::size_t nodes() const { return impl_->nodes(); }
   const VmOptions& options() const { return options_; }
   Backend backend() const { return options_.backend; }
+
+  /// Whether this process is the one whose results count. True on the
+  /// in-process backends; on the multi-process sockets backend only the
+  /// start-node rank runs the real application main thread — the other
+  /// replicas are ghosts whose main-thread reads return nothing, so their
+  /// checksums/reports are meaningless and must not be printed or
+  /// asserted on.
+  bool reporting() const { return impl_->reporting(); }
 
   /// The simulated cluster — sim backend only (CHECKs otherwise).
   dsm::Cluster& cluster();

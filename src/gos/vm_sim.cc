@@ -13,8 +13,9 @@ namespace {
 /// Sim Env: a node's agent plus this thread's simulated process.
 class SimEnv final : public Env {
  public:
-  SimEnv(Vm& vm, dsm::Agent& agent, sim::Process& proc)
-      : Env(vm), agent_(agent), proc_(proc) {}
+  SimEnv(Vm& vm, dsm::Agent& agent, sim::Process& proc,
+         Thread* self = nullptr)
+      : Env(vm, self), agent_(agent), proc_(proc) {}
 
   NodeId node() const override { return agent_.node(); }
   dsm::Agent& agent() override { return agent_; }
@@ -78,7 +79,7 @@ class SimBackend final : public VmBackend {
     cluster_.kernel().Spawn(
         std::move(name),
         [this, t, node, body = std::move(body)](sim::Process& proc) {
-          SimEnv env(vm_, cluster_.agent(node), proc);
+          SimEnv env(vm_, cluster_.agent(node), proc, t);
           body(env);
           t->done_ = true;
           if (!t->joiners_.empty()) t->joiners_.NotifyAll();

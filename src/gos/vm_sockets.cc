@@ -1,0 +1,401 @@
+// The multi-process sockets backend behind the gos::Vm facade: one OS
+// process per cluster node, protocol traffic over a TCP mesh
+// (netio::SocketTransport), control plane via netio::Coordinator.
+//
+// Execution model (SPMD with a lead): every rank runs the identical
+// application program. Setup — object/lock/barrier creation and the spawn
+// sequence — replicates deterministically, so ids and thread closures
+// exist in every process without shipping code over the wire. Only the
+// start-node rank ("lead") executes real main-thread DSM operations; on
+// the other ranks the main replica is a ghost whose operations are no-ops
+// (its reads return nothing, which is why only the lead's results are
+// meaningful — Vm::reporting()). A spawned body runs for real exactly on
+// the rank it is dispatched to, gated on the lead's StartThread frame so
+// no worker can race ahead of the lead's acknowledged setup; completion
+// (plus the body's published result and any error) travels back to the
+// lead on a ThreadDone frame, which is what the lead's Join blocks on.
+//
+// End of run: the lead waits for every spawned body everywhere, drives
+// cluster-wide quiescence, then runs the shutdown barrier; every rank acks
+// after its local threads are joined, and only then do sockets close.
+// Abort (an exception out of the lead's main) is best-effort: the abort
+// flag rides the shutdown frame, unstarted bodies are cancelled, and
+// stuck ones are detached — a crashed run fails loudly rather than hangs.
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/gos/guest_env.h"
+#include "src/gos/vm.h"
+#include "src/netio/coordinator.h"
+#include "src/netio/socket_transport.h"
+#include "src/runtime/runtime.h"
+
+namespace hmdsm::gos {
+namespace {
+
+/// The ghost main-thread Env on non-lead ranks: keeps the replicated
+/// program's control flow intact (same Spawn/Create sequences) while
+/// executing nothing. Read/Write do not invoke their callbacks — replica
+/// code must not branch on shared data between setup calls, which no app
+/// or the scenario runner does.
+class GhostEnv final : public Env {
+ public:
+  GhostEnv(Vm& vm, NodeId lead) : Env(vm), lead_(lead) {}
+
+  NodeId node() const override { return lead_; }  // mirrors the real main
+  dsm::Agent& agent() override {
+    throw CheckError("ghost main replica has no agent");
+  }
+
+  void Read(ObjectId, const std::function<void(ByteSpan)>&) override {}
+  void Write(ObjectId, const std::function<void(MutByteSpan)>&) override {}
+  void Acquire(LockId) override {}
+  void Release(LockId) override {}
+  void Barrier(BarrierId, std::uint32_t) override {}
+  void Delay(sim::Time) override {}  // ghosts do not burn real time
+
+ private:
+  NodeId lead_;
+};
+
+class SockThread final : public Thread {
+ public:
+  bool done() const override { return done_.load(std::memory_order_acquire); }
+
+ private:
+  friend class SocketsBackend;
+  std::uint64_t seq_ = 0;  // cluster-wide id: replicas allocate identically
+  NodeId node_ = 0;
+  bool local_ = false;     // hosted by this process
+  std::thread th_;         // local threads only
+  std::atomic<bool> done_{false};
+  std::exception_ptr error_;  // local threads; remote errors arrive as text
+  bool joined_ = false;       // guarded by SocketsBackend::mu_
+};
+
+runtime::RuntimeOptions ToRuntimeOptions(const VmOptions& o) {
+  runtime::RuntimeOptions r;
+  r.nodes = o.nodes;
+  r.dsm = o.dsm;
+  // Same policy parameterization as the other backends: the adaptive
+  // policy's α tracks the configured interconnect model unless pinned.
+  if (!r.dsm.pin_half_peak)
+    r.dsm.adaptive.half_peak_bytes = o.model.half_peak_bytes();
+  r.model = o.model;
+  r.inject_latency_scale = 0;  // sockets pay real latency
+  return r;
+}
+
+netio::SocketTransportOptions ToSocketOptions(const VmOptions& o) {
+  HMDSM_CHECK_MSG(o.sockets.peers.size() == o.nodes,
+                  "sockets backend: " << o.nodes << " nodes but "
+                                      << o.sockets.peers.size()
+                                      << " peer endpoints");
+  netio::SocketTransportOptions s;
+  s.rank = o.sockets.rank;
+  s.peers = o.sockets.peers;
+  s.listen_fd = o.sockets.listen_fd;
+  return s;
+}
+
+class SocketsBackend final : public VmBackend {
+ public:
+  SocketsBackend(Vm& vm, const VmOptions& options)
+      : vm_(vm),
+        options_(options),
+        transport_(ToSocketOptions(options)),
+        rt_(ToRuntimeOptions(options), transport_, options.sockets.rank),
+        coord_(transport_, rt_, options.start_node),
+        lead_(transport_.rank() == options.start_node) {
+    transport_.Start();
+    transport_.AwaitConnected();
+  }
+
+  ~SocketsBackend() override {
+    // Run() normally tears the mesh down; this covers a Vm dropped without
+    // (or mid-) Run — treat it as an abort so peers fail fast, not hang.
+    std::exception_ptr ignored;
+    try {
+      Teardown(/*abort=*/true, &ignored);
+    } catch (...) {
+    }
+  }
+
+  std::size_t nodes() const override { return rt_.nodes(); }
+  bool reporting() const override { return lead_; }
+  runtime::Runtime* runtime() override { return &rt_; }
+
+  void Run(ThreadBody main) override {
+    std::exception_ptr error;
+    if (lead_) {
+      {
+        runtime::Guest guest(rt_, transport_.rank(), "main");
+        GuestEnv env(vm_, guest);
+        try {
+          main(env);
+        } catch (...) {
+          error = std::current_exception();
+        }
+      }
+      if (error == nullptr) {
+        try {
+          // The run ends only when every spawned body everywhere has
+          // finished (remote hosts report ThreadDone unconditionally) and
+          // all follow-on protocol traffic has settled.
+          AwaitAllThreadBodies(&error);
+          coord_.GlobalQuiesce();
+        } catch (...) {
+          if (error == nullptr) error = std::current_exception();
+        }
+      }
+    } else {
+      GhostEnv env(vm_, options_.start_node);
+      try {
+        main(env);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    Teardown(error != nullptr, &error);
+    if (error != nullptr) std::rethrow_exception(error);
+  }
+
+  Thread* Spawn(NodeId node, ThreadBody body, std::string name) override {
+    HMDSM_CHECK(node < rt_.nodes());
+    std::lock_guard lock(mu_);
+    spawned_workers_ = true;
+    threads_.emplace_back();
+    SockThread* t = &threads_.back();
+    t->seq_ = next_seq_++;
+    t->node_ = node;
+    t->local_ = node == transport_.rank();
+    if (name.empty()) name = "thread" + std::to_string(next_thread_idx_);
+    ++next_thread_idx_;
+    name += "@n" + std::to_string(node);
+    if (!t->local_) {
+      // The lead's Spawn is the cluster-wide start signal; other replicas
+      // just record the stub so sequence numbers stay aligned.
+      if (lead_) coord_.StartRemoteThread(node, t->seq_);
+      return t;
+    }
+    // On the lead, reaching Spawn is itself the start condition; elsewhere
+    // the body holds until the lead's StartThread frame — which the lead
+    // only sends after its acknowledged setup, so the body cannot observe
+    // half-installed objects.
+    const bool gated = !lead_;
+    t->th_ = std::thread([this, t, node, name, gated,
+                          body = std::move(body)] {
+      if (gated && !coord_.AwaitStart(t->seq_)) {
+        t->done_.store(true, std::memory_order_release);
+        return;  // run aborted before this body started
+      }
+      runtime::Guest guest(rt_, node, name);
+      GuestEnv env(vm_, guest, t);
+      std::string error_msg;
+      try {
+        body(env);
+      } catch (const std::exception& e) {
+        t->error_ = std::current_exception();
+        error_msg = e.what();
+      } catch (...) {
+        t->error_ = std::current_exception();
+        error_msg = "unknown exception";
+      }
+      t->done_.store(true, std::memory_order_release);
+      if (!lead_) coord_.NotifyThreadDone(t->seq_, error_msg, t->result_);
+    });
+    return t;
+  }
+
+  void Join(Env&, Thread* thread) override {
+    HMDSM_CHECK(thread != nullptr);
+    auto* t = static_cast<SockThread*>(thread);
+    if (t->local_) {
+      bool owner = false;
+      {
+        std::lock_guard lock(mu_);
+        if (!t->joined_) t->joined_ = owner = true;
+      }
+      if (owner) {
+        t->th_.join();
+        if (t->error_) std::rethrow_exception(t->error_);
+        return;
+      }
+      while (!t->done()) std::this_thread::yield();
+      return;
+    }
+    // Remote thread: only the lead has a completion channel; ghost
+    // replicas' joins are no-ops (their subsequent main ops are too).
+    if (!lead_) return;
+    const netio::Coordinator::RemoteDone done = coord_.AwaitThreadDone(t->seq_);
+    t->result_ = done.result;
+    t->done_.store(true, std::memory_order_release);
+    if (!done.error.empty()) {
+      throw std::runtime_error("remote thread on node " +
+                               std::to_string(t->node_) +
+                               " failed: " + done.error);
+    }
+  }
+
+  void Quiesce(Env&) override {
+    if (lead_) coord_.GlobalQuiesce();
+    // Ghost mains have nothing to wait for: quiescence is cluster state
+    // and only the lead's program drives (and therefore awaits) it.
+  }
+
+  ObjectId CreateObject(Env& env, NodeId home, ByteSpan initial) override {
+    ObjectId id;
+    {
+      std::lock_guard lock(mu_);
+      // Replicated id allocation only works while every replica takes the
+      // identical path — i.e. main-thread setup. Worker-side creation
+      // would desynchronize the ghosts' counters silently; refuse loudly.
+      HMDSM_CHECK_MSG(!spawned_workers_,
+                      "sockets backend: create shared objects from the main "
+                      "thread before spawning workers");
+      id = rt_.NewObjectId(home, env.node());
+    }
+    if (lead_) static_cast<GuestEnv&>(env).guest().CreateObject(id, initial);
+    return id;
+  }
+
+  LockId CreateLock(NodeId manager) override {
+    std::lock_guard lock(mu_);
+    return rt_.NewLockId(manager);
+  }
+  BarrierId CreateBarrier(NodeId manager) override {
+    std::lock_guard lock(mu_);
+    return rt_.NewBarrierId(manager);
+  }
+
+  void ResetMeasurement() override {
+    // The lead resets the whole cluster (quiesce + broadcast + acks); the
+    // ghosts' replicas of this call are no-ops — their local reset happens
+    // when the lead's ResetStats frame arrives, strictly before any
+    // measured-phase traffic can reach them.
+    if (lead_) coord_.GlobalResetStats();
+  }
+
+  double ElapsedSeconds() const override { return rt_.ElapsedSeconds(); }
+
+  RunReport Report() const override {
+    if (lead_) {
+      return MakeRunReport(
+          const_cast<netio::Coordinator&>(coord_).GatherStats(),
+          rt_.ElapsedSeconds());
+    }
+    return MakeRunReport(rt_.Totals(), rt_.ElapsedSeconds());
+  }
+
+ private:
+  /// Lead only: blocks until every spawned body (local or remote) has
+  /// finished, joining local threads and folding their errors into
+  /// `error`. Remote ThreadDone frames arrive whether or not the
+  /// application joined, so unjoined threads cannot leak past the run.
+  void AwaitAllThreadBodies(std::exception_ptr* error) {
+    std::vector<SockThread*> local, remote;
+    {
+      std::lock_guard lock(mu_);
+      for (SockThread& t : threads_) {
+        if (t.joined_) continue;
+        t.joined_ = true;
+        (t.local_ ? local : remote).push_back(&t);
+      }
+    }
+    for (SockThread* t : local) {
+      t->th_.join();
+      if (*error == nullptr && t->error_) *error = t->error_;
+    }
+    for (SockThread* t : remote) {
+      if (t->done()) continue;
+      const netio::Coordinator::RemoteDone done =
+          coord_.AwaitThreadDone(t->seq_);
+      t->result_ = done.result;
+      t->done_.store(true, std::memory_order_release);
+      if (*error == nullptr && !done.error.empty()) {
+        *error = std::make_exception_ptr(std::runtime_error(
+            "remote thread on node " + std::to_string(t->node_) +
+            " failed: " + done.error));
+      }
+    }
+  }
+
+  /// Joins this rank's local threads; on an aborted run, threads that are
+  /// not done (stuck in protocol waits the dead lead will never answer)
+  /// are detached — failing loudly beats hanging the mesh.
+  void JoinLocalThreads(std::exception_ptr* error, bool aborted) {
+    std::vector<SockThread*> pending;
+    {
+      std::lock_guard lock(mu_);
+      for (SockThread& t : threads_) {
+        if (!t.local_ || t.joined_) continue;
+        t.joined_ = true;
+        pending.push_back(&t);
+      }
+    }
+    for (SockThread* t : pending) {
+      if (!t->th_.joinable()) continue;
+      if (aborted && !t->done()) {
+        t->th_.detach();
+        continue;
+      }
+      t->th_.join();
+      if (error != nullptr && *error == nullptr && t->error_)
+        *error = t->error_;
+    }
+  }
+
+  /// The shutdown barrier plus local teardown; idempotent.
+  void Teardown(bool abort, std::exception_ptr* error) {
+    if (torn_down_) return;
+    torn_down_ = true;
+    try {
+      if (lead_) {
+        JoinLocalThreads(error, abort);
+        coord_.ShutdownMesh(abort);
+      } else {
+        const bool lead_aborted = coord_.AwaitShutdown();
+        JoinLocalThreads(error, abort || lead_aborted);
+        coord_.AckShutdown();
+        coord_.AwaitShutdownDone();
+        if (lead_aborted && error != nullptr && *error == nullptr) {
+          *error = std::make_exception_ptr(
+              CheckError("run aborted by the lead rank"));
+        }
+      }
+    } catch (...) {
+      if (error != nullptr && *error == nullptr)
+        *error = std::current_exception();
+    }
+    rt_.Shutdown();
+    transport_.Stop();
+  }
+
+  Vm& vm_;
+  VmOptions options_;
+  netio::SocketTransport transport_;
+  runtime::Runtime rt_;
+  netio::Coordinator coord_;
+  const bool lead_;
+
+  std::mutex mu_;  // spawn bookkeeping + id sequences
+  std::deque<SockThread> threads_;
+  std::uint64_t next_seq_ = 0;
+  int next_thread_idx_ = 0;
+  bool spawned_workers_ = false;
+  bool torn_down_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<VmBackend> MakeSocketsVmBackend(Vm& vm,
+                                                const VmOptions& options) {
+  return std::make_unique<SocketsBackend>(vm, options);
+}
+
+}  // namespace hmdsm::gos

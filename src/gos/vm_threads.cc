@@ -12,38 +12,12 @@
 #include <utility>
 #include <vector>
 
+#include "src/gos/guest_env.h"
 #include "src/gos/vm.h"
 #include "src/runtime/runtime.h"
 
 namespace hmdsm::gos {
 namespace {
-
-/// Threads Env: a runtime::Guest bound to one node.
-class ThreadsEnv final : public Env {
- public:
-  ThreadsEnv(Vm& vm, runtime::Guest& guest) : Env(vm), guest_(guest) {}
-
-  NodeId node() const override { return guest_.node(); }
-  dsm::Agent& agent() override { return guest_.agent(); }
-  runtime::Guest& guest() { return guest_; }
-
-  void Read(ObjectId obj, const std::function<void(ByteSpan)>& fn) override {
-    guest_.Read(obj, fn);
-  }
-  void Write(ObjectId obj,
-             const std::function<void(MutByteSpan)>& fn) override {
-    guest_.Write(obj, fn);
-  }
-  void Acquire(LockId lock) override { guest_.Acquire(lock); }
-  void Release(LockId lock) override { guest_.Release(lock); }
-  void Barrier(BarrierId barrier, std::uint32_t participants) override {
-    guest_.Barrier(barrier, participants);
-  }
-  void Delay(sim::Time ns) override { guest_.Delay(ns); }
-
- private:
-  runtime::Guest& guest_;
-};
 
 class ThreadsThread final : public Thread {
  public:
@@ -89,7 +63,7 @@ class ThreadsBackend final : public VmBackend {
       // The calling thread is the application main thread, guesting on the
       // start node — the counterpart of the simulator's main process.
       runtime::Guest guest(rt_, options_.start_node, "main");
-      ThreadsEnv env(vm_, guest);
+      GuestEnv env(vm_, guest);
       try {
         main(env);
       } catch (...) {
@@ -114,7 +88,7 @@ class ThreadsBackend final : public VmBackend {
     t->th_ = std::thread(
         [this, t, node, name, body = std::move(body)] {
           runtime::Guest guest(rt_, node, name);
-          ThreadsEnv env(vm_, guest);
+          GuestEnv env(vm_, guest, t);
           try {
             body(env);
           } catch (...) {
@@ -173,9 +147,9 @@ class ThreadsBackend final : public VmBackend {
   }
 
  private:
-  /// Every Env this backend hands out is a ThreadsEnv.
-  static ThreadsEnv& AsThreads(Env& env) {
-    return static_cast<ThreadsEnv&>(env);
+  /// Every Env this backend hands out is a GuestEnv.
+  static GuestEnv& AsThreads(Env& env) {
+    return static_cast<GuestEnv&>(env);
   }
 
   /// Joins every thread the application left unjoined. With `error` set,

@@ -1,0 +1,299 @@
+#include "src/netio/coordinator.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace hmdsm::netio {
+
+namespace {
+
+/// Bounded control waits are not latency-sensitive, only hang-sensitive:
+/// generous enough for a loaded CI machine, small enough that a wedged
+/// cluster fails the run instead of idling forever. Only applied to waits
+/// whose duration is bounded by the control protocol itself (probe
+/// replies, acks); waits that track the application's own runtime —
+/// thread start/completion, the end-of-run gate — are unbounded, with a
+/// died peer detected by the transport's reader loops instead.
+constexpr auto kControlTimeout = std::chrono::seconds(120);
+
+}  // namespace
+
+Coordinator::Coordinator(SocketTransport& transport,
+                         runtime::Runtime& runtime, net::NodeId lead)
+    : transport_(transport), runtime_(runtime), lead_(lead) {
+  HMDSM_CHECK(lead_ < transport_.node_count());
+  transport_.SetControlHandler(
+      [this](net::NodeId src, ByteSpan frame) { OnControlFrame(src, frame); });
+}
+
+template <typename Pred>
+void Coordinator::WaitFor(std::unique_lock<std::mutex>& lock, Pred pred,
+                          const char* what) {
+  HMDSM_CHECK_MSG(cv_.wait_for(lock, kControlTimeout, pred),
+                  "control-plane timeout waiting for " << what);
+}
+
+void Coordinator::OnControlFrame(net::NodeId src, ByteSpan frame) {
+  FrameType type;
+  std::string error;
+  HMDSM_CHECK(PeekType(frame, &type));  // transport routed it, so it peeked
+  switch (type) {
+    case FrameType::kStartThread: {
+      StartThreadFrame f;
+      if (!TryDecode(frame, &f, &error)) break;
+      std::lock_guard lock(mu_);
+      started_.insert(f.seq);
+      cv_.notify_all();
+      return;
+    }
+    case FrameType::kThreadDone: {
+      ThreadDoneFrame f;
+      if (!TryDecode(frame, &f, &error)) break;
+      std::lock_guard lock(mu_);
+      done_[f.seq] = RemoteDone{std::move(f.error), std::move(f.result)};
+      cv_.notify_all();
+      return;
+    }
+    case FrameType::kQuiesceProbe: {
+      QuiesceProbeFrame f;
+      if (!TryDecode(frame, &f, &error)) break;
+      // Replied straight from reader context: counters are atomics.
+      transport_.SendControl(
+          src, Encode(QuiesceReplyFrame{
+                   f.round, transport_.wire_sent(), transport_.wire_received(),
+                   transport_.enqueued(), transport_.dispatched()}));
+      return;
+    }
+    case FrameType::kQuiesceReply: {
+      QuiesceReplyFrame f;
+      if (!TryDecode(frame, &f, &error)) break;
+      std::lock_guard lock(mu_);
+      if (f.round == quiesce_round_) quiesce_replies_[src] = f;
+      cv_.notify_all();
+      return;
+    }
+    case FrameType::kStatsRequest: {
+      StatsRequestFrame f;
+      if (!TryDecode(frame, &f, &error)) break;
+      // The snapshot takes the local agent lock, so it is consistent even
+      // against a straggling handler (the lead quiesces first anyway).
+      StatsReplyFrame reply;
+      reply.tag = f.tag;
+      reply.node = transport_.rank();
+      reply.recorder = runtime_.SnapshotRecorder(transport_.rank());
+      transport_.SendControl(src, Encode(reply));
+      return;
+    }
+    case FrameType::kStatsReply: {
+      StatsReplyFrame f;
+      if (!TryDecode(frame, &f, &error)) break;
+      std::lock_guard lock(mu_);
+      if (f.tag == stats_tag_) stats_replies_[src] = std::move(f.recorder);
+      cv_.notify_all();
+      return;
+    }
+    case FrameType::kResetStats: {
+      ResetStatsFrame f;
+      if (!TryDecode(frame, &f, &error)) break;
+      // The lead established global quiescence before broadcasting, so the
+      // local reset (quiesce + zero + epoch) completes immediately and
+      // races nothing.
+      runtime_.ResetMeasurement();
+      transport_.SendControl(src, Encode(ResetAckFrame{f.tag}));
+      return;
+    }
+    case FrameType::kResetAck: {
+      ResetAckFrame f;
+      if (!TryDecode(frame, &f, &error)) break;
+      std::lock_guard lock(mu_);
+      if (f.tag == reset_tag_) ++reset_acks_;
+      cv_.notify_all();
+      return;
+    }
+    case FrameType::kShutdown: {
+      ShutdownFrame f;
+      if (!TryDecode(frame, &f, &error)) break;
+      transport_.BeginShutdown();  // EOFs are goodbyes from here on
+      std::lock_guard lock(mu_);
+      shutdown_received_ = true;
+      abort_received_ = f.abort;
+      cv_.notify_all();
+      return;
+    }
+    case FrameType::kShutdownAck: {
+      ShutdownAckFrame f;
+      if (!TryDecode(frame, &f, &error)) break;
+      std::lock_guard lock(mu_);
+      ++shutdown_acks_;
+      cv_.notify_all();
+      return;
+    }
+    case FrameType::kShutdownDone: {
+      ShutdownDoneFrame f;
+      if (!TryDecode(frame, &f, &error)) break;
+      std::lock_guard lock(mu_);
+      shutdown_done_ = true;
+      cv_.notify_all();
+      return;
+    }
+    default:
+      error = "unexpected frame type " +
+              std::to_string(static_cast<int>(type));
+      break;
+  }
+  HMDSM_CHECK_MSG(false, "control frame from rank " << src << ": " << error);
+}
+
+// ---------------------------------------------------------------------------
+// Lead side
+// ---------------------------------------------------------------------------
+
+void Coordinator::StartRemoteThread(net::NodeId host, std::uint64_t seq) {
+  HMDSM_CHECK(is_lead());
+  transport_.SendControl(host, Encode(StartThreadFrame{seq}));
+}
+
+Coordinator::RemoteDone Coordinator::AwaitThreadDone(std::uint64_t seq) {
+  HMDSM_CHECK(is_lead());
+  std::unique_lock lock(mu_);
+  // Unbounded: a remote body legitimately runs as long as the workload.
+  cv_.wait(lock, [&] { return done_.contains(seq); });
+  return done_.at(seq);
+}
+
+void Coordinator::GlobalQuiesce() {
+  HMDSM_CHECK(is_lead());
+  const std::size_t others = transport_.node_count() - 1;
+  std::vector<QuiesceReplyFrame> previous;
+  for (;;) {
+    runtime_.AwaitQuiescence();  // local first: cheap and usually sufficient
+    std::vector<QuiesceReplyFrame> round(transport_.node_count());
+    {
+      std::unique_lock lock(mu_);
+      const std::uint64_t round_id = ++quiesce_round_;
+      quiesce_replies_.clear();
+      transport_.BroadcastControl(Encode(QuiesceProbeFrame{round_id}));
+      WaitFor(lock, [&] { return quiesce_replies_.size() == others; },
+              "quiescence probe replies");
+      for (const auto& [rank, reply] : quiesce_replies_) round[rank] = reply;
+    }
+    round[transport_.rank()] = QuiesceReplyFrame{
+        0, transport_.wire_sent(), transport_.wire_received(),
+        transport_.enqueued(), transport_.dispatched()};
+
+    std::uint64_t sent = 0, received = 0;
+    bool locally_idle = true;
+    for (const QuiesceReplyFrame& r : round) {
+      sent += r.wire_sent;
+      received += r.wire_received;
+      locally_idle = locally_idle && r.enqueued == r.dispatched;
+    }
+    const auto same = [](const QuiesceReplyFrame& a,
+                         const QuiesceReplyFrame& b) {
+      return a.wire_sent == b.wire_sent &&
+             a.wire_received == b.wire_received && a.enqueued == b.enqueued &&
+             a.dispatched == b.dispatched;
+    };
+    bool stable = !previous.empty();
+    for (std::size_t i = 0; stable && i < round.size(); ++i)
+      stable = same(round[i], previous[i]);
+    // Counters are monotone: identical counters across two rounds with
+    // matched sums and idle mailboxes means nothing moved in between.
+    if (sent == received && locally_idle && stable) return;
+    previous = std::move(round);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+stats::Recorder Coordinator::GatherStats() {
+  HMDSM_CHECK(is_lead());
+  const std::size_t others = transport_.node_count() - 1;
+  stats::Recorder total;
+  total.SetNodeCount(transport_.node_count());
+  std::unique_lock lock(mu_);
+  const std::uint64_t tag = ++stats_tag_;
+  stats_replies_.clear();
+  transport_.BroadcastControl(Encode(StatsRequestFrame{tag}));
+  WaitFor(lock, [&] { return stats_replies_.size() == others; },
+          "stats replies");
+  for (const auto& [rank, recorder] : stats_replies_) total.Merge(recorder);
+  lock.unlock();
+  total.Merge(runtime_.SnapshotRecorder(transport_.rank()));
+  return total;
+}
+
+void Coordinator::GlobalResetStats() {
+  HMDSM_CHECK(is_lead());
+  // Quiesce first so no in-flight message straddles the reset; the acks
+  // below guarantee every rank reset before the lead proceeds (and the
+  // per-peer FIFO queues order each rank's reset before any later
+  // lead-caused traffic) — so measured windows cover identical traffic on
+  // every rank.
+  GlobalQuiesce();
+  const std::size_t others = transport_.node_count() - 1;
+  std::unique_lock lock(mu_);
+  const std::uint64_t tag = ++reset_tag_;
+  reset_acks_ = 0;
+  transport_.BroadcastControl(Encode(ResetStatsFrame{tag}));
+  WaitFor(lock, [&] { return reset_acks_ == others; }, "reset acks");
+  lock.unlock();
+  runtime_.ResetMeasurement();
+}
+
+void Coordinator::ShutdownMesh(bool abort) {
+  HMDSM_CHECK(is_lead());
+  transport_.BeginShutdown();
+  const std::size_t others = transport_.node_count() - 1;
+  {
+    std::unique_lock lock(mu_);
+    transport_.BroadcastControl(Encode(ShutdownFrame{abort}));
+    WaitFor(lock, [&] { return shutdown_acks_ == others; }, "shutdown acks");
+  }
+  // Second phase: nobody closes a socket until everyone has acked, so a
+  // teardown EOF can only land on a rank that already knows the run ended.
+  transport_.BroadcastControl(Encode(ShutdownDoneFrame{}));
+}
+
+// ---------------------------------------------------------------------------
+// Hosting side
+// ---------------------------------------------------------------------------
+
+bool Coordinator::AwaitStart(std::uint64_t seq) {
+  std::unique_lock lock(mu_);
+  // Unbounded: the lead reaches its Spawn at the workload's own pace.
+  cv_.wait(lock, [&] { return started_.contains(seq) || abort_received_; });
+  return started_.contains(seq) && !abort_received_;
+}
+
+void Coordinator::NotifyThreadDone(std::uint64_t seq,
+                                   const std::string& error,
+                                   const Bytes& result) {
+  HMDSM_CHECK(!is_lead());
+  ThreadDoneFrame f;
+  f.seq = seq;
+  f.error = error;
+  f.result = result;
+  transport_.SendControl(lead_, Encode(f));
+}
+
+bool Coordinator::AwaitShutdown() {
+  HMDSM_CHECK(!is_lead());
+  std::unique_lock lock(mu_);
+  // Unbounded: the end-of-run gate holds for the whole workload.
+  cv_.wait(lock, [&] { return shutdown_received_; });
+  return abort_received_;
+}
+
+void Coordinator::AckShutdown() {
+  HMDSM_CHECK(!is_lead());
+  transport_.SendControl(lead_, Encode(ShutdownAckFrame{}));
+}
+
+void Coordinator::AwaitShutdownDone() {
+  HMDSM_CHECK(!is_lead());
+  std::unique_lock lock(mu_);
+  WaitFor(lock, [&] { return shutdown_done_; }, "shutdown-done");
+}
+
+}  // namespace hmdsm::netio

@@ -1,0 +1,135 @@
+// netio::Coordinator — the control plane of a multi-process run.
+//
+// The sockets backend replicates the application's main thread on every
+// rank (deterministic setup: identical object/lock/barrier id sequences),
+// but only the *lead* rank (the Vm's start node) executes DSM operations;
+// the other replicas are ghosts whose ops are no-ops. Everything that
+// needs cluster agreement flows through here, over control frames that
+// share the transport's per-peer FIFO queues:
+//
+//   * Thread start: a rank hosting a spawned thread holds its body until
+//     the lead's StartThread frame arrives. Because the lead only reaches
+//     Spawn after its (acknowledged) setup, a worker can never race ahead
+//     of object installation.
+//   * Thread completion: the hosting rank reports ThreadDone (error +
+//     published result) to the lead, which is what Join blocks on.
+//   * Distributed quiescence: counters are monotone, so the cluster is
+//     idle iff two consecutive probe rounds return identical per-rank
+//     counters with sum(wire_sent) == sum(wire_received) and local
+//     enqueued == dispatched everywhere.
+//   * Stats gather/reset: per-rank recorders are serialized to the lead
+//     for merged reports; reset is quiesce + broadcast + acks, so every
+//     measured-phase message is causally after every rank's reset.
+//   * Shutdown barrier: the lead announces the end of the run, every rank
+//     acks after its local threads finished, and only then do sockets
+//     close — so teardown EOFs are expected goodbyes, not failures.
+//
+// All waits carry a generous timeout and fail loudly: a silently hung
+// distributed run is worse than a crashed one.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "src/netio/socket_transport.h"
+#include "src/runtime/runtime.h"
+
+namespace hmdsm::netio {
+
+class Coordinator {
+ public:
+  /// Installs itself as `transport`'s control handler (so it must be
+  /// constructed before Start()). `lead` is the rank that runs the real
+  /// application main thread.
+  Coordinator(SocketTransport& transport, runtime::Runtime& runtime,
+              net::NodeId lead);
+
+  bool is_lead() const { return transport_.rank() == lead_; }
+  net::NodeId lead() const { return lead_; }
+
+  // ---- lead side ----
+
+  /// Tells `host` to release spawned thread `seq`.
+  void StartRemoteThread(net::NodeId host, std::uint64_t seq);
+
+  struct RemoteDone {
+    std::string error;  // empty = completed normally
+    Bytes result;       // the thread's published result payload
+  };
+
+  /// Blocks until `host` reports thread `seq` finished.
+  RemoteDone AwaitThreadDone(std::uint64_t seq);
+
+  /// Blocks until the whole cluster is quiescent (see file comment).
+  void GlobalQuiesce();
+
+  /// Gathers every rank's recorder and returns the merged totals.
+  stats::Recorder GatherStats();
+
+  /// Cluster-wide measurement reset: global quiescence, then every rank
+  /// zeroes its recorder and marks its epoch, acknowledged before return.
+  void GlobalResetStats();
+
+  /// Announces the end of the run, waits for every rank's ack (each sent
+  /// after its local threads finished), then broadcasts the all-clear.
+  /// After this returns, no frame of any kind is in flight anywhere —
+  /// sockets may close.
+  void ShutdownMesh(bool abort);
+
+  // ---- hosting side (non-lead ranks) ----
+
+  /// Blocks until the lead starts thread `seq`; false if the run was
+  /// aborted before the start arrived (the body must not run).
+  bool AwaitStart(std::uint64_t seq);
+
+  /// Reports a locally hosted thread's completion to the lead.
+  void NotifyThreadDone(std::uint64_t seq, const std::string& error,
+                        const Bytes& result);
+
+  /// Non-lead end-of-run gate: blocks until the lead's Shutdown frame.
+  /// Returns true if the lead aborted (error unwind). The caller joins its
+  /// local threads, then AckShutdown() — the ack promises this rank sends
+  /// nothing further, so it must come after everything local is done.
+  bool AwaitShutdown();
+  void AckShutdown();
+
+  /// Blocks for the lead's all-clear: every rank has acked, so closing
+  /// this rank's sockets can no longer surprise anyone.
+  void AwaitShutdownDone();
+
+ private:
+  void OnControlFrame(net::NodeId src, ByteSpan frame);
+
+  /// cv.wait_for with the control-plane timeout; throws CheckError naming
+  /// `what` on expiry.
+  template <typename Pred>
+  void WaitFor(std::unique_lock<std::mutex>& lock, Pred pred,
+               const char* what);
+
+  SocketTransport& transport_;
+  runtime::Runtime& runtime_;
+  const net::NodeId lead_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // hosting side
+  std::set<std::uint64_t> started_;
+  bool shutdown_received_ = false;
+  bool abort_received_ = false;
+  bool shutdown_done_ = false;
+  // lead side
+  std::map<std::uint64_t, RemoteDone> done_;
+  std::map<net::NodeId, QuiesceReplyFrame> quiesce_replies_;
+  std::uint64_t quiesce_round_ = 0;
+  std::map<net::NodeId, stats::Recorder> stats_replies_;
+  std::uint64_t stats_tag_ = 0;
+  std::size_t reset_acks_ = 0;
+  std::uint64_t reset_tag_ = 0;
+  std::size_t shutdown_acks_ = 0;
+};
+
+}  // namespace hmdsm::netio

@@ -1,0 +1,237 @@
+#include "src/netio/frame.h"
+
+#include <utility>
+
+namespace hmdsm::netio {
+
+namespace {
+
+Writer Begin(FrameType type) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  return w;
+}
+
+/// Shared defensive-decode scaffold: checks the type byte, runs `body`
+/// against a Reader over the rest, converts truncation/range CheckErrors
+/// into a false return, and rejects trailing bytes. Decoders stay simple
+/// field readers; nothing a peer sends can unwind past here.
+template <typename Fn>
+bool Defensive(ByteSpan frame, FrameType expected, std::string* error,
+               Fn&& body) {
+  FrameType type;
+  if (!PeekType(frame, &type) || type != expected) {
+    if (error != nullptr) {
+      *error = "bad frame type (expected " +
+               std::to_string(static_cast<int>(expected)) + ")";
+    }
+    return false;
+  }
+  try {
+    Reader r(frame.subspan(1));
+    body(r);
+    if (!r.done()) {
+      if (error != nullptr) {
+        *error = "trailing garbage: " + std::to_string(r.remaining()) +
+                 " bytes after the frame";
+      }
+      return false;
+    }
+    return true;
+  } catch (const CheckError& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+}
+
+}  // namespace
+
+Bytes Encode(const HelloFrame& f) {
+  Writer w = Begin(FrameType::kHello);
+  w.u32(f.version);
+  w.u32(f.node);
+  w.u32(f.node_count);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, HelloFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kHello, error, [&](Reader& r) {
+    out->version = r.u32();
+    out->node = r.u32();
+    out->node_count = r.u32();
+  });
+}
+
+Bytes Encode(const HelloAckFrame& f) {
+  Writer w = Begin(FrameType::kHelloAck);
+  w.u32(f.version);
+  w.u32(f.node);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, HelloAckFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kHelloAck, error, [&](Reader& r) {
+    out->version = r.u32();
+    out->node = r.u32();
+  });
+}
+
+Bytes Encode(const DataFrame& f) {
+  Writer w = Begin(FrameType::kData);
+  w.u32(f.src);
+  w.u32(f.dst);
+  w.u8(static_cast<std::uint8_t>(f.cat));
+  w.bytes(f.payload);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, DataFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kData, error, [&](Reader& r) {
+    out->src = r.u32();
+    out->dst = r.u32();
+    const std::uint8_t cat = r.u8();
+    HMDSM_CHECK_MSG(cat < stats::kNumMsgCats,
+                    "message category " << static_cast<int>(cat)
+                                        << " out of range");
+    out->cat = static_cast<stats::MsgCat>(cat);
+    out->payload = r.bytes();
+  });
+}
+
+Bytes Encode(const StartThreadFrame& f) {
+  Writer w = Begin(FrameType::kStartThread);
+  w.u64(f.seq);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, StartThreadFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kStartThread, error,
+                   [&](Reader& r) { out->seq = r.u64(); });
+}
+
+Bytes Encode(const ThreadDoneFrame& f) {
+  Writer w = Begin(FrameType::kThreadDone);
+  w.u64(f.seq);
+  w.str(f.error);
+  w.bytes(f.result);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, ThreadDoneFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kThreadDone, error, [&](Reader& r) {
+    out->seq = r.u64();
+    out->error = r.str();
+    out->result = r.bytes();
+  });
+}
+
+Bytes Encode(const QuiesceProbeFrame& f) {
+  Writer w = Begin(FrameType::kQuiesceProbe);
+  w.u64(f.round);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, QuiesceProbeFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kQuiesceProbe, error,
+                   [&](Reader& r) { out->round = r.u64(); });
+}
+
+Bytes Encode(const QuiesceReplyFrame& f) {
+  Writer w = Begin(FrameType::kQuiesceReply);
+  w.u64(f.round);
+  w.u64(f.wire_sent);
+  w.u64(f.wire_received);
+  w.u64(f.enqueued);
+  w.u64(f.dispatched);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, QuiesceReplyFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kQuiesceReply, error, [&](Reader& r) {
+    out->round = r.u64();
+    out->wire_sent = r.u64();
+    out->wire_received = r.u64();
+    out->enqueued = r.u64();
+    out->dispatched = r.u64();
+  });
+}
+
+Bytes Encode(const StatsRequestFrame& f) {
+  Writer w = Begin(FrameType::kStatsRequest);
+  w.u64(f.tag);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, StatsRequestFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kStatsRequest, error,
+                   [&](Reader& r) { out->tag = r.u64(); });
+}
+
+Bytes Encode(const StatsReplyFrame& f) {
+  Writer w = Begin(FrameType::kStatsReply);
+  w.u64(f.tag);
+  w.u32(f.node);
+  f.recorder.Encode(w);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, StatsReplyFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kStatsReply, error, [&](Reader& r) {
+    out->tag = r.u64();
+    out->node = r.u32();
+    out->recorder = stats::Recorder::Decode(r);
+  });
+}
+
+Bytes Encode(const ResetStatsFrame& f) {
+  Writer w = Begin(FrameType::kResetStats);
+  w.u64(f.tag);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, ResetStatsFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kResetStats, error,
+                   [&](Reader& r) { out->tag = r.u64(); });
+}
+
+Bytes Encode(const ResetAckFrame& f) {
+  Writer w = Begin(FrameType::kResetAck);
+  w.u64(f.tag);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, ResetAckFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kResetAck, error,
+                   [&](Reader& r) { out->tag = r.u64(); });
+}
+
+Bytes Encode(const ShutdownFrame& f) {
+  Writer w = Begin(FrameType::kShutdown);
+  w.u8(f.abort ? 1 : 0);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, ShutdownFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kShutdown, error,
+                   [&](Reader& r) { out->abort = r.u8() != 0; });
+}
+
+Bytes Encode(const ShutdownAckFrame&) {
+  return Begin(FrameType::kShutdownAck).take();
+}
+
+bool TryDecode(ByteSpan frame, ShutdownAckFrame* out, std::string* error) {
+  (void)out;
+  return Defensive(frame, FrameType::kShutdownAck, error, [](Reader&) {});
+}
+
+Bytes Encode(const ShutdownDoneFrame&) {
+  return Begin(FrameType::kShutdownDone).take();
+}
+
+bool TryDecode(ByteSpan frame, ShutdownDoneFrame* out, std::string* error) {
+  (void)out;
+  return Defensive(frame, FrameType::kShutdownDone, error, [](Reader&) {});
+}
+
+}  // namespace hmdsm::netio

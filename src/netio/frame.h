@@ -1,0 +1,170 @@
+// Wire frames for the multi-process socket transport.
+//
+// Everything that crosses a socket is one length-prefixed frame:
+//
+//     [u32 length][payload]        (little-endian, length = payload bytes)
+//
+// where payload[0] is the FrameType. Data frames carry one serialized DSM
+// protocol message (exactly the bytes the in-process transports deliver);
+// control frames carry the mesh handshake and the coordinator's
+// control-plane: remote thread start/completion, distributed quiescence
+// probes, stats gather, stats reset, and the shutdown barrier.
+//
+// Peer input is untrusted: every decoder here returns false with a
+// diagnostic on truncated, oversized, out-of-range, or trailing-garbage
+// input, and the frame reader enforces a maximum frame length before
+// allocating. A malformed frame tears the connection down loudly — it
+// never becomes UB or an unbounded allocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/transport.h"
+#include "src/stats/stats.h"
+#include "src/util/bytes.h"
+#include "src/util/serde.h"
+
+namespace hmdsm::netio {
+
+/// Bumped whenever any frame layout changes; the handshake rejects peers
+/// speaking a different version.
+constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frames larger than this are rejected before allocation. Generous: the
+/// largest legitimate frame is an object reply for the biggest shared
+/// object plus fixed headers.
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,      // dialer -> listener: version, rank, cluster size
+  kHelloAck,       // listener -> dialer: version, rank
+  kData,           // one DSM protocol message
+  kStartThread,    // lead -> host: run spawned thread `seq` now
+  kThreadDone,     // host -> lead: thread `seq` finished (error + result)
+  kQuiesceProbe,   // lead -> all: report your counters for `round`
+  kQuiesceReply,   // rank -> lead: wire/mailbox counters at probe time
+  kStatsRequest,   // lead -> all: send your recorder
+  kStatsReply,     // rank -> lead: serialized stats::Recorder
+  kResetStats,     // lead -> all: zero your recorder, mark your epoch
+  kResetAck,       // rank -> lead
+  kShutdown,       // lead -> all: run over (abort flag for error unwinds)
+  kShutdownAck,    // rank -> lead: my local threads are done, nothing more
+  kShutdownDone,   // lead -> all: every rank acked — safe to close sockets
+};
+
+/// Peeks the type byte; kData-vs-control routing in the reader loop.
+inline bool PeekType(ByteSpan frame, FrameType* out) {
+  if (frame.empty()) return false;
+  *out = static_cast<FrameType>(frame[0]);
+  return *out >= FrameType::kHello && *out <= FrameType::kShutdownDone;
+}
+
+struct HelloFrame {
+  std::uint32_t version = kProtocolVersion;
+  net::NodeId node = 0;
+  std::uint32_t node_count = 0;
+};
+
+struct HelloAckFrame {
+  std::uint32_t version = kProtocolVersion;
+  net::NodeId node = 0;
+};
+
+struct DataFrame {
+  net::NodeId src = 0;
+  net::NodeId dst = 0;
+  stats::MsgCat cat = stats::MsgCat::kObj;
+  Bytes payload;
+};
+
+struct StartThreadFrame {
+  std::uint64_t seq = 0;
+};
+
+struct ThreadDoneFrame {
+  std::uint64_t seq = 0;
+  std::string error;  // empty = completed normally
+  Bytes result;       // Env::PublishResult payload (may be empty)
+};
+
+struct QuiesceProbeFrame {
+  std::uint64_t round = 0;
+};
+
+/// One rank's activity counters. The cluster is quiescent when, across two
+/// consecutive probe rounds, every rank reports identical counters with
+/// sum(wire_sent) == sum(wire_received) and enqueued == dispatched
+/// everywhere (counters are monotone, so any activity between the two
+/// probe rounds perturbs at least one of them).
+struct QuiesceReplyFrame {
+  std::uint64_t round = 0;
+  std::uint64_t wire_sent = 0;      // data frames handed to the wire
+  std::uint64_t wire_received = 0;  // data frames pushed into the mailbox
+  std::uint64_t enqueued = 0;       // local mailbox pushes (self-sends too)
+  std::uint64_t dispatched = 0;     // local handlers completed
+};
+
+struct StatsRequestFrame {
+  std::uint64_t tag = 0;
+};
+
+struct StatsReplyFrame {
+  std::uint64_t tag = 0;
+  net::NodeId node = 0;
+  stats::Recorder recorder;
+};
+
+struct ResetStatsFrame {
+  std::uint64_t tag = 0;
+};
+
+struct ResetAckFrame {
+  std::uint64_t tag = 0;
+};
+
+struct ShutdownFrame {
+  bool abort = false;  // true: lead is unwinding an error, skip quiescence
+};
+
+struct ShutdownAckFrame {};
+
+/// Without this second phase a fast rank could close its sockets before a
+/// slow rank had even *received* the shutdown announcement — the slow
+/// rank's reader would see the EOF as a died peer. Closing only after
+/// every rank acked means every EOF lands on a rank that already knows
+/// the run is over.
+struct ShutdownDoneFrame {};
+
+Bytes Encode(const HelloFrame&);
+Bytes Encode(const HelloAckFrame&);
+Bytes Encode(const DataFrame&);
+Bytes Encode(const StartThreadFrame&);
+Bytes Encode(const ThreadDoneFrame&);
+Bytes Encode(const QuiesceProbeFrame&);
+Bytes Encode(const QuiesceReplyFrame&);
+Bytes Encode(const StatsRequestFrame&);
+Bytes Encode(const StatsReplyFrame&);
+Bytes Encode(const ResetStatsFrame&);
+Bytes Encode(const ResetAckFrame&);
+Bytes Encode(const ShutdownFrame&);
+Bytes Encode(const ShutdownAckFrame&);
+Bytes Encode(const ShutdownDoneFrame&);
+
+// Defensive decoders: false + diagnostic on any malformed input.
+bool TryDecode(ByteSpan frame, HelloFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, HelloAckFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, DataFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, StartThreadFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, ThreadDoneFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, QuiesceProbeFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, QuiesceReplyFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, StatsRequestFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, StatsReplyFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, ResetStatsFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, ResetAckFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, ShutdownFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, ShutdownAckFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, ShutdownDoneFrame* out, std::string* error);
+
+}  // namespace hmdsm::netio

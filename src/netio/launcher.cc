@@ -1,0 +1,88 @@
+#include "src/netio/launcher.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/netio/socket.h"
+#include "src/util/check.h"
+
+namespace hmdsm::netio {
+
+int RunLocalMesh(std::size_t nodes,
+                 const std::function<int(const LocalRank&)>& body) {
+  HMDSM_CHECK_MSG(nodes >= 1 && nodes <= 0x10000,
+                  "node count out of range");
+  // Bind every rank's listener in the parent: ephemeral ports mean two
+  // concurrent meshes (parallel test runs) can never collide, and children
+  // inherit an already-listening socket so there is no bind/dial race.
+  std::vector<Fd> listeners;
+  std::vector<std::string> peers;
+  listeners.reserve(nodes);
+  peers.reserve(nodes);
+  for (std::size_t r = 0; r < nodes; ++r) {
+    std::uint16_t port = 0;
+    std::string error;
+    Fd fd = ListenOn("127.0.0.1:0", &port, &error);
+    HMDSM_CHECK_MSG(fd.valid() && port != 0,
+                    "launcher listen failed: " << error);
+    listeners.push_back(std::move(fd));
+    peers.push_back("127.0.0.1:" + std::to_string(port));
+  }
+
+  std::vector<pid_t> children;
+  children.reserve(nodes);
+  for (std::size_t r = 0; r < nodes; ++r) {
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    HMDSM_CHECK_MSG(pid >= 0, "fork failed");
+    if (pid == 0) {
+      // Child: keep only rank r's listener; the transport adopts its fd.
+      LocalRank self;
+      self.rank = static_cast<net::NodeId>(r);
+      self.peers = peers;
+      for (std::size_t o = 0; o < nodes; ++o) {
+        if (o != r) listeners[o].Close();
+      }
+      self.listen_fd = listeners[r].release();
+      int status = 1;
+      try {
+        status = body(self);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "hmdsm sockets: rank %zu: %s\n", r, e.what());
+        status = 1;
+      }
+      std::fflush(stdout);
+      std::fflush(stderr);
+      // _exit, not exit: the child shares the parent's atexit/static state
+      // and must not run its teardown.
+      ::_exit(status);
+    }
+    children.push_back(pid);
+  }
+  for (Fd& fd : listeners) fd.Close();
+
+  int overall = 0;
+  for (std::size_t r = 0; r < nodes; ++r) {
+    int status = 0;
+    if (::waitpid(children[r], &status, 0) < 0) {
+      overall = overall != 0 ? overall : 1;
+      continue;
+    }
+    int rank_status = 0;
+    if (WIFEXITED(status)) {
+      rank_status = WEXITSTATUS(status);
+    } else if (WIFSIGNALED(status)) {
+      rank_status = 128 + WTERMSIG(status);
+      std::fprintf(stderr, "hmdsm sockets: rank %zu killed by signal %d\n", r,
+                   WTERMSIG(status));
+    }
+    if (overall == 0) overall = rank_status;
+  }
+  return overall;
+}
+
+}  // namespace hmdsm::netio

@@ -1,0 +1,38 @@
+// Self-fork launcher for localhost multi-process runs.
+//
+// `hmdsm_cli --backend=sockets --nodes=N` should "just work" on one
+// machine without port bookkeeping: the parent binds N ephemeral listening
+// sockets *before* forking (so concurrent runs can never collide on a
+// port), builds the peer list from the kernel-assigned ports, and forks
+// one child per rank. Each child inherits its own pre-bound listener,
+// closes the others, runs the supplied body, and _exits with its status;
+// the parent reaps everyone and reports the first failure.
+//
+// Fork is without exec, so call this before creating any threads (the CLI
+// and tests call it straight out of main). Multi-host runs skip this
+// entirely and pass an explicit --rank/--peers list instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace hmdsm::netio {
+
+/// What a forked child needs to build its SocketTransportOptions.
+struct LocalRank {
+  net::NodeId rank = 0;
+  std::vector<std::string> peers;  // 127.0.0.1:<port> per rank
+  int listen_fd = -1;              // this rank's pre-bound listener
+};
+
+/// Forks `nodes` children, runs `body` in each, and returns the overall
+/// exit status for the parent (0 iff every child exited 0; a signalled
+/// child reports 128+signo). Must be called while single-threaded.
+int RunLocalMesh(std::size_t nodes,
+                 const std::function<int(const LocalRank&)>& body);
+
+}  // namespace hmdsm::netio

@@ -1,0 +1,338 @@
+#include "src/netio/socket_transport.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include <sys/socket.h>
+
+namespace hmdsm::netio {
+
+SocketTransport::SocketTransport(SocketTransportOptions options)
+    : options_(std::move(options)),
+      recorders_(options_.peers.size()),
+      peers_(options_.peers.size()),
+      epoch_(std::chrono::steady_clock::now()) {
+  HMDSM_CHECK_MSG(options_.peers.size() >= 1 &&
+                      options_.peers.size() <= 0x10000,
+                  "peer list size out of range");
+  HMDSM_CHECK_MSG(options_.rank < options_.peers.size(),
+                  "rank " << options_.rank << " outside peer list of "
+                          << options_.peers.size());
+  for (stats::Recorder& r : recorders_) r.SetNodeCount(options_.peers.size());
+}
+
+SocketTransport::~SocketTransport() { Stop(); }
+
+void SocketTransport::SetControlHandler(ControlHandler handler) {
+  HMDSM_CHECK_MSG(!started_, "control handler must be set before Start()");
+  control_handler_ = std::move(handler);
+}
+
+void SocketTransport::Start() {
+  HMDSM_CHECK(!started_);
+  started_ = true;
+  // Only ranks with a higher-ranked peer expect inbound dials.
+  if (options_.rank + 1 < options_.peers.size()) {
+    if (options_.listen_fd >= 0) {
+      listener_ = Fd(options_.listen_fd);
+    } else {
+      std::string error;
+      listener_ = ListenOn(options_.peers[options_.rank], nullptr, &error);
+      if (!listener_.valid()) {
+        FailConnect(error);
+        return;
+      }
+    }
+  }
+  connector_ = std::thread([this] { ConnectorMain(); });
+}
+
+void SocketTransport::ConnectorMain() {
+  const auto rank = options_.rank;
+  const std::size_t n = options_.peers.size();
+  // Dial every lower rank first (ascending), then accept every higher one.
+  // Rank 0 reaches its accept phase immediately, so by induction every
+  // dial eventually finds a listener answering handshakes — no cycles.
+  for (net::NodeId id = 0; id < rank; ++id) {
+    std::string error;
+    Fd fd = DialWithRetry(options_.peers[id], options_.connect_timeout_ms,
+                          &error);
+    if (!fd.valid()) {
+      FailConnect("dial rank " + std::to_string(id) + ": " + error);
+      return;
+    }
+    if (!WriteFrame(fd.get(),
+                    Encode(HelloFrame{kProtocolVersion, rank,
+                                      static_cast<std::uint32_t>(n)}),
+                    &error)) {
+      FailConnect("hello to rank " + std::to_string(id) + ": " + error);
+      return;
+    }
+    Bytes reply;
+    SetRecvTimeout(fd.get(), options_.connect_timeout_ms);
+    if (!ReadFrame(fd.get(), &reply, options_.max_frame_bytes, &error)) {
+      FailConnect("hello-ack from rank " + std::to_string(id) + ": " +
+                  (error.empty() ? "connection closed" : error));
+      return;
+    }
+    SetRecvTimeout(fd.get(), 0);
+    HelloAckFrame ack;
+    if (!TryDecode(ByteSpan(reply), &ack, &error) ||
+        ack.version != kProtocolVersion || ack.node != id) {
+      FailConnect("bad hello-ack from rank " + std::to_string(id) + ": " +
+                  error);
+      return;
+    }
+    RegisterPeer(id, std::move(fd));
+  }
+  for (net::NodeId expected = rank + 1; expected < n; ++expected) {
+    std::string error;
+    Fd fd = AcceptOn(listener_.get(), &error);
+    if (!fd.valid()) {
+      if (shutting_down_.load(std::memory_order_acquire)) return;
+      FailConnect("accept: " + error);
+      return;
+    }
+    Bytes hello_bytes;
+    SetRecvTimeout(fd.get(), options_.connect_timeout_ms);
+    if (!ReadFrame(fd.get(), &hello_bytes, options_.max_frame_bytes,
+                   &error)) {
+      FailConnect("hello read: " +
+                  (error.empty() ? "connection closed" : error));
+      return;
+    }
+    SetRecvTimeout(fd.get(), 0);
+    HelloFrame hello;
+    if (!TryDecode(ByteSpan(hello_bytes), &hello, &error)) {
+      FailConnect("bad hello: " + error);
+      return;
+    }
+    if (hello.version != kProtocolVersion) {
+      FailConnect("peer speaks protocol version " +
+                  std::to_string(hello.version) + ", expected " +
+                  std::to_string(kProtocolVersion));
+      return;
+    }
+    if (hello.node_count != n || hello.node <= rank || hello.node >= n) {
+      FailConnect("peer claims rank " + std::to_string(hello.node) + " of " +
+                  std::to_string(hello.node_count) + " (we are " +
+                  std::to_string(rank) + " of " + std::to_string(n) + ")");
+      return;
+    }
+    {
+      std::lock_guard lock(mesh_mu_);
+      if (peers_[hello.node].connected) {
+        FailConnect("duplicate connection from rank " +
+                    std::to_string(hello.node));
+        return;
+      }
+    }
+    if (!WriteFrame(fd.get(), Encode(HelloAckFrame{kProtocolVersion, rank}),
+                    &error)) {
+      FailConnect("hello-ack write: " + error);
+      return;
+    }
+    RegisterPeer(hello.node, std::move(fd));
+  }
+}
+
+void SocketTransport::RegisterPeer(net::NodeId id, Fd fd) {
+  Peer& peer = peers_[id];
+  peer.fd = std::move(fd);
+  peer.reader = std::thread([this, id] { ReaderLoop(id); });
+  peer.writer = std::thread([this, id] { WriterLoop(id); });
+  std::lock_guard lock(mesh_mu_);
+  peer.connected = true;
+  ++connected_count_;
+  mesh_cv_.notify_all();
+}
+
+void SocketTransport::FailConnect(const std::string& why) {
+  std::lock_guard lock(mesh_mu_);
+  if (connect_error_.empty()) {
+    connect_error_ = "rank " + std::to_string(options_.rank) + ": " + why;
+  }
+  mesh_cv_.notify_all();
+}
+
+void SocketTransport::AwaitConnected() {
+  HMDSM_CHECK_MSG(started_, "Start() the transport first");
+  const std::size_t want = options_.peers.size() - 1;
+  std::unique_lock lock(mesh_mu_);
+  const bool done = mesh_cv_.wait_for(
+      lock, std::chrono::milliseconds(options_.connect_timeout_ms + 5000),
+      [&] { return connected_count_ == want || !connect_error_.empty(); });
+  HMDSM_CHECK_MSG(done, "mesh bring-up timed out with "
+                            << connected_count_ << "/" << want << " links");
+  HMDSM_CHECK_MSG(connect_error_.empty(), connect_error_);
+}
+
+void SocketTransport::Die(const std::string& why) const {
+  // Once a peer link is broken or violated mid-run, this rank's share of
+  // the object space is unreachable and every other rank would hang on it:
+  // fail fast and loudly so the launcher/operator sees which rank died.
+  std::fprintf(stderr, "hmdsm sockets: rank %u: fatal: %s\n", options_.rank,
+               why.c_str());
+  std::abort();
+}
+
+void SocketTransport::ReaderLoop(net::NodeId id) {
+  Peer& peer = peers_[id];
+  for (;;) {
+    Bytes frame;
+    std::string error;
+    if (!ReadFrame(peer.fd.get(), &frame, options_.max_frame_bytes,
+                   &error)) {
+      if (shutting_down_.load(std::memory_order_acquire)) return;
+      if (error.empty()) {
+        Die("rank " + std::to_string(id) + " closed its connection mid-run");
+      }
+      Die("read from rank " + std::to_string(id) + ": " + error);
+    }
+    FrameType type;
+    if (!PeekType(ByteSpan(frame), &type)) {
+      Die("unknown frame type from rank " + std::to_string(id));
+    }
+    if (type == FrameType::kData) {
+      DataFrame data;
+      if (!TryDecode(ByteSpan(frame), &data, &error)) {
+        Die("malformed data frame from rank " + std::to_string(id) + ": " +
+            error);
+      }
+      if (data.src != id || data.dst != options_.rank) {
+        Die("misrouted data frame from rank " + std::to_string(id) +
+            " (claims " + std::to_string(data.src) + "->" +
+            std::to_string(data.dst) + ")");
+      }
+      wire_received_.fetch_add(1, std::memory_order_acq_rel);
+      // Count before the push, exactly like the channel transport: once the
+      // dispatcher can see the packet, enqueued() must already cover it.
+      enqueued_.fetch_add(1, std::memory_order_acq_rel);
+      mailbox_.Push(
+          net::Packet{data.src, data.dst, data.cat, std::move(data.payload)});
+    } else if (type == FrameType::kHello || type == FrameType::kHelloAck) {
+      Die("unexpected handshake frame from rank " + std::to_string(id));
+    } else {
+      if (!control_handler_) {
+        Die("control frame from rank " + std::to_string(id) +
+            " but no control handler installed");
+      }
+      control_handler_(id, ByteSpan(frame));
+    }
+  }
+}
+
+void SocketTransport::WriterLoop(net::NodeId id) {
+  Peer& peer = peers_[id];
+  for (;;) {
+    Bytes frame;
+    {
+      std::unique_lock lock(peer.mu);
+      peer.cv.wait(lock, [&] { return peer.closed || !peer.queue.empty(); });
+      if (peer.queue.empty()) break;  // closed and drained
+      frame = std::move(peer.queue.front());
+      peer.queue.pop_front();
+    }
+    std::string error;
+    if (!WriteFrame(peer.fd.get(), ByteSpan(frame), &error)) {
+      if (shutting_down_.load(std::memory_order_acquire)) break;
+      Die("write to rank " + std::to_string(id) + ": " + error);
+    }
+  }
+  // Everything flushed: tell the peer's reader this direction is done.
+  peer.fd.ShutdownWrite();
+}
+
+void SocketTransport::EnqueueFrame(net::NodeId dst, Bytes frame) {
+  HMDSM_CHECK(dst < peers_.size() && dst != options_.rank);
+  Peer& peer = peers_[dst];
+  {
+    std::lock_guard lock(peer.mu);
+    HMDSM_CHECK_MSG(!peer.closed, "send to rank " << dst << " after Stop()");
+    peer.queue.push_back(std::move(frame));
+  }
+  peer.cv.notify_one();
+}
+
+void SocketTransport::SendControl(net::NodeId dst, const Bytes& frame) {
+  EnqueueFrame(dst, frame);
+}
+
+void SocketTransport::BroadcastControl(const Bytes& frame) {
+  for (net::NodeId id = 0; id < peers_.size(); ++id) {
+    if (id != options_.rank) EnqueueFrame(id, frame);
+  }
+}
+
+void SocketTransport::Send(net::NodeId src, net::NodeId dst,
+                           stats::MsgCat cat, Bytes payload) {
+  HMDSM_CHECK_MSG(src == options_.rank,
+                  "rank " << options_.rank << " cannot send as node " << src);
+  HMDSM_CHECK(dst < options_.peers.size());
+  if (dst == options_.rank) {
+    // Self-send: through the local mailbox (asynchronous delivery), never
+    // the wire, and not charged — identical to the in-process transports.
+    enqueued_.fetch_add(1, std::memory_order_acq_rel);
+    mailbox_.Push(net::Packet{src, dst, cat, std::move(payload)});
+    return;
+  }
+  const std::size_t wire_bytes = payload.size() + kHeaderBytes;
+  // Send() runs under the local agent lock, which serializes the recorder.
+  recorders_[options_.rank].RecordMessage(cat, wire_bytes);
+  recorders_[options_.rank].RecordSent(options_.rank, wire_bytes);
+  // Count before the frame becomes visible to the writer: quiescence must
+  // never observe a receive without its matching send.
+  wire_sent_.fetch_add(1, std::memory_order_acq_rel);
+  EnqueueFrame(dst, Encode(DataFrame{src, dst, cat, std::move(payload)}));
+}
+
+void SocketTransport::Dispatch(net::Packet&& packet) {
+  HMDSM_CHECK_MSG(handler_, "no handler registered for rank "
+                                << options_.rank);
+  HMDSM_CHECK(packet.dst == options_.rank);
+  if (packet.src != packet.dst) {
+    recorders_[options_.rank].RecordReceived(
+        options_.rank, packet.payload.size() + kHeaderBytes);
+  }
+  handler_(std::move(packet));
+  dispatched_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void SocketTransport::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  BeginShutdown();
+  // The connector goes first: wake it if it is still blocked in accept()
+  // (error-path teardown) and join it, so the peer set — and therefore the
+  // set of reader/writer threads the loops below must join — is final.
+  if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
+  if (connector_.joinable()) connector_.join();
+  // Close and drain the writers next: any queued goodbye (a shutdown ack)
+  // must reach the wire before the half-close.
+  for (net::NodeId id = 0; id < peers_.size(); ++id) {
+    Peer& peer = peers_[id];
+    {
+      std::lock_guard lock(peer.mu);
+      peer.closed = true;
+    }
+    peer.cv.notify_all();
+  }
+  for (Peer& peer : peers_) {
+    if (peer.writer.joinable()) peer.writer.join();
+  }
+  // Readers drain until the peer's half-close; the shutdown barrier the
+  // coordinator ran means no data frame can still be inbound, so unblock
+  // any reader whose peer already went away.
+  for (Peer& peer : peers_) {
+    if (peer.fd.valid()) ::shutdown(peer.fd.get(), SHUT_RD);
+  }
+  for (Peer& peer : peers_) {
+    if (peer.reader.joinable()) peer.reader.join();
+  }
+  mailbox_.Close();
+  listener_.Close();
+  for (Peer& peer : peers_) peer.fd.Close();
+}
+
+}  // namespace hmdsm::netio

@@ -1,0 +1,215 @@
+// netio::SocketTransport — the multi-process TCP implementation of the
+// transport seam. Each cluster node is its own OS process ("rank"); this
+// object is one rank's view of the mesh.
+//
+// Mesh topology: one TCP connection per unordered rank pair. Low ranks
+// listen, high ranks dial (rank 0 only listens, rank N-1 only dials); the
+// dialer retries until the listener is up and both sides handshake with a
+// Hello/HelloAck carrying the protocol version, node id, and cluster size.
+// A version or identity mismatch refuses the connection loudly.
+//
+// Data path and the delivery contract (see net/transport.h):
+//   * Send() is always called under the local node's agent lock, so sends
+//     are serialized at the source; each remote send is framed and handed
+//     to the destination peer's writer queue (drained by one writer thread
+//     per peer), and TCP preserves order per connection — together that is
+//     per-sender FIFO.
+//   * One reader thread per peer decodes frames defensively (peer input is
+//     untrusted) and pushes data packets into the local node's mailbox —
+//     the same mailbox self-sends use, so delivery order is whatever the
+//     single dispatcher pops, serialized per destination, and a self-send
+//     is never re-entrant.
+//   * Statistics live in the local rank's recorder only (send half at
+//     Send, receive half at Dispatch); cluster totals are gathered over
+//     control frames by the netio::Coordinator at the end of a run.
+//
+// Control frames (thread start/done, quiescence probes, stats, shutdown)
+// share the per-peer writer queues — so a control frame from rank A to
+// rank B is FIFO-ordered against A's data traffic to B, which the
+// coordinator's reset/start sequencing relies on — and are routed to the
+// registered control handler from reader-thread context.
+//
+// The wire_sent/wire_received counters (data frames only) feed the
+// distributed quiescence detection: this process alone cannot know whether
+// the cluster is idle, only the coordinator's cross-rank probe can.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/netio/frame.h"
+#include "src/netio/socket.h"
+#include "src/runtime/channel.h"
+#include "src/runtime/mailbox_transport.h"
+
+namespace hmdsm::netio {
+
+struct SocketTransportOptions {
+  /// This process's node id, in [0, peers.size()).
+  net::NodeId rank = 0;
+  /// One "host:port" endpoint per rank (index = rank). Every process gets
+  /// the identical list.
+  std::vector<std::string> peers;
+  /// Pre-bound listening socket to adopt (the self-fork launcher binds
+  /// ephemeral ports in the parent so children cannot collide); -1 binds
+  /// peers[rank] instead.
+  int listen_fd = -1;
+  /// How long dialers retry while the mesh comes up.
+  int connect_timeout_ms = 30000;
+  /// Frames above this are a protocol violation (checked pre-allocation).
+  std::uint32_t max_frame_bytes = kMaxFrameBytes;
+};
+
+class SocketTransport final : public runtime::MailboxTransport {
+ public:
+  explicit SocketTransport(SocketTransportOptions options);
+  ~SocketTransport() override;
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  net::NodeId rank() const { return options_.rank; }
+
+  /// Control frames arrive here from reader-thread context (serialized per
+  /// peer, concurrent across peers). Set before Start().
+  using ControlHandler =
+      std::function<void(net::NodeId src, ByteSpan frame)>;
+  void SetControlHandler(ControlHandler handler);
+
+  /// Binds/adopts the listener and starts the mesh connector. Returns
+  /// immediately; AwaitConnected() blocks for completion.
+  void Start();
+
+  /// Blocks until every peer link is handshaken (throws CheckError on
+  /// connect failure or timeout).
+  void AwaitConnected();
+
+  /// Enqueues a control frame to `dst` (FIFO with data traffic).
+  void SendControl(net::NodeId dst, const Bytes& frame);
+  void BroadcastControl(const Bytes& frame);
+
+  /// Data frames handed to the wire / pushed into the local mailbox.
+  std::uint64_t wire_sent() const {
+    return wire_sent_.load(std::memory_order_acquire);
+  }
+  std::uint64_t wire_received() const {
+    return wire_received_.load(std::memory_order_acquire);
+  }
+
+  /// Marks the run as ending: from now on a peer EOF is a normal goodbye,
+  /// not a died-peer failure. Call when the shutdown barrier starts.
+  void BeginShutdown() {
+    shutting_down_.store(true, std::memory_order_release);
+  }
+
+  /// Flushes and half-closes every peer link, closes the local mailbox,
+  /// and joins all I/O threads. Requires every rank to reach its own
+  /// Stop() (the coordinator's shutdown barrier guarantees it). Idempotent.
+  void Stop();
+
+  // ---- net::Transport ----
+
+  std::size_t node_count() const override { return options_.peers.size(); }
+
+  void SetHandler(net::NodeId node, Handler handler) override {
+    HMDSM_CHECK_MSG(node == options_.rank,
+                    "rank " << options_.rank << " cannot host node " << node);
+    handler_ = std::move(handler);
+  }
+
+  void Send(net::NodeId src, net::NodeId dst, stats::MsgCat cat,
+            Bytes payload) override;
+
+  /// Wall-clock nanoseconds since transport construction.
+  sim::Time Now() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// Only the local rank's recorder accumulates anything; remote slots are
+  /// zero-filled placeholders so base-class Totals()/ResetStats() see a
+  /// full table (cluster-wide totals come from the coordinator's gather).
+  stats::Recorder& RecorderFor(net::NodeId node) override {
+    HMDSM_CHECK(node < recorders_.size());
+    return recorders_[node];
+  }
+  const stats::Recorder& RecorderFor(net::NodeId node) const override {
+    HMDSM_CHECK(node < recorders_.size());
+    return recorders_[node];
+  }
+
+  // ---- runtime::MailboxTransport ----
+
+  bool WaitPop(net::NodeId node, net::Packet& out) override {
+    HMDSM_CHECK(node == options_.rank);
+    return mailbox_.WaitPop(out);
+  }
+
+  void Dispatch(net::Packet&& packet) override;
+
+  void CloseAll() override { mailbox_.Close(); }
+
+  std::uint64_t enqueued() const override {
+    return enqueued_.load(std::memory_order_acquire);
+  }
+  std::uint64_t dispatched() const override {
+    return dispatched_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// One peer link: the socket plus its writer queue and I/O threads.
+  struct Peer {
+    Fd fd;
+    std::thread reader;
+    std::thread writer;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Bytes> queue;  // frames awaiting the writer thread
+    bool closed = false;      // no further enqueues; writer drains and exits
+    bool connected = false;   // guarded by mesh_mu_
+  };
+
+  void ConnectorMain();
+  /// Validates a fresh connection's handshake and starts its I/O threads.
+  void RegisterPeer(net::NodeId id, Fd fd);
+  void ReaderLoop(net::NodeId id);
+  void WriterLoop(net::NodeId id);
+  void EnqueueFrame(net::NodeId dst, Bytes frame);
+  /// Records a mesh bring-up failure and wakes AwaitConnected.
+  void FailConnect(const std::string& why);
+  /// Unrecoverable protocol violation or peer death mid-run: this process
+  /// cannot continue (its node's state is now unreachable by the cluster).
+  [[noreturn]] void Die(const std::string& why) const;
+
+  SocketTransportOptions options_;
+  runtime::Channel mailbox_;               // the local node's mailbox
+  Handler handler_;                        // local node's delivery callback
+  ControlHandler control_handler_;
+  std::deque<stats::Recorder> recorders_;  // [rank] real, others placeholder
+  std::deque<Peer> peers_;                 // indexed by rank; [rank] unused
+  Fd listener_;
+  std::thread connector_;
+
+  std::mutex mesh_mu_;                     // connection bookkeeping
+  std::condition_variable mesh_cv_;
+  std::size_t connected_count_ = 0;
+  std::string connect_error_;
+
+  std::atomic<bool> shutting_down_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::atomic<std::uint64_t> wire_sent_{0};
+  std::atomic<std::uint64_t> wire_received_{0};
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> dispatched_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace hmdsm::netio

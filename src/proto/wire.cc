@@ -22,6 +22,12 @@ void PutDiffList(Writer& w,
 std::vector<std::pair<ObjectId, Bytes>> GetDiffList(Reader& r) {
   std::vector<std::pair<ObjectId, Bytes>> diffs;
   const std::uint32_t n = r.u32();
+  // Each entry needs at least an id (8) plus a length prefix (4); a count
+  // exceeding what the remaining bytes could hold is corrupt. Checking
+  // before reserve() keeps a hostile count from turning into a giant
+  // allocation instead of a decode error.
+  HMDSM_CHECK_MSG(n <= r.remaining() / 12,
+                  "diff list count " << n << " exceeds remaining bytes");
   diffs.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     ObjectId obj{r.u64()};
@@ -168,8 +174,9 @@ Kind PeekKind(ByteSpan wire) {
   return static_cast<Kind>(wire[0]);
 }
 
-AnyMsg Decode(ByteSpan wire) {
-  Reader r(wire);
+namespace {
+
+AnyMsg DecodeImpl(Reader& r) {
   const Kind kind = static_cast<Kind>(r.u8());
   switch (kind) {
     case Kind::kObjRequest: {
@@ -289,6 +296,44 @@ AnyMsg Decode(ByteSpan wire) {
   HMDSM_CHECK_MSG(false, "unknown message kind "
                              << static_cast<int>(kind));
   return ObjRequest{};
+}
+
+}  // namespace
+
+AnyMsg Decode(ByteSpan wire) {
+  Reader r(wire);
+  AnyMsg msg = DecodeImpl(r);
+  HMDSM_CHECK_MSG(r.done(),
+                  "trailing garbage: " << r.remaining()
+                                       << " bytes after the message");
+  return msg;
+}
+
+bool TryDecode(ByteSpan wire, AnyMsg* out, std::string* error) {
+  HMDSM_CHECK(out != nullptr);
+  if (wire.empty()) {
+    if (error != nullptr) *error = "empty message";
+    return false;
+  }
+  // Reader throws CheckError on truncation, absurd embedded lengths throw
+  // via the pre-reserve bounds checks; an untrusted peer must get a decode
+  // error back, never an unwound process.
+  try {
+    Reader r(wire);
+    AnyMsg msg = DecodeImpl(r);
+    if (!r.done()) {
+      if (error != nullptr) {
+        *error = "trailing garbage: " + std::to_string(r.remaining()) +
+                 " bytes after the message";
+      }
+      return false;
+    }
+    *out = std::move(msg);
+    return true;
+  } catch (const CheckError& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
 }
 
 }  // namespace hmdsm::proto

@@ -191,7 +191,15 @@ Bytes Encode(const HomeBroadcastMsg&);
 Bytes Encode(const ChainUpdateMsg&);
 
 /// Decodes any protocol message (leading kind byte selects the type).
+/// Trusted-input path: throws CheckError on malformed bytes (an in-process
+/// transport corrupting a message is a bug, not an input).
 AnyMsg Decode(ByteSpan wire);
+
+/// Defensive decode for untrusted bytes (anything that arrived over a
+/// socket). Never throws and never allocates unboundedly: truncated,
+/// oversized, unknown-kind, and trailing-garbage inputs all return false
+/// with a diagnostic in `error`. On success `*out` holds the message.
+bool TryDecode(ByteSpan wire, AnyMsg* out, std::string* error);
 
 /// The kind of an encoded message without full decoding.
 Kind PeekKind(ByteSpan wire);

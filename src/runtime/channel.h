@@ -40,7 +40,7 @@
 #include <vector>
 
 #include "src/net/hockney.h"
-#include "src/net/transport.h"
+#include "src/runtime/mailbox_transport.h"
 #include "src/util/check.h"
 
 namespace hmdsm::runtime {
@@ -116,7 +116,7 @@ class Channel {
 };
 
 /// The threads backend's Transport: wall clock, per-node mailboxes.
-class ChannelTransport final : public net::Transport {
+class ChannelTransport final : public MailboxTransport {
  public:
   explicit ChannelTransport(std::size_t node_count);
 
@@ -146,7 +146,7 @@ class ChannelTransport final : public net::Transport {
   /// injection is off or the deadline already passed. Dispatchers call this
   /// after popping and *before* taking the destination agent lock, so a
   /// sleeping delivery never blocks the node's guests.
-  void AwaitDeliveryTime(const net::Packet& packet) const {
+  void AwaitDeliveryTime(const net::Packet& packet) const override {
     if (packet.deliver_after > 0) PreciseSleepFor(packet.deliver_after - Now());
   }
 
@@ -169,17 +169,17 @@ class ChannelTransport final : public net::Transport {
   // ---- dispatcher plumbing (Runtime's per-node threads) ----
 
   /// Blocks for the next packet addressed to `node`; false when closed.
-  bool WaitPop(NodeId node, net::Packet& out) {
+  bool WaitPop(NodeId node, net::Packet& out) override {
     HMDSM_CHECK(node < channels_.size());
     return channels_[node].WaitPop(out);
   }
 
   /// Delivers one popped packet: receive accounting plus the registered
   /// handler. Must be called under the destination node's agent lock.
-  void Dispatch(net::Packet&& packet);
+  void Dispatch(net::Packet&& packet) override;
 
   /// Closes every mailbox; dispatchers drain out of WaitPop with false.
-  void CloseAll() {
+  void CloseAll() override {
     for (Channel& c : channels_) c.Close();
   }
 
@@ -187,10 +187,10 @@ class ChannelTransport final : public net::Transport {
   /// while no worker is running means the cluster is quiescent (a handler
   /// increments `dispatched` only after it returns, and any message it sent
   /// bumped `enqueued` first).
-  std::uint64_t enqueued() const {
+  std::uint64_t enqueued() const override {
     return enqueued_.load(std::memory_order_acquire);
   }
-  std::uint64_t dispatched() const {
+  std::uint64_t dispatched() const override {
     return dispatched_.load(std::memory_order_acquire);
   }
 

@@ -1,0 +1,53 @@
+// The mailbox-transport seam between runtime::Runtime and a concrete
+// message fabric.
+//
+// Runtime's dispatcher threads are fabric-agnostic: they block in WaitPop
+// for the next packet addressed to a node this process hosts, honour the
+// packet's injected delivery deadline, and then Dispatch it under the
+// node's agent lock. Two fabrics implement the contract:
+//
+//   * runtime::ChannelTransport — the in-process threads backend: every
+//     cluster node lives in this process and has its own mailbox.
+//   * netio::SocketTransport — the multi-process sockets backend: exactly
+//     one node (this process's rank) is local; remote nodes are reached
+//     over TCP, and the reader threads feed received packets into the
+//     local mailbox.
+//
+// The enqueued/dispatched counters cover every packet that enters a
+// *local* mailbox (self-sends included); `enqueued() == dispatched()` with
+// no local worker running means this process is locally quiescent. On the
+// sockets backend that is only one conjunct of cluster quiescence — the
+// netio coordinator combines it with matched wire counters across ranks.
+#pragma once
+
+#include "src/net/transport.h"
+
+namespace hmdsm::runtime {
+
+class MailboxTransport : public net::Transport {
+ public:
+  /// Blocks for the next packet addressed to `node` (which must be hosted
+  /// by this process); returns false once the mailbox is closed.
+  virtual bool WaitPop(net::NodeId node, net::Packet& out) = 0;
+
+  /// Delivers one popped packet: receive-side accounting plus the
+  /// registered handler. Must be called under the destination node's agent
+  /// lock.
+  virtual void Dispatch(net::Packet&& packet) = 0;
+
+  /// Closes every locally hosted mailbox; dispatchers drain out of WaitPop
+  /// with false.
+  virtual void CloseAll() = 0;
+
+  /// Packets pushed into / fully handled from local mailboxes so far.
+  virtual std::uint64_t enqueued() const = 0;
+  virtual std::uint64_t dispatched() const = 0;
+
+  /// Blocks until `packet`'s injected delivery deadline (latency-injection
+  /// fabrics only; default: deliver immediately).
+  virtual void AwaitDeliveryTime(const net::Packet& packet) const {
+    (void)packet;
+  }
+};
+
+}  // namespace hmdsm::runtime

@@ -10,23 +10,45 @@ namespace hmdsm::runtime {
 // ---------------------------------------------------------------------------
 
 Runtime::Runtime(RuntimeOptions options)
-    : options_(std::move(options)), transport_(options_.nodes) {
+    : options_(std::move(options)),
+      owned_transport_(std::make_unique<ChannelTransport>(options_.nodes)),
+      transport_(*owned_transport_) {
+  if (options_.inject_latency_scale > 0) {
+    owned_transport_->EnableLatencyInjection(options_.model,
+                                             options_.inject_latency_scale);
+  }
+  local_nodes_.reserve(options_.nodes);
+  for (dsm::NodeId n = 0; n < options_.nodes; ++n) local_nodes_.push_back(n);
+  Init();
+}
+
+Runtime::Runtime(RuntimeOptions options, MailboxTransport& transport,
+                 dsm::NodeId local_node)
+    : options_(std::move(options)), transport_(transport) {
+  HMDSM_CHECK_MSG(transport_.node_count() == options_.nodes,
+                  "external transport sized for " << transport_.node_count()
+                                                  << " nodes, options say "
+                                                  << options_.nodes);
+  HMDSM_CHECK_MSG(options_.inject_latency_scale <= 0,
+                  "latency injection is the channel transport's feature");
+  HMDSM_CHECK(local_node < options_.nodes);
+  local_nodes_.push_back(local_node);
+  Init();
+}
+
+void Runtime::Init() {
   HMDSM_CHECK_MSG(options_.nodes >= 1 && options_.nodes <= 0x10000,
                   "node count out of range");
-  if (options_.inject_latency_scale > 0) {
-    transport_.EnableLatencyInjection(options_.model,
-                                      options_.inject_latency_scale);
-  }
-  cells_.reserve(options_.nodes);
-  for (dsm::NodeId n = 0; n < options_.nodes; ++n) {
+  cells_.resize(options_.nodes);
+  for (dsm::NodeId n : local_nodes_) {
     auto cell = std::make_unique<NodeCell>();
     cell->agent = std::make_unique<dsm::Agent>(n, transport_, options_.dsm);
-    cells_.push_back(std::move(cell));
+    cells_[n] = std::move(cell);
   }
   // Handlers are all registered (agent constructors); only now may traffic
   // start flowing, so the dispatcher threads start last.
-  dispatchers_.reserve(options_.nodes);
-  for (dsm::NodeId n = 0; n < options_.nodes; ++n)
+  dispatchers_.reserve(local_nodes_.size());
+  for (dsm::NodeId n : local_nodes_)
     dispatchers_.emplace_back([this, n] { DispatchLoop(n); });
 }
 
@@ -82,10 +104,10 @@ void Runtime::AwaitQuiescence() {
 
 void Runtime::ResetMeasurement() {
   AwaitQuiescence();
-  for (auto& cell : cells_) {
+  for (dsm::NodeId n : local_nodes_) {
     // The lock both serializes against any straggling handler and gives the
     // reset visibility to the node's future recorder writes.
-    std::lock_guard lock(cell->mu);
+    std::lock_guard lock(cells_[n]->mu);
   }
   transport_.ResetStats();
   measure_start_ = transport_.Now();
@@ -98,11 +120,17 @@ double Runtime::ElapsedSeconds() const {
 stats::Recorder Runtime::Totals() const {
   stats::Recorder total;
   total.SetNodeCount(cells_.size());
-  for (dsm::NodeId n = 0; n < cells_.size(); ++n) {
+  for (dsm::NodeId n : local_nodes_) {
     std::lock_guard lock(cells_[n]->mu);
     total.Merge(transport_.RecorderFor(n));
   }
   return total;
+}
+
+stats::Recorder Runtime::SnapshotRecorder(dsm::NodeId node) const {
+  HMDSM_CHECK(node < cells_.size() && cells_[node] != nullptr);
+  std::lock_guard lock(cells_[node]->mu);
+  return transport_.RecorderFor(node);
 }
 
 void Runtime::Shutdown() {

@@ -49,16 +49,44 @@ struct RuntimeOptions {
 class Guest;
 
 /// A cluster of agents on real threads. One instance per run.
+///
+/// Two hosting modes share the same dispatcher/guest machinery:
+///   * in-process (threads backend): the Runtime owns a ChannelTransport
+///     and hosts every cluster node — one agent + dispatcher per node;
+///   * external transport (sockets backend): the caller supplies a
+///     MailboxTransport (netio::SocketTransport) and the Runtime hosts only
+///     `local_node` — one agent + one dispatcher; the other ranks live in
+///     other OS processes reached over the wire.
 class Runtime {
  public:
   explicit Runtime(RuntimeOptions options);
+  /// External-transport mode: host only `local_node` of the cluster behind
+  /// `transport` (which the caller owns and must outlive this Runtime).
+  /// Latency injection is the channel transport's feature — rejected here.
+  Runtime(RuntimeOptions options, MailboxTransport& transport,
+          dsm::NodeId local_node);
   ~Runtime();
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
   std::size_t nodes() const { return cells_.size(); }
   const RuntimeOptions& options() const { return options_; }
-  ChannelTransport& transport() { return transport_; }
+  /// The owned channel transport (in-process mode only; CHECKs otherwise).
+  ChannelTransport& transport() {
+    HMDSM_CHECK_MSG(owned_transport_ != nullptr,
+                    "transport() needs the in-process channel mode");
+    return *owned_transport_;
+  }
+  MailboxTransport& mailbox() { return transport_; }
+
+  /// True when this process hosts `node`'s agent (always, in-process).
+  bool hosts(dsm::NodeId node) const {
+    return node < cells_.size() && cells_[node] != nullptr;
+  }
+
+  /// Copy of a hosted node's recorder, taken under its agent lock (so it is
+  /// consistent even against a straggling handler).
+  stats::Recorder SnapshotRecorder(dsm::NodeId node) const;
 
   /// Fresh identifiers, allocated centrally like dsm::Cluster's (identical
   /// sequences, so a scenario materializes the same ids on both backends).
@@ -70,7 +98,9 @@ class Runtime {
   /// Blocks until no message is in flight or being handled. Callable only
   /// while no application worker is running (workers could always send
   /// more); with workers joined, dispatchers are the only senders and they
-  /// only send from inside handlers.
+  /// only send from inside handlers. In external-transport mode this is
+  /// *local* quiescence only — cluster-wide quiescence additionally needs
+  /// the wire counters matched across ranks (netio::Coordinator).
   void AwaitQuiescence();
 
   /// Starts the measured window: drains in-flight traffic, zeroes every
@@ -98,15 +128,19 @@ class Runtime {
   };
 
   NodeCell& cell(dsm::NodeId node) {
-    HMDSM_CHECK(node < cells_.size());
+    HMDSM_CHECK_MSG(hosts(node), "node " << node << " is not hosted by this "
+                                            "process");
     return *cells_[node];
   }
 
+  void Init();
   void DispatchLoop(dsm::NodeId node);
 
   RuntimeOptions options_;
-  ChannelTransport transport_;
-  std::vector<std::unique_ptr<NodeCell>> cells_;
+  std::unique_ptr<ChannelTransport> owned_transport_;  // in-process mode
+  MailboxTransport& transport_;
+  std::vector<dsm::NodeId> local_nodes_;  // nodes hosted by this process
+  std::vector<std::unique_ptr<NodeCell>> cells_;  // indexed by node id
   std::vector<std::thread> dispatchers_;
   bool shut_down_ = false;
   sim::Time measure_start_ = 0;  // transport Now() at ResetMeasurement

@@ -61,6 +61,81 @@ std::uint64_t Recorder::TotalBytes(bool include_sync) const {
   return total;
 }
 
+MsgTotals Recorder::TotalSent() const {
+  MsgTotals t;
+  for (const MsgTotals& n : sent_by_node_) {
+    t.messages += n.messages;
+    t.bytes += n.bytes;
+  }
+  return t;
+}
+
+MsgTotals Recorder::TotalReceived() const {
+  MsgTotals t;
+  for (const MsgTotals& n : received_by_node_) {
+    t.messages += n.messages;
+    t.bytes += n.bytes;
+  }
+  return t;
+}
+
+namespace {
+constexpr std::uint8_t kRecorderSerdeVersion = 1;
+}  // namespace
+
+void Recorder::Encode(Writer& w) const {
+  w.u8(kRecorderSerdeVersion);
+  w.u32(static_cast<std::uint32_t>(kNumMsgCats));
+  for (const MsgTotals& t : by_cat_) {
+    w.u64(t.messages);
+    w.u64(t.bytes);
+  }
+  w.u32(static_cast<std::uint32_t>(kNumEvs));
+  for (std::uint64_t v : evs_) w.u64(v);
+  w.u32(static_cast<std::uint32_t>(sent_by_node_.size()));
+  for (const MsgTotals& t : sent_by_node_) {
+    w.u64(t.messages);
+    w.u64(t.bytes);
+  }
+  w.u32(static_cast<std::uint32_t>(received_by_node_.size()));
+  for (const MsgTotals& t : received_by_node_) {
+    w.u64(t.messages);
+    w.u64(t.bytes);
+  }
+}
+
+Recorder Recorder::Decode(Reader& r) {
+  Recorder rec;
+  const std::uint8_t version = r.u8();
+  HMDSM_CHECK_MSG(version == kRecorderSerdeVersion,
+                  "unsupported recorder serde version "
+                      << static_cast<int>(version));
+  // Table sizes come off the wire: bound them before any loop or resize so
+  // a corrupt frame yields a decode error, not a giant allocation.
+  const std::uint32_t cats = r.u32();
+  HMDSM_CHECK_MSG(cats == kNumMsgCats, "category count mismatch: " << cats);
+  for (MsgTotals& t : rec.by_cat_) {
+    t.messages = r.u64();
+    t.bytes = r.u64();
+  }
+  const std::uint32_t evs = r.u32();
+  HMDSM_CHECK_MSG(evs == kNumEvs, "event count mismatch: " << evs);
+  for (std::uint64_t& v : rec.evs_) v = r.u64();
+  const auto read_table = [&r](std::vector<MsgTotals>& table) {
+    const std::uint32_t nodes = r.u32();
+    HMDSM_CHECK_MSG(nodes <= 0x10000 && nodes <= r.remaining() / 16,
+                    "per-node table size " << nodes << " is corrupt");
+    table.resize(nodes);
+    for (MsgTotals& t : table) {
+      t.messages = r.u64();
+      t.bytes = r.u64();
+    }
+  };
+  read_table(rec.sent_by_node_);
+  read_table(rec.received_by_node_);
+  return rec;
+}
+
 void Recorder::Reset() {
   by_cat_.fill(MsgTotals{});
   evs_.fill(0);

@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/util/serde.h"
+
 namespace hmdsm::stats {
 
 /// Wire-message categories, matching the paper's Figure 5(b) breakdown plus
@@ -126,6 +128,19 @@ class Recorder {
 
   /// Total bytes on the wire across categories.
   std::uint64_t TotalBytes(bool include_sync = true) const;
+
+  /// Sums of the per-node attribution tables. Sends are recorded by
+  /// senders, receives by receivers, so equal totals at quiescence witness
+  /// that no message was lost — the cross-process conformance suite
+  /// asserts exactly that on gathered multi-process stats.
+  MsgTotals TotalSent() const;
+  MsgTotals TotalReceived() const;
+
+  /// Wire serialization, for gathering per-rank recorders to the lead rank
+  /// of a multi-process run. Decode throws CheckError on malformed input
+  /// (callers reading sockets wrap it defensively).
+  void Encode(Writer& w) const;
+  static Recorder Decode(Reader& r);
 
   void Reset();
 

@@ -7,6 +7,7 @@
 
 #include "src/util/bytes.h"
 #include "src/util/fnv.h"
+#include "src/util/serde.h"
 #include "src/workload/recorder.h"
 
 namespace hmdsm::workload {
@@ -44,19 +45,24 @@ ScenarioResult RunScenario(const gos::VmOptions& vm_options,
 
     vm.ResetMeasurement();
 
-    // Worker w only ever touches shims[w]; the joins below give the main
-    // thread a happens-before edge on every slot before it reads them.
-    std::vector<std::unique_ptr<AgentShim>> shims(scenario.workers.size());
+    // Each worker owns its shim and publishes (ops, read checksum) as its
+    // thread result — on the sockets backend the shim lives in the
+    // worker's process, so the result rides the completion frame back to
+    // the reporting rank; on the in-process backends Join alone gives the
+    // happens-before edge.
     std::vector<gos::Thread*> threads;
     for (std::uint32_t w = 0; w < scenario.workers.size(); ++w) {
       const WorkerSpec& spec = scenario.workers[w];
       threads.push_back(vm.Spawn(
           spec.node,
           [&, w](gos::Env& me) {
-            shims[w] = std::make_unique<AgentShim>(
-                me, bindings, w, recorder ? &*recorder : nullptr);
+            AgentShim shim(me, bindings, w, recorder ? &*recorder : nullptr);
             for (const Op& op : scenario.workers[w].program)
-              shims[w]->Execute(op);
+              shim.Execute(op);
+            Writer res;
+            res.u64(shim.ops_executed());
+            res.u64(shim.read_checksum());
+            me.PublishResult(res.take());
           },
           spec.name.empty() ? "w" + std::to_string(w) : spec.name));
     }
@@ -70,10 +76,14 @@ ScenarioResult RunScenario(const gos::VmOptions& vm_options,
 
     // Digest: per-worker read checksums combined in worker order, then the
     // final contents of every object (read outside the measured window).
+    // Only the reporting rank can compute it — ghost replicas' reads and
+    // thread results are empty by design.
+    if (!vm.reporting()) return;
     std::uint64_t digest = kFnvOffsetBasis;
-    for (std::uint32_t w = 0; w < scenario.workers.size(); ++w) {
-      result.ops_executed += shims[w]->ops_executed();
-      digest = FnvFold64(digest, shims[w]->read_checksum());
+    for (gos::Thread* t : threads) {
+      Reader res(t->result());
+      result.ops_executed += res.u64();
+      digest = FnvFold64(digest, res.u64());
     }
     for (gos::ObjectId obj : bindings.objects)
       env.Read(obj, [&](ByteSpan bytes) {

@@ -1,0 +1,181 @@
+// The socket transport's frame codec: round trips for every frame type and
+// — because frames come off a wire from an untrusted peer — the defensive
+// decode paths: truncation, wrong type, trailing garbage, out-of-range
+// enums, and hostile embedded lengths must all come back as errors, never
+// as exceptions, UB, or giant allocations.
+#include "src/netio/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace hmdsm::netio {
+namespace {
+
+template <typename F>
+F RoundTrip(const F& in) {
+  const Bytes wire = Encode(in);
+  F out;
+  std::string error;
+  EXPECT_TRUE(TryDecode(ByteSpan(wire), &out, &error)) << error;
+  return out;
+}
+
+TEST(NetioFrame, HelloRoundTrip) {
+  const HelloFrame out = RoundTrip(HelloFrame{kProtocolVersion, 3, 8});
+  EXPECT_EQ(out.version, kProtocolVersion);
+  EXPECT_EQ(out.node, 3u);
+  EXPECT_EQ(out.node_count, 8u);
+}
+
+TEST(NetioFrame, DataRoundTrip) {
+  DataFrame in;
+  in.src = 2;
+  in.dst = 5;
+  in.cat = stats::MsgCat::kDiff;
+  in.payload = Bytes{1, 2, 3, 4};
+  const DataFrame out = RoundTrip(in);
+  EXPECT_EQ(out.src, 2u);
+  EXPECT_EQ(out.dst, 5u);
+  EXPECT_EQ(out.cat, stats::MsgCat::kDiff);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(NetioFrame, ThreadDoneRoundTripCarriesErrorAndResult) {
+  ThreadDoneFrame in;
+  in.seq = 42;
+  in.error = "boom";
+  in.result = Bytes{9, 9};
+  const ThreadDoneFrame out = RoundTrip(in);
+  EXPECT_EQ(out.seq, 42u);
+  EXPECT_EQ(out.error, "boom");
+  EXPECT_EQ(out.result, in.result);
+}
+
+TEST(NetioFrame, QuiesceReplyRoundTrip) {
+  const QuiesceReplyFrame out =
+      RoundTrip(QuiesceReplyFrame{7, 100, 99, 50, 50});
+  EXPECT_EQ(out.round, 7u);
+  EXPECT_EQ(out.wire_sent, 100u);
+  EXPECT_EQ(out.wire_received, 99u);
+  EXPECT_EQ(out.enqueued, 50u);
+  EXPECT_EQ(out.dispatched, 50u);
+}
+
+TEST(NetioFrame, StatsReplyRoundTripsARecorder) {
+  StatsReplyFrame in;
+  in.tag = 1;
+  in.node = 2;
+  in.recorder.SetNodeCount(3);
+  in.recorder.RecordMessage(stats::MsgCat::kObj, 123);
+  in.recorder.RecordSent(2, 123);
+  in.recorder.Bump(stats::Ev::kMigrations, 5);
+  const StatsReplyFrame out = RoundTrip(in);
+  EXPECT_EQ(out.node, 2u);
+  EXPECT_EQ(out.recorder.Cat(stats::MsgCat::kObj).messages, 1u);
+  EXPECT_EQ(out.recorder.Cat(stats::MsgCat::kObj).bytes, 123u);
+  EXPECT_EQ(out.recorder.SentBy(2).messages, 1u);
+  EXPECT_EQ(out.recorder.Count(stats::Ev::kMigrations), 5u);
+}
+
+TEST(NetioFrame, ShutdownRoundTripCarriesAbort) {
+  EXPECT_TRUE(RoundTrip(ShutdownFrame{true}).abort);
+  EXPECT_FALSE(RoundTrip(ShutdownFrame{false}).abort);
+}
+
+// ---------------------------------------------------------------------------
+// Defensive decoding
+// ---------------------------------------------------------------------------
+
+TEST(NetioFrameDefense, EmptyAndUnknownTypeAreRejected) {
+  FrameType type;
+  EXPECT_FALSE(PeekType(ByteSpan(), &type));
+  const Bytes junk{0xEE, 1, 2, 3};
+  EXPECT_FALSE(PeekType(ByteSpan(junk), &type));
+  DataFrame out;
+  std::string error;
+  EXPECT_FALSE(TryDecode(ByteSpan(junk), &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(NetioFrameDefense, WrongTypeIsRejected) {
+  const Bytes wire = Encode(StartThreadFrame{1});
+  ThreadDoneFrame out;
+  std::string error;
+  EXPECT_FALSE(TryDecode(ByteSpan(wire), &out, &error));
+}
+
+TEST(NetioFrameDefense, TruncationIsAnErrorNotACrash) {
+  DataFrame in;
+  in.payload = Bytes(64, Byte{7});
+  const Bytes wire = Encode(in);
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    DataFrame out;
+    std::string error;
+    EXPECT_FALSE(
+        TryDecode(ByteSpan(wire.data(), wire.size() - cut), &out, &error))
+        << "cut " << cut;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(NetioFrameDefense, TrailingGarbageIsRejected) {
+  Bytes wire = Encode(QuiesceProbeFrame{3});
+  wire.push_back(0xAB);
+  QuiesceProbeFrame out;
+  std::string error;
+  EXPECT_FALSE(TryDecode(ByteSpan(wire), &out, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(NetioFrameDefense, HostileEmbeddedLengthIsRejected) {
+  // A data frame whose payload length claims 4 GiB but carries 4 bytes.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kData));
+  w.u32(0);
+  w.u32(1);
+  w.u8(0);
+  w.u32(0xFFFFFFFFu);  // length prefix
+  w.u32(0xDEADBEEFu);  // only 4 actual bytes
+  const Bytes wire = w.take();
+  DataFrame out;
+  std::string error;
+  EXPECT_FALSE(TryDecode(ByteSpan(wire), &out, &error));
+}
+
+TEST(NetioFrameDefense, OutOfRangeCategoryIsRejected) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kData));
+  w.u32(0);
+  w.u32(1);
+  w.u8(0xFF);  // category far outside MsgCat
+  w.bytes(Bytes{1});
+  const Bytes wire = w.take();
+  DataFrame out;
+  std::string error;
+  EXPECT_FALSE(TryDecode(ByteSpan(wire), &out, &error));
+  EXPECT_NE(error.find("category"), std::string::npos);
+}
+
+TEST(NetioFrameDefense, CorruptRecorderTableIsRejected) {
+  // A hand-built stats reply whose recorder claims a 2^32-entry per-node
+  // table: decode must fail before allocating anything of that size.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kStatsReply));
+  w.u64(1);  // tag
+  w.u32(0);  // node
+  w.u8(1);   // recorder serde version
+  w.u32(static_cast<std::uint32_t>(stats::kNumMsgCats));
+  for (std::size_t i = 0; i < stats::kNumMsgCats; ++i) {
+    w.u64(0);
+    w.u64(0);
+  }
+  w.u32(static_cast<std::uint32_t>(stats::kNumEvs));
+  for (std::size_t i = 0; i < stats::kNumEvs; ++i) w.u64(0);
+  w.u32(0xFFFFFFFFu);  // hostile sent-by table size, no data behind it
+  const Bytes wire = w.take();
+  StatsReplyFrame out;
+  std::string error;
+  EXPECT_FALSE(TryDecode(ByteSpan(wire), &out, &error));
+}
+
+}  // namespace
+}  // namespace hmdsm::netio

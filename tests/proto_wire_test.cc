@@ -117,6 +117,86 @@ TEST(Wire, GarbageKindThrows) {
   EXPECT_THROW(Decode(junk), CheckError);
 }
 
+// ---------------------------------------------------------------------------
+// Malformed input: wire bytes arriving over a socket are untrusted, so the
+// defensive decode path must turn every corruption into an error — never an
+// escaped exception, UB, or an attacker-sized allocation.
+// ---------------------------------------------------------------------------
+
+TEST(WireMalformed, TryDecodeAcceptsEveryValidMessage) {
+  const ObjReply m{ObjectId::Make(1, 0, 9), Bytes{5, 6, 7}, 3};
+  const Bytes wire = Encode(m);
+  AnyMsg out;
+  std::string error;
+  ASSERT_TRUE(TryDecode(wire, &out, &error)) << error;
+  EXPECT_EQ(std::get<ObjReply>(out).data, m.data);
+}
+
+TEST(WireMalformed, EmptyInputIsAnError) {
+  AnyMsg out;
+  std::string error;
+  EXPECT_FALSE(TryDecode(ByteSpan(), &out, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(WireMalformed, EveryTruncationIsAnError) {
+  LockReleaseMsg m;
+  m.lock = LockId::Make(2, 7);
+  m.piggybacked_diffs.emplace_back(ObjectId::Make(0, 0, 1), Bytes(32, Byte{1}));
+  const Bytes wire = Encode(m);
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    AnyMsg out;
+    std::string error;
+    EXPECT_FALSE(TryDecode(ByteSpan(wire.data(), len), &out, &error))
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(WireMalformed, UnknownKindIsAnErrorNotAnException) {
+  const Bytes wire{0xEE, 0, 0, 0};
+  AnyMsg out;
+  std::string error;
+  EXPECT_FALSE(TryDecode(wire, &out, &error));
+  EXPECT_NE(error.find("unknown message kind"), std::string::npos);
+}
+
+TEST(WireMalformed, TrailingGarbageIsRejected) {
+  Bytes wire = Encode(DiffAck{42});
+  wire.push_back(0x5A);
+  AnyMsg out;
+  std::string error;
+  EXPECT_FALSE(TryDecode(wire, &out, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+  EXPECT_THROW(Decode(wire), CheckError);  // the trusted path fails loudly
+}
+
+TEST(WireMalformed, HostileDiffListCountIsRejectedBeforeAllocating) {
+  // A lock-acquire claiming 2^32-1 piggybacked diffs with no bytes behind
+  // the claim: the count/remaining bound must reject it before reserve().
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Kind::kLockAcquire));
+  w.u64(LockId::Make(0, 1).value);
+  w.u32(0xFFFFFFFFu);
+  const Bytes wire = w.take();
+  AnyMsg out;
+  std::string error;
+  EXPECT_FALSE(TryDecode(wire, &out, &error));
+  EXPECT_NE(error.find("diff list count"), std::string::npos);
+}
+
+TEST(WireMalformed, HostilePayloadLengthIsRejected) {
+  // An object reply whose data-length prefix claims 4 GiB.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Kind::kObjReply));
+  w.u64(ObjectId::Make(0, 0, 1).value);
+  w.u32(0xFFFFFFF0u);
+  w.u32(0);  // four bytes where four billion were promised
+  const Bytes wire = w.take();
+  AnyMsg out;
+  std::string error;
+  EXPECT_FALSE(TryDecode(wire, &out, &error));
+}
+
 TEST(Ids, ObjectIdFieldPacking) {
   ObjectId id = ObjectId::Make(0xABC, 0x123, 0xDEADBEEF);
   EXPECT_EQ(id.initial_home(), 0xABCu);

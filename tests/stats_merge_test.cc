@@ -88,5 +88,68 @@ TEST(TransportTotals, NetworkAttributesPerNodeAndMergesToRunTotals) {
   EXPECT_EQ(network.Totals().TotalMessages(true), 0u);
 }
 
+TEST(RecorderSerde, RoundTripPreservesEverything) {
+  Recorder rec;
+  rec.SetNodeCount(3);
+  rec.RecordMessage(MsgCat::kObj, 140);
+  rec.RecordMessage(MsgCat::kDiff, 60);
+  rec.RecordSent(1, 140);
+  rec.RecordSent(1, 60);
+  rec.RecordReceived(2, 200);
+  rec.Bump(Ev::kMigrations, 4);
+  rec.Bump(Ev::kRedirectHops, 9);
+
+  Writer w;
+  rec.Encode(w);
+  const Bytes wire = w.take();
+  Reader r(wire);
+  const Recorder back = Recorder::Decode(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(back.Cat(MsgCat::kObj).messages, 1u);
+  EXPECT_EQ(back.Cat(MsgCat::kObj).bytes, 140u);
+  EXPECT_EQ(back.Cat(MsgCat::kDiff).messages, 1u);
+  EXPECT_EQ(back.Count(Ev::kMigrations), 4u);
+  EXPECT_EQ(back.Count(Ev::kRedirectHops), 9u);
+  EXPECT_EQ(back.SentBy(1).messages, 2u);
+  EXPECT_EQ(back.SentBy(1).bytes, 200u);
+  EXPECT_EQ(back.ReceivedBy(2).messages, 1u);
+  EXPECT_EQ(back.TotalSent().messages, 2u);
+  EXPECT_EQ(back.TotalReceived().messages, 1u);
+}
+
+TEST(RecorderSerde, DecodedRecordersMergeLikeLocalOnes) {
+  // The sockets backend's stats gather: per-rank recorders serialized,
+  // decoded at the lead, merged — totals must match an in-process merge.
+  Recorder a, b;
+  a.SetNodeCount(2);
+  b.SetNodeCount(2);
+  a.RecordMessage(MsgCat::kObj, 100);
+  a.RecordSent(0, 100);
+  b.RecordReceived(1, 100);
+  b.Bump(Ev::kFaultIns);
+
+  const auto round_trip = [](const Recorder& rec) {
+    Writer w;
+    rec.Encode(w);
+    const Bytes wire = w.take();
+    Reader r(wire);
+    return Recorder::Decode(r);
+  };
+  Recorder direct;
+  direct.SetNodeCount(2);
+  direct.Merge(a);
+  direct.Merge(b);
+  Recorder gathered;
+  gathered.SetNodeCount(2);
+  gathered.Merge(round_trip(a));
+  gathered.Merge(round_trip(b));
+  EXPECT_EQ(gathered.TotalMessages(true), direct.TotalMessages(true));
+  EXPECT_EQ(gathered.TotalSent().messages, direct.TotalSent().messages);
+  EXPECT_EQ(gathered.TotalReceived().messages,
+            direct.TotalReceived().messages);
+  EXPECT_EQ(gathered.Count(Ev::kFaultIns), 1u);
+  EXPECT_EQ(gathered.SentBy(0).bytes, direct.SentBy(0).bytes);
+}
+
 }  // namespace
 }  // namespace hmdsm::stats

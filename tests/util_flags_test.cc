@@ -91,19 +91,17 @@ TEST(Flags, NegativeValueViaEquals) {
 // sim + --inject-latency (already modeled) are rejected.
 // ---------------------------------------------------------------------------
 
-TEST(BackendRequest, EveryAppAcceptedOnBothBackends) {
-  for (const char* app :
-       {"asp", "sor", "nbody", "tsp", "synthetic", "scenario"}) {
-    EXPECT_EQ(gos::ValidateBackendRequest(gos::Backend::kSim, app,
-                                          /*record=*/false,
-                                          /*inject_latency=*/false),
-              "")
-        << app;
-    EXPECT_EQ(gos::ValidateBackendRequest(gos::Backend::kThreads, app,
-                                          /*record=*/false,
-                                          /*inject_latency=*/false),
-              "")
-        << app;
+TEST(BackendRequest, EveryAppAcceptedOnEveryBackend) {
+  for (const auto backend : {gos::Backend::kSim, gos::Backend::kThreads,
+                             gos::Backend::kSockets}) {
+    for (const char* app :
+         {"asp", "sor", "nbody", "tsp", "synthetic", "scenario"}) {
+      EXPECT_EQ(gos::ValidateBackendRequest(backend, app,
+                                            /*record=*/false,
+                                            /*inject_latency=*/false),
+                "")
+          << gos::BackendName(backend) << " " << app;
+    }
   }
 }
 
@@ -115,6 +113,12 @@ TEST(BackendRequest, RecordIsSimOnly) {
                                         /*record=*/true, false),
             "");
   EXPECT_NE(gos::ValidateBackendRequest(gos::Backend::kThreads, "asp",
+                                        /*record=*/true, false),
+            "");
+  EXPECT_NE(gos::ValidateBackendRequest(gos::Backend::kSockets, "scenario",
+                                        /*record=*/true, false),
+            "");
+  EXPECT_NE(gos::ValidateBackendRequest(gos::Backend::kSockets, "asp",
                                         /*record=*/true, false),
             "");
 }
@@ -129,14 +133,24 @@ TEST(BackendRequest, LatencyInjectionIsThreadsOnly) {
   EXPECT_NE(gos::ValidateBackendRequest(gos::Backend::kSim, "asp", false,
                                         /*inject_latency=*/true),
             "");
+  // The sockets backend pays real network latency; injecting the modeled
+  // one on top would double-count it.
+  EXPECT_NE(gos::ValidateBackendRequest(gos::Backend::kSockets, "asp", false,
+                                        /*inject_latency=*/true),
+            "");
+  EXPECT_NE(gos::ValidateBackendRequest(gos::Backend::kSockets, "scenario",
+                                        false, /*inject_latency=*/true),
+            "");
 }
 
 TEST(BackendRequest, CombinationsParsedFromFlagsMatchTheCliWiring) {
   // The exact flag spellings the CLI consumes, end to end through Flags.
   auto request = [](std::initializer_list<const char*> args) {
     const Flags f = Make(args);
-    const gos::Backend backend = f.Get("backend", "sim") == "threads"
-                                     ? gos::Backend::kThreads
+    const std::string name = f.Get("backend", "sim");
+    const gos::Backend backend = name == "threads" ? gos::Backend::kThreads
+                                 : name == "sockets"
+                                     ? gos::Backend::kSockets
                                      : gos::Backend::kSim;
     return gos::ValidateBackendRequest(backend, f.Get("app"),
                                        f.Has("record"),
@@ -150,6 +164,15 @@ TEST(BackendRequest, CombinationsParsedFromFlagsMatchTheCliWiring) {
                      "--record=/tmp/t"}),
             "");
   EXPECT_NE(request({"--app=sor", "--inject-latency"}), "");
+  // The sockets spellings the CLI accepts and rejects.
+  EXPECT_EQ(request({"--app=asp", "--backend=sockets"}), "");
+  EXPECT_EQ(request({"--app=scenario", "--backend=sockets"}), "");
+  EXPECT_EQ(request({"--app=synthetic", "--backend=sockets"}), "");
+  EXPECT_NE(request({"--app=asp", "--backend=sockets", "--inject-latency"}),
+            "");
+  EXPECT_NE(request({"--app=scenario", "--backend=sockets",
+                     "--record=/tmp/t"}),
+            "");
 }
 
 }  // namespace

@@ -11,25 +11,37 @@
 //   hmdsm_cli --app=scenario --replay=/tmp/mig.trace --policy=BR
 //   hmdsm_cli --app=scenario --pattern=hotspot --backend=threads
 //   hmdsm_cli --app=asp --backend=threads --inject-latency
+//   hmdsm_cli --app=asp --backend=sockets --nodes=4        # forks 4 ranks
+//   hmdsm_cli --app=sor --backend=sockets \
+//       --rank=1 --peers=hostA:7000,hostB:7000             # real two-host run
 //
 // Protocol knobs: --policy=NoHM|FT<k>|AT|MH|BR|LF
 //                 --notify=fp|manager|broadcast
 //                 --piggyback=0|1  --lambda=<float>  --tinit=<float>
 //                 --t0-us=<float>  --bandwidth-mbps=<float>  --seed=<int>
-// Execution:      --backend=sim|threads  (threads: every app on real OS
-//                 threads with a wall clock; --record stays sim-only)
-//                 --inject-latency [--inject-scale=F]  (threads: hold each
-//                 delivery until its Hockney deadline so the measured run
-//                 reproduces the modeled network regime)
+// Execution:      --backend=sim|threads|sockets
+//                 threads: every app on real OS threads with a wall clock
+//                 sockets: one OS process per node over a TCP mesh — with
+//                 no --rank the CLI self-forks --nodes ranks on localhost;
+//                 with --rank=R --peers=h0:p0,h1:p1,... it joins an
+//                 explicit mesh (run one invocation per rank; rank 0 — the
+//                 start node — prints the report)
+//                 --inject-latency [--inject-scale=F]  (threads only: hold
+//                 each delivery until its Hockney deadline; sim prices
+//                 messages already, sockets pay real latency)
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/apps/asp.h"
 #include "src/apps/nbody.h"
 #include "src/apps/sor.h"
 #include "src/apps/synthetic.h"
 #include "src/apps/tsp.h"
+#include "src/netio/launcher.h"
 #include "src/util/flags.h"
 #include "src/util/table.h"
 #include "src/workload/patterns.h"
@@ -47,10 +59,12 @@ int Usage(const char* error) {
       "  common:    --policy=NoHM|FT<k>|AT|MH|BR|LF --nodes=N --seed=N\n"
       "             --notify=fp|manager|broadcast --piggyback=0|1\n"
       "             --lambda=F --tinit=F --t0-us=F --bandwidth-mbps=F\n"
-      "             --backend=sim|threads (threads: every app on real OS\n"
-      "             threads + wall clock; no --record)\n"
-      "             --inject-latency [--inject-scale=F] (threads: sleep\n"
-      "             each delivery by the modeled Hockney latency)\n"
+      "             --backend=sim|threads|sockets\n"
+      "               threads: every app on real OS threads + wall clock\n"
+      "               sockets: one process per node over TCP; self-forks\n"
+      "               --nodes ranks on localhost, or joins an explicit mesh\n"
+      "               with --rank=R --peers=host:port,host:port,...\n"
+      "             --inject-latency [--inject-scale=F] (threads only)\n"
       "  asp/sor:   --size=N   (sor: --iterations=N)\n"
       "  nbody:     --bodies=N --steps=N\n"
       "  tsp:       --cities=N\n"
@@ -86,6 +100,163 @@ void PrintReport(const gos::RunReport& r, bool wall_clock = false) {
       static_cast<unsigned long long>(r.exclusive_home_writes));
 }
 
+/// The scenario a `--app=scenario` invocation will run. Deterministic, so
+/// the sockets launcher can size the mesh in the parent and every forked
+/// rank rebuilds the identical scenario. With `force_default_nodes` (an
+/// explicit --peers mesh whose size doubles as the node count) the pattern
+/// is sized to `default_nodes` even without a --nodes flag.
+workload::Scenario BuildScenario(const Flags& flags,
+                                 std::size_t default_nodes,
+                                 bool force_default_nodes = false) {
+  const std::string replay = flags.Get("replay");
+  if (!replay.empty()) return workload::LoadScenario(replay);
+  workload::PatternParams params;
+  const std::string spec = flags.Get("spec");
+  if (!spec.empty()) params = workload::ParsePatternSpec(spec);
+  if (flags.Has("pattern")) params.pattern = flags.Get("pattern");
+  // --nodes was already consumed for vm.nodes; only an explicit flag (or
+  // an explicit mesh size) may override the spec's node count.
+  if (flags.Has("nodes")) {
+    params.nodes = static_cast<std::uint32_t>(
+        flags.GetInt("nodes", static_cast<std::int64_t>(default_nodes)));
+  } else if (force_default_nodes) {
+    params.nodes = static_cast<std::uint32_t>(default_nodes);
+  }
+  params.objects =
+      static_cast<std::uint32_t>(flags.GetInt("objects", params.objects));
+  params.object_bytes =
+      static_cast<std::uint32_t>(flags.GetInt("bytes", params.object_bytes));
+  params.repetitions =
+      static_cast<std::uint32_t>(flags.GetInt("reps", params.repetitions));
+  params.seed = static_cast<std::uint64_t>(
+      flags.GetInt("seed", static_cast<std::int64_t>(params.seed)));
+  return workload::GeneratePattern(params);
+}
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(list.substr(start));
+      break;
+    }
+    out.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Runs the selected app in this process. On the sockets backend this is
+/// one rank of the mesh; only the reporting rank prints. `prebuilt` is the
+/// scenario main() already constructed for mesh sizing (sockets), so a
+/// replay trace is parsed once per process, not twice.
+int RunApp(const Flags& flags, gos::VmOptions vm, const std::string& app,
+           const workload::Scenario* prebuilt = nullptr) {
+  const bool reporting = vm.backend != gos::Backend::kSockets ||
+                         vm.sockets.rank == vm.start_node;
+  if (reporting) {
+    std::printf("app=%s policy=%s nodes=%zu notify=%s backend=%s\n",
+                app.c_str(), vm.dsm.policy.c_str(), vm.nodes,
+                dsm::NotifyMechanismName(vm.dsm.notify).c_str(),
+                std::string(gos::BackendName(vm.backend)).c_str());
+  }
+
+  const bool wall_clock = vm.backend != gos::Backend::kSim;
+  try {
+    if (app == "asp") {
+      apps::AspConfig cfg;
+      cfg.n = static_cast<int>(flags.GetInt("size", 256));
+      cfg.seed = static_cast<std::uint64_t>(
+          flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
+      const auto res = apps::RunAsp(vm, cfg);
+      if (reporting) {
+        std::printf("checksum: %llu\n",
+                    static_cast<unsigned long long>(res.checksum));
+        PrintReport(res.report, wall_clock);
+      }
+    } else if (app == "sor") {
+      apps::SorConfig cfg;
+      cfg.n = static_cast<int>(flags.GetInt("size", 256));
+      cfg.iterations = static_cast<int>(flags.GetInt("iterations", 10));
+      cfg.seed = static_cast<std::uint64_t>(
+          flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
+      const auto res = apps::RunSor(vm, cfg);
+      if (reporting) {
+        std::printf("checksum: %.6f\n", res.checksum);
+        PrintReport(res.report, wall_clock);
+      }
+    } else if (app == "nbody") {
+      apps::NbodyConfig cfg;
+      cfg.bodies = static_cast<int>(flags.GetInt("bodies", 512));
+      cfg.steps = static_cast<int>(flags.GetInt("steps", 4));
+      cfg.seed = static_cast<std::uint64_t>(
+          flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
+      const auto res = apps::RunNbody(vm, cfg);
+      if (reporting) {
+        std::printf("position checksum: %.6f\n", res.position_checksum);
+        PrintReport(res.report, wall_clock);
+      }
+    } else if (app == "tsp") {
+      apps::TspConfig cfg;
+      cfg.cities = static_cast<int>(flags.GetInt("cities", 10));
+      cfg.seed = static_cast<std::uint64_t>(
+          flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
+      const auto res = apps::RunTsp(vm, cfg);
+      if (reporting) {
+        std::printf("best tour length: %d\n", res.best_length);
+        PrintReport(res.report, wall_clock);
+      }
+    } else if (app == "synthetic") {
+      apps::SyntheticConfig cfg;
+      cfg.repetition = static_cast<int>(flags.GetInt("repetition", 4));
+      cfg.target = flags.GetInt("target", 512);
+      cfg.workers = static_cast<int>(flags.GetInt("workers", 8));
+      if (vm.nodes < static_cast<std::size_t>(cfg.workers) + 1)
+        vm.nodes = static_cast<std::size_t>(cfg.workers) + 1;
+      const auto res = apps::RunSynthetic(vm, cfg);
+      if (reporting) {
+        std::printf("final count: %lld (turns: %d)\n",
+                    static_cast<long long>(res.final_count), res.turns_taken);
+        PrintReport(res.report, wall_clock);
+      }
+    } else if (app == "scenario") {
+      const workload::Scenario scenario =
+          prebuilt != nullptr ? *prebuilt : BuildScenario(flags, vm.nodes);
+      const std::string record = flags.Get("record");
+      const auto res = workload::RunScenario(vm, scenario, !record.empty());
+      if (reporting) {
+        std::printf("scenario: %s\nworkers=%zu objects=%zu ops=%llu "
+                    "checksum=%016llx\n",
+                    scenario.name.c_str(), scenario.workers.size(),
+                    scenario.objects.size(),
+                    static_cast<unsigned long long>(res.ops_executed),
+                    static_cast<unsigned long long>(res.checksum));
+        if (!record.empty()) {
+          workload::SaveScenario(res.recorded, record);
+          std::printf("recorded trace (%llu ops) -> %s\n",
+                      static_cast<unsigned long long>(
+                          res.recorded.total_ops()),
+                      record.c_str());
+        }
+        PrintReport(res.report, wall_clock);
+      }
+    } else {
+      return Usage("unknown --app");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run failed: %s\n", e.what());
+    return 1;
+  }
+
+  if (reporting) {
+    for (const std::string& unused : flags.UnusedFlags())
+      std::fprintf(stderr, "warning: unused flag --%s\n", unused.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,8 +288,10 @@ int main(int argc, char** argv) {
     vm.backend = gos::Backend::kSim;
   } else if (backend == "threads") {
     vm.backend = gos::Backend::kThreads;
+  } else if (backend == "sockets") {
+    vm.backend = gos::Backend::kSockets;
   } else {
-    return Usage("bad --backend (sim|threads)");
+    return Usage("bad --backend (sim|threads|sockets)");
   }
   vm.inject_latency = flags.GetBool("inject-latency", false);
   vm.inject_scale = flags.GetDouble("inject-scale", 1.0);
@@ -126,116 +299,65 @@ int main(int argc, char** argv) {
       vm.backend, app, flags.Has("record"), vm.inject_latency);
   if (!rejection.empty()) return Usage(rejection.c_str());
 
-  // The synthetic benchmark needs node 0 for the application plus one node
-  // per worker.
+  // An explicit mesh (one CLI invocation per rank, possibly on other
+  // hosts) is parsed first: its size doubles as the default node count.
+  const bool explicit_mesh = flags.Has("rank") || flags.Has("peers");
+  if (explicit_mesh) {
+    if (vm.backend != gos::Backend::kSockets)
+      return Usage("--rank/--peers need --backend=sockets");
+    if (!flags.Has("rank") || !flags.Has("peers"))
+      return Usage("explicit sockets mode needs both --rank and --peers");
+    vm.sockets.rank = static_cast<std::uint32_t>(flags.GetInt("rank", 0));
+    vm.sockets.peers = SplitCommas(flags.Get("peers"));
+    if (vm.sockets.peers.size() < 2)
+      return Usage("--peers needs at least two host:port entries");
+    if (vm.sockets.rank >= vm.sockets.peers.size())
+      return Usage("--rank is outside the --peers list");
+    if (!flags.Has("nodes")) vm.nodes = vm.sockets.peers.size();
+  }
+
+  // The final cluster size must be known before any rank is launched: the
+  // synthetic benchmark needs node 0 plus one node per worker, and a
+  // scenario may declare more nodes than --nodes.
   if (app == "synthetic") {
-    const auto workers =
-        static_cast<std::size_t>(flags.GetInt("workers", 8));
+    const auto workers = static_cast<std::size_t>(flags.GetInt("workers", 8));
     if (vm.nodes < workers + 1) vm.nodes = workers + 1;
   }
-
-  std::printf("app=%s policy=%s nodes=%zu notify=%s backend=%s\n", app.c_str(),
-              vm.dsm.policy.c_str(), vm.nodes,
-              dsm::NotifyMechanismName(vm.dsm.notify).c_str(),
-              std::string(gos::BackendName(vm.backend)).c_str());
-
-  const bool wall_clock = vm.backend == gos::Backend::kThreads;
-  try {
-    if (app == "asp") {
-      apps::AspConfig cfg;
-      cfg.n = static_cast<int>(flags.GetInt("size", 256));
-      cfg.seed = static_cast<std::uint64_t>(
-          flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
-      const auto res = apps::RunAsp(vm, cfg);
-      std::printf("checksum: %llu\n",
-                  static_cast<unsigned long long>(res.checksum));
-      PrintReport(res.report, wall_clock);
-    } else if (app == "sor") {
-      apps::SorConfig cfg;
-      cfg.n = static_cast<int>(flags.GetInt("size", 256));
-      cfg.iterations = static_cast<int>(flags.GetInt("iterations", 10));
-      cfg.seed = static_cast<std::uint64_t>(
-          flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
-      const auto res = apps::RunSor(vm, cfg);
-      std::printf("checksum: %.6f\n", res.checksum);
-      PrintReport(res.report, wall_clock);
-    } else if (app == "nbody") {
-      apps::NbodyConfig cfg;
-      cfg.bodies = static_cast<int>(flags.GetInt("bodies", 512));
-      cfg.steps = static_cast<int>(flags.GetInt("steps", 4));
-      cfg.seed = static_cast<std::uint64_t>(
-          flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
-      const auto res = apps::RunNbody(vm, cfg);
-      std::printf("position checksum: %.6f\n", res.position_checksum);
-      PrintReport(res.report, wall_clock);
-    } else if (app == "tsp") {
-      apps::TspConfig cfg;
-      cfg.cities = static_cast<int>(flags.GetInt("cities", 10));
-      cfg.seed = static_cast<std::uint64_t>(
-          flags.GetInt("seed", static_cast<std::int64_t>(cfg.seed)));
-      const auto res = apps::RunTsp(vm, cfg);
-      std::printf("best tour length: %d\n", res.best_length);
-      PrintReport(res.report, wall_clock);
-    } else if (app == "synthetic") {
-      apps::SyntheticConfig cfg;
-      cfg.repetition = static_cast<int>(flags.GetInt("repetition", 4));
-      cfg.target = flags.GetInt("target", 512);
-      cfg.workers = static_cast<int>(flags.GetInt("workers", 8));
-      if (vm.nodes < static_cast<std::size_t>(cfg.workers) + 1)
-        vm.nodes = static_cast<std::size_t>(cfg.workers) + 1;
-      const auto res = apps::RunSynthetic(vm, cfg);
-      std::printf("final count: %lld (turns: %d)\n",
-                  static_cast<long long>(res.final_count), res.turns_taken);
-      PrintReport(res.report, wall_clock);
-    } else if (app == "scenario") {
-      workload::Scenario scenario;
-      const std::string replay = flags.Get("replay");
-      if (!replay.empty()) {
-        scenario = workload::LoadScenario(replay);
-      } else {
-        workload::PatternParams params;
-        const std::string spec = flags.Get("spec");
-        if (!spec.empty()) params = workload::ParsePatternSpec(spec);
-        if (flags.Has("pattern")) params.pattern = flags.Get("pattern");
-        // --nodes was already consumed for vm.nodes above; only an explicit
-        // flag may override the spec's node count.
-        if (flags.Has("nodes"))
-          params.nodes = static_cast<std::uint32_t>(
-              flags.GetInt("nodes", static_cast<std::int64_t>(params.nodes)));
-        params.objects = static_cast<std::uint32_t>(
-            flags.GetInt("objects", params.objects));
-        params.object_bytes = static_cast<std::uint32_t>(
-            flags.GetInt("bytes", params.object_bytes));
-        params.repetitions = static_cast<std::uint32_t>(
-            flags.GetInt("reps", params.repetitions));
-        params.seed = static_cast<std::uint64_t>(
-            flags.GetInt("seed", static_cast<std::int64_t>(params.seed)));
-        scenario = workload::GeneratePattern(params);
-      }
-      const std::string record = flags.Get("record");
-      const auto res = workload::RunScenario(vm, scenario, !record.empty());
-      std::printf("scenario: %s\nworkers=%zu objects=%zu ops=%llu "
-                  "checksum=%016llx\n",
-                  scenario.name.c_str(), scenario.workers.size(),
-                  scenario.objects.size(),
-                  static_cast<unsigned long long>(res.ops_executed),
-                  static_cast<unsigned long long>(res.checksum));
-      if (!record.empty()) {
-        workload::SaveScenario(res.recorded, record);
-        std::printf("recorded trace (%llu ops) -> %s\n",
-                    static_cast<unsigned long long>(res.recorded.total_ops()),
-                    record.c_str());
-      }
-      PrintReport(res.report, wall_clock);
-    } else {
-      return Usage("unknown --app");
+  std::optional<workload::Scenario> scenario;
+  if (app == "scenario" && vm.backend == gos::Backend::kSockets) {
+    try {
+      scenario = BuildScenario(flags, vm.nodes, explicit_mesh);
+      vm.nodes = std::max<std::size_t>(vm.nodes, scenario->nodes);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
     }
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "run failed: %s\n", e.what());
-    return 1;
+  }
+  const workload::Scenario* prebuilt =
+      scenario.has_value() ? &*scenario : nullptr;
+
+  if (vm.backend != gos::Backend::kSockets)
+    return RunApp(flags, vm, app);
+
+  if (explicit_mesh) {
+    if (vm.nodes > vm.sockets.peers.size()) {
+      std::fprintf(stderr,
+                   "error: this workload needs %zu nodes but --peers lists "
+                   "only %zu ranks\n",
+                   vm.nodes, vm.sockets.peers.size());
+      return 2;
+    }
+    vm.nodes = vm.sockets.peers.size();
+    return RunApp(flags, vm, app, prebuilt);
   }
 
-  for (const std::string& unused : flags.UnusedFlags())
-    std::fprintf(stderr, "warning: unused flag --%s\n", unused.c_str());
-  return 0;
+  // Localhost: self-fork one process per rank over pre-bound ephemeral
+  // ports (rank 0 — the start node — prints the report).
+  return netio::RunLocalMesh(vm.nodes, [&](const netio::LocalRank& self) {
+    gos::VmOptions rank_vm = vm;
+    rank_vm.sockets.rank = self.rank;
+    rank_vm.sockets.peers = self.peers;
+    rank_vm.sockets.listen_fd = self.listen_fd;
+    return RunApp(flags, rank_vm, app, prebuilt);
+  });
 }
