@@ -30,7 +30,7 @@ void Banner(const std::string& figure, const std::string& description) {
 
 void SetCsvDir(std::string dir) { g_csv_dir = std::move(dir); }
 
-std::string CsvPath(const std::string& name) {
+std::string OutPath(const std::string& name, const std::string& ext) {
   std::string d;
   if (g_csv_dir.has_value()) {
     d = *g_csv_dir;
@@ -41,11 +41,17 @@ std::string CsvPath(const std::string& name) {
     // Keep bench artifacts out of the repo root: results/ is git-ignored.
     d = "results";
   }
-  if (d.empty()) return {};  // CSV output disabled
+  if (d.empty()) return {};  // artifact output disabled
   std::error_code ec;
   std::filesystem::create_directories(d, ec);  // best effort; writer no-ops
   if (d.back() != '/') d.push_back('/');
-  return d + name + ".csv";
+  return d + name + "." + ext;
+}
+
+std::string CsvPath(const std::string& name) { return OutPath(name, "csv"); }
+
+std::string JsonPath(const std::string& name) {
+  return OutPath(name, "json");
 }
 
 }  // namespace hmdsm::bench

@@ -13,13 +13,21 @@ bool FullScale();
 /// Prints a standard banner naming the paper figure being reproduced.
 void Banner(const std::string& figure, const std::string& description);
 
-/// Overrides the CSV output directory (the `--out` flag). Precedence:
+/// Overrides the bench output directory (the `--out` flag). Precedence:
 /// SetCsvDir > HMDSM_CSV_DIR > the git-ignored default `results/`.
 void SetCsvDir(std::string dir);
 
-/// Returns the output path for a CSV twin of a printed table, creating the
-/// output directory on first use. An empty directory (SetCsvDir("") or
-/// HMDSM_CSV_DIR="") disables CSV output entirely.
+/// Returns the output path `dir/name.ext` for a bench artifact, creating
+/// the output directory on first use. An empty directory (SetCsvDir("") or
+/// HMDSM_CSV_DIR="") disables artifact output entirely (returns "").
+std::string OutPath(const std::string& name, const std::string& ext);
+
+/// Returns the output path for a CSV twin of a printed table.
 std::string CsvPath(const std::string& name);
+
+/// Returns the output path for the machine-readable JSON summary that
+/// rides alongside a bench's CSV — the artifact cross-PR perf tracking
+/// diffs.
+std::string JsonPath(const std::string& name);
 
 }  // namespace hmdsm::bench

@@ -1,0 +1,359 @@
+// bench_mesh — the paper workloads over the real multi-process TCP mesh.
+//
+// Everything measured elsewhere in the repo is either modeled (sim) or
+// in-process (threads); this bench forks one OS process per rank, wires
+// them into the netio TCP mesh, and measures the fig6 scenario patterns
+// (plus a fig2-family ASP run) end to end: wall-clock throughput,
+// per-message overhead, and — the point of the adaptive frame batching —
+// how many syscall-level socket writes the lead rank's transport issued
+// for how many wire frames. Each workload runs three ways:
+//
+//   * threads + Hockney latency injection — the modeled network regime the
+//     sockets numbers are compared against (same scenario, same checksum);
+//   * sockets with adaptive batching (the default wire behavior);
+//   * sockets with batching off (one write per frame, the v1 wire) — the
+//     before/after pair that shows what coalescing buys.
+//
+// Checksums must agree with the sim run everywhere: every throughput row
+// is also a cross-backend data-integrity witness. Lead-rank metrics travel
+// back to the fork parent on a pipe (the same pattern the cross-backend
+// conformance suite uses).
+//
+// --smoke runs a two-pattern subset at tiny scale for CI; --nodes/--reps/
+// --objects/--bytes override the defaults; CSV + JSON land in results/.
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/apps/asp.h"
+#include "src/netio/launcher.h"
+#include "src/util/csv.h"
+#include "src/util/flags.h"
+#include "src/util/json.h"
+#include "src/util/serde.h"
+#include "src/util/table.h"
+#include "src/workload/patterns.h"
+#include "src/workload/runner.h"
+
+namespace {
+
+using namespace hmdsm;
+
+workload::Scenario StripDelays(workload::Scenario s) {
+  for (workload::WorkerSpec& w : s.workers) {
+    std::vector<workload::Op> kept;
+    kept.reserve(w.program.size());
+    for (const workload::Op& op : w.program)
+      if (op.kind != workload::OpKind::kDelay) kept.push_back(op);
+    w.program = std::move(kept);
+  }
+  return s;
+}
+
+/// What the lead rank measures and ships back to the fork parent.
+struct MeshMetrics {
+  std::uint64_t checksum = 0;
+  std::uint64_t ops = 0;
+  double seconds = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t sent_messages = 0;
+  std::uint64_t received_messages = 0;
+  std::uint64_t socket_writes = 0;
+  std::uint64_t wire_frames = 0;
+  std::uint64_t wire_frames_coalesced = 0;
+};
+
+Bytes Pack(const MeshMetrics& m) {
+  Writer w;
+  w.u64(m.checksum);
+  w.u64(m.ops);
+  w.f64(m.seconds);
+  w.u64(m.messages);
+  w.u64(m.sent_messages);
+  w.u64(m.received_messages);
+  w.u64(m.socket_writes);
+  w.u64(m.wire_frames);
+  w.u64(m.wire_frames_coalesced);
+  return w.take();
+}
+
+bool Unpack(const Bytes& blob, MeshMetrics* out) {
+  if (blob.empty()) return false;
+  try {
+    Reader r(blob);
+    out->checksum = r.u64();
+    out->ops = r.u64();
+    out->seconds = r.f64();
+    out->messages = r.u64();
+    out->sent_messages = r.u64();
+    out->received_messages = r.u64();
+    out->socket_writes = r.u64();
+    out->wire_frames = r.u64();
+    out->wire_frames_coalesced = r.u64();
+    return r.done();
+  } catch (const CheckError&) {
+    return false;
+  }
+}
+
+MeshMetrics FromReport(const gos::RunReport& report, std::uint64_t checksum,
+                       std::uint64_t ops) {
+  MeshMetrics m;
+  m.checksum = checksum;
+  m.ops = ops;
+  m.seconds = report.seconds;
+  m.messages = report.messages;
+  m.sent_messages = report.sent_messages;
+  m.received_messages = report.received_messages;
+  m.socket_writes = report.socket_writes;
+  m.wire_frames = report.wire_frames;
+  m.wire_frames_coalesced = report.wire_frames_coalesced;
+  return m;
+}
+
+/// Forks a localhost mesh, runs `lead_metrics` in every rank (SPMD), and
+/// returns the lead's metrics via a pipe. False when any rank failed.
+bool RunOnMesh(std::size_t nodes, bool batch,
+               const std::function<MeshMetrics(gos::VmOptions)>& lead_metrics,
+               MeshMetrics* out) {
+  int fds[2];
+  if (::pipe(fds) != 0) return false;
+  const int status =
+      netio::RunLocalMesh(nodes, [&](const netio::LocalRank& self) {
+        ::close(fds[0]);
+        gos::VmOptions vm;
+        vm.nodes = self.peers.size();
+        vm.dsm.policy = "AT";
+        vm.backend = gos::Backend::kSockets;
+        vm.sockets.rank = self.rank;
+        vm.sockets.peers = self.peers;
+        vm.sockets.listen_fd = self.listen_fd;
+        vm.sockets.batch_frames = batch;
+        try {
+          const MeshMetrics m = lead_metrics(std::move(vm));
+          if (self.rank == 0) {
+            const Bytes blob = Pack(m);
+            if (::write(fds[1], blob.data(), blob.size()) !=
+                static_cast<ssize_t>(blob.size())) {
+              return 3;
+            }
+          }
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "bench_mesh rank %u: %s\n", self.rank,
+                       e.what());
+          return 1;
+        }
+        ::close(fds[1]);
+        return 0;
+      });
+  ::close(fds[1]);
+  Bytes blob;
+  Byte buf[4096];
+  ssize_t n;
+  while ((n = ::read(fds[0], buf, sizeof buf)) > 0)
+    blob.insert(blob.end(), buf, buf + n);
+  ::close(fds[0]);
+  return status == 0 && Unpack(blob, out);
+}
+
+/// One measured configuration of one workload.
+struct Row {
+  std::string workload;
+  std::string config;  // threads_inject | sockets_batch | sockets_nobatch
+  MeshMetrics m;
+  bool ok = false;          // run completed and metrics parsed
+  bool checksum_ok = false;  // matches the sim reference
+};
+
+double UsPerMsg(const MeshMetrics& m) {
+  return m.messages > 0 ? m.seconds * 1e6 / static_cast<double>(m.messages)
+                        : 0.0;
+}
+
+double OpsPerSec(const MeshMetrics& m) {
+  return m.seconds > 0 ? static_cast<double>(m.ops) / m.seconds : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.Has("out")) bench::SetCsvDir(flags.Get("out"));
+  const bool smoke = flags.GetBool("smoke", false);
+  bench::Banner("mesh throughput",
+                "fig2/fig6 workloads on the forked multi-process TCP mesh "
+                "vs Hockney-injected threads");
+
+  workload::PatternParams params;
+  params.nodes = static_cast<std::uint32_t>(flags.GetInt("nodes", 4));
+  params.objects = static_cast<std::uint32_t>(flags.GetInt("objects", 4));
+  params.object_bytes =
+      static_cast<std::uint32_t>(flags.GetInt("bytes", 256));
+  params.repetitions = static_cast<std::uint32_t>(flags.GetInt(
+      "reps", smoke ? 4 : (bench::FullScale() ? 64 : 16)));
+  params.seed = 1;
+
+  std::vector<std::string> patterns = workload::PatternNames();
+  if (smoke) patterns = {"pingpong", "hotspot"};
+  const int asp_size =
+      static_cast<int>(flags.GetInt("asp-size", smoke ? 12 : 32));
+
+  gos::VmOptions sim_opts;
+  sim_opts.nodes = params.nodes;
+  sim_opts.dsm.policy = "AT";
+  gos::VmOptions thr_opts = sim_opts;
+  thr_opts.backend = gos::Backend::kThreads;
+  thr_opts.inject_latency = true;
+  thr_opts.inject_scale = flags.GetDouble("inject-scale", 1.0);
+
+  std::printf("nodes=%u objects=%u bytes=%u reps=%u policy=AT asp=%d "
+              "(jitter delays stripped)%s\n\n",
+              params.nodes, params.objects, params.object_bytes,
+              params.repetitions, asp_size, smoke ? " [smoke]" : "");
+
+  std::vector<Row> rows;
+  bool all_ok = true;
+
+  // --- fig6 family: the six sharing patterns ------------------------------
+  for (const std::string& pattern : patterns) {
+    params.pattern = pattern;
+    const workload::Scenario scenario =
+        StripDelays(workload::GeneratePattern(params));
+
+    const workload::ScenarioResult sim =
+        workload::RunScenario(sim_opts, scenario);
+    const workload::ScenarioResult thr =
+        workload::RunScenario(thr_opts, scenario);
+
+    Row threads_row{pattern, "threads_inject",
+                    FromReport(thr.report, thr.checksum, thr.ops_executed),
+                    true, thr.checksum == sim.checksum};
+    all_ok = all_ok && threads_row.checksum_ok;
+    rows.push_back(threads_row);
+
+    for (const bool batch : {true, false}) {
+      Row r;
+      r.workload = pattern;
+      r.config = batch ? "sockets_batch" : "sockets_nobatch";
+      r.ok = RunOnMesh(
+          params.nodes, batch,
+          [&](gos::VmOptions vm) {
+            const workload::ScenarioResult res =
+                workload::RunScenario(vm, scenario);
+            return FromReport(res.report, res.checksum, res.ops_executed);
+          },
+          &r.m);
+      r.checksum_ok = r.ok && r.m.checksum == sim.checksum;
+      all_ok = all_ok && r.ok && r.checksum_ok;
+      rows.push_back(r);
+    }
+  }
+
+  // --- fig2 family: ASP over the mesh -------------------------------------
+  {
+    apps::AspConfig cfg;
+    cfg.n = asp_size;
+    const auto sim_res = apps::RunAsp(sim_opts, cfg);
+    const auto thr_res = apps::RunAsp(thr_opts, cfg);
+    Row threads_row{"asp", "threads_inject",
+                    FromReport(thr_res.report, thr_res.checksum, 0), true,
+                    thr_res.checksum == sim_res.checksum};
+    all_ok = all_ok && threads_row.checksum_ok;
+    rows.push_back(threads_row);
+    for (const bool batch : {true, false}) {
+      Row r;
+      r.workload = "asp";
+      r.config = batch ? "sockets_batch" : "sockets_nobatch";
+      r.ok = RunOnMesh(
+          params.nodes, batch,
+          [&](gos::VmOptions vm) {
+            const auto res = apps::RunAsp(vm, cfg);
+            return FromReport(res.report, res.checksum, 0);
+          },
+          &r.m);
+      r.checksum_ok = r.ok && r.m.checksum == sim_res.checksum;
+      all_ok = all_ok && r.ok && r.checksum_ok;
+      rows.push_back(r);
+    }
+  }
+
+  // --- report --------------------------------------------------------------
+  Table t({"workload", "config", "wall ms", "ops/sec", "msgs", "us/msg",
+           "writes", "frames", "coalesced", "data"});
+  CsvWriter csv(bench::CsvPath("mesh"));
+  csv.Row({"workload", "config", "wall_seconds", "ops_per_sec", "messages",
+           "us_per_msg", "socket_writes", "wire_frames",
+           "wire_frames_coalesced", "checksum_ok"});
+  for (const Row& r : rows) {
+    if (!r.ok) {
+      t.AddRow({r.workload, r.config, "-", "-", "-", "-", "-", "-", "-",
+                "FAILED"});
+      csv.Row({r.workload, r.config, "", "", "", "", "", "", "", "0"});
+      continue;
+    }
+    t.AddRow({r.workload, r.config, FmtF(r.m.seconds * 1e3, 2),
+              FmtI(static_cast<long long>(OpsPerSec(r.m))),
+              FmtI(static_cast<long long>(r.m.messages)),
+              FmtF(UsPerMsg(r.m), 2),
+              FmtI(static_cast<long long>(r.m.socket_writes)),
+              FmtI(static_cast<long long>(r.m.wire_frames)),
+              FmtI(static_cast<long long>(r.m.wire_frames_coalesced)),
+              r.checksum_ok ? "ok" : "MISMATCH"});
+    csv.Row({r.workload, r.config, std::to_string(r.m.seconds),
+             std::to_string(OpsPerSec(r.m)), std::to_string(r.m.messages),
+             std::to_string(UsPerMsg(r.m)),
+             std::to_string(r.m.socket_writes),
+             std::to_string(r.m.wire_frames),
+             std::to_string(r.m.wire_frames_coalesced),
+             r.checksum_ok ? "1" : "0"});
+  }
+  t.Print(std::cout);
+  std::printf(
+      "\n(sockets rows: forked %u-rank localhost TCP mesh; writes/frames/"
+      "coalesced are the lead rank's transport counters — frames > writes "
+      "means the writer coalesced a backlog into batched wire writes.\n"
+      " threads_inject rows: in-process backend with per-delivery Hockney "
+      "deadlines — the modeled regime the mesh is compared against.)\n",
+      params.nodes);
+
+  const std::string json_path = bench::JsonPath("mesh");
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    JsonWriter j(os);
+    j.BeginObject();
+    j.Key("bench").String("mesh");
+    j.Key("smoke").Bool(smoke);
+    j.Key("nodes").Uint(params.nodes);
+    j.Key("objects").Uint(params.objects);
+    j.Key("object_bytes").Uint(params.object_bytes);
+    j.Key("repetitions").Uint(params.repetitions);
+    j.Key("asp_size").Int(asp_size);
+    j.Key("rows").BeginArray();
+    for (const Row& r : rows) {
+      j.BeginObject();
+      j.Key("workload").String(r.workload);
+      j.Key("config").String(r.config);
+      j.Key("ok").Bool(r.ok);
+      j.Key("checksum_ok").Bool(r.checksum_ok);
+      j.Key("wall_seconds").Double(r.m.seconds);
+      j.Key("ops").Uint(r.m.ops);
+      j.Key("ops_per_sec").Double(OpsPerSec(r.m));
+      j.Key("messages").Uint(r.m.messages);
+      j.Key("us_per_msg").Double(UsPerMsg(r.m));
+      j.Key("socket_writes").Uint(r.m.socket_writes);
+      j.Key("wire_frames").Uint(r.m.wire_frames);
+      j.Key("wire_frames_coalesced").Uint(r.m.wire_frames_coalesced);
+      j.EndObject();
+    }
+    j.EndArray();
+    j.EndObject();
+    std::printf("json summary -> %s\n", json_path.c_str());
+  }
+
+  return all_ok ? 0 : 1;
+}

@@ -12,6 +12,7 @@
 // Hockney deadline, so the reported wall-clock times sit in the modeled
 // network regime instead of raw channel speed.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "bench/harness.h"
 #include "src/util/csv.h"
 #include "src/util/flags.h"
+#include "src/util/json.h"
 #include "src/util/table.h"
 #include "src/workload/patterns.h"
 #include "src/workload/runner.h"
@@ -76,10 +78,22 @@ int main(int argc, char** argv) {
                   : "");
 
   Table t({"pattern", "ops", "wall ms", "ops/sec", "msgs", "migrations",
-           "data"});
+           "hol", "data"});
   CsvWriter csv(hmdsm::bench::CsvPath("throughput_threads"));
   csv.Row({"pattern", "ops", "wall_seconds", "ops_per_sec", "messages",
-           "migrations", "checksum_matches_sim"});
+           "migrations", "hol_inherited", "checksum_matches_sim"});
+
+  struct Row {
+    std::string pattern;
+    std::uint64_t ops = 0;
+    double seconds = 0;
+    double ops_per_sec = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t hol_inherited = 0;
+    bool match = false;
+  };
+  std::vector<Row> rows;
 
   for (const std::string& pattern : workload::PatternNames()) {
     params.pattern = pattern;
@@ -91,22 +105,64 @@ int main(int argc, char** argv) {
     const workload::ScenarioResult thr =
         workload::RunScenario(thr_opts, scenario);
 
-    const double secs = thr.report.seconds;
-    const double ops_per_sec =
-        secs > 0 ? static_cast<double>(thr.ops_executed) / secs : 0.0;
-    const bool match = sim.checksum == thr.checksum;
-    t.AddRow({pattern, FmtI(static_cast<long long>(thr.ops_executed)),
-              FmtF(secs * 1e3, 2), FmtI(static_cast<long long>(ops_per_sec)),
-              FmtI(static_cast<long long>(thr.report.messages)),
-              FmtI(static_cast<long long>(thr.report.migrations)),
-              match ? "ok" : "MISMATCH"});
-    csv.Row({pattern, std::to_string(thr.ops_executed),
-             std::to_string(secs), std::to_string(ops_per_sec),
-             std::to_string(thr.report.messages),
-             std::to_string(thr.report.migrations), match ? "1" : "0"});
+    Row row;
+    row.pattern = pattern;
+    row.ops = thr.ops_executed;
+    row.seconds = thr.report.seconds;
+    row.ops_per_sec = row.seconds > 0
+                          ? static_cast<double>(row.ops) / row.seconds
+                          : 0.0;
+    row.messages = thr.report.messages;
+    row.migrations = thr.report.migrations;
+    row.hol_inherited = thr.report.hol_inherited;
+    row.match = sim.checksum == thr.checksum;
+    t.AddRow({row.pattern, FmtI(static_cast<long long>(row.ops)),
+              FmtF(row.seconds * 1e3, 2),
+              FmtI(static_cast<long long>(row.ops_per_sec)),
+              FmtI(static_cast<long long>(row.messages)),
+              FmtI(static_cast<long long>(row.migrations)),
+              FmtI(static_cast<long long>(row.hol_inherited)),
+              row.match ? "ok" : "MISMATCH"});
+    csv.Row({row.pattern, std::to_string(row.ops),
+             std::to_string(row.seconds), std::to_string(row.ops_per_sec),
+             std::to_string(row.messages), std::to_string(row.migrations),
+             std::to_string(row.hol_inherited), row.match ? "1" : "0"});
+    rows.push_back(row);
   }
 
   t.Print(std::cout);
+
+  // Machine-readable twin of the table, for cross-PR perf tracking.
+  const std::string json_path =
+      hmdsm::bench::JsonPath("throughput_threads");
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    hmdsm::JsonWriter j(os);
+    j.BeginObject();
+    j.Key("bench").String("throughput_threads");
+    j.Key("nodes").Uint(params.nodes);
+    j.Key("objects").Uint(params.objects);
+    j.Key("object_bytes").Uint(params.object_bytes);
+    j.Key("repetitions").Uint(params.repetitions);
+    j.Key("inject_latency").Bool(thr_opts.inject_latency);
+    j.Key("inject_scale").Double(thr_opts.inject_scale);
+    j.Key("rows").BeginArray();
+    for (const Row& r : rows) {
+      j.BeginObject();
+      j.Key("pattern").String(r.pattern);
+      j.Key("ops").Uint(r.ops);
+      j.Key("wall_seconds").Double(r.seconds);
+      j.Key("ops_per_sec").Double(r.ops_per_sec);
+      j.Key("messages").Uint(r.messages);
+      j.Key("migrations").Uint(r.migrations);
+      j.Key("hol_inherited").Uint(r.hol_inherited);
+      j.Key("checksum_matches_sim").Bool(r.match);
+      j.EndObject();
+    }
+    j.EndArray();
+    j.EndObject();
+    std::printf("json summary -> %s\n", json_path.c_str());
+  }
   std::printf("\n(wall-clock, %zu dispatcher threads + 1 thread per worker; "
               "sim column cross-checked via checksum)\n",
               static_cast<std::size_t>(params.nodes));

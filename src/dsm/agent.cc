@@ -26,7 +26,7 @@ Agent::Agent(NodeId node, net::Transport& transport, const DsmConfig& config,
 // Messaging plumbing
 // ---------------------------------------------------------------------------
 
-void Agent::SendMsg(NodeId dst, MsgCat cat, Bytes wire) {
+void Agent::SendMsg(NodeId dst, MsgCat cat, Buf wire) {
   net_.Send(node_, dst, cat, std::move(wire));
 }
 

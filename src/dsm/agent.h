@@ -136,7 +136,7 @@ class Agent {
   };
 
   // ---- messaging ----
-  void SendMsg(NodeId dst, stats::MsgCat cat, Bytes wire);
+  void SendMsg(NodeId dst, stats::MsgCat cat, Buf wire);
   void HandlePacket(net::Packet&& packet);
 
   void OnObjRequest(NodeId src, proto::ObjRequest msg);

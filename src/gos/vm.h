@@ -191,6 +191,11 @@ struct VmOptions {
     std::uint32_t rank = 0;
     std::vector<std::string> peers;
     int listen_fd = -1;
+    /// Adaptive frame batching on the per-peer writer queues (coalesce a
+    /// backlog of small frames into one wire write). On by default; off
+    /// reproduces the one-write-per-frame v1 wire behavior (benches use it
+    /// for before/after comparisons).
+    bool batch_frames = true;
   };
   SocketsConfig sockets;
 };
@@ -215,6 +220,16 @@ struct RunReport {
   std::uint64_t received_messages = 0;
   std::uint64_t sent_bytes = 0;
   std::uint64_t received_bytes = 0;
+  /// Transport-level counters, *not* gathered across ranks: on the sockets
+  /// backend these cover the reporting rank's own transport (wire writes
+  /// issued, frames enqueued toward the wire, frames that rode inside a
+  /// coalesced Batch write); on the threads backend hol_inherited counts
+  /// latency-injected deliveries that overshot their own deadline behind a
+  /// head-of-line sleep (see runtime/channel.h). Zero elsewhere.
+  std::uint64_t socket_writes = 0;
+  std::uint64_t wire_frames = 0;
+  std::uint64_t wire_frames_coalesced = 0;
+  std::uint64_t hol_inherited = 0;
 };
 
 /// Builds a RunReport from merged per-node statistics. Shared between the

@@ -100,6 +100,7 @@ netio::SocketTransportOptions ToSocketOptions(const VmOptions& o) {
   s.rank = o.sockets.rank;
   s.peers = o.sockets.peers;
   s.listen_fd = o.sockets.listen_fd;
+  s.batch_frames = o.sockets.batch_frames;
   return s;
 }
 
@@ -284,12 +285,16 @@ class SocketsBackend final : public VmBackend {
   double ElapsedSeconds() const override { return rt_.ElapsedSeconds(); }
 
   RunReport Report() const override {
-    if (lead_) {
-      return MakeRunReport(
-          const_cast<netio::Coordinator&>(coord_).GatherStats(),
-          rt_.ElapsedSeconds());
-    }
-    return MakeRunReport(rt_.Totals(), rt_.ElapsedSeconds());
+    RunReport r =
+        lead_ ? MakeRunReport(
+                    const_cast<netio::Coordinator&>(coord_).GatherStats(),
+                    rt_.ElapsedSeconds())
+              : MakeRunReport(rt_.Totals(), rt_.ElapsedSeconds());
+    // Local-rank wire-write accounting (not gathered — see RunReport).
+    r.socket_writes = transport_.socket_writes();
+    r.wire_frames = transport_.frames_enqueued();
+    r.wire_frames_coalesced = transport_.frames_coalesced();
+    return r;
   }
 
  private:

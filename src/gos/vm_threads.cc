@@ -143,7 +143,10 @@ class ThreadsBackend final : public VmBackend {
   void ResetMeasurement() override { rt_.ResetMeasurement(); }
   double ElapsedSeconds() const override { return rt_.ElapsedSeconds(); }
   RunReport Report() const override {
-    return MakeRunReport(rt_.Totals(), rt_.ElapsedSeconds());
+    RunReport r = MakeRunReport(rt_.Totals(), rt_.ElapsedSeconds());
+    r.hol_inherited =
+        const_cast<runtime::Runtime&>(rt_).transport().hol_inherited();
+    return r;
   }
 
  private:

@@ -6,7 +6,7 @@
 
 namespace hmdsm::net {
 
-void Network::Send(NodeId src, NodeId dst, stats::MsgCat cat, Bytes payload) {
+void Network::Send(NodeId src, NodeId dst, stats::MsgCat cat, Buf payload) {
   HMDSM_CHECK(src < handlers_.size() && dst < handlers_.size());
   Packet packet{src, dst, cat, std::move(payload)};
   if (src == dst) {

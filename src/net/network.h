@@ -47,7 +47,7 @@ class Network final : public Transport {
   /// testbed would see on Fast Ethernet. Self-sends are free and only
   /// asynchronous.
   void Send(NodeId src, NodeId dst, stats::MsgCat cat,
-            Bytes payload) override;
+            Buf payload) override;
 
   /// Virtual time.
   sim::Time Now() const override { return kernel_.now(); }

@@ -3,7 +3,7 @@
 namespace hmdsm::net {
 
 void Transport::Broadcast(NodeId src, stats::MsgCat cat,
-                          const Bytes& payload) {
+                          const Buf& payload) {
   for (NodeId dst = 0; dst < node_count(); ++dst) {
     if (dst == src) continue;
     Send(src, dst, cat, payload);

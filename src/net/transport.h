@@ -38,13 +38,16 @@ namespace hmdsm::net {
 /// Cluster node identifier, dense in [0, node_count).
 using NodeId = std::uint32_t;
 
-/// A message in flight. `payload` is the serialized protocol message; the
-/// wire size adds the fixed transport header.
+/// A message in flight. `payload` is the serialized protocol message in a
+/// shared Buf — encoded once by proto::wire and carried by every backend
+/// without re-copying (broadcast fan-out clones the refcount, the socket
+/// receive path aliases the wire frame). The wire size adds the fixed
+/// transport header.
 struct Packet {
   NodeId src = 0;
   NodeId dst = 0;
   stats::MsgCat cat = stats::MsgCat::kObj;
-  Bytes payload;
+  Buf payload;
   /// Threads backend, latency injection only: the transport-clock deadline
   /// (ChannelTransport::Now() units) before which the dispatcher must not
   /// deliver this packet. 0 = deliver immediately. The simulated network
@@ -68,14 +71,16 @@ class Transport {
   /// message addressed to that node arrives.
   virtual void SetHandler(NodeId node, Handler handler) = 0;
 
-  /// Sends a message from `src` to `dst`.
+  /// Sends a message from `src` to `dst`. The payload Buf is moved, not
+  /// copied — callers typically pass `proto::Encode(msg)` straight through.
   virtual void Send(NodeId src, NodeId dst, stats::MsgCat cat,
-                    Bytes payload) = 0;
+                    Buf payload) = 0;
 
   /// Sends the same payload to every node except `src` (notification
   /// broadcast). Charged as node_count-1 point-to-point messages — the
-  /// paper's testbed had no reliable hardware multicast.
-  void Broadcast(NodeId src, stats::MsgCat cat, const Bytes& payload);
+  /// paper's testbed had no reliable hardware multicast. Fan-out clones the
+  /// payload's refcount (or its small inline bytes), never the heap buffer.
+  void Broadcast(NodeId src, stats::MsgCat cat, const Buf& payload);
 
   /// The transport's clock, in nanoseconds: virtual time on the simulator,
   /// wall-clock time since construction on the threads backend. Feeds

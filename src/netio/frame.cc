@@ -85,16 +85,78 @@ Bytes Encode(const DataFrame& f) {
   return w.take();
 }
 
+namespace {
+
+/// Shared by both DataFrame decoders: everything but the payload
+/// materialization (owned copy vs aliased view), so the span and Buf
+/// overloads cannot drift apart. Returns the payload span inside the frame.
+ByteSpan DecodeDataHeader(Reader& r, DataFrame* out) {
+  out->src = r.u32();
+  out->dst = r.u32();
+  const std::uint8_t cat = r.u8();
+  HMDSM_CHECK_MSG(cat < stats::kNumMsgCats,
+                  "message category " << static_cast<int>(cat)
+                                      << " out of range");
+  out->cat = static_cast<stats::MsgCat>(cat);
+  const std::uint32_t len = r.u32();
+  return r.raw(len);  // bounds-checked by the Reader
+}
+
+}  // namespace
+
 bool TryDecode(ByteSpan frame, DataFrame* out, std::string* error) {
   return Defensive(frame, FrameType::kData, error, [&](Reader& r) {
-    out->src = r.u32();
-    out->dst = r.u32();
-    const std::uint8_t cat = r.u8();
-    HMDSM_CHECK_MSG(cat < stats::kNumMsgCats,
-                    "message category " << static_cast<int>(cat)
-                                        << " out of range");
-    out->cat = static_cast<stats::MsgCat>(cat);
-    out->payload = r.bytes();
+    out->payload = Buf::Copy(DecodeDataHeader(r, out));
+  });
+}
+
+bool TryDecode(const Buf& frame, DataFrame* out, std::string* error) {
+  const ByteSpan span = frame.span();
+  return Defensive(span, FrameType::kData, error, [&](Reader& r) {
+    const ByteSpan payload = DecodeDataHeader(r, out);
+    out->payload = frame.View(
+        static_cast<std::size_t>(payload.data() - span.data()),
+        payload.size());
+  });
+}
+
+Bytes EncodeBatch(const std::vector<Bytes>& frames) {
+  HMDSM_CHECK_MSG(frames.size() >= 2, "a batch coalesces at least 2 frames");
+  std::size_t total = 1 + 4;
+  for (const Bytes& f : frames) total += 4 + f.size();
+  Bytes out;
+  out.reserve(total);
+  Writer w(std::move(out));
+  w.u8(static_cast<std::uint8_t>(FrameType::kBatch));
+  w.u32(static_cast<std::uint32_t>(frames.size()));
+  for (const Bytes& f : frames) w.bytes(f);
+  return w.take();
+}
+
+bool TryDecodeBatch(const Buf& frame, std::vector<Buf>* out,
+                    std::string* error) {
+  const ByteSpan span = frame.span();
+  return Defensive(span, FrameType::kBatch, error, [&](Reader& r) {
+    const std::uint32_t count = r.u32();
+    // Each inner frame costs at least its length prefix plus a type byte,
+    // so a count the remaining bytes cannot hold is hostile — reject it
+    // before reserving anything.
+    HMDSM_CHECK_MSG(count >= 2, "batch of " << count << " frames");
+    HMDSM_CHECK_MSG(count <= r.remaining() / 5,
+                    "batch count " << count << " cannot fit in "
+                                   << r.remaining() << " bytes");
+    out->clear();
+    out->reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t len = r.u32();
+      const ByteSpan inner = r.raw(len);  // bounds-checked by the Reader
+      FrameType type;
+      HMDSM_CHECK_MSG(PeekType(inner, &type),
+                      "batched frame " << i << " has no valid type");
+      HMDSM_CHECK_MSG(type != FrameType::kBatch, "nested batch frame");
+      out->push_back(frame.View(
+          static_cast<std::size_t>(inner.data() - span.data()), len));
+    }
   });
 }
 

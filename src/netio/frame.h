@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/net/transport.h"
 #include "src/stats/stats.h"
@@ -28,8 +29,9 @@
 namespace hmdsm::netio {
 
 /// Bumped whenever any frame layout changes; the handshake rejects peers
-/// speaking a different version.
-constexpr std::uint32_t kProtocolVersion = 1;
+/// speaking a different version. v2: Batch frames (writer-side coalescing
+/// of queued small frames into one wire write).
+constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Frames larger than this are rejected before allocation. Generous: the
 /// largest legitimate frame is an object reply for the biggest shared
@@ -51,13 +53,14 @@ enum class FrameType : std::uint8_t {
   kShutdown,       // lead -> all: run over (abort flag for error unwinds)
   kShutdownAck,    // rank -> lead: my local threads are done, nothing more
   kShutdownDone,   // lead -> all: every rank acked — safe to close sockets
+  kBatch,          // several coalesced frames in one wire write
 };
 
 /// Peeks the type byte; kData-vs-control routing in the reader loop.
 inline bool PeekType(ByteSpan frame, FrameType* out) {
   if (frame.empty()) return false;
   *out = static_cast<FrameType>(frame[0]);
-  return *out >= FrameType::kHello && *out <= FrameType::kShutdownDone;
+  return *out >= FrameType::kHello && *out <= FrameType::kBatch;
 }
 
 struct HelloFrame {
@@ -75,7 +78,9 @@ struct DataFrame {
   net::NodeId src = 0;
   net::NodeId dst = 0;
   stats::MsgCat cat = stats::MsgCat::kObj;
-  Bytes payload;
+  /// With the Buf-decode overload this is a zero-copy view of the wire
+  /// frame the message arrived in; with the span overload it owns a copy.
+  Buf payload;
 };
 
 struct StartThreadFrame {
@@ -151,10 +156,31 @@ Bytes Encode(const ShutdownFrame&);
 Bytes Encode(const ShutdownAckFrame&);
 Bytes Encode(const ShutdownDoneFrame&);
 
+/// Coalesces several already-encoded frames into one Batch frame:
+///
+///     [kBatch][u32 count][u32 len, frame bytes] * count
+///
+/// The writer queues build these under load so many small frames cost one
+/// wire write (and one syscall) instead of count of them. Inner frames are
+/// complete frames (own type byte); a Batch may not nest.
+Bytes EncodeBatch(const std::vector<Bytes>& frames);
+
+/// Defensively splits a Batch frame into aliased views of `frame` (zero
+/// copy — each inner frame Buf shares the batch buffer). Rejects: count of
+/// 0 or 1 (the writer never coalesces fewer than two frames), a count that
+/// cannot fit in the remaining bytes (pre-allocation bound), truncated
+/// inner frames, nested batches, and trailing garbage.
+bool TryDecodeBatch(const Buf& frame, std::vector<Buf>* out,
+                    std::string* error);
+
 // Defensive decoders: false + diagnostic on any malformed input.
 bool TryDecode(ByteSpan frame, HelloFrame* out, std::string* error);
 bool TryDecode(ByteSpan frame, HelloAckFrame* out, std::string* error);
 bool TryDecode(ByteSpan frame, DataFrame* out, std::string* error);
+/// Zero-copy variant: `out->payload` aliases `frame` (no byte copy). The
+/// socket reader uses this so a received payload is never re-copied between
+/// the wire and the mailbox.
+bool TryDecode(const Buf& frame, DataFrame* out, std::string* error);
 bool TryDecode(ByteSpan frame, StartThreadFrame* out, std::string* error);
 bool TryDecode(ByteSpan frame, ThreadDoneFrame* out, std::string* error);
 bool TryDecode(ByteSpan frame, QuiesceProbeFrame* out, std::string* error);

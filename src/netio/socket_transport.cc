@@ -190,52 +190,90 @@ void SocketTransport::ReaderLoop(net::NodeId id) {
       }
       Die("read from rank " + std::to_string(id) + ": " + error);
     }
-    FrameType type;
-    if (!PeekType(ByteSpan(frame), &type)) {
-      Die("unknown frame type from rank " + std::to_string(id));
+    // One Buf owns the received frame; data payloads (and batched inner
+    // frames) are handed out as aliased views of it, never copied again.
+    HandleFrame(id, Buf(std::move(frame)), /*allow_batch=*/true);
+  }
+}
+
+void SocketTransport::HandleFrame(net::NodeId id, const Buf& frame,
+                                  bool allow_batch) {
+  std::string error;
+  FrameType type;
+  if (!PeekType(frame.span(), &type)) {
+    Die("unknown frame type from rank " + std::to_string(id));
+  }
+  if (type == FrameType::kData) {
+    DataFrame data;
+    if (!TryDecode(frame, &data, &error)) {
+      Die("malformed data frame from rank " + std::to_string(id) + ": " +
+          error);
     }
-    if (type == FrameType::kData) {
-      DataFrame data;
-      if (!TryDecode(ByteSpan(frame), &data, &error)) {
-        Die("malformed data frame from rank " + std::to_string(id) + ": " +
-            error);
-      }
-      if (data.src != id || data.dst != options_.rank) {
-        Die("misrouted data frame from rank " + std::to_string(id) +
-            " (claims " + std::to_string(data.src) + "->" +
-            std::to_string(data.dst) + ")");
-      }
-      wire_received_.fetch_add(1, std::memory_order_acq_rel);
-      // Count before the push, exactly like the channel transport: once the
-      // dispatcher can see the packet, enqueued() must already cover it.
-      enqueued_.fetch_add(1, std::memory_order_acq_rel);
-      mailbox_.Push(
-          net::Packet{data.src, data.dst, data.cat, std::move(data.payload)});
-    } else if (type == FrameType::kHello || type == FrameType::kHelloAck) {
-      Die("unexpected handshake frame from rank " + std::to_string(id));
-    } else {
-      if (!control_handler_) {
-        Die("control frame from rank " + std::to_string(id) +
-            " but no control handler installed");
-      }
-      control_handler_(id, ByteSpan(frame));
+    if (data.src != id || data.dst != options_.rank) {
+      Die("misrouted data frame from rank " + std::to_string(id) +
+          " (claims " + std::to_string(data.src) + "->" +
+          std::to_string(data.dst) + ")");
     }
+    wire_received_.fetch_add(1, std::memory_order_acq_rel);
+    // Count before the push, exactly like the channel transport: once the
+    // dispatcher can see the packet, enqueued() must already cover it.
+    enqueued_.fetch_add(1, std::memory_order_acq_rel);
+    mailbox_.Push(
+        net::Packet{data.src, data.dst, data.cat, std::move(data.payload)});
+  } else if (type == FrameType::kBatch) {
+    std::vector<Buf> inner;
+    if (!allow_batch || !TryDecodeBatch(frame, &inner, &error)) {
+      Die("malformed batch frame from rank " + std::to_string(id) + ": " +
+          (allow_batch ? error : "nested batch"));
+    }
+    // In queue order, so per-sender FIFO is exactly what it was unbatched.
+    for (const Buf& f : inner) HandleFrame(id, f, /*allow_batch=*/false);
+  } else if (type == FrameType::kHello || type == FrameType::kHelloAck) {
+    Die("unexpected handshake frame from rank " + std::to_string(id));
+  } else {
+    if (!control_handler_) {
+      Die("control frame from rank " + std::to_string(id) +
+          " but no control handler installed");
+    }
+    control_handler_(id, frame.span());
   }
 }
 
 void SocketTransport::WriterLoop(net::NodeId id) {
   Peer& peer = peers_[id];
+  std::vector<Bytes> frames;
   for (;;) {
-    Bytes frame;
+    frames.clear();
     {
       std::unique_lock lock(peer.mu);
       peer.cv.wait(lock, [&] { return peer.closed || !peer.queue.empty(); });
       if (peer.queue.empty()) break;  // closed and drained
-      frame = std::move(peer.queue.front());
-      peer.queue.pop_front();
+      // Adaptive coalescing: take whatever backlog accumulated while the
+      // last write was in flight, bounded by the batch budgets. A queue
+      // holding a single frame (the idle/latency-sensitive case) yields a
+      // plain immediate write; only a genuine backlog is batched.
+      const std::size_t max_frames =
+          options_.batch_frames ? options_.max_batch_frames : 1;
+      std::size_t batch_bytes = 0;
+      while (!peer.queue.empty() && frames.size() < max_frames) {
+        const std::size_t next = peer.queue.front().size() + 4;
+        if (!frames.empty() && batch_bytes + next > options_.max_batch_bytes)
+          break;
+        batch_bytes += next;
+        frames.push_back(std::move(peer.queue.front()));
+        peer.queue.pop_front();
+      }
     }
     std::string error;
-    if (!WriteFrame(peer.fd.get(), ByteSpan(frame), &error)) {
+    bool ok;
+    if (frames.size() == 1) {
+      ok = WriteFrame(peer.fd.get(), ByteSpan(frames.front()), &error);
+    } else {
+      frames_coalesced_.fetch_add(frames.size(), std::memory_order_acq_rel);
+      ok = WriteFrame(peer.fd.get(), ByteSpan(EncodeBatch(frames)), &error);
+    }
+    socket_writes_.fetch_add(1, std::memory_order_acq_rel);
+    if (!ok) {
       if (shutting_down_.load(std::memory_order_acquire)) break;
       Die("write to rank " + std::to_string(id) + ": " + error);
     }
@@ -252,6 +290,7 @@ void SocketTransport::EnqueueFrame(net::NodeId dst, Bytes frame) {
     HMDSM_CHECK_MSG(!peer.closed, "send to rank " << dst << " after Stop()");
     peer.queue.push_back(std::move(frame));
   }
+  frames_enqueued_.fetch_add(1, std::memory_order_acq_rel);
   peer.cv.notify_one();
 }
 
@@ -266,7 +305,7 @@ void SocketTransport::BroadcastControl(const Bytes& frame) {
 }
 
 void SocketTransport::Send(net::NodeId src, net::NodeId dst,
-                           stats::MsgCat cat, Bytes payload) {
+                           stats::MsgCat cat, Buf payload) {
   HMDSM_CHECK_MSG(src == options_.rank,
                   "rank " << options_.rank << " cannot send as node " << src);
   HMDSM_CHECK(dst < options_.peers.size());

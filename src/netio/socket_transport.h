@@ -14,11 +14,18 @@
 //     to the destination peer's writer queue (drained by one writer thread
 //     per peer), and TCP preserves order per connection — together that is
 //     per-sender FIFO.
+//   * Writer queues batch adaptively: a writer that wakes to a single
+//     queued frame writes it immediately (an idle link adds no latency),
+//     but a backlog — senders outrunning the wire — is coalesced into one
+//     Batch frame per write up to a size/count budget, amortizing the
+//     syscall and wire framing across many small protocol messages.
+//     Batching preserves queue order exactly, so FIFO survives.
 //   * One reader thread per peer decodes frames defensively (peer input is
 //     untrusted) and pushes data packets into the local node's mailbox —
 //     the same mailbox self-sends use, so delivery order is whatever the
 //     single dispatcher pops, serialized per destination, and a self-send
-//     is never re-entrant.
+//     is never re-entrant. Payloads are aliased views of the received wire
+//     frame (util::Buf), never re-copied between the wire and the mailbox.
 //   * Statistics live in the local rank's recorder only (send half at
 //     Send, receive half at Dispatch); cluster totals are gathered over
 //     control frames by the netio::Coordinator at the end of a run.
@@ -64,6 +71,14 @@ struct SocketTransportOptions {
   int connect_timeout_ms = 30000;
   /// Frames above this are a protocol violation (checked pre-allocation).
   std::uint32_t max_frame_bytes = kMaxFrameBytes;
+  /// Adaptive frame batching: a writer thread that finds more than one
+  /// frame queued coalesces up to the budgets below into one Batch frame —
+  /// one wire write — and flushes immediately (no batching, no added
+  /// latency) whenever the queue drains to a single frame. Off: one write
+  /// per frame, the v1 behavior.
+  bool batch_frames = true;
+  std::size_t max_batch_frames = 64;
+  std::size_t max_batch_bytes = 64 * 1024;
 };
 
 class SocketTransport final : public runtime::MailboxTransport {
@@ -101,6 +116,21 @@ class SocketTransport final : public runtime::MailboxTransport {
     return wire_received_.load(std::memory_order_acquire);
   }
 
+  /// Wire-write accounting for this rank (data + control frames): actual
+  /// socket writes issued, total frames enqueued toward the wire, and how
+  /// many of those frames rode inside a Batch. frames_enqueued -
+  /// frames_coalesced + (batches) == socket_writes; a coalesced share > 0
+  /// is the syscall saving the batching exists for.
+  std::uint64_t socket_writes() const {
+    return socket_writes_.load(std::memory_order_acquire);
+  }
+  std::uint64_t frames_enqueued() const {
+    return frames_enqueued_.load(std::memory_order_acquire);
+  }
+  std::uint64_t frames_coalesced() const {
+    return frames_coalesced_.load(std::memory_order_acquire);
+  }
+
   /// Marks the run as ending: from now on a peer EOF is a normal goodbye,
   /// not a died-peer failure. Call when the shutdown barrier starts.
   void BeginShutdown() {
@@ -123,7 +153,7 @@ class SocketTransport final : public runtime::MailboxTransport {
   }
 
   void Send(net::NodeId src, net::NodeId dst, stats::MsgCat cat,
-            Bytes payload) override;
+            Buf payload) override;
 
   /// Wall-clock nanoseconds since transport construction.
   sim::Time Now() const override {
@@ -179,6 +209,11 @@ class SocketTransport final : public runtime::MailboxTransport {
   /// Validates a fresh connection's handshake and starts its I/O threads.
   void RegisterPeer(net::NodeId id, Fd fd);
   void ReaderLoop(net::NodeId id);
+  /// Routes one received frame: data to the mailbox (payload aliased, not
+  /// copied), batches split and routed inner-frame by inner-frame
+  /// (`allow_batch` is false for those — a batch may not nest), control to
+  /// the registered handler. Dies on malformed or misrouted input.
+  void HandleFrame(net::NodeId id, const Buf& frame, bool allow_batch);
   void WriterLoop(net::NodeId id);
   void EnqueueFrame(net::NodeId dst, Bytes frame);
   /// Records a mesh bring-up failure and wakes AwaitConnected.
@@ -209,6 +244,9 @@ class SocketTransport final : public runtime::MailboxTransport {
   std::atomic<std::uint64_t> wire_received_{0};
   std::atomic<std::uint64_t> enqueued_{0};
   std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> socket_writes_{0};
+  std::atomic<std::uint64_t> frames_enqueued_{0};
+  std::atomic<std::uint64_t> frames_coalesced_{0};
   std::chrono::steady_clock::time_point epoch_;
 };
 

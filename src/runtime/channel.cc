@@ -26,7 +26,7 @@ ChannelTransport::ChannelTransport(std::size_t node_count)
 }
 
 void ChannelTransport::Send(NodeId src, NodeId dst, stats::MsgCat cat,
-                            Bytes payload) {
+                            Buf payload) {
   HMDSM_CHECK(src < channels_.size() && dst < channels_.size());
   const std::size_t wire_bytes = payload.size() + kHeaderBytes;
   net::Packet packet{src, dst, cat, std::move(payload)};

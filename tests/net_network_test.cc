@@ -36,7 +36,7 @@ TEST(Hockney, RoundTripAddsBothDirections) {
 TEST(Network, DeliversWithModelLatency) {
   World w(2, HockneyModel(100.0, 10.0));
   sim::Time delivered_at = -1;
-  Bytes got;
+  Buf got;
   w.network.SetHandler(1, [&](Packet&& p) {
     delivered_at = w.kernel.now();
     got = std::move(p.payload);

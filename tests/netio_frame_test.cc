@@ -177,5 +177,123 @@ TEST(NetioFrameDefense, CorruptRecorderTableIsRejected) {
   EXPECT_FALSE(TryDecode(ByteSpan(wire), &out, &error));
 }
 
+// ---------------------------------------------------------------------------
+// Batch frames (writer-side coalescing)
+// ---------------------------------------------------------------------------
+
+TEST(NetioFrameBatch, RoundTripPreservesOrderAndBytes) {
+  DataFrame a;
+  a.src = 1;
+  a.dst = 0;
+  a.cat = stats::MsgCat::kObj;
+  a.payload = Bytes{1, 2, 3};
+  const std::vector<Bytes> frames = {Encode(a), Encode(QuiesceProbeFrame{7}),
+                                     Encode(ShutdownAckFrame{})};
+  const Buf batch = Bytes(EncodeBatch(frames));
+  std::vector<Buf> inner;
+  std::string error;
+  ASSERT_TRUE(TryDecodeBatch(batch, &inner, &error)) << error;
+  ASSERT_EQ(inner.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(inner[i], frames[i]) << "frame " << i;
+  // The inner data frame decodes like it was never batched.
+  DataFrame out;
+  ASSERT_TRUE(TryDecode(inner[0], &out, &error)) << error;
+  EXPECT_EQ(out.src, 1u);
+  EXPECT_EQ(out.payload, a.payload);
+}
+
+TEST(NetioFrameBatch, DataPayloadDecodedFromABatchAliasesNoCopy) {
+  // Large payloads decoded out of a batch are views of the batch buffer,
+  // not copies — the pointer identity is the zero-copy receive path.
+  DataFrame big;
+  big.payload = Bytes(4096, Byte{0x5A});
+  const Buf batch =
+      Bytes(EncodeBatch({Encode(big), Encode(QuiesceProbeFrame{1})}));
+  std::vector<Buf> inner;
+  std::string error;
+  ASSERT_TRUE(TryDecodeBatch(batch, &inner, &error)) << error;
+  DataFrame out;
+  ASSERT_TRUE(TryDecode(inner[0], &out, &error)) << error;
+  EXPECT_EQ(out.payload.size(), 4096u);
+  EXPECT_GE(out.payload.data(), batch.data());
+  EXPECT_LT(out.payload.data(), batch.data() + batch.size());
+}
+
+TEST(NetioFrameBatch, TruncatedInnerFrameIsRejected) {
+  Bytes wire = EncodeBatch({Encode(QuiesceProbeFrame{1}),
+                            Encode(QuiesceProbeFrame{2})});
+  for (std::size_t cut = 1; cut < 12; ++cut) {
+    const Buf cut_frame = Buf::Copy(ByteSpan(wire.data(), wire.size() - cut));
+    std::vector<Buf> inner;
+    std::string error;
+    EXPECT_FALSE(TryDecodeBatch(cut_frame, &inner, &error)) << "cut " << cut;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(NetioFrameBatch, HostileCountIsRejectedBeforeAllocation) {
+  // count = 2^32-1 with a handful of actual bytes: the per-entry minimum
+  // bound must reject it before any reserve.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kBatch));
+  w.u32(0xFFFFFFFFu);
+  w.u32(1);
+  w.u8(static_cast<std::uint8_t>(FrameType::kShutdownAck));
+  std::vector<Buf> inner;
+  std::string error;
+  EXPECT_FALSE(TryDecodeBatch(Buf(w.take()), &inner, &error));
+  EXPECT_NE(error.find("batch count"), std::string::npos);
+}
+
+TEST(NetioFrameBatch, DegenerateCountsAreRejected) {
+  // The writer never coalesces fewer than two frames, so 0 and 1 are
+  // protocol violations, not valid encodings.
+  for (const std::uint32_t count : {0u, 1u}) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(FrameType::kBatch));
+    w.u32(count);
+    const Bytes ack = Encode(ShutdownAckFrame{});
+    for (std::uint32_t i = 0; i < count; ++i) w.bytes(ack);
+    std::vector<Buf> inner;
+    std::string error;
+    EXPECT_FALSE(TryDecodeBatch(Buf(w.take()), &inner, &error))
+        << "count " << count;
+  }
+}
+
+TEST(NetioFrameBatch, TrailingGarbageIsRejected) {
+  Bytes wire = EncodeBatch({Encode(QuiesceProbeFrame{1}),
+                            Encode(QuiesceProbeFrame{2})});
+  wire.push_back(0xAB);
+  std::vector<Buf> inner;
+  std::string error;
+  EXPECT_FALSE(TryDecodeBatch(Buf(std::move(wire)), &inner, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(NetioFrameBatch, NestedBatchIsRejected) {
+  const Bytes inner_batch = EncodeBatch(
+      {Encode(QuiesceProbeFrame{1}), Encode(QuiesceProbeFrame{2})});
+  const Bytes wire =
+      EncodeBatch({inner_batch, Encode(ShutdownAckFrame{})});
+  std::vector<Buf> inner;
+  std::string error;
+  EXPECT_FALSE(TryDecodeBatch(Buf(Bytes(wire)), &inner, &error));
+  EXPECT_NE(error.find("nested"), std::string::npos);
+}
+
+TEST(NetioFrameBatch, InnerFrameWithNoValidTypeIsRejected) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kBatch));
+  w.u32(2);
+  w.u32(0);  // zero-length inner frame: no type byte at all
+  w.bytes(Encode(QuiesceProbeFrame{1}));  // big enough to pass count bound
+  std::vector<Buf> inner;
+  std::string error;
+  EXPECT_FALSE(TryDecodeBatch(Buf(w.take()), &inner, &error));
+  EXPECT_NE(error.find("type"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hmdsm::netio
