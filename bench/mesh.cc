@@ -5,8 +5,10 @@
 // them into the netio TCP mesh, and measures the fig6 scenario patterns
 // (plus a fig2-family ASP run) end to end: wall-clock throughput,
 // per-message overhead, and — the point of the adaptive frame batching —
-// how many syscall-level socket writes the lead rank's transport issued
-// for how many wire frames. Each workload runs three ways:
+// how many syscall-level socket writes the whole cluster issued for how
+// many wire frames (every rank's transport folds its counters into the
+// coordinator's stats gather, so the totals cover all ranks, not just the
+// lead). Each workload runs three ways:
 //
 //   * threads + Hockney latency injection — the modeled network regime the
 //     sockets numbers are compared against (same scenario, same checksum);
@@ -21,17 +23,21 @@
 //
 // --smoke runs a two-pattern subset at tiny scale for CI; --nodes/--reps/
 // --objects/--bytes override the defaults; CSV + JSON land in results/.
+// --trace-out=FILE captures a Chrome/Perfetto trace of the first sockets
+// run (one shard per rank, merged by the fork parent).
 #include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/harness.h"
 #include "src/apps/asp.h"
 #include "src/netio/launcher.h"
+#include "src/trace/trace.h"
 #include "src/util/csv.h"
 #include "src/util/flags.h"
 #include "src/util/json.h"
@@ -55,7 +61,9 @@ workload::Scenario StripDelays(workload::Scenario s) {
   return s;
 }
 
-/// What the lead rank measures and ships back to the fork parent.
+/// What the lead rank measures and ships back to the fork parent. The
+/// write/frame counters and latency summaries are cluster totals: every
+/// rank's transport folds its window into the coordinator's stats gather.
 struct MeshMetrics {
   std::uint64_t checksum = 0;
   std::uint64_t ops = 0;
@@ -66,7 +74,30 @@ struct MeshMetrics {
   std::uint64_t socket_writes = 0;
   std::uint64_t wire_frames = 0;
   std::uint64_t wire_frames_coalesced = 0;
+  gos::HistSummary rtt[stats::kNumMsgCats];
+  gos::HistSummary mailbox_dwell;
+  gos::HistSummary socket_write_ns;
 };
+
+void PackHist(Writer& w, const gos::HistSummary& h) {
+  w.u64(h.count);
+  w.f64(h.mean);
+  w.u64(h.p50);
+  w.u64(h.p95);
+  w.u64(h.p99);
+  w.u64(h.max);
+}
+
+gos::HistSummary UnpackHist(Reader& r) {
+  gos::HistSummary h;
+  h.count = r.u64();
+  h.mean = r.f64();
+  h.p50 = r.u64();
+  h.p95 = r.u64();
+  h.p99 = r.u64();
+  h.max = r.u64();
+  return h;
+}
 
 Bytes Pack(const MeshMetrics& m) {
   Writer w;
@@ -79,6 +110,9 @@ Bytes Pack(const MeshMetrics& m) {
   w.u64(m.socket_writes);
   w.u64(m.wire_frames);
   w.u64(m.wire_frames_coalesced);
+  for (const gos::HistSummary& h : m.rtt) PackHist(w, h);
+  PackHist(w, m.mailbox_dwell);
+  PackHist(w, m.socket_write_ns);
   return w.take();
 }
 
@@ -95,6 +129,9 @@ bool Unpack(const Bytes& blob, MeshMetrics* out) {
     out->socket_writes = r.u64();
     out->wire_frames = r.u64();
     out->wire_frames_coalesced = r.u64();
+    for (gos::HistSummary& h : out->rtt) h = UnpackHist(r);
+    out->mailbox_dwell = UnpackHist(r);
+    out->socket_write_ns = UnpackHist(r);
     return r.done();
   } catch (const CheckError&) {
     return false;
@@ -113,12 +150,17 @@ MeshMetrics FromReport(const gos::RunReport& report, std::uint64_t checksum,
   m.socket_writes = report.socket_writes;
   m.wire_frames = report.wire_frames;
   m.wire_frames_coalesced = report.wire_frames_coalesced;
+  for (std::size_t i = 0; i < stats::kNumMsgCats; ++i) m.rtt[i] = report.rtt[i];
+  m.mailbox_dwell = report.mailbox_dwell;
+  m.socket_write_ns = report.socket_write_ns;
   return m;
 }
 
 /// Forks a localhost mesh, runs `lead_metrics` in every rank (SPMD), and
-/// returns the lead's metrics via a pipe. False when any rank failed.
-bool RunOnMesh(std::size_t nodes, bool batch,
+/// returns the lead's metrics via a pipe. False when any rank failed. With
+/// `trace_path` set, every rank writes a Chrome trace shard on teardown
+/// and the parent merges them into one Perfetto-loadable file.
+bool RunOnMesh(std::size_t nodes, bool batch, const std::string& trace_path,
                const std::function<MeshMetrics(gos::VmOptions)>& lead_metrics,
                MeshMetrics* out) {
   int fds[2];
@@ -134,6 +176,7 @@ bool RunOnMesh(std::size_t nodes, bool batch,
         vm.sockets.peers = self.peers;
         vm.sockets.listen_fd = self.listen_fd;
         vm.sockets.batch_frames = batch;
+        vm.trace_out = trace_path;
         try {
           const MeshMetrics m = lead_metrics(std::move(vm));
           if (self.rank == 0) {
@@ -158,6 +201,8 @@ bool RunOnMesh(std::size_t nodes, bool batch,
   while ((n = ::read(fds[0], buf, sizeof buf)) > 0)
     blob.insert(blob.end(), buf, buf + n);
   ::close(fds[0]);
+  if (status == 0 && !trace_path.empty())
+    trace::MergeChromeShards(trace_path, nodes);
   return status == 0 && Unpack(blob, out);
 }
 
@@ -218,6 +263,9 @@ int main(int argc, char** argv) {
 
   std::vector<Row> rows;
   bool all_ok = true;
+  // The first sockets run (and only it) is traced: one merged Perfetto
+  // file with events from every rank, without later runs clobbering it.
+  std::string pending_trace = flags.Get("trace-out");
 
   // --- fig6 family: the six sharing patterns ------------------------------
   for (const std::string& pattern : patterns) {
@@ -240,14 +288,18 @@ int main(int argc, char** argv) {
       Row r;
       r.workload = pattern;
       r.config = batch ? "sockets_batch" : "sockets_nobatch";
+      const std::string trace_path = std::exchange(pending_trace, {});
       r.ok = RunOnMesh(
-          params.nodes, batch,
+          params.nodes, batch, trace_path,
           [&](gos::VmOptions vm) {
             const workload::ScenarioResult res =
                 workload::RunScenario(vm, scenario);
             return FromReport(res.report, res.checksum, res.ops_executed);
           },
           &r.m);
+      if (r.ok && !trace_path.empty())
+        std::printf("trace (%s/%s) -> %s\n", r.workload.c_str(),
+                    r.config.c_str(), trace_path.c_str());
       r.checksum_ok = r.ok && r.m.checksum == sim.checksum;
       all_ok = all_ok && r.ok && r.checksum_ok;
       rows.push_back(r);
@@ -269,13 +321,17 @@ int main(int argc, char** argv) {
       Row r;
       r.workload = "asp";
       r.config = batch ? "sockets_batch" : "sockets_nobatch";
+      const std::string trace_path = std::exchange(pending_trace, {});
       r.ok = RunOnMesh(
-          params.nodes, batch,
+          params.nodes, batch, trace_path,
           [&](gos::VmOptions vm) {
             const auto res = apps::RunAsp(vm, cfg);
             return FromReport(res.report, res.checksum, 0);
           },
           &r.m);
+      if (r.ok && !trace_path.empty())
+        std::printf("trace (%s/%s) -> %s\n", r.workload.c_str(),
+                    r.config.c_str(), trace_path.c_str());
       r.checksum_ok = r.ok && r.m.checksum == sim_res.checksum;
       all_ok = all_ok && r.ok && r.checksum_ok;
       rows.push_back(r);
@@ -315,8 +371,9 @@ int main(int argc, char** argv) {
   t.Print(std::cout);
   std::printf(
       "\n(sockets rows: forked %u-rank localhost TCP mesh; writes/frames/"
-      "coalesced are the lead rank's transport counters — frames > writes "
-      "means the writer coalesced a backlog into batched wire writes.\n"
+      "coalesced are cluster totals over every rank's transport — frames > "
+      "writes means the writers coalesced backlogs into batched wire "
+      "writes.\n"
       " threads_inject rows: in-process backend with per-delivery Hockney "
       "deadlines — the modeled regime the mesh is compared against.)\n",
       params.nodes);
@@ -348,6 +405,29 @@ int main(int argc, char** argv) {
       j.Key("socket_writes").Uint(r.m.socket_writes);
       j.Key("wire_frames").Uint(r.m.wire_frames);
       j.Key("wire_frames_coalesced").Uint(r.m.wire_frames_coalesced);
+      // Cluster-wide latency quantiles (nanoseconds). Only populated
+      // histograms appear; threads rows lack socket_write, sim-free rows
+      // lack nothing DSM-side.
+      j.Key("latency").BeginObject();
+      const auto hist = [&j](const std::string& name,
+                             const gos::HistSummary& h) {
+        if (h.count == 0) return;
+        j.Key(name).BeginObject();
+        j.Key("count").Uint(h.count);
+        j.Key("mean_ns").Double(h.mean);
+        j.Key("p50_ns").Uint(h.p50);
+        j.Key("p95_ns").Uint(h.p95);
+        j.Key("p99_ns").Uint(h.p99);
+        j.Key("max_ns").Uint(h.max);
+        j.EndObject();
+      };
+      for (std::size_t i = 0; i < stats::kNumMsgCats; ++i)
+        hist("rtt_" + std::string(stats::MsgCatName(
+                          static_cast<stats::MsgCat>(i))),
+             r.m.rtt[i]);
+      hist("mailbox_dwell", r.m.mailbox_dwell);
+      hist("socket_write", r.m.socket_write_ns);
+      j.EndObject();
       j.EndObject();
     }
     j.EndArray();

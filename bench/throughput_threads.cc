@@ -92,6 +92,9 @@ int main(int argc, char** argv) {
     std::uint64_t migrations = 0;
     std::uint64_t hol_inherited = 0;
     bool match = false;
+    gos::HistSummary rtt[hmdsm::stats::kNumMsgCats];
+    gos::HistSummary mailbox_dwell;
+    gos::HistSummary migration_first_access;
   };
   std::vector<Row> rows;
 
@@ -116,6 +119,10 @@ int main(int argc, char** argv) {
     row.migrations = thr.report.migrations;
     row.hol_inherited = thr.report.hol_inherited;
     row.match = sim.checksum == thr.checksum;
+    for (std::size_t i = 0; i < hmdsm::stats::kNumMsgCats; ++i)
+      row.rtt[i] = thr.report.rtt[i];
+    row.mailbox_dwell = thr.report.mailbox_dwell;
+    row.migration_first_access = thr.report.migration_first_access;
     t.AddRow({row.pattern, FmtI(static_cast<long long>(row.ops)),
               FmtF(row.seconds * 1e3, 2),
               FmtI(static_cast<long long>(row.ops_per_sec)),
@@ -157,6 +164,28 @@ int main(int argc, char** argv) {
       j.Key("migrations").Uint(r.migrations);
       j.Key("hol_inherited").Uint(r.hol_inherited);
       j.Key("checksum_matches_sim").Bool(r.match);
+      // Wall-clock latency quantiles (nanoseconds) from the per-node
+      // histograms; empty histograms are omitted.
+      j.Key("latency").BeginObject();
+      const auto hist = [&j](const std::string& name,
+                             const gos::HistSummary& h) {
+        if (h.count == 0) return;
+        j.Key(name).BeginObject();
+        j.Key("count").Uint(h.count);
+        j.Key("mean_ns").Double(h.mean);
+        j.Key("p50_ns").Uint(h.p50);
+        j.Key("p95_ns").Uint(h.p95);
+        j.Key("p99_ns").Uint(h.p99);
+        j.Key("max_ns").Uint(h.max);
+        j.EndObject();
+      };
+      for (std::size_t i = 0; i < hmdsm::stats::kNumMsgCats; ++i)
+        hist("rtt_" + std::string(hmdsm::stats::MsgCatName(
+                          static_cast<hmdsm::stats::MsgCat>(i))),
+             r.rtt[i]);
+      hist("mailbox_dwell", r.mailbox_dwell);
+      hist("migration_first_access", r.migration_first_access);
+      j.EndObject();
       j.EndObject();
     }
     j.EndArray();

@@ -14,6 +14,9 @@
 //  * The adaptive protocol migrates homes on migratory/phased patterns and
 //    keeps them put on pingpong/hotspot, where migration would thrash.
 //  * Record + replay produces identical traffic, by construction.
+//  * Every run carries latency histograms: the fault-in RTT quantiles
+//    below show how migration changes the *distribution* of remote-object
+//    stalls, not just their count (virtual time on the sim backend).
 #include <cstdio>
 
 #include "src/workload/patterns.h"
@@ -29,8 +32,8 @@ int main() {
   params.repetitions = 4;
   params.seed = 42;
 
-  std::printf("%-18s %-6s %12s %10s %11s\n", "pattern", "policy", "time(ms)",
-              "migrations", "msgs");
+  std::printf("%-18s %-6s %12s %10s %11s %12s %12s\n", "pattern", "policy",
+              "time(ms)", "migrations", "msgs", "objRTT p50", "objRTT p95");
   for (const std::string& pattern : workload::PatternNames()) {
     params.pattern = pattern;
     const workload::Scenario scenario = workload::GeneratePattern(params);
@@ -40,10 +43,15 @@ int main() {
       vm.dsm.policy = policy;
       const workload::ScenarioResult res =
           workload::RunScenario(vm, scenario);
-      std::printf("%-18s %-6s %12.3f %10llu %11llu\n", pattern.c_str(),
-                  policy, res.report.seconds * 1e3,
+      // Fault-in round-trips: request sent -> object data installed.
+      const gos::HistSummary& rtt =
+          res.report.rtt[static_cast<std::size_t>(stats::MsgCat::kObj)];
+      std::printf("%-18s %-6s %12.3f %10llu %11llu %10.1fus %10.1fus\n",
+                  pattern.c_str(), policy, res.report.seconds * 1e3,
                   static_cast<unsigned long long>(res.report.migrations),
-                  static_cast<unsigned long long>(res.report.messages));
+                  static_cast<unsigned long long>(res.report.messages),
+                  static_cast<double>(rtt.p50) / 1e3,
+                  static_cast<double>(rtt.p95) / 1e3);
     }
   }
 

@@ -131,6 +131,7 @@ void Agent::Read(runtime::Exec& proc, ObjectId obj,
     if (auto it = homes_.find(obj); it != homes_.end()) {
       TrapHomeRead(it->second);
       recorder_.Bump(Ev::kHomeAccesses);
+      RecordFirstHomeAccess(it->second);
       fn(it->second.data);
       return;
     }
@@ -157,6 +158,7 @@ void Agent::Write(runtime::Exec& proc, ObjectId obj,
     if (auto it = homes_.find(obj); it != homes_.end()) {
       TrapHomeWrite(it->second);
       recorder_.Bump(Ev::kHomeAccesses);
+      RecordFirstHomeAccess(it->second);
       fn(it->second.data);
       return;
     }
@@ -190,6 +192,7 @@ void Agent::EnsureValidCopy(runtime::Exec& proc, ObjectId obj, bool for_write) {
   if (!pf.request_in_flight) {
     pf.request_in_flight = true;
     pf.hops = 0;
+    pf.started_at = net_.Now();
     SendFetchRequest(obj, HintedHome(obj));
   }
   pf.waiters.Wait(proc);
@@ -309,6 +312,8 @@ void Agent::OnObjReply(NodeId src, proto::ObjReply msg) {
   pending_fetch_.erase(it);
   HMDSM_CHECK_MSG(pf.foreign.empty() && pf.foreign_diffs.empty(),
                   "foreign traffic queued on a non-migrating fetch");
+  recorder_.RecordRtt(MsgCat::kObj,
+                      static_cast<std::uint64_t>(net_.Now() - pf.started_at));
   MaybeCompressChain(pf, msg.obj, src, msg.home_epoch);
   hints_[msg.obj] = src;
   CacheEntry ce;
@@ -322,6 +327,8 @@ void Agent::OnMigrateReply(NodeId, proto::MigrateReply msg) {
   HMDSM_CHECK_MSG(it != pending_fetch_.end(), "unsolicited migrate reply");
   PendingFetch pf = std::move(it->second);
   pending_fetch_.erase(it);
+  recorder_.RecordRtt(MsgCat::kMig,
+                      static_cast<std::uint64_t>(net_.Now() - pf.started_at));
   // We are the home now; our installed epoch is the chain's newest.
   MaybeCompressChain(pf, msg.obj, node_, msg.policy_state.epoch);
 
@@ -332,6 +339,7 @@ void Agent::OnMigrateReply(NodeId, proto::MigrateReply msg) {
   HomeEntry entry;
   entry.data = std::move(msg.data);
   entry.pol = msg.policy_state;
+  entry.installed_at = net_.Now();
   homes_.insert_or_assign(msg.obj, std::move(entry));
   hints_[msg.obj] = node_;
   forwards_.erase(msg.obj);  // we may have been on this object's chain before

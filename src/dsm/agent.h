@@ -99,6 +99,11 @@ class Agent {
     // trap fires once per synchronization interval (paper Section 3.3).
     std::uint64_t read_trap_interval = ~0ull;
     std::uint64_t write_trap_interval = ~0ull;
+    // Transport-clock time a migration installed this home (0 = created
+    // here / already accessed): the first local home access after a
+    // migration records the installed→accessed gap, the latency the
+    // migration actually bought us.
+    std::int64_t installed_at = 0;
   };
 
   struct CacheEntry {
@@ -112,6 +117,9 @@ class Agent {
     std::uint32_t hops = 0;
     bool for_write = false;
     bool request_in_flight = false;
+    // Transport-clock time the first request left; redirect hops re-send
+    // without re-stamping, so the reply measures the whole trip.
+    std::int64_t started_at = 0;
     // First obsolete home that redirected us (chain-compression target).
     NodeId first_redirector = kNoNode;
     // Foreign requests / diffs that arrived while our own fetch (which may
@@ -205,6 +213,16 @@ class Agent {
   /// Records the home-read/home-write trap on a home access.
   void TrapHomeRead(HomeEntry& entry);
   void TrapHomeWrite(HomeEntry& entry);
+
+  /// Records the migration-installed→first-local-access latency, once per
+  /// migration.
+  void RecordFirstHomeAccess(HomeEntry& entry) {
+    if (entry.installed_at == 0) return;
+    recorder_.RecordLatency(
+        stats::Lat::kMigFirstAccess,
+        static_cast<std::uint64_t>(net_.Now() - entry.installed_at));
+    entry.installed_at = 0;
+  }
 
   NodeId ManagerOf(ObjectId obj) const { return obj.initial_home(); }
 

@@ -32,6 +32,17 @@ std::string ValidateBackendRequest(Backend backend, std::string_view app,
   return {};
 }
 
+HistSummary Summarize(const stats::Histogram& h) {
+  HistSummary s;
+  s.count = h.count();
+  s.mean = h.Mean();
+  s.p50 = h.P50();
+  s.p95 = h.P95();
+  s.p99 = h.P99();
+  s.max = h.max();
+  return s;
+}
+
 RunReport MakeRunReport(const stats::Recorder& rec, double seconds) {
   RunReport report;
   report.seconds = seconds;
@@ -52,6 +63,15 @@ RunReport MakeRunReport(const stats::Recorder& rec, double seconds) {
   report.sent_bytes = sent.bytes;
   report.received_messages = received.messages;
   report.received_bytes = received.bytes;
+  report.socket_writes = rec.Count(stats::Ev::kSocketWrites);
+  report.wire_frames = rec.Count(stats::Ev::kWireFramesEnqueued);
+  report.wire_frames_coalesced = rec.Count(stats::Ev::kWireFramesCoalesced);
+  for (std::size_t i = 0; i < stats::kNumMsgCats; ++i)
+    report.rtt[i] = Summarize(rec.Rtt(static_cast<stats::MsgCat>(i)));
+  report.mailbox_dwell = Summarize(rec.Latency(stats::Lat::kMailboxDwell));
+  report.socket_write_ns = Summarize(rec.Latency(stats::Lat::kSocketWrite));
+  report.migration_first_access =
+      Summarize(rec.Latency(stats::Lat::kMigFirstAccess));
   return report;
 }
 

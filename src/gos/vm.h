@@ -198,7 +198,32 @@ struct VmOptions {
     bool batch_frames = true;
   };
   SocketsConfig sockets;
+  /// Latency histograms (fault-in RTT, mailbox dwell, socket-write syscall,
+  /// migration→first-access). On by default; off removes every per-packet
+  /// clock read the instrumentation costs (throughput baselines).
+  bool histograms = true;
+  /// Non-empty: write a Chrome trace-event / Perfetto JSON protocol trace
+  /// here at teardown. On the sockets backend each rank writes
+  /// `<path>.rank<R>` and the self-fork launcher (or the operator) merges
+  /// the shards with trace::MergeChromeShards.
+  std::string trace_out;
+  /// Sockets backend, lead rank only: > 0 starts the live metrics plane —
+  /// the coordinator samples every rank's counters at this interval and
+  /// prints a cluster ops/s line (see netio::Coordinator::StartPolling).
+  double poll_interval_s = 0;
 };
+
+/// Five-number summary of one stats::Histogram (all values nanoseconds).
+struct HistSummary {
+  std::uint64_t count = 0;
+  double mean = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t max = 0;
+};
+
+HistSummary Summarize(const stats::Histogram& h);
 
 /// Snapshot of run metrics since the last ResetMeasurement().
 struct RunReport {
@@ -220,16 +245,24 @@ struct RunReport {
   std::uint64_t received_messages = 0;
   std::uint64_t sent_bytes = 0;
   std::uint64_t received_bytes = 0;
-  /// Transport-level counters, *not* gathered across ranks: on the sockets
-  /// backend these cover the reporting rank's own transport (wire writes
-  /// issued, frames enqueued toward the wire, frames that rode inside a
-  /// coalesced Batch write); on the threads backend hol_inherited counts
-  /// latency-injected deliveries that overshot their own deadline behind a
-  /// head-of-line sleep (see runtime/channel.h). Zero elsewhere.
+  /// Wire-level counters (sockets backend): the transport folds its atomics
+  /// into every recorder snapshot, so these ride the coordinator's gather
+  /// and are **cluster totals** across all ranks (wire writes issued,
+  /// frames enqueued toward the wire, frames that rode inside a coalesced
+  /// Batch write). Zero on the other backends.
   std::uint64_t socket_writes = 0;
   std::uint64_t wire_frames = 0;
   std::uint64_t wire_frames_coalesced = 0;
+  /// Threads backend, latency injection only: deliveries that overshot
+  /// their own deadline behind a head-of-line sleep (runtime/channel.h).
   std::uint64_t hol_inherited = 0;
+  /// Latency histograms (empty when VmOptions::histograms is off). RTT is
+  /// the fault-in request→reply round trip bucketed by the reply category
+  /// (kObj plain, kMig home-migrating; redirect hops included in the trip).
+  HistSummary rtt[stats::kNumMsgCats] = {};
+  HistSummary mailbox_dwell;
+  HistSummary socket_write_ns;
+  HistSummary migration_first_access;
 };
 
 /// Builds a RunReport from merged per-node statistics. Shared between the

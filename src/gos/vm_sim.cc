@@ -59,7 +59,20 @@ class SimBackend final : public VmBackend {
         options_(options),
         cluster_(dsm::ClusterOptions{options.nodes, options.model,
                                      options.dsm,
-                                     options.model_tx_occupancy}) {}
+                                     options.model_tx_occupancy}) {
+    if (!options_.trace_out.empty()) cluster_.trace().Enable();
+  }
+
+  ~SimBackend() override {
+    // The kernel is quiescent once Run() returned, so the event buffer is
+    // stable. Timestamps are virtual nanoseconds — the exported timeline is
+    // the modeled one, which is exactly what a sim trace should show.
+    if (!options_.trace_out.empty()) {
+      trace::WriteChromeTraceFile(options_.trace_out,
+                                  cluster_.trace().events(), /*pid=*/0,
+                                  "hmdsm sim");
+    }
+  }
 
   std::size_t nodes() const override { return cluster_.nodes(); }
   dsm::Cluster* cluster() override { return &cluster_; }

@@ -78,7 +78,8 @@ class SockThread final : public Thread {
   bool joined_ = false;       // guarded by SocketsBackend::mu_
 };
 
-runtime::RuntimeOptions ToRuntimeOptions(const VmOptions& o) {
+runtime::RuntimeOptions ToRuntimeOptions(const VmOptions& o,
+                                         trace::Trace* trace) {
   runtime::RuntimeOptions r;
   r.nodes = o.nodes;
   r.dsm = o.dsm;
@@ -88,6 +89,7 @@ runtime::RuntimeOptions ToRuntimeOptions(const VmOptions& o) {
     r.dsm.adaptive.half_peak_bytes = o.model.half_peak_bytes();
   r.model = o.model;
   r.inject_latency_scale = 0;  // sockets pay real latency
+  r.trace = trace;
   return r;
 }
 
@@ -101,6 +103,7 @@ netio::SocketTransportOptions ToSocketOptions(const VmOptions& o) {
   s.peers = o.sockets.peers;
   s.listen_fd = o.sockets.listen_fd;
   s.batch_frames = o.sockets.batch_frames;
+  s.measure_latency = o.histograms;
   return s;
 }
 
@@ -110,9 +113,11 @@ class SocketsBackend final : public VmBackend {
       : vm_(vm),
         options_(options),
         transport_(ToSocketOptions(options)),
-        rt_(ToRuntimeOptions(options), transport_, options.sockets.rank),
+        rt_(ToRuntimeOptions(options, &trace_), transport_,
+            options.sockets.rank),
         coord_(transport_, rt_, options.start_node),
         lead_(transport_.rank() == options.start_node) {
+    if (!options_.trace_out.empty()) trace_.Enable();
     transport_.Start();
     transport_.AwaitConnected();
   }
@@ -133,6 +138,9 @@ class SocketsBackend final : public VmBackend {
 
   void Run(ThreadBody main) override {
     std::exception_ptr error;
+    if (lead_ && options_.poll_interval_s > 0) {
+      coord_.StartPolling(options_.poll_interval_s);
+    }
     if (lead_) {
       {
         runtime::Guest guest(rt_, transport_.rank(), "main");
@@ -285,16 +293,13 @@ class SocketsBackend final : public VmBackend {
   double ElapsedSeconds() const override { return rt_.ElapsedSeconds(); }
 
   RunReport Report() const override {
-    RunReport r =
-        lead_ ? MakeRunReport(
-                    const_cast<netio::Coordinator&>(coord_).GatherStats(),
-                    rt_.ElapsedSeconds())
-              : MakeRunReport(rt_.Totals(), rt_.ElapsedSeconds());
-    // Local-rank wire-write accounting (not gathered — see RunReport).
-    r.socket_writes = transport_.socket_writes();
-    r.wire_frames = transport_.frames_enqueued();
-    r.wire_frames_coalesced = transport_.frames_coalesced();
-    return r;
+    // Every recorder snapshot (local or gathered) already carries the wire
+    // counters and write-latency histogram its transport folded in, so the
+    // lead's report shows cluster totals — not lead-rank-only numbers.
+    return lead_ ? MakeRunReport(
+                       const_cast<netio::Coordinator&>(coord_).GatherStats(),
+                       rt_.ElapsedSeconds())
+                 : MakeRunReport(rt_.Totals(), rt_.ElapsedSeconds());
   }
 
  private:
@@ -359,6 +364,7 @@ class SocketsBackend final : public VmBackend {
   void Teardown(bool abort, std::exception_ptr* error) {
     if (torn_down_) return;
     torn_down_ = true;
+    coord_.StopPolling();  // no poll may straddle the shutdown barrier
     try {
       if (lead_) {
         JoinLocalThreads(error, abort);
@@ -379,10 +385,18 @@ class SocketsBackend final : public VmBackend {
     }
     rt_.Shutdown();
     transport_.Stop();
+    // Each rank writes its own trace shard; the launcher (or the operator)
+    // merges `<path>.rank<R>` shards into one Perfetto-loadable file.
+    if (!options_.trace_out.empty()) {
+      trace::WriteChromeShard(
+          options_.trace_out, transport_.rank(), trace_.events(),
+          "hmdsm rank " + std::to_string(transport_.rank()));
+    }
   }
 
   Vm& vm_;
   VmOptions options_;
+  trace::Trace trace_;  // must outlive rt_ (agents hold a pointer)
   netio::SocketTransport transport_;
   runtime::Runtime rt_;
   netio::Coordinator coord_;

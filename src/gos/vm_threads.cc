@@ -31,7 +31,8 @@ class ThreadsThread final : public Thread {
   std::exception_ptr error_;     // written before done_, read after join
 };
 
-runtime::RuntimeOptions ToRuntimeOptions(const VmOptions& o) {
+runtime::RuntimeOptions ToRuntimeOptions(const VmOptions& o,
+                                         trace::Trace* trace) {
   runtime::RuntimeOptions r;
   r.nodes = o.nodes;
   r.dsm = o.dsm;
@@ -41,17 +42,28 @@ runtime::RuntimeOptions ToRuntimeOptions(const VmOptions& o) {
     r.dsm.adaptive.half_peak_bytes = o.model.half_peak_bytes();
   r.model = o.model;
   r.inject_latency_scale = o.inject_latency ? o.inject_scale : 0.0;
+  r.trace = trace;
+  r.measure_dwell = o.histograms;
   return r;
 }
 
 class ThreadsBackend final : public VmBackend {
  public:
   ThreadsBackend(Vm& vm, const VmOptions& options)
-      : vm_(vm), options_(options), rt_(ToRuntimeOptions(options)) {}
+      : vm_(vm), options_(options), rt_(ToRuntimeOptions(options, &trace_)) {
+    // Enabled before any dispatcher can record: the runtime's agents exist
+    // but traffic only flows once an application thread starts.
+    if (!options_.trace_out.empty()) trace_.Enable();
+  }
 
   ~ThreadsBackend() override {
     // Guests must all be done before the Runtime shuts its mailboxes.
     JoinStragglers(nullptr);
+    if (!options_.trace_out.empty()) {
+      rt_.AwaitQuiescence();  // no handler still appending events
+      trace::WriteChromeTraceFile(options_.trace_out, trace_.events(),
+                                  /*pid=*/0, "hmdsm threads");
+    }
   }
 
   std::size_t nodes() const override { return rt_.nodes(); }
@@ -176,6 +188,7 @@ class ThreadsBackend final : public VmBackend {
 
   Vm& vm_;
   VmOptions options_;
+  trace::Trace trace_;  // must outlive rt_ (agents hold a pointer)
   runtime::Runtime rt_;
   std::mutex mu_;  // spawn bookkeeping + id sequences
   std::deque<ThreadsThread> threads_;

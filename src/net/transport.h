@@ -53,6 +53,10 @@ struct Packet {
   /// deliver this packet. 0 = deliver immediately. The simulated network
   /// ignores it (virtual-time delivery is an event, not a deadline).
   sim::Time deliver_after = 0;
+  /// Transport-clock time this packet entered a local mailbox, for the
+  /// enqueue→dispatch dwell histogram. 0 = not measured (measurement off,
+  /// or the simulated network — virtual-time dwell is a modeling artifact).
+  sim::Time enqueued_at = 0;
 };
 
 class Transport {
@@ -97,7 +101,9 @@ class Transport {
   stats::Recorder Totals() const;
 
   /// Zeroes every per-node recorder (start of a measured window).
-  void ResetStats();
+  /// Transports with stats state outside the recorders (the socket
+  /// transport's wire counters) override to re-baseline it too.
+  virtual void ResetStats();
 };
 
 }  // namespace hmdsm::net

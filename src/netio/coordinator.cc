@@ -1,6 +1,7 @@
 #include "src/netio/coordinator.h"
 
 #include <chrono>
+#include <cstdio>
 #include <thread>
 #include <utility>
 
@@ -26,6 +27,8 @@ Coordinator::Coordinator(SocketTransport& transport,
   transport_.SetControlHandler(
       [this](net::NodeId src, ByteSpan frame) { OnControlFrame(src, frame); });
 }
+
+Coordinator::~Coordinator() { StopPolling(); }
 
 template <typename Pred>
 void Coordinator::WaitFor(std::unique_lock<std::mutex>& lock, Pred pred,
@@ -137,6 +140,29 @@ void Coordinator::OnControlFrame(net::NodeId src, ByteSpan frame) {
       cv_.notify_all();
       return;
     }
+    case FrameType::kStatsPoll: {
+      StatsPollFrame f;
+      if (!TryDecode(frame, &f, &error)) break;
+      // Best-effort mid-run snapshot, answered from reader context like a
+      // quiescence probe (the snapshot briefly takes the agent lock).
+      StatsPollReplyFrame reply;
+      reply.seq = f.seq;
+      reply.node = transport_.rank();
+      reply.now_ns = static_cast<std::uint64_t>(transport_.Now());
+      reply.recorder = runtime_.SnapshotRecorder(transport_.rank());
+      transport_.SendControl(src, Encode(reply));
+      return;
+    }
+    case FrameType::kStatsPollReply: {
+      StatsPollReplyFrame f;
+      if (!TryDecode(frame, &f, &error)) break;
+      std::lock_guard lock(mu_);
+      // Stale-seq replies (a slow rank answering an old sample) are simply
+      // dropped — the poll loop already moved on.
+      if (f.seq == poll_seq_) poll_replies_[src] = std::move(f);
+      cv_.notify_all();
+      return;
+    }
     default:
       error = "unexpected frame type " +
               std::to_string(static_cast<int>(type));
@@ -239,6 +265,77 @@ void Coordinator::GlobalResetStats() {
   WaitFor(lock, [&] { return reset_acks_ == others; }, "reset acks");
   lock.unlock();
   runtime_.ResetMeasurement();
+}
+
+void Coordinator::StartPolling(double interval_s) {
+  HMDSM_CHECK(is_lead());
+  if (interval_s <= 0 || transport_.node_count() < 2) return;
+  HMDSM_CHECK_MSG(!poll_thread_.joinable(), "polling already started");
+  {
+    std::lock_guard lock(mu_);
+    poll_stop_ = false;
+  }
+  poll_thread_ = std::thread([this, interval_s] { PollLoop(interval_s); });
+}
+
+void Coordinator::StopPolling() {
+  if (!poll_thread_.joinable()) return;
+  {
+    std::lock_guard lock(mu_);
+    poll_stop_ = true;
+  }
+  cv_.notify_all();
+  poll_thread_.join();
+}
+
+void Coordinator::PollLoop(double interval_s) {
+  const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double>(interval_s));
+  const std::size_t others = transport_.node_count() - 1;
+  std::uint64_t prev_msgs = 0;
+  sim::Time prev_ns = 0;
+  bool have_prev = false;
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (cv_.wait_for(lock, interval, [&] { return poll_stop_; })) return;
+    poll_replies_.clear();
+    const std::uint64_t seq = ++poll_seq_;
+    transport_.BroadcastControl(Encode(StatsPollFrame{seq}));
+    // Best-effort: a rank that cannot answer within a full interval is
+    // reported as missing, not waited out — live metrics must never wedge
+    // the run they observe.
+    cv_.wait_for(lock, interval, [&] {
+      return poll_stop_ || poll_replies_.size() == others;
+    });
+    if (poll_stop_) return;
+    stats::Recorder total;
+    total.SetNodeCount(transport_.node_count());
+    for (const auto& [rank, reply] : poll_replies_) total.Merge(reply.recorder);
+    const std::size_t answered = poll_replies_.size();
+    lock.unlock();
+    total.Merge(runtime_.SnapshotRecorder(transport_.rank()));
+    const sim::Time now = transport_.Now();
+    const std::uint64_t msgs = total.TotalMessages();
+    double rate = 0.0;
+    if (have_prev && now > prev_ns) {
+      rate = static_cast<double>(msgs - prev_msgs) /
+             sim::ToSeconds(now - prev_ns);
+    }
+    std::fprintf(stderr,
+                 "hmdsm poll #%llu: t=%.1fs msgs=%llu (%.0f/s) faults=%llu "
+                 "migrations=%llu%s\n",
+                 static_cast<unsigned long long>(seq), sim::ToSeconds(now),
+                 static_cast<unsigned long long>(msgs), rate,
+                 static_cast<unsigned long long>(
+                     total.Count(stats::Ev::kFaultIns)),
+                 static_cast<unsigned long long>(
+                     total.Count(stats::Ev::kMigrations)),
+                 answered == others ? "" : " [missing rank replies]");
+    prev_msgs = msgs;
+    prev_ns = now;
+    have_prev = true;
+    lock.lock();
+  }
 }
 
 void Coordinator::ShutdownMesh(bool abort) {

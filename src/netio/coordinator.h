@@ -33,6 +33,7 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "src/netio/socket_transport.h"
@@ -47,6 +48,7 @@ class Coordinator {
   /// application main thread.
   Coordinator(SocketTransport& transport, runtime::Runtime& runtime,
               net::NodeId lead);
+  ~Coordinator();
 
   bool is_lead() const { return transport_.rank() == lead_; }
   net::NodeId lead() const { return lead_; }
@@ -73,6 +75,17 @@ class Coordinator {
   /// Cluster-wide measurement reset: global quiescence, then every rank
   /// zeroes its recorder and marks its epoch, acknowledged before return.
   void GlobalResetStats();
+
+  /// Starts the live metrics plane: a lead-side sampler thread broadcasts
+  /// a StatsPoll every `interval_s` seconds mid-run, merges the best-effort
+  /// per-rank snapshots, and prints a cluster ops/s line to stderr. Replies
+  /// double as rank heartbeats — a rank that stops answering is called out
+  /// in the sample line (the groundwork for failure detection). No-op when
+  /// interval_s <= 0.
+  void StartPolling(double interval_s);
+  /// Stops and joins the sampler (idempotent; the destructor calls it).
+  /// Must be called before ShutdownMesh so no poll straddles teardown.
+  void StopPolling();
 
   /// Announces the end of the run, waits for every rank's ack (each sent
   /// after its local threads finished), then broadcasts the all-clear.
@@ -103,6 +116,7 @@ class Coordinator {
 
  private:
   void OnControlFrame(net::NodeId src, ByteSpan frame);
+  void PollLoop(double interval_s);
 
   /// cv.wait_for with the control-plane timeout; throws CheckError naming
   /// `what` on expiry.
@@ -130,6 +144,11 @@ class Coordinator {
   std::size_t reset_acks_ = 0;
   std::uint64_t reset_tag_ = 0;
   std::size_t shutdown_acks_ = 0;
+  // live metrics plane (lead side)
+  std::thread poll_thread_;
+  bool poll_stop_ = false;
+  std::uint64_t poll_seq_ = 0;
+  std::map<net::NodeId, StatsPollReplyFrame> poll_replies_;
 };
 
 }  // namespace hmdsm::netio

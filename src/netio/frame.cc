@@ -296,4 +296,33 @@ bool TryDecode(ByteSpan frame, ShutdownDoneFrame* out, std::string* error) {
   return Defensive(frame, FrameType::kShutdownDone, error, [](Reader&) {});
 }
 
+Bytes Encode(const StatsPollFrame& f) {
+  Writer w = Begin(FrameType::kStatsPoll);
+  w.u64(f.seq);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, StatsPollFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kStatsPoll, error,
+                   [&](Reader& r) { out->seq = r.u64(); });
+}
+
+Bytes Encode(const StatsPollReplyFrame& f) {
+  Writer w = Begin(FrameType::kStatsPollReply);
+  w.u64(f.seq);
+  w.u32(f.node);
+  w.u64(f.now_ns);
+  f.recorder.Encode(w);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, StatsPollReplyFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kStatsPollReply, error, [&](Reader& r) {
+    out->seq = r.u64();
+    out->node = r.u32();
+    out->now_ns = r.u64();
+    out->recorder = stats::Recorder::Decode(r);
+  });
+}
+
 }  // namespace hmdsm::netio

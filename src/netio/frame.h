@@ -30,8 +30,9 @@ namespace hmdsm::netio {
 
 /// Bumped whenever any frame layout changes; the handshake rejects peers
 /// speaking a different version. v2: Batch frames (writer-side coalescing
-/// of queued small frames into one wire write).
-constexpr std::uint32_t kProtocolVersion = 2;
+/// of queued small frames into one wire write). v3: latency histograms in
+/// the recorder serialization plus the StatsPoll live-metrics frames.
+constexpr std::uint32_t kProtocolVersion = 3;
 
 /// Frames larger than this are rejected before allocation. Generous: the
 /// largest legitimate frame is an object reply for the biggest shared
@@ -54,13 +55,15 @@ enum class FrameType : std::uint8_t {
   kShutdownAck,    // rank -> lead: my local threads are done, nothing more
   kShutdownDone,   // lead -> all: every rank acked — safe to close sockets
   kBatch,          // several coalesced frames in one wire write
+  kStatsPoll,      // lead -> all: mid-run live-metrics sample `seq`
+  kStatsPollReply, // rank -> lead: counters+histograms at sample time
 };
 
 /// Peeks the type byte; kData-vs-control routing in the reader loop.
 inline bool PeekType(ByteSpan frame, FrameType* out) {
   if (frame.empty()) return false;
   *out = static_cast<FrameType>(frame[0]);
-  return *out >= FrameType::kHello && *out <= FrameType::kBatch;
+  return *out >= FrameType::kHello && *out <= FrameType::kStatsPollReply;
 }
 
 struct HelloFrame {
@@ -141,6 +144,23 @@ struct ShutdownAckFrame {};
 /// the run is over.
 struct ShutdownDoneFrame {};
 
+/// Live-metrics sample request: unlike kStatsRequest (end-of-window gather
+/// at quiescence), polls fire mid-run on a timer and replies are best-
+/// effort snapshots — the live metrics plane, and the groundwork for rank
+/// heartbeating (a rank that stops answering polls is in trouble).
+struct StatsPollFrame {
+  std::uint64_t seq = 0;
+};
+
+struct StatsPollReplyFrame {
+  std::uint64_t seq = 0;
+  net::NodeId node = 0;
+  /// The replying rank's transport clock (ns since its epoch) at snapshot
+  /// time; consecutive replies give the lead a per-rank ops/s rate.
+  std::uint64_t now_ns = 0;
+  stats::Recorder recorder;
+};
+
 Bytes Encode(const HelloFrame&);
 Bytes Encode(const HelloAckFrame&);
 Bytes Encode(const DataFrame&);
@@ -155,6 +175,8 @@ Bytes Encode(const ResetAckFrame&);
 Bytes Encode(const ShutdownFrame&);
 Bytes Encode(const ShutdownAckFrame&);
 Bytes Encode(const ShutdownDoneFrame&);
+Bytes Encode(const StatsPollFrame&);
+Bytes Encode(const StatsPollReplyFrame&);
 
 /// Coalesces several already-encoded frames into one Batch frame:
 ///
@@ -192,5 +214,7 @@ bool TryDecode(ByteSpan frame, ResetAckFrame* out, std::string* error);
 bool TryDecode(ByteSpan frame, ShutdownFrame* out, std::string* error);
 bool TryDecode(ByteSpan frame, ShutdownAckFrame* out, std::string* error);
 bool TryDecode(ByteSpan frame, ShutdownDoneFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, StatsPollFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, StatsPollReplyFrame* out, std::string* error);
 
 }  // namespace hmdsm::netio

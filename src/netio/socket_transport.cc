@@ -218,8 +218,10 @@ void SocketTransport::HandleFrame(net::NodeId id, const Buf& frame,
     // Count before the push, exactly like the channel transport: once the
     // dispatcher can see the packet, enqueued() must already cover it.
     enqueued_.fetch_add(1, std::memory_order_acq_rel);
-    mailbox_.Push(
-        net::Packet{data.src, data.dst, data.cat, std::move(data.payload)});
+    net::Packet packet{data.src, data.dst, data.cat,
+                       std::move(data.payload)};
+    if (options_.measure_latency) packet.enqueued_at = Now();
+    mailbox_.Push(std::move(packet));
   } else if (type == FrameType::kBatch) {
     std::vector<Buf> inner;
     if (!allow_batch || !TryDecodeBatch(frame, &inner, &error)) {
@@ -266,11 +268,17 @@ void SocketTransport::WriterLoop(net::NodeId id) {
     }
     std::string error;
     bool ok;
+    const sim::Time write_start = options_.measure_latency ? Now() : 0;
     if (frames.size() == 1) {
       ok = WriteFrame(peer.fd.get(), ByteSpan(frames.front()), &error);
     } else {
       frames_coalesced_.fetch_add(frames.size(), std::memory_order_acq_rel);
       ok = WriteFrame(peer.fd.get(), ByteSpan(EncodeBatch(frames)), &error);
+    }
+    if (options_.measure_latency) {
+      const sim::Time took = Now() - write_start;
+      std::lock_guard lock(write_lat_mu_);
+      write_latency_.Record(static_cast<std::uint64_t>(took > 0 ? took : 0));
     }
     socket_writes_.fetch_add(1, std::memory_order_acq_rel);
     if (!ok) {
@@ -313,7 +321,9 @@ void SocketTransport::Send(net::NodeId src, net::NodeId dst,
     // Self-send: through the local mailbox (asynchronous delivery), never
     // the wire, and not charged — identical to the in-process transports.
     enqueued_.fetch_add(1, std::memory_order_acq_rel);
-    mailbox_.Push(net::Packet{src, dst, cat, std::move(payload)});
+    net::Packet packet{src, dst, cat, std::move(payload)};
+    if (options_.measure_latency) packet.enqueued_at = Now();
+    mailbox_.Push(std::move(packet));
     return;
   }
   const std::size_t wire_bytes = payload.size() + kHeaderBytes;
@@ -334,8 +344,44 @@ void SocketTransport::Dispatch(net::Packet&& packet) {
     recorders_[options_.rank].RecordReceived(
         options_.rank, packet.payload.size() + kHeaderBytes);
   }
+  if (packet.enqueued_at > 0) {
+    const sim::Time age = Now() - packet.enqueued_at;
+    recorders_[options_.rank].RecordLatency(
+        stats::Lat::kMailboxDwell,
+        static_cast<std::uint64_t>(age > 0 ? age : 0));
+  }
   handler_(std::move(packet));
   dispatched_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void SocketTransport::ResetStats() {
+  MailboxTransport::ResetStats();
+  socket_writes_base_.store(socket_writes_.load(std::memory_order_acquire),
+                            std::memory_order_release);
+  frames_enqueued_base_.store(
+      frames_enqueued_.load(std::memory_order_acquire),
+      std::memory_order_release);
+  frames_coalesced_base_.store(
+      frames_coalesced_.load(std::memory_order_acquire),
+      std::memory_order_release);
+  std::lock_guard lock(write_lat_mu_);
+  write_latency_.Reset();
+}
+
+void SocketTransport::AugmentSnapshot(net::NodeId node,
+                                      stats::Recorder& into) const {
+  if (node != options_.rank) return;
+  into.Bump(stats::Ev::kSocketWrites,
+            socket_writes_.load(std::memory_order_acquire) -
+                socket_writes_base_.load(std::memory_order_acquire));
+  into.Bump(stats::Ev::kWireFramesEnqueued,
+            frames_enqueued_.load(std::memory_order_acquire) -
+                frames_enqueued_base_.load(std::memory_order_acquire));
+  into.Bump(stats::Ev::kWireFramesCoalesced,
+            frames_coalesced_.load(std::memory_order_acquire) -
+                frames_coalesced_base_.load(std::memory_order_acquire));
+  std::lock_guard lock(write_lat_mu_);
+  into.MergeLatency(stats::Lat::kSocketWrite, write_latency_);
 }
 
 void SocketTransport::Stop() {

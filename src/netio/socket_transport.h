@@ -79,6 +79,10 @@ struct SocketTransportOptions {
   bool batch_frames = true;
   std::size_t max_batch_frames = 64;
   std::size_t max_batch_bytes = 64 * 1024;
+  /// Latency histograms: stamp packets entering the local mailbox (dwell)
+  /// and time each wire write(2) (syscall latency). The cost is one clock
+  /// read per packet / two per write; off leaves the hot path untouched.
+  bool measure_latency = true;
 };
 
 class SocketTransport final : public runtime::MailboxTransport {
@@ -174,6 +178,16 @@ class SocketTransport final : public runtime::MailboxTransport {
     return recorders_[node];
   }
 
+  /// Re-baselines the wire counters along with the recorders, so the
+  /// snapshot fold below reports the measured window only. The atomics
+  /// themselves stay monotonic — quiescence probes need absolute values.
+  void ResetStats() override;
+
+  /// Folds this rank's wire-counter window and the writer threads' write-
+  /// latency histogram into a recorder snapshot, so the coordinator's
+  /// gather carries them and cluster totals come out of Merge.
+  void AugmentSnapshot(net::NodeId node, stats::Recorder& into) const override;
+
   // ---- runtime::MailboxTransport ----
 
   bool WaitPop(net::NodeId node, net::Packet& out) override {
@@ -247,6 +261,14 @@ class SocketTransport final : public runtime::MailboxTransport {
   std::atomic<std::uint64_t> socket_writes_{0};
   std::atomic<std::uint64_t> frames_enqueued_{0};
   std::atomic<std::uint64_t> frames_coalesced_{0};
+  // Measured-window baselines (ResetStats snapshots the atomics here).
+  std::atomic<std::uint64_t> socket_writes_base_{0};
+  std::atomic<std::uint64_t> frames_enqueued_base_{0};
+  std::atomic<std::uint64_t> frames_coalesced_base_{0};
+  // Wire-write syscall latency, recorded by writer threads (which never
+  // hold the agent lock) — hence its own mutex, merged at snapshot time.
+  mutable std::mutex write_lat_mu_;
+  stats::Histogram write_latency_;
   std::chrono::steady_clock::time_point epoch_;
 };
 

@@ -30,6 +30,7 @@ void ChannelTransport::Send(NodeId src, NodeId dst, stats::MsgCat cat,
   HMDSM_CHECK(src < channels_.size() && dst < channels_.size());
   const std::size_t wire_bytes = payload.size() + kHeaderBytes;
   net::Packet packet{src, dst, cat, std::move(payload)};
+  if (measure_dwell_) packet.enqueued_at = Now();
   if (src != dst) {
     recorders_[src].RecordMessage(cat, wire_bytes);
     recorders_[src].RecordSent(src, wire_bytes);
@@ -55,6 +56,12 @@ void ChannelTransport::Dispatch(net::Packet&& packet) {
   if (packet.src != packet.dst) {
     recorders_[packet.dst].RecordReceived(
         packet.dst, packet.payload.size() + kHeaderBytes);
+  }
+  if (packet.enqueued_at > 0) {
+    const sim::Time age = Now() - packet.enqueued_at;
+    recorders_[packet.dst].RecordLatency(
+        stats::Lat::kMailboxDwell,
+        static_cast<std::uint64_t>(age > 0 ? age : 0));
   }
   handler(std::move(packet));
   // After the handler: anything it sent has already bumped enqueued_.

@@ -17,6 +17,7 @@ Runtime::Runtime(RuntimeOptions options)
     owned_transport_->EnableLatencyInjection(options_.model,
                                              options_.inject_latency_scale);
   }
+  if (options_.measure_dwell) owned_transport_->EnableDwellMeasurement();
   local_nodes_.reserve(options_.nodes);
   for (dsm::NodeId n = 0; n < options_.nodes; ++n) local_nodes_.push_back(n);
   Init();
@@ -42,7 +43,8 @@ void Runtime::Init() {
   cells_.resize(options_.nodes);
   for (dsm::NodeId n : local_nodes_) {
     auto cell = std::make_unique<NodeCell>();
-    cell->agent = std::make_unique<dsm::Agent>(n, transport_, options_.dsm);
+    cell->agent = std::make_unique<dsm::Agent>(n, transport_, options_.dsm,
+                                               options_.trace);
     cells_[n] = std::move(cell);
   }
   // Handlers are all registered (agent constructors); only now may traffic
@@ -121,16 +123,28 @@ stats::Recorder Runtime::Totals() const {
   stats::Recorder total;
   total.SetNodeCount(cells_.size());
   for (dsm::NodeId n : local_nodes_) {
-    std::lock_guard lock(cells_[n]->mu);
-    total.Merge(transport_.RecorderFor(n));
+    stats::Recorder snap;
+    {
+      std::lock_guard lock(cells_[n]->mu);
+      snap = transport_.RecorderFor(n);
+    }
+    // Transport extras (wire counters, write-latency histograms) fold into
+    // the snapshot outside the agent lock — they have their own guards.
+    transport_.AugmentSnapshot(n, snap);
+    total.Merge(snap);
   }
   return total;
 }
 
 stats::Recorder Runtime::SnapshotRecorder(dsm::NodeId node) const {
   HMDSM_CHECK(node < cells_.size() && cells_[node] != nullptr);
-  std::lock_guard lock(cells_[node]->mu);
-  return transport_.RecorderFor(node);
+  stats::Recorder snap;
+  {
+    std::lock_guard lock(cells_[node]->mu);
+    snap = transport_.RecorderFor(node);
+  }
+  transport_.AugmentSnapshot(node, snap);
+  return snap;
 }
 
 void Runtime::Shutdown() {

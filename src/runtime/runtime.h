@@ -44,6 +44,13 @@ struct RuntimeOptions {
   /// held until send-time + model.Latency(wire bytes) * this scale, so the
   /// measured run reproduces the modeled network regime (see channel.h).
   double inject_latency_scale = 0.0;
+  /// Event sink shared by every hosted agent (nullptr: tracing off). The
+  /// caller owns it and must keep it alive for the Runtime's lifetime.
+  trace::Trace* trace = nullptr;
+  /// In-process mode: enable the mailbox enqueue→dispatch dwell histogram
+  /// (one clock read per packet on the send path when on). The sockets
+  /// backend has its own knob (SocketTransportOptions::measure_latency).
+  bool measure_dwell = false;
 };
 
 class Guest;

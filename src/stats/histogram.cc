@@ -1,0 +1,91 @@
+#include "src/stats/histogram.h"
+
+#include <cmath>
+
+namespace hmdsm::stats {
+
+std::uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) q = 0.0;
+  if (q >= 1.0) return max_;
+  // Rank of the q-th sample, 1-based.
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] < target) {
+      seen += buckets_[i];
+      continue;
+    }
+    // Interpolate linearly by position within this bucket's value range.
+    const std::uint64_t lo = BucketLow(i);
+    const std::uint64_t hi = BucketHigh(i) > max_ ? max_ : BucketHigh(i);
+    const double frac = static_cast<double>(target - seen) /
+                        static_cast<double>(buckets_[i]);
+    const std::uint64_t v =
+        lo + static_cast<std::uint64_t>(frac * static_cast<double>(hi - lo));
+    return v > max_ ? max_ : v;
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+void Histogram::Encode(Writer& w) const {
+  w.u64(count_);
+  w.u64(sum_);
+  w.u64(max_);
+  std::uint8_t occupied = 0;
+  for (std::uint64_t b : buckets_)
+    if (b != 0) ++occupied;
+  w.u8(occupied);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    w.u8(static_cast<std::uint8_t>(i));
+    w.u64(buckets_[i]);
+  }
+}
+
+Histogram Histogram::Decode(Reader& r) {
+  Histogram h;
+  h.count_ = r.u64();
+  h.sum_ = r.u64();
+  h.max_ = r.u64();
+  const std::uint8_t occupied = r.u8();
+  HMDSM_CHECK_MSG(occupied <= kBuckets,
+                  "histogram bucket count " << static_cast<int>(occupied)
+                                            << " is corrupt");
+  std::uint64_t total = 0;
+  int last = -1;
+  for (std::uint8_t n = 0; n < occupied; ++n) {
+    const std::uint8_t idx = r.u8();
+    HMDSM_CHECK_MSG(idx < kBuckets && static_cast<int>(idx) > last,
+                    "histogram bucket index " << static_cast<int>(idx)
+                                              << " is corrupt");
+    last = idx;
+    const std::uint64_t c = r.u64();
+    HMDSM_CHECK_MSG(c != 0, "histogram encodes an empty bucket");
+    h.buckets_[idx] = c;
+    total += c;
+  }
+  HMDSM_CHECK_MSG(total == h.count_,
+                  "histogram bucket sum " << total << " != count "
+                                          << h.count_);
+  return h;
+}
+
+}  // namespace hmdsm::stats

@@ -1,0 +1,94 @@
+// Fixed-size log-bucketed latency histogram.
+//
+// 64 power-of-two buckets cover the full uint64 nanosecond range, so a
+// Record is two increments and a bit-scan — cheap enough for the message
+// hot path — while quantile queries (p50/p95/p99) interpolate inside the
+// matched bucket and stay within a factor-of-two of the true value.
+// Histograms merge (per-rank → cluster) and serialize sparsely (only the
+// occupied buckets travel), with decode bounds-checked before any
+// allocation because histogram bytes arrive off the wire from peers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/util/serde.h"
+
+namespace hmdsm::stats {
+
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Records one sample (nanoseconds by convention, but unit-agnostic).
+  void Record(std::uint64_t v) {
+    buckets_[BucketOf(v)] += 1;
+    count_ += 1;
+    sum_ += v;
+    if (v > max_) max_ = v;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t max() const { return max_; }
+  bool empty() const { return count_ == 0; }
+
+  double Mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Approximate quantile, q in [0, 1]: linear interpolation inside the
+  /// bucket holding the q-th sample. Returns 0 on an empty histogram;
+  /// Quantile(1.0) returns the exact max.
+  std::uint64_t Quantile(double q) const;
+
+  std::uint64_t P50() const { return Quantile(0.50); }
+  std::uint64_t P95() const { return Quantile(0.95); }
+  std::uint64_t P99() const { return Quantile(0.99); }
+
+  /// Accumulates another histogram into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  /// Sparse wire form: summary fields plus only the occupied buckets.
+  /// Decode throws CheckError on malformed input (out-of-range or
+  /// non-ascending bucket indexes, bucket/count mismatch, truncation) —
+  /// always before any attacker-sized allocation (the shape is fixed).
+  void Encode(Writer& w) const;
+  static Histogram Decode(Reader& r);
+
+  bool operator==(const Histogram& other) const {
+    return buckets_ == other.buckets_ && count_ == other.count_ &&
+           sum_ == other.sum_ && max_ == other.max_;
+  }
+
+ private:
+  /// Bucket 0 holds the value 0; bucket i>=1 holds [2^(i-1), 2^i).
+  static std::size_t BucketOf(std::uint64_t v) {
+    std::size_t bits = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++bits;
+    }
+    return bits < kBuckets ? bits : kBuckets - 1;
+  }
+
+  static std::uint64_t BucketLow(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  static std::uint64_t BucketHigh(std::size_t i) {
+    return i == 0 ? 0
+           : i >= kBuckets - 1 ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << i) - 1;
+  }
+
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace hmdsm::stats

@@ -38,7 +38,20 @@ std::string_view EvName(Ev ev) {
     case Ev::kLockAcquires: return "lock_acquires";
     case Ev::kLockHandoffs: return "lock_handoffs";
     case Ev::kBarrierWaits: return "barrier_waits";
+    case Ev::kSocketWrites: return "socket_writes";
+    case Ev::kWireFramesEnqueued: return "wire_frames_enqueued";
+    case Ev::kWireFramesCoalesced: return "wire_frames_coalesced";
     case Ev::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view LatName(Lat lat) {
+  switch (lat) {
+    case Lat::kMailboxDwell: return "mailbox_dwell";
+    case Lat::kSocketWrite: return "socket_write";
+    case Lat::kMigFirstAccess: return "migration_first_access";
+    case Lat::kCount: break;
   }
   return "?";
 }
@@ -80,7 +93,8 @@ MsgTotals Recorder::TotalReceived() const {
 }
 
 namespace {
-constexpr std::uint8_t kRecorderSerdeVersion = 1;
+// v2: fault-in RTT + named latency histograms.
+constexpr std::uint8_t kRecorderSerdeVersion = 2;
 }  // namespace
 
 void Recorder::Encode(Writer& w) const {
@@ -102,6 +116,10 @@ void Recorder::Encode(Writer& w) const {
     w.u64(t.messages);
     w.u64(t.bytes);
   }
+  w.u32(static_cast<std::uint32_t>(kNumMsgCats));
+  for (const Histogram& h : rtt_) h.Encode(w);
+  w.u32(static_cast<std::uint32_t>(kNumLats));
+  for (const Histogram& h : lat_) h.Encode(w);
 }
 
 Recorder Recorder::Decode(Reader& r) {
@@ -133,6 +151,13 @@ Recorder Recorder::Decode(Reader& r) {
   };
   read_table(rec.sent_by_node_);
   read_table(rec.received_by_node_);
+  const std::uint32_t rtts = r.u32();
+  HMDSM_CHECK_MSG(rtts == kNumMsgCats, "RTT histogram count mismatch: " << rtts);
+  for (Histogram& h : rec.rtt_) h = Histogram::Decode(r);
+  const std::uint32_t lats = r.u32();
+  HMDSM_CHECK_MSG(lats == kNumLats,
+                  "latency histogram count mismatch: " << lats);
+  for (Histogram& h : rec.lat_) h = Histogram::Decode(r);
   return rec;
 }
 
@@ -141,6 +166,8 @@ void Recorder::Reset() {
   evs_.fill(0);
   std::fill(sent_by_node_.begin(), sent_by_node_.end(), MsgTotals{});
   std::fill(received_by_node_.begin(), received_by_node_.end(), MsgTotals{});
+  for (Histogram& h : rtt_) h.Reset();
+  for (Histogram& h : lat_) h.Reset();
 }
 
 void Recorder::Merge(const Recorder& other) {
@@ -161,6 +188,8 @@ void Recorder::Merge(const Recorder& other) {
     received_by_node_[n].messages += other.received_by_node_[n].messages;
     received_by_node_[n].bytes += other.received_by_node_[n].bytes;
   }
+  for (std::size_t i = 0; i < kNumMsgCats; ++i) rtt_[i].Merge(other.rtt_[i]);
+  for (std::size_t i = 0; i < kNumLats; ++i) lat_[i].Merge(other.lat_[i]);
 }
 
 }  // namespace hmdsm::stats

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/stats/histogram.h"
 #include "src/util/serde.h"
 
 namespace hmdsm::stats {
@@ -49,12 +50,32 @@ enum class Ev : std::uint8_t {
   kLockAcquires,
   kLockHandoffs,        // grants that crossed nodes
   kBarrierWaits,
+  // Wire-level counters (sockets backend). The socket transport folds its
+  // atomics in at snapshot time so the coordinator's recorder gather
+  // carries them to the lead and cluster totals come out of Merge like
+  // every other counter.
+  kSocketWrites,        // write(2) syscalls issued by writer threads
+  kWireFramesEnqueued,  // frames handed to per-peer writer queues
+  kWireFramesCoalesced, // frames that left inside a Batch frame
   kCount,
 };
 
 constexpr std::size_t kNumEvs = static_cast<std::size_t>(Ev::kCount);
 
 std::string_view EvName(Ev ev);
+
+/// Named latency histograms (nanoseconds). The fault-in RTT histograms are
+/// separate, indexed by the reply's MsgCat.
+enum class Lat : std::uint8_t {
+  kMailboxDwell,     // mailbox enqueue -> dispatch (threads + sockets)
+  kSocketWrite,      // one wire write(2) syscall (sockets writer threads)
+  kMigFirstAccess,   // migration installed -> first home access
+  kCount,
+};
+
+constexpr std::size_t kNumLats = static_cast<std::size_t>(Lat::kCount);
+
+std::string_view LatName(Lat lat);
 
 /// Per-category message and byte totals.
 struct MsgTotals {
@@ -114,6 +135,28 @@ class Recorder {
     evs_[static_cast<std::size_t>(ev)] += delta;
   }
 
+  /// Fault-in request→reply round trip, bucketed by the reply's category
+  /// (kObj plain reply, kMig reply that migrated the home; redirect hops
+  /// are included in the measured trip).
+  void RecordRtt(MsgCat cat, std::uint64_t ns) {
+    rtt_[static_cast<std::size_t>(cat)].Record(ns);
+  }
+  const Histogram& Rtt(MsgCat cat) const {
+    return rtt_[static_cast<std::size_t>(cat)];
+  }
+
+  void RecordLatency(Lat lat, std::uint64_t ns) {
+    lat_[static_cast<std::size_t>(lat)].Record(ns);
+  }
+  const Histogram& Latency(Lat lat) const {
+    return lat_[static_cast<std::size_t>(lat)];
+  }
+  /// Folds an externally accumulated histogram in (the socket transport's
+  /// writer threads keep their own and merge at snapshot time).
+  void MergeLatency(Lat lat, const Histogram& h) {
+    lat_[static_cast<std::size_t>(lat)].Merge(h);
+  }
+
   const MsgTotals& Cat(MsgCat cat) const {
     return by_cat_[static_cast<std::size_t>(cat)];
   }
@@ -154,6 +197,8 @@ class Recorder {
   std::array<std::uint64_t, kNumEvs> evs_{};
   std::vector<MsgTotals> sent_by_node_;
   std::vector<MsgTotals> received_by_node_;
+  std::array<Histogram, kNumMsgCats> rtt_{};
+  std::array<Histogram, kNumLats> lat_{};
 };
 
 }  // namespace hmdsm::stats

@@ -1,6 +1,11 @@
 #include "src/trace/trace.h"
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <ostream>
+#include <set>
+#include <sstream>
 
 #include "src/util/table.h"
 
@@ -49,14 +54,160 @@ void Trace::Dump(std::ostream& os, std::size_t limit) const {
       os << "... (" << events_.size() - limit << " more)\n";
       break;
     }
-    os << FmtSeconds(sim::ToSeconds(e.at)) << "  node" << e.node << "  "
-       << WhatName(e.what);
+    os << FmtSeconds(static_cast<double>(e.at) * 1e-9) << "  node" << e.node
+       << "  " << WhatName(e.what);
     if (e.peer != dsm::kNoNode) os << " peer=node" << e.peer;
     os << " id=" << std::hex << e.id << std::dec;
     if (e.value != 0) os << " value=" << e.value;
     os << '\n';
   }
   if (dropped_ > 0) os << "(" << dropped_ << " events dropped)\n";
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event / Perfetto JSON export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void WriteJsonString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Microsecond timestamp with nanosecond resolution kept as decimals —
+/// the trace-event format's `ts` unit is microseconds.
+void WriteTs(std::ostream& os, std::int64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%lld.%03d",
+                static_cast<long long>(ns / 1000),
+                static_cast<int>(ns < 0 ? 0 : ns % 1000));
+  os << buf;
+}
+
+/// Creates the target's parent directory if needed (e.g. a results/ dir
+/// that only materializes later in the run). Best-effort: a failure shows
+/// up as the ofstream error the caller already reports.
+void EnsureParentDir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (parent.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+}
+
+void WriteOneEvent(std::ostream& os, const Event& e, std::uint32_t pid) {
+  os << R"({"name":")" << WhatName(e.what)
+     << R"(","ph":"i","s":"t","ts":)";
+  WriteTs(os, e.at);
+  os << R"(,"pid":)" << pid << R"(,"tid":)" << e.node << R"(,"args":{"id":)"
+     << e.id;
+  if (e.peer != dsm::kNoNode) os << R"(,"peer":)" << e.peer;
+  if (e.value != 0) os << R"(,"value":)" << e.value;
+  os << "}}";
+}
+
+}  // namespace
+
+void WriteChromeEvents(std::ostream& os, const std::vector<Event>& events,
+                       std::uint32_t pid, std::string_view process_name) {
+  os << R"({"name":"process_name","ph":"M","pid":)" << pid
+     << R"(,"args":{"name":)";
+  WriteJsonString(os, process_name);
+  os << "}}\n";
+  std::set<dsm::NodeId> nodes;
+  for (const Event& e : events) nodes.insert(e.node);
+  for (const dsm::NodeId n : nodes) {
+    os << R"({"name":"thread_name","ph":"M","pid":)" << pid << R"(,"tid":)"
+       << n << R"(,"args":{"name":"node )" << n << "\"}}\n";
+  }
+  for (const Event& e : events) {
+    WriteOneEvent(os, e, pid);
+    os << '\n';
+  }
+}
+
+bool WriteChromeTraceFile(const std::string& path,
+                          const std::vector<Event>& events, std::uint32_t pid,
+                          std::string_view process_name) {
+  EnsureParentDir(path);
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream lines;
+  WriteChromeEvents(lines, events, pid, process_name);
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  std::istringstream in(lines.str());
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty()) continue;
+    if (!first) os << ",\n";
+    first = false;
+    os << line;
+  }
+  os << "]}\n";
+  return static_cast<bool>(os);
+}
+
+std::string ShardPath(const std::string& path, std::uint32_t rank) {
+  return path + ".rank" + std::to_string(rank);
+}
+
+bool WriteChromeShard(const std::string& path, std::uint32_t rank,
+                      const std::vector<Event>& events,
+                      std::string_view process_name) {
+  const std::string shard = ShardPath(path, rank);
+  EnsureParentDir(shard);
+  std::ofstream os(shard);
+  if (!os) {
+    std::fprintf(stderr, "trace: cannot write %s\n", shard.c_str());
+    return false;
+  }
+  WriteChromeEvents(os, events, rank, process_name);
+  return static_cast<bool>(os);
+}
+
+bool MergeChromeShards(const std::string& path, std::uint32_t nodes) {
+  EnsureParentDir(path);
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+    return false;
+  }
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (std::uint32_t rank = 0; rank < nodes; ++rank) {
+    const std::string shard = ShardPath(path, rank);
+    std::ifstream in(shard);
+    if (!in) continue;  // that rank recorded nothing
+    for (std::string line; std::getline(in, line);) {
+      if (line.empty()) continue;
+      if (!first) os << ",\n";
+      first = false;
+      os << line;
+    }
+    in.close();
+    std::remove(shard.c_str());
+  }
+  os << "]}\n";
+  return static_cast<bool>(os);
 }
 
 }  // namespace hmdsm::trace

@@ -3,18 +3,26 @@
 // An optional, zero-cost-when-disabled event sink the DSM agents feed with
 // coherence-protocol events (fault-ins, diffs, migrations, redirects, lock
 // transfers). Used by tests to assert event orderings, by examples to
-// narrate a run, and by developers to debug protocol changes.
+// narrate a run, by developers to debug protocol changes, and — through
+// the Chrome trace-event exporter — to open whole runs as a timeline in
+// Perfetto / chrome://tracing.
+//
+// Timestamps are backend-neutral: nanoseconds on the owning transport's
+// clock (virtual time on the simulator — so sim traces stay deterministic —
+// wall-clock ns since transport construction on threads/sockets). Record is
+// thread-safe: on the threads and sockets backends every dispatcher thread
+// feeds the same sink.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "src/dsm/types.h"
-#include "src/sim/time.h"
 
 namespace hmdsm::trace {
 
@@ -33,11 +41,12 @@ enum class What : std::uint8_t {
 
 std::string_view WhatName(What what);
 
-/// One trace record. `value` is event-specific: hops for kRedirected /
-/// kServeRequest, diff bytes for diff events, live threshold (scaled by
-/// 1000) for kMigrated.
+/// One trace record. `at` is in nanoseconds on the recording backend's
+/// clock. `value` is event-specific: hops for kRedirected / kServeRequest,
+/// diff bytes for diff events, live threshold (scaled by 1000) for
+/// kMigrated.
 struct Event {
-  sim::Time at = 0;
+  std::int64_t at = 0;
   What what = What::kFaultIn;
   dsm::NodeId node = 0;
   dsm::NodeId peer = dsm::kNoNode;
@@ -46,7 +55,7 @@ struct Event {
 };
 
 /// Bounded in-memory trace buffer. Disabled by default; enabling costs one
-/// branch per protocol event.
+/// branch per protocol event (plus the mutex when enabled).
 class Trace {
  public:
   explicit Trace(std::size_t capacity = 1 << 16) : capacity_(capacity) {}
@@ -57,6 +66,7 @@ class Trace {
 
   void Record(Event event) {
     if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mu_);
     if (events_.size() >= capacity_) {
       ++dropped_;
       return;
@@ -64,9 +74,12 @@ class Trace {
     events_.push_back(event);
   }
 
+  /// Callers must be quiescent (no concurrent Record) for the accessors:
+  /// they are read paths for tests and post-run exporters.
   const std::vector<Event>& events() const { return events_; }
   std::uint64_t dropped() const { return dropped_; }
   void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
     events_.clear();
     dropped_ = 0;
   }
@@ -84,8 +97,40 @@ class Trace {
  private:
   std::size_t capacity_;
   bool enabled_ = false;
+  std::mutex mu_;
   std::vector<Event> events_;
   std::uint64_t dropped_ = 0;
 };
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event / Perfetto JSON export
+// ---------------------------------------------------------------------------
+
+/// Writes one Chrome trace-event JSON object per line (no separators): the
+/// shard format one rank of a multi-process mesh emits. `pid` becomes the
+/// Perfetto process track (rank), each event's node the thread track.
+/// `process_name` labels the pid track via a metadata event.
+void WriteChromeEvents(std::ostream& os, const std::vector<Event>& events,
+                       std::uint32_t pid, std::string_view process_name);
+
+/// Writes a complete, Perfetto-loadable `{"traceEvents":[...]}` file.
+/// Returns false (and reports on stderr) if the file cannot be written.
+bool WriteChromeTraceFile(const std::string& path,
+                          const std::vector<Event>& events, std::uint32_t pid,
+                          std::string_view process_name);
+
+/// The shard path rank `rank` of a mesh writes its events to.
+std::string ShardPath(const std::string& path, std::uint32_t rank);
+
+/// Writes one rank's shard (newline-delimited event objects).
+bool WriteChromeShard(const std::string& path, std::uint32_t rank,
+                      const std::vector<Event>& events,
+                      std::string_view process_name);
+
+/// Merges per-rank shards `path.rank0..path.rank<nodes-1>` into one
+/// Perfetto-loadable trace at `path`, then removes the shards. Missing
+/// shards are skipped (a rank with tracing off simply contributes no
+/// events). Returns false if the merged file cannot be written.
+bool MergeChromeShards(const std::string& path, std::uint32_t nodes);
 
 }  // namespace hmdsm::trace

@@ -81,6 +81,28 @@ TEST(NetioFrame, ShutdownRoundTripCarriesAbort) {
   EXPECT_FALSE(RoundTrip(ShutdownFrame{false}).abort);
 }
 
+TEST(NetioFrame, StatsPollRoundTrip) {
+  EXPECT_EQ(RoundTrip(StatsPollFrame{77}).seq, 77u);
+}
+
+TEST(NetioFrame, StatsPollReplyRoundTripsRecorderWithHistograms) {
+  StatsPollReplyFrame in;
+  in.seq = 9;
+  in.node = 3;
+  in.now_ns = 123456789;
+  in.recorder.SetNodeCount(4);
+  in.recorder.RecordMessage(stats::MsgCat::kObj, 64);
+  in.recorder.RecordRtt(stats::MsgCat::kObj, 1500);
+  in.recorder.RecordLatency(stats::Lat::kMailboxDwell, 250);
+  const StatsPollReplyFrame out = RoundTrip(in);
+  EXPECT_EQ(out.seq, 9u);
+  EXPECT_EQ(out.node, 3u);
+  EXPECT_EQ(out.now_ns, 123456789u);
+  EXPECT_EQ(out.recorder.Rtt(stats::MsgCat::kObj).count(), 1u);
+  EXPECT_EQ(out.recorder.Rtt(stats::MsgCat::kObj).max(), 1500u);
+  EXPECT_EQ(out.recorder.Latency(stats::Lat::kMailboxDwell).count(), 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Defensive decoding
 // ---------------------------------------------------------------------------
@@ -162,7 +184,7 @@ TEST(NetioFrameDefense, CorruptRecorderTableIsRejected) {
   w.u8(static_cast<std::uint8_t>(FrameType::kStatsReply));
   w.u64(1);  // tag
   w.u32(0);  // node
-  w.u8(1);   // recorder serde version
+  w.u8(2);   // recorder serde version (v2: + latency histograms)
   w.u32(static_cast<std::uint32_t>(stats::kNumMsgCats));
   for (std::size_t i = 0; i < stats::kNumMsgCats; ++i) {
     w.u64(0);
@@ -175,6 +197,63 @@ TEST(NetioFrameDefense, CorruptRecorderTableIsRejected) {
   StatsReplyFrame out;
   std::string error;
   EXPECT_FALSE(TryDecode(ByteSpan(wire), &out, &error));
+}
+
+TEST(NetioFrameDefense, StatsPollReplyTruncationIsAnErrorNotACrash) {
+  StatsPollReplyFrame in;
+  in.seq = 4;
+  in.node = 1;
+  in.recorder.SetNodeCount(2);
+  in.recorder.RecordRtt(stats::MsgCat::kObj, 1000);
+  const Bytes wire = Encode(in);
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    StatsPollReplyFrame out;
+    std::string error;
+    EXPECT_FALSE(
+        TryDecode(ByteSpan(wire.data(), wire.size() - cut), &out, &error))
+        << "cut " << cut;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(NetioFrameDefense, StatsPollTrailingGarbageIsRejected) {
+  Bytes wire = Encode(StatsPollFrame{1});
+  wire.push_back(0xAB);
+  StatsPollFrame out;
+  std::string error;
+  EXPECT_FALSE(TryDecode(ByteSpan(wire), &out, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(NetioFrameDefense, HostileHistogramBucketCountIsRejected) {
+  // A poll reply whose recorder's first RTT histogram claims 255 occupied
+  // buckets (the real maximum is 64): rejected at the bound, before the
+  // decoder walks 255 phantom bucket entries.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kStatsPollReply));
+  w.u64(1);  // seq
+  w.u32(0);  // node
+  w.u64(0);  // now_ns
+  w.u8(2);   // recorder serde version
+  w.u32(static_cast<std::uint32_t>(stats::kNumMsgCats));
+  for (std::size_t i = 0; i < stats::kNumMsgCats; ++i) {
+    w.u64(0);
+    w.u64(0);
+  }
+  w.u32(static_cast<std::uint32_t>(stats::kNumEvs));
+  for (std::size_t i = 0; i < stats::kNumEvs; ++i) w.u64(0);
+  w.u32(0);  // sent-by table
+  w.u32(0);  // received-by table
+  w.u32(static_cast<std::uint32_t>(stats::kNumMsgCats));
+  w.u64(1);    // first histogram: count
+  w.u64(1);    // sum
+  w.u64(1);    // max
+  w.u8(0xFF);  // hostile occupied-bucket count
+  const Bytes wire = w.take();
+  StatsPollReplyFrame out;
+  std::string error;
+  EXPECT_FALSE(TryDecode(ByteSpan(wire), &out, &error));
+  EXPECT_NE(error.find("bucket"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,242 @@
+// The latency histogram: bucketing, quantiles, merge, and — because
+// histogram bytes arrive off the wire inside recorder snapshots from peer
+// ranks — the defensive decode paths: hostile bucket counts, out-of-range
+// or non-ascending indexes, count mismatches, and truncation must all be
+// decode errors, never UB or allocations.
+#include "src/stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "src/stats/stats.h"
+
+namespace hmdsm::stats {
+namespace {
+
+TEST(Histogram, EmptyIsAllZero) {
+  const Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.P50(), 0u);
+  EXPECT_EQ(h.P99(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Mean(), 0.0);
+}
+
+TEST(Histogram, RecordTracksCountSumMax) {
+  Histogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Record(0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 300u);
+  EXPECT_EQ(h.max(), 200u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 100.0);
+}
+
+TEST(Histogram, QuantilesAreWithinABucketOfTruth) {
+  // 100 samples 1..100: log buckets cap the error at 2x, interpolation
+  // usually does much better. p50 of 1..100 is 50, p99 is 99.
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.Record(v);
+  EXPECT_GE(h.P50(), 25u);
+  EXPECT_LE(h.P50(), 100u);
+  EXPECT_GE(h.P95(), 64u);
+  EXPECT_LE(h.P95(), 100u);
+  EXPECT_GE(h.P99(), 64u);
+  EXPECT_LE(h.P99(), 100u);
+  EXPECT_EQ(h.Quantile(1.0), 100u);
+}
+
+TEST(Histogram, SingleValueQuantilesAreExactish) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(4096);
+  // All mass in one bucket whose max is the true max: every quantile
+  // interpolates inside [2048, 4096].
+  EXPECT_GE(h.P50(), 2048u);
+  EXPECT_LE(h.P50(), 4096u);
+  EXPECT_EQ(h.max(), 4096u);
+}
+
+TEST(Histogram, HugeValuesLandInTheTopBucket) {
+  Histogram h;
+  h.Record(~std::uint64_t{0});
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), ~std::uint64_t{0});
+  EXPECT_EQ(h.Quantile(1.0), ~std::uint64_t{0});
+}
+
+TEST(Histogram, MergeAccumulates) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 1030u);
+  EXPECT_EQ(a.max(), 1000u);
+  // Merging an empty histogram is a no-op.
+  a.Merge(Histogram{});
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.Record(7);
+  h.Reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h, Histogram{});
+}
+
+TEST(HistogramSerde, RoundTripPreservesEverything) {
+  Histogram in;
+  in.Record(0);
+  in.Record(1);
+  in.Record(500);
+  in.Record(1 << 20);
+  in.Record(~std::uint64_t{0});
+  Writer w;
+  in.Encode(w);
+  const Bytes wire = w.take();
+  Reader r(wire);
+  const Histogram out = Histogram::Decode(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(out, in);
+  EXPECT_EQ(out.P95(), in.P95());
+}
+
+TEST(HistogramSerde, EmptyRoundTrips) {
+  Writer w;
+  Histogram{}.Encode(w);
+  const Bytes wire = w.take();
+  Reader r(wire);
+  EXPECT_EQ(Histogram::Decode(r), Histogram{});
+}
+
+// Builds the fixed header (count/sum/max) of a wire histogram.
+Writer HistHeader(std::uint64_t count, std::uint64_t sum, std::uint64_t max) {
+  Writer w;
+  w.u64(count);
+  w.u64(sum);
+  w.u64(max);
+  return w;
+}
+
+TEST(HistogramSerde, HostileBucketCountIsRejected) {
+  Writer w = HistHeader(1, 1, 1);
+  w.u8(200);  // claims 200 occupied buckets; the maximum is 64
+  const Bytes wire = w.take();
+  Reader r(wire);
+  EXPECT_THROW(Histogram::Decode(r), CheckError);
+}
+
+TEST(HistogramSerde, OutOfRangeBucketIndexIsRejected) {
+  Writer w = HistHeader(1, 1, 1);
+  w.u8(1);
+  w.u8(64);  // valid indexes are 0..63
+  w.u64(1);
+  const Bytes wire = w.take();
+  Reader r(wire);
+  EXPECT_THROW(Histogram::Decode(r), CheckError);
+}
+
+TEST(HistogramSerde, NonAscendingBucketIndexesAreRejected) {
+  // Duplicate or descending indexes would double-count silently.
+  Writer w = HistHeader(2, 2, 1);
+  w.u8(2);
+  w.u8(5);
+  w.u64(1);
+  w.u8(5);  // repeats
+  w.u64(1);
+  const Bytes wire = w.take();
+  Reader r(wire);
+  EXPECT_THROW(Histogram::Decode(r), CheckError);
+}
+
+TEST(HistogramSerde, EmptyEncodedBucketIsRejected) {
+  Writer w = HistHeader(0, 0, 0);
+  w.u8(1);
+  w.u8(3);
+  w.u64(0);  // a bucket that claims zero samples should not be on the wire
+  const Bytes wire = w.take();
+  Reader r(wire);
+  EXPECT_THROW(Histogram::Decode(r), CheckError);
+}
+
+TEST(HistogramSerde, BucketSumCountMismatchIsRejected) {
+  Writer w = HistHeader(5, 100, 64);  // count says 5...
+  w.u8(1);
+  w.u8(7);
+  w.u64(2);  // ...buckets hold 2
+  const Bytes wire = w.take();
+  Reader r(wire);
+  EXPECT_THROW(Histogram::Decode(r), CheckError);
+}
+
+TEST(HistogramSerde, TruncationIsRejected) {
+  Histogram in;
+  in.Record(3);
+  in.Record(300);
+  Writer w;
+  in.Encode(w);
+  const Bytes wire = w.take();
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    Reader r(ByteSpan(wire.data(), wire.size() - cut));
+    EXPECT_THROW(Histogram::Decode(r), CheckError) << "cut " << cut;
+  }
+}
+
+TEST(RecorderSerde, V2RoundTripCarriesHistograms) {
+  Recorder in;
+  in.SetNodeCount(3);
+  in.RecordMessage(MsgCat::kObj, 128);
+  in.Bump(Ev::kMigrations, 2);
+  in.Bump(Ev::kSocketWrites, 9);
+  in.RecordRtt(MsgCat::kObj, 1500);
+  in.RecordRtt(MsgCat::kMig, 9000);
+  in.RecordLatency(Lat::kMailboxDwell, 120);
+  in.RecordLatency(Lat::kSocketWrite, 640);
+  in.RecordLatency(Lat::kMigFirstAccess, 77);
+  Writer w;
+  in.Encode(w);
+  const Bytes wire = w.take();
+  Reader r(wire);
+  const Recorder out = Recorder::Decode(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(out.Count(Ev::kSocketWrites), 9u);
+  EXPECT_EQ(out.Rtt(MsgCat::kObj), in.Rtt(MsgCat::kObj));
+  EXPECT_EQ(out.Rtt(MsgCat::kMig), in.Rtt(MsgCat::kMig));
+  EXPECT_EQ(out.Latency(Lat::kMailboxDwell), in.Latency(Lat::kMailboxDwell));
+  EXPECT_EQ(out.Latency(Lat::kSocketWrite), in.Latency(Lat::kSocketWrite));
+  EXPECT_EQ(out.Latency(Lat::kMigFirstAccess),
+            in.Latency(Lat::kMigFirstAccess));
+}
+
+TEST(RecorderSerde, UnsupportedVersionIsRejected) {
+  Recorder in;
+  Writer w;
+  in.Encode(w);
+  Bytes wire = w.take();
+  wire[0] = 1;  // the pre-histogram serde version
+  Reader r(wire);
+  EXPECT_THROW(Recorder::Decode(r), CheckError);
+}
+
+TEST(RecorderMerge, HistogramsAccumulateAcrossRanks) {
+  Recorder a;
+  Recorder b;
+  a.RecordRtt(MsgCat::kObj, 100);
+  b.RecordRtt(MsgCat::kObj, 100000);
+  b.RecordLatency(Lat::kSocketWrite, 50);
+  a.Merge(b);
+  EXPECT_EQ(a.Rtt(MsgCat::kObj).count(), 2u);
+  EXPECT_EQ(a.Rtt(MsgCat::kObj).max(), 100000u);
+  EXPECT_EQ(a.Latency(Lat::kSocketWrite).count(), 1u);
+  // Reset clears the histograms along with the counters.
+  a.Reset();
+  EXPECT_TRUE(a.Rtt(MsgCat::kObj).empty());
+  EXPECT_TRUE(a.Latency(Lat::kSocketWrite).empty());
+}
+
+}  // namespace
+}  // namespace hmdsm::stats

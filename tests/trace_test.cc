@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "src/dsm/cluster.h"
@@ -140,6 +142,72 @@ TEST(Trace, LockGrantsAreTraced) {
   const auto grants = cluster.trace().Select(
       [](const trace::Event& e) { return e.what == What::kLockGranted; });
   EXPECT_EQ(grants.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event / Perfetto export
+// ---------------------------------------------------------------------------
+
+TEST(ChromeExport, EventsCarryTimelineFields) {
+  const std::vector<trace::Event> events = {
+      {1500, What::kFaultIn, 1, 0, 0xAB, 0},
+      {2500, What::kMigrated, 0, 1, 0xAB, 2000},
+  };
+  std::ostringstream os;
+  trace::WriteChromeEvents(os, events, /*pid=*/3, "rank 3");
+  const std::string out = os.str();
+  // Metadata names the process (rank) and each node thread-track.
+  EXPECT_NE(out.find(R"("name":"process_name")"), std::string::npos);
+  EXPECT_NE(out.find(R"("name":"rank 3")"), std::string::npos);
+  EXPECT_NE(out.find(R"("name":"thread_name")"), std::string::npos);
+  // Instant events with µs timestamps (ns kept as decimals), pid = rank,
+  // tid = node.
+  EXPECT_NE(out.find(R"("name":"fault-in","ph":"i","s":"t","ts":1.500)"),
+            std::string::npos);
+  EXPECT_NE(out.find(R"("name":"migrated")"), std::string::npos);
+  EXPECT_NE(out.find(R"("pid":3,"tid":1)"), std::string::npos);
+  EXPECT_NE(out.find(R"("value":2000)"), std::string::npos);
+}
+
+TEST(ChromeExport, TraceFileIsOneJsonObject) {
+  const std::string path = testing::TempDir() + "chrome_trace_test.json";
+  const std::vector<trace::Event> events = {
+      {10, What::kObjectCreated, 0, dsm::kNoNode, 1, 0}};
+  ASSERT_TRUE(trace::WriteChromeTraceFile(path, events, 0, "sim"));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string out = ss.str();
+  EXPECT_EQ(out.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(out.find("]}"), std::string::npos);
+  EXPECT_NE(out.find("object-created"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ChromeExport, ShardsMergeIntoOneTraceAndAreRemoved) {
+  const std::string path = testing::TempDir() + "chrome_shard_test.json";
+  trace::WriteChromeShard(path, 0, {{5, What::kFaultIn, 0, 1, 7, 0}},
+                          "rank 0");
+  // Rank 1 writes nothing (missing shard must be skipped), rank 2 writes.
+  trace::WriteChromeShard(path, 2, {{9, What::kServeRequest, 2, 0, 7, 1}},
+                          "rank 2");
+  ASSERT_TRUE(trace::MergeChromeShards(path, 3));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string out = ss.str();
+  EXPECT_EQ(out.rfind("{\"traceEvents\":[", 0), 0u);
+  // Events from both contributing ranks, on their own pid tracks.
+  EXPECT_NE(out.find(R"("pid":0,"tid":0)"), std::string::npos);
+  EXPECT_NE(out.find(R"("pid":2,"tid":2)"), std::string::npos);
+  EXPECT_NE(out.find("fault-in"), std::string::npos);
+  EXPECT_NE(out.find("serve-request"), std::string::npos);
+  // No dangling ndjson lines: events are comma-joined inside the array.
+  EXPECT_EQ(out.find("}\n{"), std::string::npos);
+  // The shards were consumed.
+  EXPECT_FALSE(std::ifstream(trace::ShardPath(path, 0)).good());
+  EXPECT_FALSE(std::ifstream(trace::ShardPath(path, 2)).good());
+  std::remove(path.c_str());
 }
 
 // ---------------------------------------------------------------------------

@@ -30,6 +30,7 @@
 //                 each delivery until its Hockney deadline; sim prices
 //                 messages already, sockets pay real latency)
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -42,6 +43,7 @@
 #include "src/apps/synthetic.h"
 #include "src/apps/tsp.h"
 #include "src/netio/launcher.h"
+#include "src/trace/trace.h"
 #include "src/util/flags.h"
 #include "src/util/table.h"
 #include "src/workload/patterns.h"
@@ -65,6 +67,11 @@ int Usage(const char* error) {
       "               --nodes ranks on localhost, or joins an explicit mesh\n"
       "               with --rank=R --peers=host:port,host:port,...\n"
       "             --inject-latency [--inject-scale=F] (threads only)\n"
+      "  observe:   --trace-out=FILE   Chrome/Perfetto trace JSON (sockets:\n"
+      "               one shard per rank, merged by the launching parent)\n"
+      "             --poll-interval=S  live stats polls every S seconds\n"
+      "               (sockets only; printed to stderr by the lead rank)\n"
+      "             --histograms=0|1   latency histograms (default on)\n"
       "  asp/sor:   --size=N   (sor: --iterations=N)\n"
       "  nbody:     --bodies=N --steps=N\n"
       "  tsp:       --cities=N\n"
@@ -74,6 +81,40 @@ int Usage(const char* error) {
       "             --objects=N --bytes=N --reps=N [--spec=pattern,k=v,...]\n"
       "             [--record=/path/trace] [--replay=/path/trace]\n");
   return 2;
+}
+
+std::string FmtNs(std::uint64_t ns) {
+  char buf[32];
+  if (ns < 10'000) {
+    std::snprintf(buf, sizeof buf, "%lluns",
+                  static_cast<unsigned long long>(ns));
+  } else if (ns < 10'000'000) {
+    std::snprintf(buf, sizeof buf, "%.1fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 10'000'000'000ULL) {
+    std::snprintf(buf, sizeof buf, "%.2fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+void PrintLatencies(const gos::RunReport& r) {
+  Table t({"latency", "count", "p50", "p95", "p99", "max"});
+  const auto add = [&t](const std::string& name, const gos::HistSummary& h) {
+    if (h.count == 0) return;
+    t.AddRow({name, FmtI(static_cast<long long>(h.count)), FmtNs(h.p50),
+              FmtNs(h.p95), FmtNs(h.p99), FmtNs(h.max)});
+  };
+  for (std::size_t i = 0; i < stats::kNumMsgCats; ++i) {
+    const auto cat = static_cast<stats::MsgCat>(i);
+    add("rtt " + std::string(stats::MsgCatName(cat)), r.rtt[i]);
+  }
+  add("mailbox dwell", r.mailbox_dwell);
+  add("socket write", r.socket_write_ns);
+  add("migration first access", r.migration_first_access);
+  if (t.rows() == 0) return;
+  std::printf("\n");
+  t.Print(std::cout);
 }
 
 void PrintReport(const gos::RunReport& r, bool wall_clock = false) {
@@ -98,6 +139,7 @@ void PrintReport(const gos::RunReport& r, bool wall_clock = false) {
       static_cast<unsigned long long>(r.diffs_created),
       static_cast<unsigned long long>(r.fault_ins),
       static_cast<unsigned long long>(r.exclusive_home_writes));
+  PrintLatencies(r);
 }
 
 /// The scenario a `--app=scenario` invocation will run. Deterministic, so
@@ -295,6 +337,11 @@ int main(int argc, char** argv) {
   }
   vm.inject_latency = flags.GetBool("inject-latency", false);
   vm.inject_scale = flags.GetDouble("inject-scale", 1.0);
+  vm.histograms = flags.GetBool("histograms", true);
+  vm.trace_out = flags.Get("trace-out");
+  vm.poll_interval_s = flags.GetDouble("poll-interval", 0.0);
+  if (vm.poll_interval_s > 0 && vm.backend != gos::Backend::kSockets)
+    return Usage("--poll-interval needs --backend=sockets");
   const std::string rejection = gos::ValidateBackendRequest(
       vm.backend, app, flags.Has("record"), vm.inject_latency);
   if (!rejection.empty()) return Usage(rejection.c_str());
@@ -353,11 +400,17 @@ int main(int argc, char** argv) {
 
   // Localhost: self-fork one process per rank over pre-bound ephemeral
   // ports (rank 0 — the start node — prints the report).
-  return netio::RunLocalMesh(vm.nodes, [&](const netio::LocalRank& self) {
+  const int rc = netio::RunLocalMesh(vm.nodes, [&](const netio::LocalRank& self) {
     gos::VmOptions rank_vm = vm;
     rank_vm.sockets.rank = self.rank;
     rank_vm.sockets.peers = self.peers;
     rank_vm.sockets.listen_fd = self.listen_fd;
     return RunApp(flags, rank_vm, app, prebuilt);
   });
+  // Each rank wrote a trace shard on teardown; stitch them into one
+  // Chrome/Perfetto file now that every child has exited. (An explicit
+  // multi-host mesh leaves the per-rank shards in place instead.)
+  if (rc == 0 && !vm.trace_out.empty())
+    trace::MergeChromeShards(vm.trace_out, vm.nodes);
+  return rc;
 }
