@@ -37,6 +37,7 @@
 #include "bench/harness.h"
 #include "src/apps/asp.h"
 #include "src/netio/launcher.h"
+#include "src/stats/json.h"
 #include "src/trace/trace.h"
 #include "src/util/csv.h"
 #include "src/util/flags.h"
@@ -74,9 +75,16 @@ struct MeshMetrics {
   std::uint64_t socket_writes = 0;
   std::uint64_t wire_frames = 0;
   std::uint64_t wire_frames_coalesced = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t mig_rejections = 0;
+  /// Total decision-ledger entries (live + evicted) across all ranks.
+  std::uint64_t decisions = 0;
   gos::HistSummary rtt[stats::kNumMsgCats];
   gos::HistSummary mailbox_dwell;
   gos::HistSummary socket_write_ns;
+  gos::HistSummary adaptation;
+  /// Cluster-merged windowed counter deltas (poll-driven sampling).
+  stats::Timeseries series;
 };
 
 void PackHist(Writer& w, const gos::HistSummary& h) {
@@ -110,9 +118,14 @@ Bytes Pack(const MeshMetrics& m) {
   w.u64(m.socket_writes);
   w.u64(m.wire_frames);
   w.u64(m.wire_frames_coalesced);
+  w.u64(m.migrations);
+  w.u64(m.mig_rejections);
+  w.u64(m.decisions);
   for (const gos::HistSummary& h : m.rtt) PackHist(w, h);
   PackHist(w, m.mailbox_dwell);
   PackHist(w, m.socket_write_ns);
+  PackHist(w, m.adaptation);
+  m.series.Encode(w);
   return w.take();
 }
 
@@ -129,9 +142,14 @@ bool Unpack(const Bytes& blob, MeshMetrics* out) {
     out->socket_writes = r.u64();
     out->wire_frames = r.u64();
     out->wire_frames_coalesced = r.u64();
+    out->migrations = r.u64();
+    out->mig_rejections = r.u64();
+    out->decisions = r.u64();
     for (gos::HistSummary& h : out->rtt) h = UnpackHist(r);
     out->mailbox_dwell = UnpackHist(r);
     out->socket_write_ns = UnpackHist(r);
+    out->adaptation = UnpackHist(r);
+    out->series = stats::Timeseries::Decode(r);
     return r.done();
   } catch (const CheckError&) {
     return false;
@@ -150,9 +168,14 @@ MeshMetrics FromReport(const gos::RunReport& report, std::uint64_t checksum,
   m.socket_writes = report.socket_writes;
   m.wire_frames = report.wire_frames;
   m.wire_frames_coalesced = report.wire_frames_coalesced;
+  m.migrations = report.migrations;
+  m.mig_rejections = report.mig_rejections;
+  m.decisions = report.ledger.size() + report.ledger.dropped();
   for (std::size_t i = 0; i < stats::kNumMsgCats; ++i) m.rtt[i] = report.rtt[i];
   m.mailbox_dwell = report.mailbox_dwell;
   m.socket_write_ns = report.socket_write_ns;
+  m.adaptation = report.adaptation;
+  m.series = report.series;
   return m;
 }
 
@@ -338,6 +361,72 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- phase churn: decision ledger, time-series, adaptation latency ------
+  // phased_writer rotates the sole writer every few epochs — the shape the
+  // adaptive policy exists to chase. One audited run exercises the whole
+  // decision-observability plane (ledger gather + audit JSON, poll-driven
+  // per-rank sampling, phase-marker adaptation latency); the paired
+  // --audit=0 run is the throughput-overhead control (compare us/msg).
+  MeshMetrics churn_audit;
+  bool churn_audit_ok = false;
+  const std::string audit_path = bench::JsonPath("mesh_audit");
+  {
+    workload::PatternParams churn = params;
+    churn.pattern = "phased_writer";
+    // Enough writer rotations for several phase markers and a run long
+    // enough for a handful of 5ms sampling windows per rank.
+    churn.repetitions = std::max<std::uint32_t>(churn.repetitions, 16);
+    const workload::Scenario scenario =
+        StripDelays(workload::GeneratePattern(churn));
+    const workload::ScenarioResult sim =
+        workload::RunScenario(sim_opts, scenario);
+    for (const bool audit : {true, false}) {
+      Row r;
+      r.workload = "phased_churn";
+      r.config = audit ? "sockets_audit" : "sockets_noaudit";
+      r.ok = RunOnMesh(
+          params.nodes, /*batch=*/true, /*trace_path=*/{},
+          [&](gos::VmOptions vm) {
+            vm.dsm.audit = audit;
+            // Below the CLI's 10ms floor on purpose: the bench wants several
+            // closed windows per rank inside a tens-of-ms run.
+            vm.poll_interval_s = 0.005;
+            const workload::ScenarioResult res =
+                workload::RunScenario(vm, scenario);
+            if (audit && vm.sockets.rank == 0 && !audit_path.empty())
+              stats::WriteAuditFile(audit_path, res.report.ledger);
+            return FromReport(res.report, res.checksum, res.ops_executed);
+          },
+          &r.m);
+      r.checksum_ok = r.ok && r.m.checksum == sim.checksum;
+      all_ok = all_ok && r.ok && r.checksum_ok;
+      if (audit) {
+        churn_audit = r.m;
+        // Every policy consultation must be in the ledger: accepted ones
+        // bumped kMigrations, declined ones kMigRejections.
+        churn_audit_ok =
+            r.ok && r.m.decisions == r.m.migrations + r.m.mig_rejections;
+        all_ok = all_ok && churn_audit_ok;
+      }
+      rows.push_back(r);
+    }
+    std::printf(
+        "phase churn (audit): decisions=%llu migrations=%llu rejections=%llu "
+        "[%s]  adaptation count=%llu p50=%llu p95=%llu p99=%llu ns  "
+        "series samples=%zu\n",
+        static_cast<unsigned long long>(churn_audit.decisions),
+        static_cast<unsigned long long>(churn_audit.migrations),
+        static_cast<unsigned long long>(churn_audit.mig_rejections),
+        churn_audit_ok ? "accounted" : "MISMATCH",
+        static_cast<unsigned long long>(churn_audit.adaptation.count),
+        static_cast<unsigned long long>(churn_audit.adaptation.p50),
+        static_cast<unsigned long long>(churn_audit.adaptation.p95),
+        static_cast<unsigned long long>(churn_audit.adaptation.p99),
+        churn_audit.series.samples().size());
+    if (!audit_path.empty())
+      std::printf("audit ledger -> %s\n", audit_path.c_str());
+  }
+
   // --- report --------------------------------------------------------------
   Table t({"workload", "config", "wall ms", "ops/sec", "msgs", "us/msg",
            "writes", "frames", "coalesced", "data"});
@@ -405,6 +494,9 @@ int main(int argc, char** argv) {
       j.Key("socket_writes").Uint(r.m.socket_writes);
       j.Key("wire_frames").Uint(r.m.wire_frames);
       j.Key("wire_frames_coalesced").Uint(r.m.wire_frames_coalesced);
+      j.Key("migrations").Uint(r.m.migrations);
+      j.Key("mig_rejections").Uint(r.m.mig_rejections);
+      j.Key("decisions").Uint(r.m.decisions);
       // Cluster-wide latency quantiles (nanoseconds). Only populated
       // histograms appear; threads rows lack socket_write, sim-free rows
       // lack nothing DSM-side.
@@ -427,7 +519,14 @@ int main(int argc, char** argv) {
              r.m.rtt[i]);
       hist("mailbox_dwell", r.m.mailbox_dwell);
       hist("socket_write", r.m.socket_write_ns);
+      hist("adaptation", r.m.adaptation);
       j.EndObject();
+      // Cluster-merged windowed counter deltas (one sample per rank per
+      // poll window; empty unless the run sampled).
+      if (!r.m.series.samples().empty()) {
+        j.Key("series");
+        stats::WriteTimeseriesJson(j, r.m.series);
+      }
       j.EndObject();
     }
     j.EndArray();

@@ -17,6 +17,11 @@
 //  * Every run carries latency histograms: the fault-in RTT quantiles
 //    below show how migration changes the *distribution* of remote-object
 //    stalls, not just their count (virtual time on the sim backend).
+//  * The accept/reject columns read straight off the migration decision
+//    ledger: every policy consultation is recorded, so "0 accepts on
+//    pingpong" is an auditable fact, not an inference. The adaptation
+//    columns (phase marker -> first re-homing migration) only fill in on
+//    patterns that rotate their writer, like phased_writer.
 #include <cstdio>
 
 #include "src/workload/patterns.h"
@@ -32,8 +37,9 @@ int main() {
   params.repetitions = 4;
   params.seed = 42;
 
-  std::printf("%-18s %-6s %12s %10s %11s %12s %12s\n", "pattern", "policy",
-              "time(ms)", "migrations", "msgs", "objRTT p50", "objRTT p95");
+  std::printf("%-18s %-6s %10s %11s %7s %7s %12s %12s %12s\n", "pattern",
+              "policy", "time(ms)", "msgs", "accept", "reject", "objRTT p50",
+              "adapt p50", "adapt p95");
   for (const std::string& pattern : workload::PatternNames()) {
     params.pattern = pattern;
     const workload::Scenario scenario = workload::GeneratePattern(params);
@@ -43,15 +49,24 @@ int main() {
       vm.dsm.policy = policy;
       const workload::ScenarioResult res =
           workload::RunScenario(vm, scenario);
+      const gos::RunReport& r = res.report;
       // Fault-in round-trips: request sent -> object data installed.
       const gos::HistSummary& rtt =
-          res.report.rtt[static_cast<std::size_t>(stats::MsgCat::kObj)];
-      std::printf("%-18s %-6s %12.3f %10llu %11llu %10.1fus %10.1fus\n",
-                  pattern.c_str(), policy, res.report.seconds * 1e3,
-                  static_cast<unsigned long long>(res.report.migrations),
-                  static_cast<unsigned long long>(res.report.messages),
-                  static_cast<double>(rtt.p50) / 1e3,
-                  static_cast<double>(rtt.p95) / 1e3);
+          r.rtt[static_cast<std::size_t>(stats::MsgCat::kObj)];
+      char adapt50[16] = "-";
+      char adapt95[16] = "-";
+      if (r.adaptation.count > 0) {
+        std::snprintf(adapt50, sizeof adapt50, "%.1fus",
+                      static_cast<double>(r.adaptation.p50) / 1e3);
+        std::snprintf(adapt95, sizeof adapt95, "%.1fus",
+                      static_cast<double>(r.adaptation.p95) / 1e3);
+      }
+      std::printf("%-18s %-6s %10.3f %11llu %7llu %7llu %10.1fus %12s %12s\n",
+                  pattern.c_str(), policy, r.seconds * 1e3,
+                  static_cast<unsigned long long>(r.messages),
+                  static_cast<unsigned long long>(r.migrations),
+                  static_cast<unsigned long long>(r.mig_rejections),
+                  static_cast<double>(rtt.p50) / 1e3, adapt50, adapt95);
     }
   }
 

@@ -1,5 +1,7 @@
 #include "src/dsm/agent.h"
 
+#include <cmath>
+#include <limits>
 #include <utility>
 
 #include "src/dsm/diff.h"
@@ -264,6 +266,37 @@ void Agent::ServeAtHome(NodeId requester, const proto::ObjRequest& msg) {
   const bool migrate = policy_->ShouldMigrate(entry.pol, requester,
                                               entry.data.size(),
                                               msg.for_write);
+  if (!migrate) rec.Bump(Ev::kMigRejections);
+  // The audit record captures the exact state ShouldMigrate saw, so it is
+  // built here — before RecordRequester/OnMigrated mutate the counters.
+  if (config_.audit) {
+    const double threshold =
+        policy_->LiveThreshold(entry.pol, entry.data.size());
+    stats::Decision d;
+    d.obj = msg.obj.value;
+    d.epoch = entry.pol.epoch;
+    d.home = node_;
+    d.requester = requester;
+    d.consecutive_writes = entry.pol.consecutive_remote_writes;
+    d.consecutive_writer = entry.pol.consecutive_writer;
+    d.redirects = entry.pol.redirected_requests;
+    d.exclusive_home_writes = entry.pol.exclusive_home_writes;
+    d.threshold = threshold;
+    d.object_bytes = entry.data.size();
+    d.for_write = msg.for_write;
+    d.migrate = migrate;
+    d.destination = migrate ? requester : node_;
+    d.at_ns = net_.Now();
+    rec.RecordDecision(d);
+    // Trace value: live threshold ×1000, negated for "stay" verdicts
+    // (clamped — NoHM reports an infinite threshold).
+    const std::int64_t scaled =
+        std::isfinite(threshold)
+            ? static_cast<std::int64_t>(threshold * 1000)
+            : std::numeric_limits<std::int64_t>::max();
+    Emit(trace::What::kDecision, msg.obj.value, requester,
+         migrate ? scaled : -scaled);
+  }
   // Sharing bookkeeping happens after the decision: "was the requester the
   // sole sharer so far" must not include the request being decided.
   entry.pol.RecordRequester(requester);
@@ -344,6 +377,14 @@ void Agent::OnMigrateReply(NodeId, proto::MigrateReply msg) {
   hints_[msg.obj] = node_;
   forwards_.erase(msg.obj);  // we may have been on this object's chain before
   Emit(trace::What::kHomeInstalled, msg.obj.value);
+  // A migration landing here after a phase marker is the protocol
+  // re-homing toward the new access pattern: close the adaptation clock.
+  if (phase_pending_) {
+    recorder_.RecordLatency(
+        stats::Lat::kAdaptation,
+        static_cast<std::uint64_t>(net_.Now() - phase_marker_at_));
+    phase_pending_ = false;
+  }
 
   // Serve anything that raced the migration: diffs first, then requests.
   for (proto::DiffMsg& dm : pf.foreign_diffs) {
@@ -537,6 +578,12 @@ void Agent::Acquire(runtime::Exec& proc, LockId lock) {
   // drop cached copies so writes flushed to homes become visible.
   BumpInterval();
   InvalidateCache();
+}
+
+void Agent::MarkPhase() {
+  phase_marker_at_ = net_.Now();
+  phase_pending_ = true;
+  Emit(trace::What::kPhaseMark, 0);
 }
 
 void Agent::Release(runtime::Exec& proc, LockId lock) {

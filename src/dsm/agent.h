@@ -76,6 +76,12 @@ class Agent {
   void Barrier(runtime::Exec& proc, BarrierId barrier,
                std::uint32_t expected);
 
+  /// Workload phase-transition marker: the access pattern just shifted
+  /// (e.g. a phased writer rotated). Starts the adaptation-latency clock —
+  /// the next home migration *installed on this node* closes it, measuring
+  /// marker→re-homing as Lat::kAdaptation. Non-blocking.
+  void MarkPhase();
+
   // ---- Observability (tests, benches) ----
 
   /// True if this node currently homes the object.
@@ -266,6 +272,11 @@ class Agent {
   std::uint64_t next_ack_tag_ = 1;
   std::uint64_t interval_seq_ = 1;
   std::uint64_t barrier_epoch_ = 1;  // advances on each barrier release
+
+  // Adaptation-latency clock: armed by MarkPhase, closed by the next
+  // migration reply installing a home here (OnMigrateReply).
+  std::int64_t phase_marker_at_ = 0;
+  bool phase_pending_ = false;
 };
 
 }  // namespace hmdsm::dsm

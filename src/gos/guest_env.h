@@ -31,6 +31,7 @@ class GuestEnv final : public Env {
     guest_.Barrier(barrier, participants);
   }
   void Delay(sim::Time ns) override { guest_.Delay(ns); }
+  void PhaseMark() override { guest_.MarkPhase(); }
 
  private:
   runtime::Guest& guest_;

@@ -53,6 +53,7 @@ RunReport MakeRunReport(const stats::Recorder& rec, double seconds) {
   for (std::size_t i = 0; i < stats::kNumMsgCats; ++i)
     report.cat[i] = rec.Cat(static_cast<stats::MsgCat>(i));
   report.migrations = rec.Count(stats::Ev::kMigrations);
+  report.mig_rejections = rec.Count(stats::Ev::kMigRejections);
   report.redirect_hops = rec.Count(stats::Ev::kRedirectHops);
   report.diffs_created = rec.Count(stats::Ev::kDiffsCreated);
   report.exclusive_home_writes = rec.Count(stats::Ev::kExclusiveHomeWrites);
@@ -72,6 +73,9 @@ RunReport MakeRunReport(const stats::Recorder& rec, double seconds) {
   report.socket_write_ns = Summarize(rec.Latency(stats::Lat::kSocketWrite));
   report.migration_first_access =
       Summarize(rec.Latency(stats::Lat::kMigFirstAccess));
+  report.adaptation = Summarize(rec.Latency(stats::Lat::kAdaptation));
+  report.ledger = rec.Ledger();
+  report.series = rec.Series();
   return report;
 }
 

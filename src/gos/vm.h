@@ -128,6 +128,12 @@ class Env {
   /// simulator, a precise wall-clock sleep on the threads backend.
   virtual void Delay(sim::Time ns) = 0;
 
+  /// Workload phase-transition marker: tells this node's agent the access
+  /// pattern just shifted, arming the adaptation-latency clock (closed by
+  /// the next home migration installed on the node). Default no-op — ghost
+  /// replicas on non-lead sockets ranks must not arm foreign clocks.
+  virtual void PhaseMark() {}
+
   /// Models local computation: advances this thread's virtual time (sim) or
   /// really sleeps (threads), so compute/communication balance carries
   /// across backends.
@@ -207,10 +213,19 @@ struct VmOptions {
   /// `<path>.rank<R>` and the self-fork launcher (or the operator) merges
   /// the shards with trace::MergeChromeShards.
   std::string trace_out;
-  /// Sockets backend, lead rank only: > 0 starts the live metrics plane —
-  /// the coordinator samples every rank's counters at this interval and
-  /// prints a cluster ops/s line (see netio::Coordinator::StartPolling).
+  /// > 0 starts the live metrics plane at this interval (clamped to >=
+  /// 10ms by the CLI). On sockets the lead's coordinator polls every
+  /// rank's counters and prints a cluster ops/s line (see
+  /// netio::Coordinator::StartPolling); on threads a sampler thread (and
+  /// on sim a virtual-time tick chain) closes per-node time-series windows
+  /// at the same cadence, so every backend grows a stats::Timeseries.
   double poll_interval_s = 0;
+  /// Non-empty (reporting rank only): write the cluster-merged migration
+  /// decision ledger here as JSON at the end of the run.
+  std::string audit_out;
+  /// Non-empty (sockets lead rank only): persist the live StatsPoll
+  /// snapshots here as JSON when polling stops.
+  std::string poll_out;
 };
 
 /// Five-number summary of one stats::Histogram (all values nanoseconds).
@@ -234,6 +249,10 @@ struct RunReport {
   std::uint64_t bytes_nosync = 0;
   stats::MsgTotals cat[stats::kNumMsgCats] = {};
   std::uint64_t migrations = 0;
+  /// Policy consultations whose verdict was "stay put"; migrations +
+  /// mig_rejections equals the total decision count (ledger size +
+  /// evictions) when auditing is on.
+  std::uint64_t mig_rejections = 0;
   std::uint64_t redirect_hops = 0;
   std::uint64_t diffs_created = 0;
   std::uint64_t exclusive_home_writes = 0;
@@ -263,6 +282,15 @@ struct RunReport {
   HistSummary mailbox_dwell;
   HistSummary socket_write_ns;
   HistSummary migration_first_access;
+  /// Workload phase marker → first home migration installed on the marking
+  /// node (ROADMAP's "how fast does the protocol re-home" metric).
+  HistSummary adaptation;
+  /// Decision audit trail and windowed counter deltas (cluster-merged on
+  /// the reporting rank; empty when DsmConfig::audit is off / no sampler
+  /// ran). Carried whole — not summarized — so callers can dump, export,
+  /// or re-aggregate them.
+  stats::DecisionLedger ledger;
+  stats::Timeseries series;
 };
 
 /// Builds a RunReport from merged per-node statistics. Shared between the

@@ -36,6 +36,7 @@ class SimEnv final : public Env {
   void Delay(sim::Time ns) override {
     if (ns > 0) proc_.Delay(ns);
   }
+  void PhaseMark() override { agent_.MarkPhase(); }
 
  private:
   dsm::Agent& agent_;
@@ -68,9 +69,10 @@ class SimBackend final : public VmBackend {
     // stable. Timestamps are virtual nanoseconds — the exported timeline is
     // the modeled one, which is exactly what a sim trace should show.
     if (!options_.trace_out.empty()) {
+      const stats::Timeseries series = cluster_.Totals().Series();
       trace::WriteChromeTraceFile(options_.trace_out,
                                   cluster_.trace().events(), /*pid=*/0,
-                                  "hmdsm sim");
+                                  "hmdsm sim", &series);
     }
   }
 
@@ -79,6 +81,8 @@ class SimBackend final : public VmBackend {
 
   void Run(ThreadBody main) override {
     Spawn(options_.start_node, std::move(main), "main");
+    if (options_.poll_interval_s > 0 && options_.dsm.audit)
+      ScheduleSampleTick();
     cluster_.kernel().Run();
   }
 
@@ -143,6 +147,21 @@ class SimBackend final : public VmBackend {
  private:
   /// Every Env this backend hands out is a SimEnv.
   static SimEnv& AsSim(Env& env) { return static_cast<SimEnv&>(env); }
+
+  /// Virtual-time sampler: closes one time-series window per node every
+  /// poll interval. The chain must not keep the event queue non-empty
+  /// forever (Run() ends when the queue drains), so it re-arms only while
+  /// some node's counters moved — the first quiet tick ends it.
+  void ScheduleSampleTick() {
+    cluster_.kernel().ScheduleAfter(
+        sim::FromSeconds(options_.poll_interval_s), [this] {
+          bool moved = false;
+          const sim::Time now = cluster_.kernel().now();
+          for (NodeId n = 0; n < cluster_.nodes(); ++n)
+            if (cluster_.recorder(n).SampleTimeseries(n, now)) moved = true;
+          if (moved) ScheduleSampleTick();
+        });
+  }
 
   Vm& vm_;
   VmOptions options_;

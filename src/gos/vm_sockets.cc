@@ -139,7 +139,7 @@ class SocketsBackend final : public VmBackend {
   void Run(ThreadBody main) override {
     std::exception_ptr error;
     if (lead_ && options_.poll_interval_s > 0) {
-      coord_.StartPolling(options_.poll_interval_s);
+      coord_.StartPolling(options_.poll_interval_s, options_.poll_out);
     }
     if (lead_) {
       {
@@ -386,11 +386,13 @@ class SocketsBackend final : public VmBackend {
     rt_.Shutdown();
     transport_.Stop();
     // Each rank writes its own trace shard; the launcher (or the operator)
-    // merges `<path>.rank<R>` shards into one Perfetto-loadable file.
+    // merges `<path>.rank<R>` shards into one Perfetto-loadable file. The
+    // rank's own time-series rides along as counter tracks (pid = rank).
     if (!options_.trace_out.empty()) {
+      const stats::Timeseries series = rt_.Totals().Series();
       trace::WriteChromeShard(
           options_.trace_out, transport_.rank(), trace_.events(),
-          "hmdsm rank " + std::to_string(transport_.rank()));
+          "hmdsm rank " + std::to_string(transport_.rank()), &series);
     }
   }
 

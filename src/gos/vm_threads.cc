@@ -6,6 +6,8 @@
 // simulator — the cross-backend app conformance suite asserts their
 // checksums agree with both the sim backend and the serial references.
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -54,15 +56,19 @@ class ThreadsBackend final : public VmBackend {
     // Enabled before any dispatcher can record: the runtime's agents exist
     // but traffic only flows once an application thread starts.
     if (!options_.trace_out.empty()) trace_.Enable();
+    if (options_.poll_interval_s > 0 && options_.dsm.audit)
+      sampler_ = std::thread([this] { SamplerLoop(); });
   }
 
   ~ThreadsBackend() override {
+    StopSampler();
     // Guests must all be done before the Runtime shuts its mailboxes.
     JoinStragglers(nullptr);
     if (!options_.trace_out.empty()) {
       rt_.AwaitQuiescence();  // no handler still appending events
+      const stats::Timeseries series = rt_.Totals().Series();
       trace::WriteChromeTraceFile(options_.trace_out, trace_.events(),
-                                  /*pid=*/0, "hmdsm threads");
+                                  /*pid=*/0, "hmdsm threads", &series);
     }
   }
 
@@ -86,6 +92,9 @@ class ThreadsBackend final : public VmBackend {
     // Settle follow-on traffic so a caller inspecting state after Run sees
     // the quiescent cluster (the kernel's natural end state on the sim).
     rt_.AwaitQuiescence();
+    // Stop sampling here, not in the destructor, so the closing window is
+    // already in the totals when the caller asks for Report().
+    StopSampler();
     if (error) std::rethrow_exception(error);
   }
 
@@ -186,6 +195,32 @@ class ThreadsBackend final : public VmBackend {
     }
   }
 
+  /// Wall-clock sampler: closes one time-series window per hosted node at
+  /// the poll interval until stopped.
+  void SamplerLoop() {
+    const auto interval =
+        std::chrono::duration<double>(options_.poll_interval_s);
+    std::unique_lock lock(sampler_mu_);
+    for (;;) {
+      if (sampler_cv_.wait_for(lock, interval,
+                               [this] { return sampler_stop_; }))
+        return;
+      rt_.SampleTimeseries();
+    }
+  }
+
+  /// Idempotent; closes one final window so short runs still get a sample.
+  void StopSampler() {
+    if (!sampler_.joinable()) return;
+    {
+      std::lock_guard lock(sampler_mu_);
+      sampler_stop_ = true;
+    }
+    sampler_cv_.notify_all();
+    sampler_.join();
+    rt_.SampleTimeseries();
+  }
+
   Vm& vm_;
   VmOptions options_;
   trace::Trace trace_;  // must outlive rt_ (agents hold a pointer)
@@ -193,6 +228,10 @@ class ThreadsBackend final : public VmBackend {
   std::mutex mu_;  // spawn bookkeeping + id sequences
   std::deque<ThreadsThread> threads_;
   int next_thread_idx_ = 0;
+  std::thread sampler_;
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;  // guarded by sampler_mu_
 };
 
 }  // namespace

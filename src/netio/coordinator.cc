@@ -2,8 +2,11 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <thread>
 #include <utility>
+
+#include "src/util/json.h"
 
 namespace hmdsm::netio {
 
@@ -79,6 +82,9 @@ void Coordinator::OnControlFrame(net::NodeId src, ByteSpan frame) {
     case FrameType::kStatsRequest: {
       StatsRequestFrame f;
       if (!TryDecode(frame, &f, &error)) break;
+      // Close the final (partial) sampling window before snapshotting, so
+      // the gathered series covers the run right up to the gather.
+      runtime_.SampleTimeseries();
       // The snapshot takes the local agent lock, so it is consistent even
       // against a straggling handler (the lead quiesces first anyway).
       StatsReplyFrame reply;
@@ -144,7 +150,10 @@ void Coordinator::OnControlFrame(net::NodeId src, ByteSpan frame) {
       StatsPollFrame f;
       if (!TryDecode(frame, &f, &error)) break;
       // Best-effort mid-run snapshot, answered from reader context like a
-      // quiescence probe (the snapshot briefly takes the agent lock).
+      // quiescence probe (the snapshot briefly takes the agent lock). The
+      // poll doubles as this rank's time-series clock: close one counter
+      // window first so the snapshot carries the fresh sample to the lead.
+      runtime_.SampleTimeseries();
       StatsPollReplyFrame reply;
       reply.seq = f.seq;
       reply.node = transport_.rank();
@@ -245,6 +254,9 @@ stats::Recorder Coordinator::GatherStats() {
           "stats replies");
   for (const auto& [rank, recorder] : stats_replies_) total.Merge(recorder);
   lock.unlock();
+  // Same final-window close for the lead's own series as the StatsRequest
+  // handler performs on every other rank.
+  runtime_.SampleTimeseries();
   total.Merge(runtime_.SnapshotRecorder(transport_.rank()));
   return total;
 }
@@ -267,13 +279,15 @@ void Coordinator::GlobalResetStats() {
   runtime_.ResetMeasurement();
 }
 
-void Coordinator::StartPolling(double interval_s) {
+void Coordinator::StartPolling(double interval_s, std::string poll_out) {
   HMDSM_CHECK(is_lead());
   if (interval_s <= 0 || transport_.node_count() < 2) return;
   HMDSM_CHECK_MSG(!poll_thread_.joinable(), "polling already started");
   {
     std::lock_guard lock(mu_);
     poll_stop_ = false;
+    poll_out_ = std::move(poll_out);
+    poll_log_.clear();
   }
   poll_thread_ = std::thread([this, interval_s] { PollLoop(interval_s); });
 }
@@ -286,6 +300,37 @@ void Coordinator::StopPolling() {
   }
   cv_.notify_all();
   poll_thread_.join();
+  std::vector<PollSample> log;
+  std::string path;
+  {
+    std::lock_guard lock(mu_);
+    log.swap(poll_log_);
+    path.swap(poll_out_);
+  }
+  if (path.empty()) return;
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "poll-out: cannot write %s\n", path.c_str());
+    return;
+  }
+  {
+    JsonWriter jw(os);
+    jw.BeginArray();
+    for (const PollSample& s : log) {
+      jw.BeginObject();
+      jw.Key("seq").Uint(s.seq);
+      jw.Key("t_s").Double(s.t_s);
+      jw.Key("msgs").Uint(s.msgs);
+      jw.Key("msgs_per_s").Double(s.msgs_per_s);
+      jw.Key("faults").Uint(s.faults);
+      jw.Key("migrations").Uint(s.migrations);
+      jw.Key("answered").Uint(s.answered);
+      jw.Key("expected").Uint(s.expected);
+      jw.EndObject();
+    }
+    jw.EndArray();
+  }
+  os << '\n';
 }
 
 void Coordinator::PollLoop(double interval_s) {
@@ -313,6 +358,8 @@ void Coordinator::PollLoop(double interval_s) {
     for (const auto& [rank, reply] : poll_replies_) total.Merge(reply.recorder);
     const std::size_t answered = poll_replies_.size();
     lock.unlock();
+    // The lead has no poll frame to react to — sample its own window here.
+    runtime_.SampleTimeseries();
     total.Merge(runtime_.SnapshotRecorder(transport_.rank()));
     const sim::Time now = transport_.Now();
     const std::uint64_t msgs = total.TotalMessages();
@@ -335,6 +382,9 @@ void Coordinator::PollLoop(double interval_s) {
     prev_ns = now;
     have_prev = true;
     lock.lock();
+    poll_log_.push_back(PollSample{
+        seq, sim::ToSeconds(now), msgs, total.Count(stats::Ev::kFaultIns),
+        total.Count(stats::Ev::kMigrations), rate, answered, others});
   }
 }
 

@@ -80,9 +80,13 @@ class Coordinator {
   /// a StatsPoll every `interval_s` seconds mid-run, merges the best-effort
   /// per-rank snapshots, and prints a cluster ops/s line to stderr. Replies
   /// double as rank heartbeats — a rank that stops answering is called out
-  /// in the sample line (the groundwork for failure detection). No-op when
-  /// interval_s <= 0.
-  void StartPolling(double interval_s);
+  /// in the sample line (the groundwork for failure detection). Each poll
+  /// also closes one time-series window on every rank (the poll handler
+  /// self-samples before snapshotting), so the sockets backend grows its
+  /// stats::Timeseries at the same cadence as the other backends. No-op
+  /// when interval_s <= 0. Non-empty `poll_out`: StopPolling persists the
+  /// accumulated poll snapshots there as JSON.
+  void StartPolling(double interval_s, std::string poll_out = {});
   /// Stops and joins the sampler (idempotent; the destructor calls it).
   /// Must be called before ShutdownMesh so no poll straddles teardown.
   void StopPolling();
@@ -149,6 +153,19 @@ class Coordinator {
   bool poll_stop_ = false;
   std::uint64_t poll_seq_ = 0;
   std::map<net::NodeId, StatsPollReplyFrame> poll_replies_;
+  /// One retained line per poll, persisted to `poll_out_` by StopPolling.
+  struct PollSample {
+    std::uint64_t seq = 0;
+    double t_s = 0;
+    std::uint64_t msgs = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t migrations = 0;
+    double msgs_per_s = 0;
+    std::size_t answered = 0;  // rank replies in time (of expected)
+    std::size_t expected = 0;
+  };
+  std::string poll_out_;
+  std::vector<PollSample> poll_log_;  // guarded by mu_
 };
 
 }  // namespace hmdsm::netio

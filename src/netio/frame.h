@@ -32,7 +32,9 @@ namespace hmdsm::netio {
 /// speaking a different version. v2: Batch frames (writer-side coalescing
 /// of queued small frames into one wire write). v3: latency histograms in
 /// the recorder serialization plus the StatsPoll live-metrics frames.
-constexpr std::uint32_t kProtocolVersion = 3;
+/// v4: migration decision ledger + windowed time-series samples in the
+/// recorder serialization (recorder serde v3).
+constexpr std::uint32_t kProtocolVersion = 4;
 
 /// Frames larger than this are rejected before allocation. Generous: the
 /// largest legitimate frame is an object reply for the biggest shared

@@ -113,6 +113,10 @@ void Runtime::ResetMeasurement() {
   }
   transport_.ResetStats();
   measure_start_ = transport_.Now();
+  // Prime the sampling cursors at the measured window's start: even a run
+  // shorter than one poll interval then yields one full-run sample per node
+  // when the final gather closes the window.
+  SampleTimeseries();
 }
 
 double Runtime::ElapsedSeconds() const {
@@ -134,6 +138,19 @@ stats::Recorder Runtime::Totals() const {
     total.Merge(snap);
   }
   return total;
+}
+
+bool Runtime::SampleTimeseries() {
+  if (!options_.dsm.audit) return false;  // --audit=0 opts the sampler out
+  bool moved = false;
+  const sim::Time now = transport_.Now();
+  for (dsm::NodeId n : local_nodes_) {
+    // Same serialization as Totals(): the node's recorder is only ever
+    // mutated under its agent lock, and the sampler is one more mutator.
+    std::lock_guard lock(cells_[n]->mu);
+    if (transport_.RecorderFor(n).SampleTimeseries(n, now)) moved = true;
+  }
+  return moved;
 }
 
 stats::Recorder Runtime::SnapshotRecorder(dsm::NodeId node) const {
@@ -206,6 +223,10 @@ void Guest::Release(dsm::LockId lock) {
 
 void Guest::Barrier(dsm::BarrierId barrier, std::uint32_t expected) {
   WithAgent([&](dsm::Agent& a) { a.Barrier(*this, barrier, expected); });
+}
+
+void Guest::MarkPhase() {
+  WithAgent([&](dsm::Agent& a) { a.MarkPhase(); });
 }
 
 void Guest::Delay(sim::Time dt) {

@@ -121,6 +121,12 @@ class Runtime {
   /// (and consistent) even while traffic is in flight.
   stats::Recorder Totals() const;
 
+  /// Closes one time-series window on every hosted node's recorder: each
+  /// local node gets a counter-delta Sample stamped with the transport
+  /// clock (under its agent lock). Returns true if any node's counters
+  /// moved since the previous call. The first call only primes baselines.
+  bool SampleTimeseries();
+
   /// Closes the mailboxes and joins the dispatcher threads. Idempotent;
   /// the destructor calls it. All guests must be done first.
   void Shutdown();
@@ -178,6 +184,8 @@ class Guest final : public Exec {
   void Acquire(dsm::LockId lock);
   void Release(dsm::LockId lock);
   void Barrier(dsm::BarrierId barrier, std::uint32_t expected);
+  /// Arms this node's adaptation-latency clock (non-blocking).
+  void MarkPhase();
 
   // ---- Exec ----
 

@@ -1,0 +1,28 @@
+// Wire-message categories, matching the paper's Figure 5(b) breakdown plus
+// the categories the paper tracks but does not plot. Split out of stats.h
+// so the time-series sample (which carries per-category send counts) can
+// size its arrays without pulling in the whole recorder.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hmdsm::stats {
+
+enum class MsgCat : std::uint8_t {
+  kObj,     // object fault-in (request or plain reply), no migration
+  kMig,     // object reply that also transfers the home
+  kDiff,    // standalone diff propagation message
+  kRedir,   // redirection reply from an obsolete home
+  kSync,    // lock acquire/grant/release, barrier arrive/release
+  kNotify,  // new-home notification (home manager posts, broadcasts)
+  kInit,    // object placement at creation time (setup phase)
+  kCount,
+};
+
+constexpr std::size_t kNumMsgCats = static_cast<std::size_t>(MsgCat::kCount);
+
+std::string_view MsgCatName(MsgCat cat);
+
+}  // namespace hmdsm::stats

@@ -30,6 +30,7 @@ std::string_view EvName(Ev ev) {
     case Ev::kExclusiveHomeWrites: return "exclusive_home_writes";
     case Ev::kRedirectHops: return "redirect_hops";
     case Ev::kMigrations: return "migrations";
+    case Ev::kMigRejections: return "mig_rejections";
     case Ev::kTwinsCreated: return "twins_created";
     case Ev::kDiffsCreated: return "diffs_created";
     case Ev::kDiffsApplied: return "diffs_applied";
@@ -51,6 +52,7 @@ std::string_view LatName(Lat lat) {
     case Lat::kMailboxDwell: return "mailbox_dwell";
     case Lat::kSocketWrite: return "socket_write";
     case Lat::kMigFirstAccess: return "migration_first_access";
+    case Lat::kAdaptation: return "adaptation";
     case Lat::kCount: break;
   }
   return "?";
@@ -94,8 +96,44 @@ MsgTotals Recorder::TotalReceived() const {
 
 namespace {
 // v2: fault-in RTT + named latency histograms.
-constexpr std::uint8_t kRecorderSerdeVersion = 2;
+// v3: migration decision ledger + windowed time-series samples.
+constexpr std::uint8_t kRecorderSerdeVersion = 3;
 }  // namespace
+
+bool Recorder::SampleTimeseries(std::uint32_t node, std::int64_t now_ns) {
+  const std::uint64_t msgs = TotalMessages();
+  const std::uint64_t bytes = TotalBytes();
+  const std::uint64_t faults = Count(Ev::kFaultIns);
+  const std::uint64_t migrations = Count(Ev::kMigrations);
+  std::array<std::uint64_t, kNumMsgCats> cat_msgs{};
+  for (std::size_t c = 0; c < kNumMsgCats; ++c)
+    cat_msgs[c] = by_cat_[c].messages;
+
+  const bool moved = !cursor_.primed || msgs != cursor_.msgs ||
+                     bytes != cursor_.bytes || faults != cursor_.faults ||
+                     migrations != cursor_.migrations;
+  if (cursor_.primed) {
+    Sample s;
+    s.node = node;
+    s.at_ns = now_ns;
+    s.dt_ns = now_ns - cursor_.at_ns;
+    s.msgs = msgs - cursor_.msgs;
+    s.bytes = bytes - cursor_.bytes;
+    s.faults = faults - cursor_.faults;
+    s.migrations = migrations - cursor_.migrations;
+    for (std::size_t c = 0; c < kNumMsgCats; ++c)
+      s.cat_msgs[c] = cat_msgs[c] - cursor_.cat_msgs[c];
+    series_.Append(s);
+  }
+  cursor_.primed = true;
+  cursor_.at_ns = now_ns;
+  cursor_.msgs = msgs;
+  cursor_.bytes = bytes;
+  cursor_.faults = faults;
+  cursor_.migrations = migrations;
+  cursor_.cat_msgs = cat_msgs;
+  return moved;
+}
 
 void Recorder::Encode(Writer& w) const {
   w.u8(kRecorderSerdeVersion);
@@ -120,6 +158,8 @@ void Recorder::Encode(Writer& w) const {
   for (const Histogram& h : rtt_) h.Encode(w);
   w.u32(static_cast<std::uint32_t>(kNumLats));
   for (const Histogram& h : lat_) h.Encode(w);
+  ledger_.Encode(w);
+  series_.Encode(w);
 }
 
 Recorder Recorder::Decode(Reader& r) {
@@ -158,6 +198,8 @@ Recorder Recorder::Decode(Reader& r) {
   HMDSM_CHECK_MSG(lats == kNumLats,
                   "latency histogram count mismatch: " << lats);
   for (Histogram& h : rec.lat_) h = Histogram::Decode(r);
+  rec.ledger_ = DecisionLedger::Decode(r);
+  rec.series_ = Timeseries::Decode(r);
   return rec;
 }
 
@@ -168,6 +210,9 @@ void Recorder::Reset() {
   std::fill(received_by_node_.begin(), received_by_node_.end(), MsgTotals{});
   for (Histogram& h : rtt_) h.Reset();
   for (Histogram& h : lat_) h.Reset();
+  ledger_.Reset();
+  series_.Reset();
+  cursor_ = SampleCursor{};
 }
 
 void Recorder::Merge(const Recorder& other) {
@@ -190,6 +235,8 @@ void Recorder::Merge(const Recorder& other) {
   }
   for (std::size_t i = 0; i < kNumMsgCats; ++i) rtt_[i].Merge(other.rtt_[i]);
   for (std::size_t i = 0; i < kNumLats; ++i) lat_[i].Merge(other.lat_[i]);
+  ledger_.Merge(other.ledger_);
+  series_.Merge(other.series_);
 }
 
 }  // namespace hmdsm::stats

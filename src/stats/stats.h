@@ -8,27 +8,13 @@
 #include <string_view>
 #include <vector>
 
+#include "src/stats/decision.h"
 #include "src/stats/histogram.h"
+#include "src/stats/msgcat.h"
+#include "src/stats/timeseries.h"
 #include "src/util/serde.h"
 
 namespace hmdsm::stats {
-
-/// Wire-message categories, matching the paper's Figure 5(b) breakdown plus
-/// the categories the paper tracks but does not plot.
-enum class MsgCat : std::uint8_t {
-  kObj,     // object fault-in (request or plain reply), no migration
-  kMig,     // object reply that also transfers the home
-  kDiff,    // standalone diff propagation message
-  kRedir,   // redirection reply from an obsolete home
-  kSync,    // lock acquire/grant/release, barrier arrive/release
-  kNotify,  // new-home notification (home manager posts, broadcasts)
-  kInit,    // object placement at creation time (setup phase)
-  kCount,
-};
-
-constexpr std::size_t kNumMsgCats = static_cast<std::size_t>(MsgCat::kCount);
-
-std::string_view MsgCatName(MsgCat cat);
 
 /// Named protocol events (not wire messages).
 enum class Ev : std::uint8_t {
@@ -42,6 +28,7 @@ enum class Ev : std::uint8_t {
   kExclusiveHomeWrites, // paper's positive feedback E
   kRedirectHops,        // paper's negative feedback R (accumulated hops)
   kMigrations,          // completed home migrations
+  kMigRejections,       // policy consultations that decided to stay put
   kTwinsCreated,
   kDiffsCreated,
   kDiffsApplied,
@@ -70,6 +57,7 @@ enum class Lat : std::uint8_t {
   kMailboxDwell,     // mailbox enqueue -> dispatch (threads + sockets)
   kSocketWrite,      // one wire write(2) syscall (sockets writer threads)
   kMigFirstAccess,   // migration installed -> first home access
+  kAdaptation,       // workload phase marker -> first re-homing migration
   kCount,
 };
 
@@ -157,6 +145,20 @@ class Recorder {
     lat_[static_cast<std::size_t>(lat)].Merge(h);
   }
 
+  /// Appends one migration decision to the bounded audit ledger.
+  void RecordDecision(const Decision& d) { ledger_.Record(d); }
+  const DecisionLedger& Ledger() const { return ledger_; }
+
+  /// Closes a sampling window: appends the delta of this recorder's
+  /// counters since the previous call as a time-series sample tagged with
+  /// `node`. The first call only establishes the baseline (no sample).
+  /// Returns true if any counter moved since the previous call — the sim
+  /// backend's sampler uses this to stop its tick chain once the run goes
+  /// quiet. The delta cursor is transient bookkeeping: it does not travel
+  /// on the wire and does not participate in Merge.
+  bool SampleTimeseries(std::uint32_t node, std::int64_t now_ns);
+  const Timeseries& Series() const { return series_; }
+
   const MsgTotals& Cat(MsgCat cat) const {
     return by_cat_[static_cast<std::size_t>(cat)];
   }
@@ -199,6 +201,21 @@ class Recorder {
   std::vector<MsgTotals> received_by_node_;
   std::array<Histogram, kNumMsgCats> rtt_{};
   std::array<Histogram, kNumLats> lat_{};
+  DecisionLedger ledger_;
+  Timeseries series_;
+
+  /// Counter values at the close of the previous sampling window (local
+  /// bookkeeping for SampleTimeseries; never serialized or merged).
+  struct SampleCursor {
+    bool primed = false;
+    std::int64_t at_ns = 0;
+    std::uint64_t msgs = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t migrations = 0;
+    std::array<std::uint64_t, kNumMsgCats> cat_msgs{};
+  };
+  SampleCursor cursor_;
 };
 
 }  // namespace hmdsm::stats

@@ -1,0 +1,53 @@
+#include "src/stats/timeseries.h"
+
+namespace hmdsm::stats {
+
+void Sample::Encode(Writer& w) const {
+  w.u32(node);
+  w.i64(at_ns);
+  w.i64(dt_ns);
+  w.u64(msgs);
+  w.u64(bytes);
+  w.u64(faults);
+  w.u64(migrations);
+  for (std::uint64_t v : cat_msgs) w.u64(v);
+}
+
+Sample Sample::Decode(Reader& r) {
+  Sample s;
+  s.node = r.u32();
+  s.at_ns = r.i64();
+  s.dt_ns = r.i64();
+  s.msgs = r.u64();
+  s.bytes = r.u64();
+  s.faults = r.u64();
+  s.migrations = r.u64();
+  for (std::uint64_t& v : s.cat_msgs) v = r.u64();
+  return s;
+}
+
+void Timeseries::Merge(const Timeseries& other) {
+  dropped_ += other.dropped_;
+  for (const Sample& s : other.samples_) Append(s);
+}
+
+void Timeseries::Encode(Writer& w) const {
+  w.u64(dropped_);
+  w.u32(static_cast<std::uint32_t>(samples_.size()));
+  for (const Sample& s : samples_) s.Encode(w);
+}
+
+Timeseries Timeseries::Decode(Reader& r) {
+  Timeseries series;
+  series.dropped_ = r.u64();
+  // The sample count comes off the wire: bound it by the capacity and by
+  // the bytes actually present before any allocation.
+  const std::uint32_t count = r.u32();
+  HMDSM_CHECK_MSG(count <= kCapacity && count <= r.remaining() / kWireBytes,
+                  "timeseries sample count " << count << " is corrupt");
+  for (std::uint32_t i = 0; i < count; ++i)
+    series.samples_.push_back(Sample::Decode(r));
+  return series;
+}
+
+}  // namespace hmdsm::stats

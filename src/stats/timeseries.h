@@ -1,0 +1,84 @@
+// Windowed time-series of counter deltas: how a run's behavior evolves,
+// not just where it ends up. Each sample covers one sampling window on one
+// node and stores the *delta* of the node's recorder counters over that
+// window (messages, faults, migrations, per-category sends), so rates fall
+// out as delta / dt without the consumer having to difference totals.
+//
+// The series is bounded, mergeable (samples stay tagged with their node,
+// so a cluster merge is a concatenation), and travels inside recorder
+// snapshots between ranks — decode treats the input as hostile, bounding
+// the sample count against the remaining payload before any allocation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+
+#include "src/stats/msgcat.h"
+#include "src/util/serde.h"
+
+namespace hmdsm::stats {
+
+/// One sampling window on one node; all counters are deltas over the
+/// window, not totals.
+struct Sample {
+  std::uint32_t node = 0;
+  std::int64_t at_ns = 0;  // transport-clock time the window closed
+  std::int64_t dt_ns = 0;  // window length
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t migrations = 0;
+  std::array<std::uint64_t, kNumMsgCats> cat_msgs{};
+
+  /// Fixed-shape wire form (kWireBytes per sample).
+  void Encode(Writer& w) const;
+  static Sample Decode(Reader& r);
+
+  bool operator==(const Sample&) const = default;
+};
+
+/// Bounded sequence of samples from one node (or, after Merge, many).
+class Timeseries {
+ public:
+  /// Bound per recorder; at a 10ms floor on the poll interval this is
+  /// minutes of samples, and eviction is counted rather than silent.
+  static constexpr std::size_t kCapacity = 16384;
+
+  /// Bytes one encoded Sample occupies on the wire — the hostile-decode
+  /// bound for the sample count.
+  static constexpr std::size_t kWireBytes = 52 + 8 * kNumMsgCats;
+
+  void Append(const Sample& s) {
+    if (samples_.size() == kCapacity) {
+      samples_.pop_front();
+      ++dropped_;
+    }
+    samples_.push_back(s);
+  }
+
+  const std::deque<Sample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+  bool empty() const { return samples_.empty() && dropped_ == 0; }
+
+  void Reset() {
+    samples_.clear();
+    dropped_ = 0;
+  }
+
+  /// Concatenates another series (cluster gather); samples keep their node
+  /// tags, the capacity bound evicts oldest-first.
+  void Merge(const Timeseries& other);
+
+  void Encode(Writer& w) const;
+  static Timeseries Decode(Reader& r);
+
+  bool operator==(const Timeseries&) const = default;
+
+ private:
+  std::deque<Sample> samples_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace hmdsm::stats

@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 
+#include "src/stats/timeseries.h"
 #include "src/util/table.h"
 
 namespace hmdsm::trace {
@@ -23,6 +24,8 @@ std::string_view WhatName(What what) {
     case What::kHomeInstalled: return "home-installed";
     case What::kLockGranted: return "lock-granted";
     case What::kBarrierDone: return "barrier-done";
+    case What::kDecision: return "decision";
+    case What::kPhaseMark: return "phase-mark";
   }
   return "?";
 }
@@ -125,7 +128,8 @@ void WriteOneEvent(std::ostream& os, const Event& e, std::uint32_t pid) {
 }  // namespace
 
 void WriteChromeEvents(std::ostream& os, const std::vector<Event>& events,
-                       std::uint32_t pid, std::string_view process_name) {
+                       std::uint32_t pid, std::string_view process_name,
+                       const stats::Timeseries* series) {
   os << R"({"name":"process_name","ph":"M","pid":)" << pid
      << R"(,"args":{"name":)";
   WriteJsonString(os, process_name);
@@ -140,11 +144,41 @@ void WriteChromeEvents(std::ostream& os, const std::vector<Event>& events,
     WriteOneEvent(os, e, pid);
     os << '\n';
   }
+  if (series != nullptr) WriteChromeCounterEvents(os, *series, pid);
+}
+
+void WriteChromeCounterEvents(std::ostream& os,
+                              const stats::Timeseries& series,
+                              std::uint32_t pid) {
+  char buf[64];
+  for (const stats::Sample& s : series.samples()) {
+    const double dt_s = static_cast<double>(s.dt_ns) * 1e-9;
+    if (dt_s <= 0) continue;
+    const auto rate = [&](std::uint64_t v) {
+      std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(v) / dt_s);
+      return buf;
+    };
+    os << R"({"name":"rates node )" << s.node << R"(","ph":"C","ts":)";
+    WriteTs(os, s.at_ns);
+    os << R"(,"pid":)" << pid << R"(,"args":{"msgs_per_s":)" << rate(s.msgs)
+       << R"(,"faults_per_s":)" << rate(s.faults)
+       << R"(,"migrations_per_s":)" << rate(s.migrations) << "}}\n";
+    os << R"({"name":"sends node )" << s.node << R"(","ph":"C","ts":)";
+    WriteTs(os, s.at_ns);
+    os << R"(,"pid":)" << pid << R"(,"args":{)";
+    for (std::size_t c = 0; c < stats::kNumMsgCats; ++c) {
+      if (c != 0) os << ',';
+      os << '"' << stats::MsgCatName(static_cast<stats::MsgCat>(c))
+         << "\":" << s.cat_msgs[c];
+    }
+    os << "}}\n";
+  }
 }
 
 bool WriteChromeTraceFile(const std::string& path,
                           const std::vector<Event>& events, std::uint32_t pid,
-                          std::string_view process_name) {
+                          std::string_view process_name,
+                          const stats::Timeseries* series) {
   EnsureParentDir(path);
   std::ofstream os(path);
   if (!os) {
@@ -152,7 +186,7 @@ bool WriteChromeTraceFile(const std::string& path,
     return false;
   }
   std::ostringstream lines;
-  WriteChromeEvents(lines, events, pid, process_name);
+  WriteChromeEvents(lines, events, pid, process_name, series);
   os << "{\"traceEvents\":[";
   bool first = true;
   std::istringstream in(lines.str());
@@ -172,7 +206,8 @@ std::string ShardPath(const std::string& path, std::uint32_t rank) {
 
 bool WriteChromeShard(const std::string& path, std::uint32_t rank,
                       const std::vector<Event>& events,
-                      std::string_view process_name) {
+                      std::string_view process_name,
+                      const stats::Timeseries* series) {
   const std::string shard = ShardPath(path, rank);
   EnsureParentDir(shard);
   std::ofstream os(shard);
@@ -180,7 +215,7 @@ bool WriteChromeShard(const std::string& path, std::uint32_t rank,
     std::fprintf(stderr, "trace: cannot write %s\n", shard.c_str());
     return false;
   }
-  WriteChromeEvents(os, events, rank, process_name);
+  WriteChromeEvents(os, events, rank, process_name, series);
   return static_cast<bool>(os);
 }
 

@@ -24,6 +24,10 @@
 
 #include "src/dsm/types.h"
 
+namespace hmdsm::stats {
+class Timeseries;
+}  // namespace hmdsm::stats
+
 namespace hmdsm::trace {
 
 enum class What : std::uint8_t {
@@ -37,6 +41,10 @@ enum class What : std::uint8_t {
   kHomeInstalled,  // migration reply installed (node = new home)
   kLockGranted,    // manager granted (node = manager, peer = holder)
   kBarrierDone,    // barrier released (node = manager)
+  kDecision,       // migration policy consulted (node = home, peer =
+                   // requester, value = live threshold scaled by 1000,
+                   // negative when the verdict was "stay")
+  kPhaseMark,      // workload phase transition (node = marking worker)
 };
 
 std::string_view WhatName(What what);
@@ -109,15 +117,26 @@ class Trace {
 /// Writes one Chrome trace-event JSON object per line (no separators): the
 /// shard format one rank of a multi-process mesh emits. `pid` becomes the
 /// Perfetto process track (rank), each event's node the thread track.
-/// `process_name` labels the pid track via a metadata event.
+/// `process_name` labels the pid track via a metadata event. When `series`
+/// is non-null its samples are appended as Chrome counter events
+/// (`"ph":"C"`) so Perfetto renders per-node rate tracks alongside the
+/// instant events.
 void WriteChromeEvents(std::ostream& os, const std::vector<Event>& events,
-                       std::uint32_t pid, std::string_view process_name);
+                       std::uint32_t pid, std::string_view process_name,
+                       const stats::Timeseries* series = nullptr);
+
+/// Writes the time-series as Chrome counter events, one "rates node N" and
+/// one "sends node N" track per node tag found in the samples.
+void WriteChromeCounterEvents(std::ostream& os,
+                              const stats::Timeseries& series,
+                              std::uint32_t pid);
 
 /// Writes a complete, Perfetto-loadable `{"traceEvents":[...]}` file.
 /// Returns false (and reports on stderr) if the file cannot be written.
 bool WriteChromeTraceFile(const std::string& path,
                           const std::vector<Event>& events, std::uint32_t pid,
-                          std::string_view process_name);
+                          std::string_view process_name,
+                          const stats::Timeseries* series = nullptr);
 
 /// The shard path rank `rank` of a mesh writes its events to.
 std::string ShardPath(const std::string& path, std::uint32_t rank);
@@ -125,7 +144,8 @@ std::string ShardPath(const std::string& path, std::uint32_t rank);
 /// Writes one rank's shard (newline-delimited event objects).
 bool WriteChromeShard(const std::string& path, std::uint32_t rank,
                       const std::vector<Event>& events,
-                      std::string_view process_name);
+                      std::string_view process_name,
+                      const stats::Timeseries* series = nullptr);
 
 /// Merges per-rank shards `path.rank0..path.rank<nodes-1>` into one
 /// Perfetto-loadable trace at `path`, then removes the shards. Missing

@@ -215,6 +215,11 @@ Scenario PhasedWriter(const PatternParams& p) {
     for (std::uint32_t phase = 0; phase < phases; ++phase) {
       const std::uint32_t writer = (phase / kPhasedHold) % kW;
       if (writer == w) {
+        // The first epoch after a writer rotation is the phase transition:
+        // mark it so the adaptation-latency clock starts on the incoming
+        // writer's node (the node the homes should re-home toward).
+        if (phase > 0 && phase % kPhasedHold == 0)
+          prog.push_back({OpKind::kPhaseMark, 0, 0});
         for (std::uint32_t o = 0; o < p.objects; ++o)
           for (int k = 0; k < kPhasedWrites; ++k) LockedWrite(prog, o);
       }

@@ -107,6 +107,9 @@ class AgentShimT {
       case OpKind::kDelay:
         env_.Delay(static_cast<sim::Time>(op.arg));
         break;
+      case OpKind::kPhaseMark:
+        env_.PhaseMark();
+        break;
     }
     ++ordinal_;
     if (recorder_ != nullptr) recorder_->Record(worker_, op);

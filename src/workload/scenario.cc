@@ -12,7 +12,8 @@ namespace {
 // Trace framing: magic + format version. Bump the version on any layout
 // change; Decode rejects mismatches loudly instead of misparsing.
 constexpr std::uint32_t kTraceMagic = 0x4C574D48;  // "HMWL"
-constexpr std::uint16_t kTraceVersion = 1;
+// v2: kPhaseMark ops (workload phase-transition markers).
+constexpr std::uint16_t kTraceVersion = 2;
 
 }  // namespace
 
@@ -24,6 +25,7 @@ std::string_view OpKindName(OpKind kind) {
     case OpKind::kRelease: return "release";
     case OpKind::kBarrier: return "barrier";
     case OpKind::kDelay: return "delay";
+    case OpKind::kPhaseMark: return "phase_mark";
   }
   return "?";
 }
@@ -89,7 +91,7 @@ Scenario Scenario::Decode(Reader& r) {
     worker.program.resize(bounded(r.u32(), 13));
     for (Op& op : worker.program) {
       const std::uint8_t kind = r.u8();
-      HMDSM_CHECK_MSG(kind <= static_cast<std::uint8_t>(OpKind::kDelay),
+      HMDSM_CHECK_MSG(kind <= static_cast<std::uint8_t>(OpKind::kPhaseMark),
                       "bad op kind " << int{kind} << " in trace");
       op.kind = static_cast<OpKind>(kind);
       op.id = r.u32();
@@ -143,6 +145,7 @@ void ValidateScenario(const Scenario& s) {
                                                 << " workers");
           break;
         case OpKind::kDelay:
+        case OpKind::kPhaseMark:
           break;
       }
     }

@@ -34,8 +34,9 @@ enum class OpKind : std::uint8_t {
   kWrite,    // coherence write of object `id`; arg = dirty-byte count (0=all)
   kAcquire,  // acquire lock `id`
   kRelease,  // release lock `id`
-  kBarrier,  // barrier `id`; arg = expected number of arrivals
-  kDelay,    // local computation; arg = virtual nanoseconds
+  kBarrier,   // barrier `id`; arg = expected number of arrivals
+  kDelay,     // local computation; arg = virtual nanoseconds
+  kPhaseMark, // access-pattern phase transition (adaptation-latency clock)
 };
 
 std::string_view OpKindName(OpKind kind);

@@ -184,7 +184,7 @@ TEST(NetioFrameDefense, CorruptRecorderTableIsRejected) {
   w.u8(static_cast<std::uint8_t>(FrameType::kStatsReply));
   w.u64(1);  // tag
   w.u32(0);  // node
-  w.u8(2);   // recorder serde version (v2: + latency histograms)
+  w.u8(3);   // recorder serde version (v3: + decision ledger, timeseries)
   w.u32(static_cast<std::uint32_t>(stats::kNumMsgCats));
   for (std::size_t i = 0; i < stats::kNumMsgCats; ++i) {
     w.u64(0);
@@ -234,7 +234,7 @@ TEST(NetioFrameDefense, HostileHistogramBucketCountIsRejected) {
   w.u64(1);  // seq
   w.u32(0);  // node
   w.u64(0);  // now_ns
-  w.u8(2);   // recorder serde version
+  w.u8(3);   // recorder serde version
   w.u32(static_cast<std::uint32_t>(stats::kNumMsgCats));
   for (std::size_t i = 0; i < stats::kNumMsgCats; ++i) {
     w.u64(0);

@@ -43,6 +43,7 @@
 #include "src/apps/synthetic.h"
 #include "src/apps/tsp.h"
 #include "src/netio/launcher.h"
+#include "src/stats/json.h"
 #include "src/trace/trace.h"
 #include "src/util/flags.h"
 #include "src/util/table.h"
@@ -69,8 +70,14 @@ int Usage(const char* error) {
       "             --inject-latency [--inject-scale=F] (threads only)\n"
       "  observe:   --trace-out=FILE   Chrome/Perfetto trace JSON (sockets:\n"
       "               one shard per rank, merged by the launching parent)\n"
-      "             --poll-interval=S  live stats polls every S seconds\n"
-      "               (sockets only; printed to stderr by the lead rank)\n"
+      "             --poll-interval=S  time-series sampling every S seconds\n"
+      "               (>= 0.01; sockets: the lead also polls every rank and\n"
+      "               prints a live cluster ops/s line to stderr)\n"
+      "             --poll-out=FILE    persist the lead's live poll\n"
+      "               snapshots as JSON (sockets only)\n"
+      "             --audit=0|1        migration decision ledger (default on)\n"
+      "             --audit-out=FILE   dump the cluster-merged decision\n"
+      "               ledger as JSON (reporting rank)\n"
       "             --histograms=0|1   latency histograms (default on)\n"
       "  asp/sor:   --size=N   (sor: --iterations=N)\n"
       "  nbody:     --bodies=N --steps=N\n"
@@ -112,12 +119,14 @@ void PrintLatencies(const gos::RunReport& r) {
   add("mailbox dwell", r.mailbox_dwell);
   add("socket write", r.socket_write_ns);
   add("migration first access", r.migration_first_access);
+  add("adaptation", r.adaptation);
   if (t.rows() == 0) return;
   std::printf("\n");
   t.Print(std::cout);
 }
 
-void PrintReport(const gos::RunReport& r, bool wall_clock = false) {
+void PrintReport(const gos::RunReport& r, bool wall_clock = false,
+                 const std::string& audit_out = {}) {
   std::printf("\n%s execution time: %s\n", wall_clock ? "wall-clock" : "virtual",
               FmtSeconds(r.seconds).c_str());
   Table t({"category", "messages", "bytes"});
@@ -132,14 +141,21 @@ void PrintReport(const gos::RunReport& r, bool wall_clock = false) {
             FmtBytes(static_cast<double>(r.bytes))});
   t.Print(std::cout);
   std::printf(
-      "\nmigrations=%llu redirect-hops=%llu diffs=%llu fault-ins=%llu "
-      "exclusive-home-writes=%llu\n",
+      "\nmigrations=%llu rejections=%llu redirect-hops=%llu diffs=%llu "
+      "fault-ins=%llu exclusive-home-writes=%llu\n",
       static_cast<unsigned long long>(r.migrations),
+      static_cast<unsigned long long>(r.mig_rejections),
       static_cast<unsigned long long>(r.redirect_hops),
       static_cast<unsigned long long>(r.diffs_created),
       static_cast<unsigned long long>(r.fault_ins),
       static_cast<unsigned long long>(r.exclusive_home_writes));
   PrintLatencies(r);
+  if (!audit_out.empty() && stats::WriteAuditFile(audit_out, r.ledger)) {
+    std::printf("audit ledger (%zu decisions, %llu dropped) -> %s\n",
+                r.ledger.size(),
+                static_cast<unsigned long long>(r.ledger.dropped()),
+                audit_out.c_str());
+  }
 }
 
 /// The scenario a `--app=scenario` invocation will run. Deterministic, so
@@ -216,7 +232,7 @@ int RunApp(const Flags& flags, gos::VmOptions vm, const std::string& app,
       if (reporting) {
         std::printf("checksum: %llu\n",
                     static_cast<unsigned long long>(res.checksum));
-        PrintReport(res.report, wall_clock);
+        PrintReport(res.report, wall_clock, vm.audit_out);
       }
     } else if (app == "sor") {
       apps::SorConfig cfg;
@@ -227,7 +243,7 @@ int RunApp(const Flags& flags, gos::VmOptions vm, const std::string& app,
       const auto res = apps::RunSor(vm, cfg);
       if (reporting) {
         std::printf("checksum: %.6f\n", res.checksum);
-        PrintReport(res.report, wall_clock);
+        PrintReport(res.report, wall_clock, vm.audit_out);
       }
     } else if (app == "nbody") {
       apps::NbodyConfig cfg;
@@ -238,7 +254,7 @@ int RunApp(const Flags& flags, gos::VmOptions vm, const std::string& app,
       const auto res = apps::RunNbody(vm, cfg);
       if (reporting) {
         std::printf("position checksum: %.6f\n", res.position_checksum);
-        PrintReport(res.report, wall_clock);
+        PrintReport(res.report, wall_clock, vm.audit_out);
       }
     } else if (app == "tsp") {
       apps::TspConfig cfg;
@@ -248,7 +264,7 @@ int RunApp(const Flags& flags, gos::VmOptions vm, const std::string& app,
       const auto res = apps::RunTsp(vm, cfg);
       if (reporting) {
         std::printf("best tour length: %d\n", res.best_length);
-        PrintReport(res.report, wall_clock);
+        PrintReport(res.report, wall_clock, vm.audit_out);
       }
     } else if (app == "synthetic") {
       apps::SyntheticConfig cfg;
@@ -261,7 +277,7 @@ int RunApp(const Flags& flags, gos::VmOptions vm, const std::string& app,
       if (reporting) {
         std::printf("final count: %lld (turns: %d)\n",
                     static_cast<long long>(res.final_count), res.turns_taken);
-        PrintReport(res.report, wall_clock);
+        PrintReport(res.report, wall_clock, vm.audit_out);
       }
     } else if (app == "scenario") {
       const workload::Scenario scenario =
@@ -282,7 +298,7 @@ int RunApp(const Flags& flags, gos::VmOptions vm, const std::string& app,
                           res.recorded.total_ops()),
                       record.c_str());
         }
-        PrintReport(res.report, wall_clock);
+        PrintReport(res.report, wall_clock, vm.audit_out);
       }
     } else {
       return Usage("unknown --app");
@@ -339,9 +355,16 @@ int main(int argc, char** argv) {
   vm.inject_scale = flags.GetDouble("inject-scale", 1.0);
   vm.histograms = flags.GetBool("histograms", true);
   vm.trace_out = flags.Get("trace-out");
+  vm.dsm.audit = flags.GetBool("audit", true);
+  vm.audit_out = flags.Get("audit-out");
   vm.poll_interval_s = flags.GetDouble("poll-interval", 0.0);
-  if (vm.poll_interval_s > 0 && vm.backend != gos::Backend::kSockets)
-    return Usage("--poll-interval needs --backend=sockets");
+  // Sub-second sampling is fine, but a pathological interval (microseconds)
+  // would make the sampler the workload; clamp to 10ms.
+  if (vm.poll_interval_s > 0 && vm.poll_interval_s < 0.01)
+    vm.poll_interval_s = 0.01;
+  vm.poll_out = flags.Get("poll-out");
+  if (!vm.poll_out.empty() && vm.backend != gos::Backend::kSockets)
+    return Usage("--poll-out needs --backend=sockets (the live poll plane)");
   const std::string rejection = gos::ValidateBackendRequest(
       vm.backend, app, flags.Has("record"), vm.inject_latency);
   if (!rejection.empty()) return Usage(rejection.c_str());
