@@ -25,6 +25,12 @@
 // --objects/--bytes override the defaults; CSV + JSON land in results/.
 // --trace-out=FILE captures a Chrome/Perfetto trace of the first sockets
 // run (one shard per rank, merged by the fork parent).
+//
+// --scaling runs the order-of-magnitude sweep instead: the hotspot pattern
+// at 4/8/16/32/64/128 ranks, hosting multiple ranks per OS process so the
+// process count stays at most 8 regardless of rank count (the epoll
+// reactor keeps the per-process thread count flat too). ops/s and us/msg
+// per rank count land in results/scaling.json.
 #include <unistd.h>
 
 #include <cstdio>
@@ -183,13 +189,14 @@ MeshMetrics FromReport(const gos::RunReport& report, std::uint64_t checksum,
 /// returns the lead's metrics via a pipe. False when any rank failed. With
 /// `trace_path` set, every rank writes a Chrome trace shard on teardown
 /// and the parent merges them into one Perfetto-loadable file.
-bool RunOnMesh(std::size_t nodes, bool batch, const std::string& trace_path,
+bool RunOnMesh(std::size_t nodes, std::size_t ranks_per_proc, bool batch,
+               const std::string& trace_path,
                const std::function<MeshMetrics(gos::VmOptions)>& lead_metrics,
                MeshMetrics* out) {
   int fds[2];
   if (::pipe(fds) != 0) return false;
-  const int status =
-      netio::RunLocalMesh(nodes, [&](const netio::LocalRank& self) {
+  const int status = netio::RunLocalMesh(
+      nodes, ranks_per_proc, [&](const netio::LocalRank& self) {
         ::close(fds[0]);
         gos::VmOptions vm;
         vm.nodes = self.peers.size();
@@ -197,6 +204,7 @@ bool RunOnMesh(std::size_t nodes, bool batch, const std::string& trace_path,
         vm.backend = gos::Backend::kSockets;
         vm.sockets.rank = self.rank;
         vm.sockets.peers = self.peers;
+        vm.sockets.ranks_per_proc = self.ranks_per_proc;
         vm.sockets.listen_fd = self.listen_fd;
         vm.sockets.batch_frames = batch;
         vm.trace_out = trace_path;
@@ -247,6 +255,129 @@ double OpsPerSec(const MeshMetrics& m) {
   return m.seconds > 0 ? static_cast<double>(m.ops) / m.seconds : 0.0;
 }
 
+/// The --scaling sweep: the hotspot pattern at growing rank counts, each
+/// run packed into at most eight OS processes via multi-rank hosting, with
+/// every checksum verified against the sim. Emits results/scaling.json.
+int RunScalingSweep(const Flags& flags, bool smoke) {
+  std::vector<std::size_t> counts = {4, 8, 16, 32, 64, 128};
+  if (smoke) counts = {4, 8};
+  const auto reps = static_cast<std::uint32_t>(
+      flags.GetInt("reps", smoke ? 4 : 30));
+  const std::size_t max_procs =
+      static_cast<std::size_t>(flags.GetInt("max-procs", 8));
+
+  struct ScalePoint {
+    std::size_t nodes = 0;
+    std::size_t ranks_per_proc = 0;
+    std::size_t procs = 0;
+    MeshMetrics m;
+    bool ok = false;
+    bool checksum_ok = false;
+  };
+  std::vector<ScalePoint> points;
+  bool all_ok = true;
+
+  std::printf("scaling sweep: hotspot reps=%u, <=%zu processes per run\n\n",
+              reps, max_procs);
+  for (const std::size_t n : counts) {
+    ScalePoint pt;
+    pt.nodes = n;
+    pt.ranks_per_proc = (n + max_procs - 1) / max_procs;
+    pt.procs = (n + pt.ranks_per_proc - 1) / pt.ranks_per_proc;
+
+    workload::PatternParams params;
+    params.pattern = "hotspot";
+    params.nodes = static_cast<std::uint32_t>(n);
+    params.objects = static_cast<std::uint32_t>(flags.GetInt("objects", 4));
+    params.object_bytes =
+        static_cast<std::uint32_t>(flags.GetInt("bytes", 256));
+    params.repetitions = reps;
+    params.seed = 1;
+    const workload::Scenario scenario =
+        StripDelays(workload::GeneratePattern(params));
+
+    gos::VmOptions sim_opts;
+    sim_opts.nodes = n;
+    sim_opts.dsm.policy = "AT";
+    const workload::ScenarioResult sim =
+        workload::RunScenario(sim_opts, scenario);
+
+    pt.ok = RunOnMesh(
+        n, pt.ranks_per_proc, /*batch=*/true, /*trace_path=*/{},
+        [&](gos::VmOptions vm) {
+          const workload::ScenarioResult res =
+              workload::RunScenario(vm, scenario);
+          return FromReport(res.report, res.checksum, res.ops_executed);
+        },
+        &pt.m);
+    pt.checksum_ok = pt.ok && pt.m.checksum == sim.checksum;
+    all_ok = all_ok && pt.ok && pt.checksum_ok;
+    points.push_back(pt);
+    std::printf("  %3zu ranks / %zu procs (rpp=%zu): %s\n", n, pt.procs,
+                pt.ranks_per_proc,
+                pt.ok ? (pt.checksum_ok ? "ok" : "CHECKSUM MISMATCH")
+                      : "FAILED");
+  }
+
+  Table t({"ranks", "procs", "rpp", "wall ms", "ops/sec", "msgs", "us/msg",
+           "writes", "frames", "data"});
+  for (const ScalePoint& p : points) {
+    if (!p.ok) {
+      t.AddRow({FmtI(static_cast<long long>(p.nodes)),
+                FmtI(static_cast<long long>(p.procs)),
+                FmtI(static_cast<long long>(p.ranks_per_proc)), "-", "-",
+                "-", "-", "-", "-", "FAILED"});
+      continue;
+    }
+    t.AddRow({FmtI(static_cast<long long>(p.nodes)),
+              FmtI(static_cast<long long>(p.procs)),
+              FmtI(static_cast<long long>(p.ranks_per_proc)),
+              FmtF(p.m.seconds * 1e3, 2),
+              FmtI(static_cast<long long>(OpsPerSec(p.m))),
+              FmtI(static_cast<long long>(p.m.messages)),
+              FmtF(UsPerMsg(p.m), 2),
+              FmtI(static_cast<long long>(p.m.socket_writes)),
+              FmtI(static_cast<long long>(p.m.wire_frames)),
+              p.checksum_ok ? "ok" : "MISMATCH"});
+  }
+  std::printf("\n");
+  t.Print(std::cout);
+
+  const std::string json_path = bench::JsonPath("scaling");
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    JsonWriter j(os);
+    j.BeginObject();
+    j.Key("bench").String("scaling");
+    j.Key("smoke").Bool(smoke);
+    j.Key("pattern").String("hotspot");
+    j.Key("repetitions").Uint(reps);
+    j.Key("max_procs").Uint(max_procs);
+    j.Key("points").BeginArray();
+    for (const ScalePoint& p : points) {
+      j.BeginObject();
+      j.Key("ranks").Uint(p.nodes);
+      j.Key("processes").Uint(p.procs);
+      j.Key("ranks_per_proc").Uint(p.ranks_per_proc);
+      j.Key("ok").Bool(p.ok);
+      j.Key("checksum_ok").Bool(p.checksum_ok);
+      j.Key("wall_seconds").Double(p.m.seconds);
+      j.Key("ops").Uint(p.m.ops);
+      j.Key("ops_per_sec").Double(OpsPerSec(p.m));
+      j.Key("messages").Uint(p.m.messages);
+      j.Key("us_per_msg").Double(UsPerMsg(p.m));
+      j.Key("socket_writes").Uint(p.m.socket_writes);
+      j.Key("wire_frames").Uint(p.m.wire_frames);
+      j.Key("wire_frames_coalesced").Uint(p.m.wire_frames_coalesced);
+      j.EndObject();
+    }
+    j.EndArray();
+    j.EndObject();
+    std::printf("\njson summary -> %s\n", json_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -256,6 +387,8 @@ int main(int argc, char** argv) {
   bench::Banner("mesh throughput",
                 "fig2/fig6 workloads on the forked multi-process TCP mesh "
                 "vs Hockney-injected threads");
+
+  if (flags.GetBool("scaling", false)) return RunScalingSweep(flags, smoke);
 
   workload::PatternParams params;
   params.nodes = static_cast<std::uint32_t>(flags.GetInt("nodes", 4));
@@ -313,7 +446,7 @@ int main(int argc, char** argv) {
       r.config = batch ? "sockets_batch" : "sockets_nobatch";
       const std::string trace_path = std::exchange(pending_trace, {});
       r.ok = RunOnMesh(
-          params.nodes, batch, trace_path,
+          params.nodes, /*ranks_per_proc=*/1, batch, trace_path,
           [&](gos::VmOptions vm) {
             const workload::ScenarioResult res =
                 workload::RunScenario(vm, scenario);
@@ -346,7 +479,7 @@ int main(int argc, char** argv) {
       r.config = batch ? "sockets_batch" : "sockets_nobatch";
       const std::string trace_path = std::exchange(pending_trace, {});
       r.ok = RunOnMesh(
-          params.nodes, batch, trace_path,
+          params.nodes, /*ranks_per_proc=*/1, batch, trace_path,
           [&](gos::VmOptions vm) {
             const auto res = apps::RunAsp(vm, cfg);
             return FromReport(res.report, res.checksum, 0);
@@ -385,7 +518,8 @@ int main(int argc, char** argv) {
       r.workload = "phased_churn";
       r.config = audit ? "sockets_audit" : "sockets_noaudit";
       r.ok = RunOnMesh(
-          params.nodes, /*batch=*/true, /*trace_path=*/{},
+          params.nodes, /*ranks_per_proc=*/1, /*batch=*/true,
+          /*trace_path=*/{},
           [&](gos::VmOptions vm) {
             vm.dsm.audit = audit;
             // Below the CLI's 10ms floor on purpose: the bench wants several

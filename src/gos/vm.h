@@ -194,8 +194,17 @@ struct VmOptions {
   /// list, and `nodes` must equal its size). `listen_fd` optionally adopts
   /// a pre-bound listening socket (the self-fork launcher).
   struct SocketsConfig {
+    /// This process's primary (lowest hosted) rank; a multiple of
+    /// ranks_per_proc.
     std::uint32_t rank = 0;
     std::vector<std::string> peers;
+    /// Consecutive ranks this process hosts (one agent + dispatcher each);
+    /// every process in the mesh must agree. `--nodes=128
+    /// --ranks-per-proc=16` runs the cluster in 8 OS processes.
+    std::size_t ranks_per_proc = 1;
+    /// Epoll-reactor I/O threads servicing the peer sockets — per-process
+    /// thread cost independent of rank count.
+    std::size_t io_threads = 4;
     int listen_fd = -1;
     /// Adaptive frame batching on the per-peer writer queues (coalesce a
     /// backlog of small frames into one wire write). On by default; off
@@ -314,7 +323,10 @@ class VmBackend {
   virtual BarrierId CreateBarrier(NodeId manager) = 0;
   virtual void ResetMeasurement() = 0;
   virtual double ElapsedSeconds() const = 0;
-  virtual RunReport Report() const = 0;
+  /// Non-const: the sockets backend's report is a cluster-wide *gather*
+  /// (control-plane round trips that mutate coordinator state), not a
+  /// local read.
+  virtual RunReport Report() = 0;
 
   /// Whether this process reports results (always, except sockets-backend
   /// ghost replicas — every rank but the start node).
@@ -397,7 +409,7 @@ class Vm {
   void ResetMeasurement() { impl_->ResetMeasurement(); }
 
   /// Metrics accumulated since the last ResetMeasurement().
-  RunReport Report() const { return impl_->Report(); }
+  RunReport Report() { return impl_->Report(); }
 
   /// Seconds since the last ResetMeasurement(): virtual on the simulator,
   /// wall-clock on the threads backend.

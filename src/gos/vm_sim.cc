@@ -140,7 +140,7 @@ class SimBackend final : public VmBackend {
     return sim::ToSeconds(cluster_.kernel().now() - measure_start_);
   }
 
-  RunReport Report() const override {
+  RunReport Report() override {
     return MakeRunReport(cluster_.Totals(), ElapsedSeconds());
   }
 

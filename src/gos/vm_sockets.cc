@@ -1,19 +1,22 @@
-// The multi-process sockets backend behind the gos::Vm facade: one OS
-// process per cluster node, protocol traffic over a TCP mesh
-// (netio::SocketTransport), control plane via netio::Coordinator.
+// The multi-process sockets backend behind the gos::Vm facade: each OS
+// process hosts `ranks_per_proc` consecutive cluster nodes, protocol
+// traffic over a TCP mesh (netio::SocketTransport), control plane via
+// netio::Coordinator.
 //
-// Execution model (SPMD with a lead): every rank runs the identical
+// Execution model (SPMD with a lead): every process runs the identical
 // application program. Setup — object/lock/barrier creation and the spawn
 // sequence — replicates deterministically, so ids and thread closures
 // exist in every process without shipping code over the wire. Only the
-// start-node rank ("lead") executes real main-thread DSM operations; on
-// the other ranks the main replica is a ghost whose operations are no-ops
-// (its reads return nothing, which is why only the lead's results are
+// process hosting the start node (the "lead" process) executes real
+// main-thread DSM operations, on the start-node rank itself; on the other
+// processes the main replica is a ghost whose operations are no-ops (its
+// reads return nothing, which is why only the lead's results are
 // meaningful — Vm::reporting()). A spawned body runs for real exactly on
-// the rank it is dispatched to, gated on the lead's StartThread frame so
-// no worker can race ahead of the lead's acknowledged setup; completion
-// (plus the body's published result and any error) travels back to the
-// lead on a ThreadDone frame, which is what the lead's Join blocks on.
+// the rank it is dispatched to; bodies hosted by non-lead processes are
+// gated on the lead's StartThread frame so no worker can race ahead of
+// the lead's acknowledged setup; completion (plus the body's published
+// result and any error) travels back to the lead on a ThreadDone frame,
+// which is what the lead's Join blocks on.
 //
 // End of run: the lead waits for every spawned body everywhere, drives
 // cluster-wide quiescence, then runs the shutdown barrier; every rank acks
@@ -101,10 +104,16 @@ netio::SocketTransportOptions ToSocketOptions(const VmOptions& o) {
   netio::SocketTransportOptions s;
   s.rank = o.sockets.rank;
   s.peers = o.sockets.peers;
+  s.ranks_per_proc = o.sockets.ranks_per_proc;
+  s.io_threads = o.sockets.io_threads;
   s.listen_fd = o.sockets.listen_fd;
   s.batch_frames = o.sockets.batch_frames;
   s.measure_latency = o.histograms;
   return s;
+}
+
+std::vector<dsm::NodeId> LocalRanks(const netio::SocketTransport& t) {
+  return {t.local_ranks().begin(), t.local_ranks().end()};
 }
 
 class SocketsBackend final : public VmBackend {
@@ -114,9 +123,9 @@ class SocketsBackend final : public VmBackend {
         options_(options),
         transport_(ToSocketOptions(options)),
         rt_(ToRuntimeOptions(options, &trace_), transport_,
-            options.sockets.rank),
+            LocalRanks(transport_)),
         coord_(transport_, rt_, options.start_node),
-        lead_(transport_.rank() == options.start_node) {
+        lead_(transport_.is_local(options.start_node)) {
     if (!options_.trace_out.empty()) trace_.Enable();
     transport_.Start();
     transport_.AwaitConnected();
@@ -143,7 +152,9 @@ class SocketsBackend final : public VmBackend {
     }
     if (lead_) {
       {
-        runtime::Guest guest(rt_, transport_.rank(), "main");
+        // The real main runs on the start node itself, which this (lead)
+        // process hosts — not necessarily as its primary rank.
+        runtime::Guest guest(rt_, options_.start_node, "main");
         GuestEnv env(vm_, guest);
         try {
           main(env);
@@ -182,7 +193,7 @@ class SocketsBackend final : public VmBackend {
     SockThread* t = &threads_.back();
     t->seq_ = next_seq_++;
     t->node_ = node;
-    t->local_ = node == transport_.rank();
+    t->local_ = rt_.hosts(node);
     if (name.empty()) name = "thread" + std::to_string(next_thread_idx_);
     ++next_thread_idx_;
     name += "@n" + std::to_string(node);
@@ -292,13 +303,13 @@ class SocketsBackend final : public VmBackend {
 
   double ElapsedSeconds() const override { return rt_.ElapsedSeconds(); }
 
-  RunReport Report() const override {
+  RunReport Report() override {
     // Every recorder snapshot (local or gathered) already carries the wire
     // counters and write-latency histogram its transport folded in, so the
-    // lead's report shows cluster totals — not lead-rank-only numbers.
-    return lead_ ? MakeRunReport(
-                       const_cast<netio::Coordinator&>(coord_).GatherStats(),
-                       rt_.ElapsedSeconds())
+    // lead's report shows cluster totals — not lead-process-only numbers.
+    // GatherStats is a genuine mutation (control-plane round trips), which
+    // is why Report() is non-const across the backends.
+    return lead_ ? MakeRunReport(coord_.GatherStats(), rt_.ElapsedSeconds())
                  : MakeRunReport(rt_.Totals(), rt_.ElapsedSeconds());
   }
 
@@ -390,9 +401,15 @@ class SocketsBackend final : public VmBackend {
     // rank's own time-series rides along as counter tracks (pid = rank).
     if (!options_.trace_out.empty()) {
       const stats::Timeseries series = rt_.Totals().Series();
-      trace::WriteChromeShard(
-          options_.trace_out, transport_.rank(), trace_.events(),
-          "hmdsm rank " + std::to_string(transport_.rank()), &series);
+      const net::NodeId first = transport_.local_ranks().front();
+      const net::NodeId last = transport_.local_ranks().back();
+      const std::string label =
+          first == last
+              ? "hmdsm rank " + std::to_string(first)
+              : "hmdsm ranks " + std::to_string(first) + "-" +
+                    std::to_string(last);
+      trace::WriteChromeShard(options_.trace_out, transport_.rank(),
+                              trace_.events(), label, &series);
     }
   }
 

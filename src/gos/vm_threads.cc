@@ -163,10 +163,9 @@ class ThreadsBackend final : public VmBackend {
 
   void ResetMeasurement() override { rt_.ResetMeasurement(); }
   double ElapsedSeconds() const override { return rt_.ElapsedSeconds(); }
-  RunReport Report() const override {
+  RunReport Report() override {
     RunReport r = MakeRunReport(rt_.Totals(), rt_.ElapsedSeconds());
-    r.hol_inherited =
-        const_cast<runtime::Runtime&>(rt_).transport().hol_inherited();
+    r.hol_inherited = rt_.transport().hol_inherited();
     return r;
   }
 

@@ -36,7 +36,13 @@ Coordinator::~Coordinator() { StopPolling(); }
 template <typename Pred>
 void Coordinator::WaitFor(std::unique_lock<std::mutex>& lock, Pred pred,
                           const char* what) {
-  HMDSM_CHECK_MSG(cv_.wait_for(lock, kControlTimeout, pred),
+  // The base allowance plus a per-rank term: a 128-rank fan-in has more
+  // replies to collect (and more processes contending for the machine)
+  // than a 2-rank one, and must not time out just for being big.
+  const auto timeout =
+      kControlTimeout +
+      std::chrono::milliseconds(250 * transport_.node_count());
+  HMDSM_CHECK_MSG(cv_.wait_for(lock, timeout, pred),
                   "control-plane timeout waiting for " << what);
 }
 
@@ -85,12 +91,13 @@ void Coordinator::OnControlFrame(net::NodeId src, ByteSpan frame) {
       // Close the final (partial) sampling window before snapshotting, so
       // the gathered series covers the run right up to the gather.
       runtime_.SampleTimeseries();
-      // The snapshot takes the local agent lock, so it is consistent even
-      // against a straggling handler (the lead quiesces first anyway).
+      // All locally hosted ranks merged (Totals takes each agent lock, so
+      // it is consistent even against a straggling handler — the lead
+      // quiesces first anyway).
       StatsReplyFrame reply;
       reply.tag = f.tag;
       reply.node = transport_.rank();
-      reply.recorder = runtime_.SnapshotRecorder(transport_.rank());
+      reply.recorder = runtime_.Totals();
       transport_.SendControl(src, Encode(reply));
       return;
     }
@@ -158,7 +165,7 @@ void Coordinator::OnControlFrame(net::NodeId src, ByteSpan frame) {
       reply.seq = f.seq;
       reply.node = transport_.rank();
       reply.now_ns = static_cast<std::uint64_t>(transport_.Now());
-      reply.recorder = runtime_.SnapshotRecorder(transport_.rank());
+      reply.recorder = runtime_.Totals();  // all locally hosted ranks
       transport_.SendControl(src, Encode(reply));
       return;
     }
@@ -199,7 +206,9 @@ Coordinator::RemoteDone Coordinator::AwaitThreadDone(std::uint64_t seq) {
 
 void Coordinator::GlobalQuiesce() {
   HMDSM_CHECK(is_lead());
-  const std::size_t others = transport_.node_count() - 1;
+  // One reply per *process*: the wire/mailbox counters are process-level,
+  // and that is exactly the granularity quiescence needs.
+  const std::size_t others = transport_.process_count() - 1;
   std::vector<QuiesceReplyFrame> previous;
   for (;;) {
     runtime_.AwaitQuiescence();  // local first: cheap and usually sufficient
@@ -243,7 +252,9 @@ void Coordinator::GlobalQuiesce() {
 
 stats::Recorder Coordinator::GatherStats() {
   HMDSM_CHECK(is_lead());
-  const std::size_t others = transport_.node_count() - 1;
+  // One StatsReply per remote *process*, each already a merge of all the
+  // ranks that process hosts.
+  const std::size_t others = transport_.process_count() - 1;
   stats::Recorder total;
   total.SetNodeCount(transport_.node_count());
   std::unique_lock lock(mu_);
@@ -255,9 +266,9 @@ stats::Recorder Coordinator::GatherStats() {
   for (const auto& [rank, recorder] : stats_replies_) total.Merge(recorder);
   lock.unlock();
   // Same final-window close for the lead's own series as the StatsRequest
-  // handler performs on every other rank.
+  // handler performs on every other process.
   runtime_.SampleTimeseries();
-  total.Merge(runtime_.SnapshotRecorder(transport_.rank()));
+  total.Merge(runtime_.Totals());
   return total;
 }
 
@@ -269,7 +280,7 @@ void Coordinator::GlobalResetStats() {
   // lead-caused traffic) — so measured windows cover identical traffic on
   // every rank.
   GlobalQuiesce();
-  const std::size_t others = transport_.node_count() - 1;
+  const std::size_t others = transport_.process_count() - 1;
   std::unique_lock lock(mu_);
   const std::uint64_t tag = ++reset_tag_;
   reset_acks_ = 0;
@@ -333,10 +344,21 @@ void Coordinator::StopPolling() {
   os << '\n';
 }
 
+double Coordinator::PollRate(std::uint64_t msgs, std::uint64_t prev_msgs,
+                             double dt_s, std::size_t answered,
+                             std::size_t expected) {
+  // Polls are best-effort, so a sample can be missing whole processes: its
+  // merged total is then smaller than a complete previous one, and the
+  // unsigned delta `msgs - prev_msgs` would wrap to ~1.8e19. Incomplete
+  // and backward samples yield no rate rather than an absurd one.
+  if (dt_s <= 0 || answered < expected || msgs < prev_msgs) return 0.0;
+  return static_cast<double>(msgs - prev_msgs) / dt_s;
+}
+
 void Coordinator::PollLoop(double interval_s) {
   const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::duration<double>(interval_s));
-  const std::size_t others = transport_.node_count() - 1;
+  const std::size_t others = transport_.process_count() - 1;
   std::uint64_t prev_msgs = 0;
   sim::Time prev_ns = 0;
   bool have_prev = false;
@@ -346,7 +368,7 @@ void Coordinator::PollLoop(double interval_s) {
     poll_replies_.clear();
     const std::uint64_t seq = ++poll_seq_;
     transport_.BroadcastControl(Encode(StatsPollFrame{seq}));
-    // Best-effort: a rank that cannot answer within a full interval is
+    // Best-effort: a process that cannot answer within a full interval is
     // reported as missing, not waited out — live metrics must never wedge
     // the run they observe.
     cv_.wait_for(lock, interval, [&] {
@@ -360,14 +382,12 @@ void Coordinator::PollLoop(double interval_s) {
     lock.unlock();
     // The lead has no poll frame to react to — sample its own window here.
     runtime_.SampleTimeseries();
-    total.Merge(runtime_.SnapshotRecorder(transport_.rank()));
+    total.Merge(runtime_.Totals());
     const sim::Time now = transport_.Now();
     const std::uint64_t msgs = total.TotalMessages();
-    double rate = 0.0;
-    if (have_prev && now > prev_ns) {
-      rate = static_cast<double>(msgs - prev_msgs) /
-             sim::ToSeconds(now - prev_ns);
-    }
+    const double rate =
+        PollRate(msgs, prev_msgs, have_prev ? sim::ToSeconds(now - prev_ns) : 0,
+                 answered, others);
     std::fprintf(stderr,
                  "hmdsm poll #%llu: t=%.1fs msgs=%llu (%.0f/s) faults=%llu "
                  "migrations=%llu%s\n",
@@ -377,10 +397,15 @@ void Coordinator::PollLoop(double interval_s) {
                      total.Count(stats::Ev::kFaultIns)),
                  static_cast<unsigned long long>(
                      total.Count(stats::Ev::kMigrations)),
-                 answered == others ? "" : " [missing rank replies]");
-    prev_msgs = msgs;
-    prev_ns = now;
-    have_prev = true;
+                 answered == others ? "" : " [missing process replies]");
+    // The comparison cursor only ever advances onto *complete* samples: a
+    // rate against a total that was merely missing replies would read as a
+    // spurious burst (or, unsigned, as the underflow PollRate guards).
+    if (answered == others) {
+      prev_msgs = msgs;
+      prev_ns = now;
+      have_prev = true;
+    }
     lock.lock();
     poll_log_.push_back(PollSample{
         seq, sim::ToSeconds(now), msgs, total.Count(stats::Ev::kFaultIns),
@@ -391,7 +416,7 @@ void Coordinator::PollLoop(double interval_s) {
 void Coordinator::ShutdownMesh(bool abort) {
   HMDSM_CHECK(is_lead());
   transport_.BeginShutdown();
-  const std::size_t others = transport_.node_count() - 1;
+  const std::size_t others = transport_.process_count() - 1;
   {
     std::unique_lock lock(mu_);
     transport_.BroadcastControl(Encode(ShutdownFrame{abort}));

@@ -50,8 +50,20 @@ class Coordinator {
               net::NodeId lead);
   ~Coordinator();
 
-  bool is_lead() const { return transport_.rank() == lead_; }
+  /// True when this *process* hosts the lead rank (with multi-rank hosting
+  /// the lead is a rank, but the control plane runs per process).
+  bool is_lead() const { return transport_.is_local(lead_); }
   net::NodeId lead() const { return lead_; }
+
+  /// Pure rate computation for one live-metrics poll sample: the message
+  /// delta over `dt_s` seconds. Returns 0 for samples that cannot yield a
+  /// meaningful rate: no elapsed time, an incomplete sample (`answered <
+  /// expected` — polls are best-effort, and a missing rank's counters make
+  /// the merged total non-comparable), or a backward-moving total (which
+  /// would otherwise underflow the unsigned delta into a ~1.8e19 "rate").
+  static double PollRate(std::uint64_t msgs, std::uint64_t prev_msgs,
+                         double dt_s, std::size_t answered,
+                         std::size_t expected);
 
   // ---- lead side ----
 
@@ -161,7 +173,7 @@ class Coordinator {
     std::uint64_t faults = 0;
     std::uint64_t migrations = 0;
     double msgs_per_s = 0;
-    std::size_t answered = 0;  // rank replies in time (of expected)
+    std::size_t answered = 0;  // process replies in time (of expected)
     std::size_t expected = 0;
   };
   std::string poll_out_;

@@ -51,6 +51,7 @@ Bytes Encode(const HelloFrame& f) {
   w.u32(f.version);
   w.u32(f.node);
   w.u32(f.node_count);
+  w.u32(f.ranks_per_proc);
   return w.take();
 }
 
@@ -59,6 +60,7 @@ bool TryDecode(ByteSpan frame, HelloFrame* out, std::string* error) {
     out->version = r.u32();
     out->node = r.u32();
     out->node_count = r.u32();
+    out->ranks_per_proc = r.u32();
   });
 }
 

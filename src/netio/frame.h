@@ -33,8 +33,11 @@ namespace hmdsm::netio {
 /// of queued small frames into one wire write). v3: latency histograms in
 /// the recorder serialization plus the StatsPoll live-metrics frames.
 /// v4: migration decision ledger + windowed time-series samples in the
-/// recorder serialization (recorder serde v3).
-constexpr std::uint32_t kProtocolVersion = 4;
+/// recorder serialization (recorder serde v3). v5: multi-rank hosting —
+/// one connection per *process* pair (Hello.node is the dialing process's
+/// primary rank) and Hello carries ranks_per_proc so a mesh with
+/// inconsistent process shapes refuses to form.
+constexpr std::uint32_t kProtocolVersion = 5;
 
 /// Frames larger than this are rejected before allocation. Generous: the
 /// largest legitimate frame is an object reply for the biggest shared
@@ -70,8 +73,12 @@ inline bool PeekType(ByteSpan frame, FrameType* out) {
 
 struct HelloFrame {
   std::uint32_t version = kProtocolVersion;
+  /// The dialing process's primary (lowest hosted) rank.
   net::NodeId node = 0;
   std::uint32_t node_count = 0;
+  /// Ranks hosted per process; every process in a mesh must agree (the
+  /// connection-per-process-pair topology is keyed on it).
+  std::uint32_t ranks_per_proc = 1;
 };
 
 struct HelloAckFrame {

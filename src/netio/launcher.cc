@@ -11,48 +11,62 @@
 
 namespace hmdsm::netio {
 
-int RunLocalMesh(std::size_t nodes,
+int RunLocalMesh(std::size_t nodes, std::size_t ranks_per_proc,
                  const std::function<int(const LocalRank&)>& body) {
   HMDSM_CHECK_MSG(nodes >= 1 && nodes <= 0x10000,
                   "node count out of range");
-  // Bind every rank's listener in the parent: ephemeral ports mean two
+  HMDSM_CHECK_MSG(ranks_per_proc >= 1 && ranks_per_proc <= nodes,
+                  "ranks_per_proc " << ranks_per_proc
+                                    << " out of range for " << nodes
+                                    << " ranks");
+  const std::size_t procs = (nodes + ranks_per_proc - 1) / ranks_per_proc;
+  // Bind every process's listener in the parent: ephemeral ports mean two
   // concurrent meshes (parallel test runs) can never collide, and children
-  // inherit an already-listening socket so there is no bind/dial race.
+  // inherit an already-listening socket so there is no bind/dial race. The
+  // peer list stays rank-indexed — every rank of one process shares that
+  // process's endpoint.
   std::vector<Fd> listeners;
-  std::vector<std::string> peers;
-  listeners.reserve(nodes);
-  peers.reserve(nodes);
-  for (std::size_t r = 0; r < nodes; ++r) {
+  std::vector<std::uint16_t> ports;
+  listeners.reserve(procs);
+  ports.reserve(procs);
+  for (std::size_t p = 0; p < procs; ++p) {
     std::uint16_t port = 0;
     std::string error;
     Fd fd = ListenOn("127.0.0.1:0", &port, &error);
     HMDSM_CHECK_MSG(fd.valid() && port != 0,
                     "launcher listen failed: " << error);
     listeners.push_back(std::move(fd));
-    peers.push_back("127.0.0.1:" + std::to_string(port));
+    ports.push_back(port);
+  }
+  std::vector<std::string> peers;
+  peers.reserve(nodes);
+  for (std::size_t r = 0; r < nodes; ++r) {
+    peers.push_back("127.0.0.1:" +
+                    std::to_string(ports[r / ranks_per_proc]));
   }
 
   std::vector<pid_t> children;
-  children.reserve(nodes);
-  for (std::size_t r = 0; r < nodes; ++r) {
+  children.reserve(procs);
+  for (std::size_t p = 0; p < procs; ++p) {
     std::fflush(stdout);
     std::fflush(stderr);
     const pid_t pid = ::fork();
     HMDSM_CHECK_MSG(pid >= 0, "fork failed");
     if (pid == 0) {
-      // Child: keep only rank r's listener; the transport adopts its fd.
+      // Child: keep only process p's listener; the transport adopts its fd.
       LocalRank self;
-      self.rank = static_cast<net::NodeId>(r);
+      self.rank = static_cast<net::NodeId>(p * ranks_per_proc);
       self.peers = peers;
-      for (std::size_t o = 0; o < nodes; ++o) {
-        if (o != r) listeners[o].Close();
+      self.ranks_per_proc = ranks_per_proc;
+      for (std::size_t o = 0; o < procs; ++o) {
+        if (o != p) listeners[o].Close();
       }
-      self.listen_fd = listeners[r].release();
+      self.listen_fd = listeners[p].release();
       int status = 1;
       try {
         status = body(self);
       } catch (const std::exception& e) {
-        std::fprintf(stderr, "hmdsm sockets: rank %zu: %s\n", r, e.what());
+        std::fprintf(stderr, "hmdsm sockets: process %zu: %s\n", p, e.what());
         status = 1;
       }
       std::fflush(stdout);
@@ -66,23 +80,28 @@ int RunLocalMesh(std::size_t nodes,
   for (Fd& fd : listeners) fd.Close();
 
   int overall = 0;
-  for (std::size_t r = 0; r < nodes; ++r) {
+  for (std::size_t p = 0; p < procs; ++p) {
     int status = 0;
-    if (::waitpid(children[r], &status, 0) < 0) {
+    if (::waitpid(children[p], &status, 0) < 0) {
       overall = overall != 0 ? overall : 1;
       continue;
     }
-    int rank_status = 0;
+    int proc_status = 0;
     if (WIFEXITED(status)) {
-      rank_status = WEXITSTATUS(status);
+      proc_status = WEXITSTATUS(status);
     } else if (WIFSIGNALED(status)) {
-      rank_status = 128 + WTERMSIG(status);
-      std::fprintf(stderr, "hmdsm sockets: rank %zu killed by signal %d\n", r,
-                   WTERMSIG(status));
+      proc_status = 128 + WTERMSIG(status);
+      std::fprintf(stderr, "hmdsm sockets: process %zu killed by signal %d\n",
+                   p, WTERMSIG(status));
     }
-    if (overall == 0) overall = rank_status;
+    if (overall == 0) overall = proc_status;
   }
   return overall;
+}
+
+int RunLocalMesh(std::size_t nodes,
+                 const std::function<int(const LocalRank&)>& body) {
+  return RunLocalMesh(nodes, 1, body);
 }
 
 }  // namespace hmdsm::netio

@@ -62,6 +62,10 @@ Fd DialWithRetry(const std::string& endpoint, int timeout_ms,
 /// bring-up (or its teardown) forever; cleared before normal traffic.
 void SetRecvTimeout(int fd, int ms);
 
+/// Puts `fd` into O_NONBLOCK mode (the epoll reactor's sockets); false on
+/// fcntl failure.
+bool SetNonBlocking(int fd);
+
 /// Writes the length prefix plus the payload; false + error on failure.
 bool WriteFrame(int fd, ByteSpan frame, std::string* error);
 

@@ -1,25 +1,68 @@
 #include "src/netio/socket_transport.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
 
 namespace hmdsm::netio {
+
+namespace {
+
+/// epoll user-data tag for a reactor thread's wake eventfd (can never
+/// collide with a group index).
+constexpr std::uint64_t kWakeTag = ~std::uint64_t{0};
+
+/// Upper bound on iovecs per writev: a full batch (max_batch_frames = 64)
+/// is 1 header segment + 2 per frame = 129 segments, comfortably under
+/// this (and under IOV_MAX); larger images flush across several calls.
+constexpr int kMaxIovPerWrite = 192;
+
+Bytes LenPrefix(std::size_t n) {
+  Bytes b(4);
+  const auto v = static_cast<std::uint32_t>(n);
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<Byte>(v >> (8 * i));
+  return b;
+}
+
+void AppendU32(Bytes& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<Byte>(v >> (8 * i)));
+}
+
+}  // namespace
 
 SocketTransport::SocketTransport(SocketTransportOptions options)
     : options_(std::move(options)),
       recorders_(options_.peers.size()),
-      peers_(options_.peers.size()),
       epoch_(std::chrono::steady_clock::now()) {
-  HMDSM_CHECK_MSG(options_.peers.size() >= 1 &&
-                      options_.peers.size() <= 0x10000,
-                  "peer list size out of range");
-  HMDSM_CHECK_MSG(options_.rank < options_.peers.size(),
-                  "rank " << options_.rank << " outside peer list of "
-                          << options_.peers.size());
-  for (stats::Recorder& r : recorders_) r.SetNodeCount(options_.peers.size());
+  const std::size_t n = options_.peers.size();
+  HMDSM_CHECK_MSG(n >= 1 && n <= 0x10000, "peer list size out of range");
+  const std::size_t k = options_.ranks_per_proc;
+  HMDSM_CHECK_MSG(k >= 1 && k <= n,
+                  "ranks_per_proc " << k << " out of range for " << n
+                                    << " ranks");
+  HMDSM_CHECK_MSG(options_.rank < n, "rank " << options_.rank
+                                             << " outside peer list of " << n);
+  HMDSM_CHECK_MSG(options_.rank % k == 0,
+                  "rank " << options_.rank << " is not a process primary "
+                          << "(ranks_per_proc=" << k << ")");
+  group_ = options_.rank / k;
+  group_count_ = (n + k - 1) / k;
+  const std::size_t local_count = std::min(k, n - options_.rank);
+  local_ranks_.reserve(local_count);
+  for (std::size_t i = 0; i < local_count; ++i)
+    local_ranks_.push_back(static_cast<net::NodeId>(options_.rank + i));
+  mailboxes_.resize(local_count);
+  handlers_.resize(local_count);
+  peers_.resize(group_count_);
+  for (stats::Recorder& r : recorders_) r.SetNodeCount(n);
 }
 
 SocketTransport::~SocketTransport() { Stop(); }
@@ -32,8 +75,9 @@ void SocketTransport::SetControlHandler(ControlHandler handler) {
 void SocketTransport::Start() {
   HMDSM_CHECK(!started_);
   started_ = true;
-  // Only ranks with a higher-ranked peer expect inbound dials.
-  if (options_.rank + 1 < options_.peers.size()) {
+  if (group_count_ == 1) return;  // whole cluster in-process: no wire at all
+  // Only processes with a higher-primary peer expect inbound dials.
+  if (group_ + 1 < group_count_) {
     if (options_.listen_fd >= 0) {
       listener_ = Fd(options_.listen_fd);
     } else {
@@ -45,48 +89,76 @@ void SocketTransport::Start() {
       }
     }
   }
+  // The reactor pool comes up before the connector: RegisterPeer adopts
+  // each handshaken socket into an I/O thread's epoll set.
+  const std::size_t pool =
+      std::max<std::size_t>(1, std::min(options_.io_threads, group_count_ - 1));
+  io_.resize(pool);
+  for (std::size_t ti = 0; ti < pool; ++ti) {
+    IoThread& t = io_[ti];
+    t.epoll = Fd(::epoll_create1(0));
+    HMDSM_CHECK_MSG(t.epoll.valid(), "epoll_create1 failed");
+    t.wake = Fd(::eventfd(0, EFD_NONBLOCK));
+    HMDSM_CHECK_MSG(t.wake.valid(), "eventfd failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    HMDSM_CHECK(::epoll_ctl(t.epoll.get(), EPOLL_CTL_ADD, t.wake.get(), &ev) ==
+                0);
+  }
+  for (std::size_t g = 0; g < group_count_; ++g) {
+    if (g == group_) continue;
+    peers_[g].io_thread = g % pool;
+    io_[g % pool].owned.push_back(g);
+  }
+  for (std::size_t ti = 0; ti < pool; ++ti)
+    io_[ti].th = std::thread([this, ti] { IoLoop(ti); });
   connector_ = std::thread([this] { ConnectorMain(); });
 }
 
 void SocketTransport::ConnectorMain() {
-  const auto rank = options_.rank;
-  const std::size_t n = options_.peers.size();
-  // Dial every lower rank first (ascending), then accept every higher one.
-  // Rank 0 reaches its accept phase immediately, so by induction every
-  // dial eventually finds a listener answering handshakes — no cycles.
-  for (net::NodeId id = 0; id < rank; ++id) {
+  const net::NodeId rank = options_.rank;
+  const auto n = static_cast<std::uint32_t>(options_.peers.size());
+  const auto k = static_cast<std::uint32_t>(options_.ranks_per_proc);
+  // Dial every lower-primary process first (ascending), then accept every
+  // higher one. Process 0 reaches its accept phase immediately, so by
+  // induction every dial eventually finds a listener answering handshakes
+  // — no cycles.
+  for (std::size_t g = 0; g < group_; ++g) {
+    const net::NodeId primary = PrimaryOf(g);
     std::string error;
-    Fd fd = DialWithRetry(options_.peers[id], options_.connect_timeout_ms,
+    Fd fd = DialWithRetry(options_.peers[primary], options_.connect_timeout_ms,
                           &error);
     if (!fd.valid()) {
-      FailConnect("dial rank " + std::to_string(id) + ": " + error);
+      FailConnect("dial process " + std::to_string(g) + " (rank " +
+                  std::to_string(primary) + "): " + error);
       return;
     }
     if (!WriteFrame(fd.get(),
-                    Encode(HelloFrame{kProtocolVersion, rank,
-                                      static_cast<std::uint32_t>(n)}),
+                    Encode(HelloFrame{kProtocolVersion, rank, n, k}),
                     &error)) {
-      FailConnect("hello to rank " + std::to_string(id) + ": " + error);
+      FailConnect("hello to process " + std::to_string(g) + ": " + error);
       return;
     }
     Bytes reply;
     SetRecvTimeout(fd.get(), options_.connect_timeout_ms);
     if (!ReadFrame(fd.get(), &reply, options_.max_frame_bytes, &error)) {
-      FailConnect("hello-ack from rank " + std::to_string(id) + ": " +
+      FailConnect("hello-ack from process " + std::to_string(g) + ": " +
                   (error.empty() ? "connection closed" : error));
       return;
     }
     SetRecvTimeout(fd.get(), 0);
     HelloAckFrame ack;
     if (!TryDecode(ByteSpan(reply), &ack, &error) ||
-        ack.version != kProtocolVersion || ack.node != id) {
-      FailConnect("bad hello-ack from rank " + std::to_string(id) + ": " +
+        ack.version != kProtocolVersion || ack.node != primary) {
+      FailConnect("bad hello-ack from process " + std::to_string(g) + ": " +
                   error);
       return;
     }
-    RegisterPeer(id, std::move(fd));
+    RegisterPeer(g, std::move(fd));
   }
-  for (net::NodeId expected = rank + 1; expected < n; ++expected) {
+  for (std::size_t remaining = group_count_ - 1 - group_; remaining > 0;
+       --remaining) {
     std::string error;
     Fd fd = AcceptOn(listener_.get(), &error);
     if (!fd.valid()) {
@@ -114,17 +186,25 @@ void SocketTransport::ConnectorMain() {
                   std::to_string(kProtocolVersion));
       return;
     }
-    if (hello.node_count != n || hello.node <= rank || hello.node >= n) {
-      FailConnect("peer claims rank " + std::to_string(hello.node) + " of " +
-                  std::to_string(hello.node_count) + " (we are " +
-                  std::to_string(rank) + " of " + std::to_string(n) + ")");
+    if (hello.node_count != n || hello.ranks_per_proc != k) {
+      FailConnect("peer claims a " + std::to_string(hello.node_count) +
+                  "-rank mesh with " + std::to_string(hello.ranks_per_proc) +
+                  " ranks/process (we are " + std::to_string(n) + " with " +
+                  std::to_string(k) + ")");
       return;
     }
+    if (hello.node >= n || hello.node % k != 0 ||
+        GroupOf(hello.node) <= group_) {
+      FailConnect("peer claims primary rank " + std::to_string(hello.node) +
+                  " (we are " + std::to_string(rank) + " of " +
+                  std::to_string(n) + ")");
+      return;
+    }
+    const std::size_t g = GroupOf(hello.node);
     {
       std::lock_guard lock(mesh_mu_);
-      if (peers_[hello.node].connected) {
-        FailConnect("duplicate connection from rank " +
-                    std::to_string(hello.node));
+      if (peers_[g].connected) {
+        FailConnect("duplicate connection from process " + std::to_string(g));
         return;
       }
     }
@@ -133,15 +213,34 @@ void SocketTransport::ConnectorMain() {
       FailConnect("hello-ack write: " + error);
       return;
     }
-    RegisterPeer(hello.node, std::move(fd));
+    RegisterPeer(g, std::move(fd));
   }
 }
 
-void SocketTransport::RegisterPeer(net::NodeId id, Fd fd) {
-  Peer& peer = peers_[id];
+void SocketTransport::RegisterPeer(std::size_t group, Fd fd) {
+  Peer& peer = peers_[group];
+  HMDSM_CHECK_MSG(SetNonBlocking(fd.get()),
+                  "cannot make peer socket nonblocking");
   peer.fd = std::move(fd);
-  peer.reader = std::thread([this, id] { ReaderLoop(id); });
-  peer.writer = std::thread([this, id] { WriterLoop(id); });
+  // Reactor-owned fields must be settled before the ADD makes the socket
+  // visible to the owning I/O thread.
+  peer.read_open = true;
+  peer.armed = EPOLLIN;
+  peer.in_epoll = true;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = static_cast<std::uint64_t>(group);
+  HMDSM_CHECK(::epoll_ctl(io_[peer.io_thread].epoll.get(), EPOLL_CTL_ADD,
+                          peer.fd.get(), &ev) == 0);
+  peer.registered.store(true, std::memory_order_release);
+  // Frames enqueued before the handshake completed have been waiting for
+  // exactly this moment.
+  bool pending;
+  {
+    std::lock_guard lock(peer.mu);
+    pending = !peer.queue.empty();
+  }
+  if (pending) KickPeer(group);
   std::lock_guard lock(mesh_mu_);
   peer.connected = true;
   ++connected_count_;
@@ -158,59 +257,234 @@ void SocketTransport::FailConnect(const std::string& why) {
 
 void SocketTransport::AwaitConnected() {
   HMDSM_CHECK_MSG(started_, "Start() the transport first");
-  const std::size_t want = options_.peers.size() - 1;
+  const std::size_t want = group_count_ - 1;
+  // The grace window scales with rank count: bring-up work (handshakes,
+  // fork storms, loaded CI) grows with the mesh, and a fixed +5s window
+  // that was fine at 4 ranks starves at 128.
+  const auto window = std::chrono::milliseconds(
+      options_.connect_timeout_ms + 5000 +
+      100 * static_cast<int>(options_.peers.size()));
   std::unique_lock lock(mesh_mu_);
-  const bool done = mesh_cv_.wait_for(
-      lock, std::chrono::milliseconds(options_.connect_timeout_ms + 5000),
-      [&] { return connected_count_ == want || !connect_error_.empty(); });
+  const bool done = mesh_cv_.wait_for(lock, window, [&] {
+    return connected_count_ == want || !connect_error_.empty();
+  });
   HMDSM_CHECK_MSG(done, "mesh bring-up timed out with "
                             << connected_count_ << "/" << want << " links");
   HMDSM_CHECK_MSG(connect_error_.empty(), connect_error_);
 }
 
 void SocketTransport::Die(const std::string& why) const {
-  // Once a peer link is broken or violated mid-run, this rank's share of
-  // the object space is unreachable and every other rank would hang on it:
-  // fail fast and loudly so the launcher/operator sees which rank died.
+  // Once a peer link is broken or violated mid-run, this process's share
+  // of the object space is unreachable and every other process would hang
+  // on it: fail fast and loudly so the launcher/operator sees who died.
   std::fprintf(stderr, "hmdsm sockets: rank %u: fatal: %s\n", options_.rank,
                why.c_str());
   std::abort();
 }
 
-void SocketTransport::ReaderLoop(net::NodeId id) {
-  Peer& peer = peers_[id];
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+void SocketTransport::IoLoop(std::size_t ti) {
+  IoThread& t = io_[ti];
+  epoll_event events[64];
   for (;;) {
-    Bytes frame;
-    std::string error;
-    if (!ReadFrame(peer.fd.get(), &frame, options_.max_frame_bytes,
-                   &error)) {
-      if (shutting_down_.load(std::memory_order_acquire)) return;
-      if (error.empty()) {
-        Die("rank " + std::to_string(id) + " closed its connection mid-run");
-      }
-      Die("read from rank " + std::to_string(id) + ": " + error);
+    const int nev = ::epoll_wait(t.epoll.get(), events, 64, -1);
+    if (nev < 0) {
+      if (errno == EINTR) continue;
+      Die(std::string("epoll_wait: ") + std::strerror(errno));
     }
-    // One Buf owns the received frame; data payloads (and batched inner
-    // frames) are handed out as aliased views of it, never copied again.
-    HandleFrame(id, Buf(std::move(frame)), /*allow_batch=*/true);
+    bool woke = false;
+    for (int i = 0; i < nev; ++i) {
+      if (events[i].data.u64 == kWakeTag) {
+        std::uint64_t n;
+        while (::read(t.wake.get(), &n, sizeof n) > 0) {
+        }
+        woke = true;
+        continue;
+      }
+      const auto g = static_cast<std::size_t>(events[i].data.u64);
+      Peer& peer = peers_[g];
+      if (peer.dead) continue;
+      if (peer.read_open &&
+          (events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+        HandleReadable(t, g);
+      }
+      if (!peer.dead && (events[i].events & EPOLLOUT) != 0) FlushPeer(t, g);
+    }
+    if (!woke) continue;
+    if (stop_io_.load(std::memory_order_acquire)) {
+      DrainWrites(t);
+      return;
+    }
+    for (const std::size_t g : t.owned) {
+      Peer& peer = peers_[g];
+      if (peer.kick_pending.exchange(false, std::memory_order_acq_rel))
+        FlushPeer(t, g);
+    }
   }
 }
 
-void SocketTransport::HandleFrame(net::NodeId id, const Buf& frame,
+void SocketTransport::DrainWrites(IoThread& t) {
+  // Teardown: nothing meaningful can still be inbound (the coordinator's
+  // shutdown barrier ran), so reads stop — otherwise a level-triggered
+  // EOF would spin this loop. Writes drain fully: any queued goodbye (a
+  // shutdown ack, the lead's all-clear) must reach the wire before the
+  // half-close.
+  for (const std::size_t g : t.owned) {
+    Peer& peer = peers_[g];
+    if (peer.dead || !peer.fd.valid()) continue;
+    peer.read_open = false;
+    UpdateEpoll(t, peer, g, (peer.armed & EPOLLOUT) != 0);
+  }
+  for (;;) {
+    bool pending = false;
+    for (const std::size_t g : t.owned) {
+      Peer& peer = peers_[g];
+      if (peer.dead || !peer.fd.valid()) continue;
+      peer.kick_pending.store(false, std::memory_order_relaxed);
+      FlushPeer(t, g);
+      if (peer.dead) continue;
+      bool queued;
+      {
+        std::lock_guard lock(peer.mu);
+        queued = !peer.queue.empty();
+      }
+      if (peer.out_active || queued) pending = true;
+    }
+    if (!pending) break;
+    epoll_event events[16];
+    (void)::epoll_wait(t.epoll.get(), events, 16, 10);
+    std::uint64_t n;
+    while (::read(t.wake.get(), &n, sizeof n) > 0) {
+    }
+  }
+  // Everything flushed: tell each peer's reactor this direction is done.
+  for (const std::size_t g : t.owned) {
+    Peer& peer = peers_[g];
+    if (!peer.dead && peer.fd.valid()) peer.fd.ShutdownWrite();
+  }
+}
+
+void SocketTransport::UpdateEpoll(IoThread& t, Peer& peer, std::size_t group,
+                                  bool want_write) {
+  std::uint32_t want = 0;
+  if (peer.read_open) want |= EPOLLIN;
+  if (want_write) want |= EPOLLOUT;
+  if (peer.in_epoll && want == peer.armed) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = static_cast<std::uint64_t>(group);
+  if (want == 0) {
+    // Fully quiet peers leave the epoll set: EPOLLERR/EPOLLHUP are always
+    // reported for registered fds, and a closed peer would otherwise spin
+    // the reactor.
+    if (peer.in_epoll) {
+      ::epoll_ctl(t.epoll.get(), EPOLL_CTL_DEL, peer.fd.get(), nullptr);
+      peer.in_epoll = false;
+    }
+  } else if (peer.in_epoll) {
+    ::epoll_ctl(t.epoll.get(), EPOLL_CTL_MOD, peer.fd.get(), &ev);
+  } else {
+    ::epoll_ctl(t.epoll.get(), EPOLL_CTL_ADD, peer.fd.get(), &ev);
+    peer.in_epoll = true;
+  }
+  peer.armed = want;
+}
+
+void SocketTransport::HandleReadable(IoThread& t, std::size_t group) {
+  Peer& peer = peers_[group];
+  const int fd = peer.fd.get();
+  for (;;) {
+    if (peer.head_got < 4) {
+      const ssize_t r = ::recv(fd, peer.head + peer.head_got,
+                               4 - peer.head_got, 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (shutting_down_.load(std::memory_order_acquire)) {
+          peer.read_open = false;
+          UpdateEpoll(t, peer, group, (peer.armed & EPOLLOUT) != 0);
+          return;
+        }
+        Die("read from process " + std::to_string(group) + ": " +
+            std::strerror(errno));
+      }
+      if (r == 0) {
+        if (shutting_down_.load(std::memory_order_acquire)) {
+          peer.read_open = false;
+          UpdateEpoll(t, peer, group, (peer.armed & EPOLLOUT) != 0);
+          return;
+        }
+        Die(peer.head_got == 0
+                ? "process " + std::to_string(group) +
+                      " closed its connection mid-run"
+                : "eof inside a frame header from process " +
+                      std::to_string(group));
+      }
+      peer.head_got += static_cast<std::size_t>(r);
+      if (peer.head_got < 4) continue;
+      std::uint32_t len = 0;
+      for (int i = 0; i < 4; ++i)
+        len |= static_cast<std::uint32_t>(peer.head[i]) << (8 * i);
+      if (len == 0 || len > options_.max_frame_bytes) {
+        Die("frame length " + std::to_string(len) + " from process " +
+            std::to_string(group));
+      }
+      peer.in_frame.resize(len);
+      peer.in_got = 0;
+    } else {
+      const std::size_t want = peer.in_frame.size() - peer.in_got;
+      const ssize_t r = ::recv(fd, peer.in_frame.data() + peer.in_got, want,
+                               0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (shutting_down_.load(std::memory_order_acquire)) {
+          peer.read_open = false;
+          UpdateEpoll(t, peer, group, (peer.armed & EPOLLOUT) != 0);
+          return;
+        }
+        Die("read from process " + std::to_string(group) + ": " +
+            std::strerror(errno));
+      }
+      if (r == 0) {
+        if (shutting_down_.load(std::memory_order_acquire)) {
+          peer.read_open = false;
+          UpdateEpoll(t, peer, group, (peer.armed & EPOLLOUT) != 0);
+          return;
+        }
+        Die("eof inside a frame from process " + std::to_string(group));
+      }
+      peer.in_got += static_cast<std::size_t>(r);
+      if (peer.in_got < peer.in_frame.size()) continue;
+      peer.head_got = 0;
+      Bytes frame;
+      frame.swap(peer.in_frame);
+      // One Buf owns the received frame; data payloads (and batched inner
+      // frames) are handed out as aliased views of it, never copied again.
+      HandleFrame(group, Buf(std::move(frame)), /*allow_batch=*/true);
+    }
+  }
+}
+
+void SocketTransport::HandleFrame(std::size_t group, const Buf& frame,
                                   bool allow_batch) {
   std::string error;
   FrameType type;
   if (!PeekType(frame.span(), &type)) {
-    Die("unknown frame type from rank " + std::to_string(id));
+    Die("unknown frame type from process " + std::to_string(group));
   }
   if (type == FrameType::kData) {
     DataFrame data;
     if (!TryDecode(frame, &data, &error)) {
-      Die("malformed data frame from rank " + std::to_string(id) + ": " +
-          error);
+      Die("malformed data frame from process " + std::to_string(group) +
+          ": " + error);
     }
-    if (data.src != id || data.dst != options_.rank) {
-      Die("misrouted data frame from rank " + std::to_string(id) +
+    if (data.src >= options_.peers.size() || GroupOf(data.src) != group ||
+        !is_local(data.dst)) {
+      Die("misrouted data frame from process " + std::to_string(group) +
           " (claims " + std::to_string(data.src) + "->" +
           std::to_string(data.dst) + ")");
     }
@@ -221,85 +495,185 @@ void SocketTransport::HandleFrame(net::NodeId id, const Buf& frame,
     net::Packet packet{data.src, data.dst, data.cat,
                        std::move(data.payload)};
     if (options_.measure_latency) packet.enqueued_at = Now();
-    mailbox_.Push(std::move(packet));
+    mailboxes_[data.dst - options_.rank].Push(std::move(packet));
   } else if (type == FrameType::kBatch) {
     std::vector<Buf> inner;
     if (!allow_batch || !TryDecodeBatch(frame, &inner, &error)) {
-      Die("malformed batch frame from rank " + std::to_string(id) + ": " +
-          (allow_batch ? error : "nested batch"));
+      Die("malformed batch frame from process " + std::to_string(group) +
+          ": " + (allow_batch ? error : "nested batch"));
     }
     // In queue order, so per-sender FIFO is exactly what it was unbatched.
-    for (const Buf& f : inner) HandleFrame(id, f, /*allow_batch=*/false);
+    for (const Buf& f : inner) HandleFrame(group, f, /*allow_batch=*/false);
   } else if (type == FrameType::kHello || type == FrameType::kHelloAck) {
-    Die("unexpected handshake frame from rank " + std::to_string(id));
+    Die("unexpected handshake frame from process " + std::to_string(group));
   } else {
     if (!control_handler_) {
-      Die("control frame from rank " + std::to_string(id) +
+      Die("control frame from process " + std::to_string(group) +
           " but no control handler installed");
     }
-    control_handler_(id, frame.span());
+    control_handler_(PrimaryOf(group), frame.span());
   }
 }
 
-void SocketTransport::WriterLoop(net::NodeId id) {
-  Peer& peer = peers_[id];
+bool SocketTransport::BuildNextWrite(Peer& peer) {
   std::vector<Bytes> frames;
-  for (;;) {
-    frames.clear();
-    {
-      std::unique_lock lock(peer.mu);
-      peer.cv.wait(lock, [&] { return peer.closed || !peer.queue.empty(); });
-      if (peer.queue.empty()) break;  // closed and drained
-      // Adaptive coalescing: take whatever backlog accumulated while the
-      // last write was in flight, bounded by the batch budgets. A queue
-      // holding a single frame (the idle/latency-sensitive case) yields a
-      // plain immediate write; only a genuine backlog is batched.
-      const std::size_t max_frames =
-          options_.batch_frames ? options_.max_batch_frames : 1;
-      std::size_t batch_bytes = 0;
-      while (!peer.queue.empty() && frames.size() < max_frames) {
-        const std::size_t next = peer.queue.front().size() + 4;
-        if (!frames.empty() && batch_bytes + next > options_.max_batch_bytes)
-          break;
-        batch_bytes += next;
-        frames.push_back(std::move(peer.queue.front()));
-        peer.queue.pop_front();
-      }
+  {
+    std::lock_guard lock(peer.mu);
+    if (peer.queue.empty()) return false;
+    // Adaptive coalescing: take whatever backlog accumulated while the
+    // last write was in flight, bounded by the batch budgets. A queue
+    // holding a single frame (the idle/latency-sensitive case) yields a
+    // plain immediate write; only a genuine backlog is batched.
+    const std::size_t max_frames =
+        options_.batch_frames ? options_.max_batch_frames : 1;
+    std::size_t batch_bytes = 0;
+    while (!peer.queue.empty() && frames.size() < max_frames) {
+      const std::size_t next = peer.queue.front().size() + 4;
+      if (!frames.empty() && batch_bytes + next > options_.max_batch_bytes)
+        break;
+      batch_bytes += next;
+      frames.push_back(std::move(peer.queue.front()));
+      peer.queue.pop_front();
     }
-    std::string error;
-    bool ok;
+  }
+  peer.out_segs.clear();
+  peer.out_seg = 0;
+  peer.out_off = 0;
+  if (frames.size() == 1) {
+    peer.out_segs.reserve(2);
+    peer.out_segs.push_back(LenPrefix(frames.front().size()));
+    peer.out_segs.push_back(std::move(frames.front()));
+    peer.out_frames = 1;
+    peer.out_batched = false;
+  } else {
+    // The Batch wire image ([u32 len][kBatch][u32 count] then per frame
+    // [u32 len][frame]) emitted as scatter segments: the header and the
+    // per-frame prefixes are fresh bytes, the frames themselves are moved
+    // — batching never copies a payload (see frame.h EncodeBatch for the
+    // layout the receiver decodes).
+    std::size_t inner = 1 + 4;
+    for (const Bytes& f : frames) inner += 4 + f.size();
+    Bytes head = LenPrefix(inner);
+    head.push_back(static_cast<Byte>(FrameType::kBatch));
+    AppendU32(head, static_cast<std::uint32_t>(frames.size()));
+    peer.out_segs.reserve(1 + 2 * frames.size());
+    peer.out_segs.push_back(std::move(head));
+    for (Bytes& f : frames) {
+      peer.out_segs.push_back(LenPrefix(f.size()));
+      peer.out_segs.push_back(std::move(f));
+    }
+    peer.out_frames = frames.size();
+    peer.out_batched = true;
+  }
+  peer.out_active = true;
+  return true;
+}
+
+void SocketTransport::FlushPeer(IoThread& t, std::size_t group) {
+  Peer& peer = peers_[group];
+  if (peer.dead || !peer.fd.valid()) return;
+  for (;;) {
+    if (!peer.out_active && !BuildNextWrite(peer)) break;
+    iovec iov[kMaxIovPerWrite];
+    int cnt = 0;
+    std::size_t off = peer.out_off;
+    for (std::size_t s = peer.out_seg;
+         s < peer.out_segs.size() && cnt < kMaxIovPerWrite; ++s) {
+      iov[cnt].iov_base = peer.out_segs[s].data() + off;
+      iov[cnt].iov_len = peer.out_segs[s].size() - off;
+      off = 0;
+      ++cnt;
+    }
     const sim::Time write_start = options_.measure_latency ? Now() : 0;
-    if (frames.size() == 1) {
-      ok = WriteFrame(peer.fd.get(), ByteSpan(frames.front()), &error);
-    } else {
-      frames_coalesced_.fetch_add(frames.size(), std::memory_order_acq_rel);
-      ok = WriteFrame(peer.fd.get(), ByteSpan(EncodeBatch(frames)), &error);
+    const ssize_t w = ::writev(peer.fd.get(), iov, cnt);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        UpdateEpoll(t, peer, group, /*want_write=*/true);
+        return;
+      }
+      if (shutting_down_.load(std::memory_order_acquire)) {
+        // The peer tore down first; its process already acknowledged the
+        // end of the run, so dropping the rest of this queue loses
+        // nothing anyone waits for.
+        peer.dead = true;
+        peer.out_active = false;
+        peer.out_segs.clear();
+        {
+          std::lock_guard lock(peer.mu);
+          peer.queue.clear();
+        }
+        if (peer.in_epoll) {
+          ::epoll_ctl(t.epoll.get(), EPOLL_CTL_DEL, peer.fd.get(), nullptr);
+          peer.in_epoll = false;
+        }
+        return;
+      }
+      Die("write to process " + std::to_string(group) + ": " +
+          std::strerror(errno));
     }
     if (options_.measure_latency) {
       const sim::Time took = Now() - write_start;
       std::lock_guard lock(write_lat_mu_);
       write_latency_.Record(static_cast<std::uint64_t>(took > 0 ? took : 0));
     }
-    socket_writes_.fetch_add(1, std::memory_order_acq_rel);
-    if (!ok) {
-      if (shutting_down_.load(std::memory_order_acquire)) break;
-      Die("write to rank " + std::to_string(id) + ": " + error);
+    // Advance the flush cursor; only a *fully* written image counts — the
+    // wire counters never cover failed or still-partial writes.
+    auto left = static_cast<std::size_t>(w);
+    while (left > 0) {
+      const std::size_t avail =
+          peer.out_segs[peer.out_seg].size() - peer.out_off;
+      if (left < avail) {
+        peer.out_off += left;
+        left = 0;
+      } else {
+        left -= avail;
+        peer.out_off = 0;
+        ++peer.out_seg;
+      }
+    }
+    if (peer.out_seg == peer.out_segs.size()) {
+      socket_writes_.fetch_add(1, std::memory_order_acq_rel);
+      if (peer.out_batched) {
+        frames_coalesced_.fetch_add(peer.out_frames,
+                                    std::memory_order_acq_rel);
+      }
+      peer.out_active = false;
+      peer.out_segs.clear();
+      peer.out_seg = 0;
+      peer.out_off = 0;
     }
   }
-  // Everything flushed: tell the peer's reader this direction is done.
-  peer.fd.ShutdownWrite();
+  UpdateEpoll(t, peer, group, /*want_write=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Sending
+// ---------------------------------------------------------------------------
+
+void SocketTransport::KickPeer(std::size_t group) {
+  Peer& peer = peers_[group];
+  // Not adopted yet: RegisterPeer re-checks the queue after flipping
+  // registered, so the frame cannot be stranded.
+  if (!peer.registered.load(std::memory_order_acquire)) return;
+  if (peer.kick_pending.exchange(true, std::memory_order_acq_rel)) return;
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t w =
+      ::write(io_[peer.io_thread].wake.get(), &one, sizeof one);
 }
 
 void SocketTransport::EnqueueFrame(net::NodeId dst, Bytes frame) {
-  HMDSM_CHECK(dst < peers_.size() && dst != options_.rank);
-  Peer& peer = peers_[dst];
+  HMDSM_CHECK(dst < options_.peers.size());
+  const std::size_t g = GroupOf(dst);
+  HMDSM_CHECK(g != group_);
+  Peer& peer = peers_[g];
   {
     std::lock_guard lock(peer.mu);
     HMDSM_CHECK_MSG(!peer.closed, "send to rank " << dst << " after Stop()");
     peer.queue.push_back(std::move(frame));
   }
   frames_enqueued_.fetch_add(1, std::memory_order_acq_rel);
-  peer.cv.notify_one();
+  KickPeer(g);
 }
 
 void SocketTransport::SendControl(net::NodeId dst, const Bytes& frame) {
@@ -307,50 +681,63 @@ void SocketTransport::SendControl(net::NodeId dst, const Bytes& frame) {
 }
 
 void SocketTransport::BroadcastControl(const Bytes& frame) {
-  for (net::NodeId id = 0; id < peers_.size(); ++id) {
-    if (id != options_.rank) EnqueueFrame(id, frame);
+  for (std::size_t g = 0; g < group_count_; ++g) {
+    if (g != group_) EnqueueFrame(PrimaryOf(g), frame);
   }
 }
 
 void SocketTransport::Send(net::NodeId src, net::NodeId dst,
                            stats::MsgCat cat, Buf payload) {
-  HMDSM_CHECK_MSG(src == options_.rank,
-                  "rank " << options_.rank << " cannot send as node " << src);
+  HMDSM_CHECK_MSG(is_local(src), "process with primary rank "
+                                     << options_.rank << " cannot send as "
+                                     << "node " << src);
   HMDSM_CHECK(dst < options_.peers.size());
-  if (dst == options_.rank) {
-    // Self-send: through the local mailbox (asynchronous delivery), never
-    // the wire, and not charged — identical to the in-process transports.
+  if (is_local(dst)) {
+    if (dst != src) {
+      // Cross-rank within the process: charged to the recorders exactly
+      // like the in-process channel transport (the cluster's message
+      // totals must not depend on how ranks are packed into processes),
+      // but never wire traffic — the wire counters stay a pure
+      // conservation law for the quiescence probe.
+      const std::size_t wire_bytes = payload.size() + kHeaderBytes;
+      recorders_[src].RecordMessage(cat, wire_bytes);
+      recorders_[src].RecordSent(src, wire_bytes);
+    }
+    // Through the destination's mailbox (asynchronous delivery), never the
+    // wire; a self-send is not charged — identical to the in-process
+    // transports.
     enqueued_.fetch_add(1, std::memory_order_acq_rel);
     net::Packet packet{src, dst, cat, std::move(payload)};
     if (options_.measure_latency) packet.enqueued_at = Now();
-    mailbox_.Push(std::move(packet));
+    mailboxes_[dst - options_.rank].Push(std::move(packet));
     return;
   }
   const std::size_t wire_bytes = payload.size() + kHeaderBytes;
-  // Send() runs under the local agent lock, which serializes the recorder.
-  recorders_[options_.rank].RecordMessage(cat, wire_bytes);
-  recorders_[options_.rank].RecordSent(options_.rank, wire_bytes);
-  // Count before the frame becomes visible to the writer: quiescence must
+  // Send() runs under the source's agent lock, which serializes the
+  // recorder.
+  recorders_[src].RecordMessage(cat, wire_bytes);
+  recorders_[src].RecordSent(src, wire_bytes);
+  // Count before the frame becomes visible to the reactor: quiescence must
   // never observe a receive without its matching send.
   wire_sent_.fetch_add(1, std::memory_order_acq_rel);
   EnqueueFrame(dst, Encode(DataFrame{src, dst, cat, std::move(payload)}));
 }
 
 void SocketTransport::Dispatch(net::Packet&& packet) {
-  HMDSM_CHECK_MSG(handler_, "no handler registered for rank "
-                                << options_.rank);
-  HMDSM_CHECK(packet.dst == options_.rank);
+  CheckLocal(packet.dst);
+  const Handler& handler = handlers_[packet.dst - options_.rank];
+  HMDSM_CHECK_MSG(handler, "no handler registered for node " << packet.dst);
   if (packet.src != packet.dst) {
-    recorders_[options_.rank].RecordReceived(
-        options_.rank, packet.payload.size() + kHeaderBytes);
+    recorders_[packet.dst].RecordReceived(
+        packet.dst, packet.payload.size() + kHeaderBytes);
   }
   if (packet.enqueued_at > 0) {
     const sim::Time age = Now() - packet.enqueued_at;
-    recorders_[options_.rank].RecordLatency(
+    recorders_[packet.dst].RecordLatency(
         stats::Lat::kMailboxDwell,
         static_cast<std::uint64_t>(age > 0 ? age : 0));
   }
-  handler_(std::move(packet));
+  handler(std::move(packet));
   dispatched_.fetch_add(1, std::memory_order_acq_rel);
 }
 
@@ -370,7 +757,7 @@ void SocketTransport::ResetStats() {
 
 void SocketTransport::AugmentSnapshot(net::NodeId node,
                                       stats::Recorder& into) const {
-  if (node != options_.rank) return;
+  if (node != options_.rank) return;  // wire counters are process-level
   into.Bump(stats::Ev::kSocketWrites,
             socket_writes_.load(std::memory_order_acquire) -
                 socket_writes_base_.load(std::memory_order_acquire));
@@ -389,35 +776,31 @@ void SocketTransport::Stop() {
   stopped_ = true;
   BeginShutdown();
   // The connector goes first: wake it if it is still blocked in accept()
-  // (error-path teardown) and join it, so the peer set — and therefore the
-  // set of reader/writer threads the loops below must join — is final.
+  // (error-path teardown) and join it, so the peer set the reactor must
+  // drain is final.
   if (listener_.valid()) ::shutdown(listener_.get(), SHUT_RDWR);
   if (connector_.joinable()) connector_.join();
-  // Close and drain the writers next: any queued goodbye (a shutdown ack)
-  // must reach the wire before the half-close.
-  for (net::NodeId id = 0; id < peers_.size(); ++id) {
-    Peer& peer = peers_[id];
-    {
-      std::lock_guard lock(peer.mu);
-      peer.closed = true;
-    }
-    peer.cv.notify_all();
-  }
+  // No further enqueues; the reactor pool drains what is queued, half-
+  // closes every link, and exits.
   for (Peer& peer : peers_) {
-    if (peer.writer.joinable()) peer.writer.join();
+    std::lock_guard lock(peer.mu);
+    peer.closed = true;
   }
-  // Readers drain until the peer's half-close; the shutdown barrier the
-  // coordinator ran means no data frame can still be inbound, so unblock
-  // any reader whose peer already went away.
-  for (Peer& peer : peers_) {
-    if (peer.fd.valid()) ::shutdown(peer.fd.get(), SHUT_RD);
+  stop_io_.store(true, std::memory_order_release);
+  for (IoThread& t : io_) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t w = ::write(t.wake.get(), &one, sizeof one);
   }
-  for (Peer& peer : peers_) {
-    if (peer.reader.joinable()) peer.reader.join();
+  for (IoThread& t : io_) {
+    if (t.th.joinable()) t.th.join();
   }
-  mailbox_.Close();
+  for (runtime::Channel& m : mailboxes_) m.Close();
   listener_.Close();
   for (Peer& peer : peers_) peer.fd.Close();
+  for (IoThread& t : io_) {
+    t.epoll.Close();
+    t.wake.Close();
+  }
 }
 
 }  // namespace hmdsm::netio

@@ -1,44 +1,62 @@
 // netio::SocketTransport — the multi-process TCP implementation of the
-// transport seam. Each cluster node is its own OS process ("rank"); this
-// object is one rank's view of the mesh.
+// transport seam. One OS process hosts `ranks_per_proc` consecutive
+// cluster nodes ("ranks"); this object is one process's view of the mesh.
 //
-// Mesh topology: one TCP connection per unordered rank pair. Low ranks
-// listen, high ranks dial (rank 0 only listens, rank N-1 only dials); the
-// dialer retries until the listener is up and both sides handshake with a
-// Hello/HelloAck carrying the protocol version, node id, and cluster size.
-// A version or identity mismatch refuses the connection loudly.
+// Mesh topology: one TCP connection per unordered *process* pair, keyed by
+// each process's primary (lowest hosted) rank — 128 ranks in 8 processes
+// need 28 connections, not 8128. Low-primary processes listen, high ones
+// dial (ascending), and both sides handshake with a Hello/HelloAck
+// carrying the protocol version, primary rank, cluster size, and
+// ranks_per_proc. A version, identity, or shape mismatch refuses the
+// connection loudly. All ranks sharing a process exchange messages through
+// local mailboxes without touching the wire.
+//
+// I/O model: an epoll reactor. A small pool of I/O threads (io_threads,
+// default 4 — independent of rank count) owns the peer sockets
+// round-robin; all sockets are nonblocking. Reads run a per-peer state
+// machine (4-byte length header, then the exact-size frame buffer — the
+// frame is decoded zero-copy as a util::Buf). Writes drain the per-peer
+// frame queue through writev: a backlog is coalesced into one Batch frame
+// whose header and per-frame length prefixes are emitted as scatter
+// segments around the already-encoded frames, so batching never copies a
+// payload. A partial write parks a cursor and arms EPOLLOUT; the write
+// counters and the write-latency histogram only ever record *successful*
+// writes.
 //
 // Data path and the delivery contract (see net/transport.h):
-//   * Send() is always called under the local node's agent lock, so sends
-//     are serialized at the source; each remote send is framed and handed
-//     to the destination peer's writer queue (drained by one writer thread
-//     per peer), and TCP preserves order per connection — together that is
-//     per-sender FIFO.
-//   * Writer queues batch adaptively: a writer that wakes to a single
-//     queued frame writes it immediately (an idle link adds no latency),
-//     but a backlog — senders outrunning the wire — is coalesced into one
-//     Batch frame per write up to a size/count budget, amortizing the
-//     syscall and wire framing across many small protocol messages.
-//     Batching preserves queue order exactly, so FIFO survives.
-//   * One reader thread per peer decodes frames defensively (peer input is
-//     untrusted) and pushes data packets into the local node's mailbox —
-//     the same mailbox self-sends use, so delivery order is whatever the
-//     single dispatcher pops, serialized per destination, and a self-send
-//     is never re-entrant. Payloads are aliased views of the received wire
-//     frame (util::Buf), never re-copied between the wire and the mailbox.
-//   * Statistics live in the local rank's recorder only (send half at
+//   * Send() is always called under the source node's agent lock, so sends
+//     are serialized at the source. A send between two ranks of the same
+//     process goes straight into the destination's mailbox (charged to the
+//     recorders like the in-process channel transport, but never counted
+//     as wire traffic); a remote send is framed and appended to the
+//     destination process's connection queue. The sender's enqueue order
+//     is a sub-order of the connection's total order and TCP preserves it,
+//     so per-sender FIFO survives connection sharing.
+//   * Adaptive batching: a reactor flush that finds a single queued frame
+//     writes it immediately (an idle link adds no latency); a backlog —
+//     senders outrunning the wire — is coalesced into one Batch image per
+//     writev up to a size/count budget. Batching preserves queue order
+//     exactly, so FIFO survives.
+//   * Received frames are decoded defensively (peer input is untrusted)
+//     and data packets are pushed into the destination rank's mailbox —
+//     the same mailbox local sends use, so delivery order is whatever that
+//     rank's single dispatcher pops, and a self-send is never re-entrant.
+//     Payloads are aliased views of the received wire frame (util::Buf),
+//     never re-copied between the wire and the mailbox.
+//   * Statistics live in the local ranks' recorders only (send half at
 //     Send, receive half at Dispatch); cluster totals are gathered over
 //     control frames by the netio::Coordinator at the end of a run.
 //
 // Control frames (thread start/done, quiescence probes, stats, shutdown)
-// share the per-peer writer queues — so a control frame from rank A to
-// rank B is FIFO-ordered against A's data traffic to B, which the
-// coordinator's reset/start sequencing relies on — and are routed to the
-// registered control handler from reader-thread context.
+// share the per-process connection queues — so a control frame from
+// process A to process B is FIFO-ordered against A's data traffic to B,
+// which the coordinator's reset/start sequencing relies on — and are
+// routed to the registered control handler from reactor-thread context,
+// attributed to the remote process's primary rank.
 //
 // The wire_sent/wire_received counters (data frames only) feed the
 // distributed quiescence detection: this process alone cannot know whether
-// the cluster is idle, only the coordinator's cross-rank probe can.
+// the cluster is idle, only the coordinator's cross-process probe can.
 #pragma once
 
 #include <atomic>
@@ -58,11 +76,22 @@
 namespace hmdsm::netio {
 
 struct SocketTransportOptions {
-  /// This process's node id, in [0, peers.size()).
+  /// This process's primary node id: the lowest rank it hosts. Must be a
+  /// multiple of ranks_per_proc; the process hosts ranks
+  /// [rank, min(rank + ranks_per_proc, peers.size())).
   net::NodeId rank = 0;
   /// One "host:port" endpoint per rank (index = rank). Every process gets
-  /// the identical list.
+  /// the identical list; all ranks of one process share that process's
+  /// endpoint (only primaries' entries are ever dialed).
   std::vector<std::string> peers;
+  /// Consecutive ranks hosted per OS process. Every process in the mesh
+  /// must agree (validated by the handshake); the last process may host
+  /// fewer when peers.size() is not a multiple.
+  std::size_t ranks_per_proc = 1;
+  /// Reactor I/O threads servicing the peer sockets (clamped to the peer
+  /// process count). Per-process thread cost is O(io_threads), independent
+  /// of rank count — the property that makes 128-rank meshes practical.
+  std::size_t io_threads = 4;
   /// Pre-bound listening socket to adopt (the self-fork launcher binds
   /// ephemeral ports in the parent so children cannot collide); -1 binds
   /// peers[rank] instead.
@@ -71,17 +100,18 @@ struct SocketTransportOptions {
   int connect_timeout_ms = 30000;
   /// Frames above this are a protocol violation (checked pre-allocation).
   std::uint32_t max_frame_bytes = kMaxFrameBytes;
-  /// Adaptive frame batching: a writer thread that finds more than one
-  /// frame queued coalesces up to the budgets below into one Batch frame —
+  /// Adaptive frame batching: a reactor flush that finds more than one
+  /// frame queued coalesces up to the budgets below into one Batch image —
   /// one wire write — and flushes immediately (no batching, no added
   /// latency) whenever the queue drains to a single frame. Off: one write
   /// per frame, the v1 behavior.
   bool batch_frames = true;
   std::size_t max_batch_frames = 64;
   std::size_t max_batch_bytes = 64 * 1024;
-  /// Latency histograms: stamp packets entering the local mailbox (dwell)
-  /// and time each wire write(2) (syscall latency). The cost is one clock
-  /// read per packet / two per write; off leaves the hot path untouched.
+  /// Latency histograms: stamp packets entering the local mailboxes
+  /// (dwell) and time each wire writev(2) (syscall latency). The cost is
+  /// one clock read per packet / two per write; off leaves the hot path
+  /// untouched.
   bool measure_latency = true;
 };
 
@@ -92,27 +122,42 @@ class SocketTransport final : public runtime::MailboxTransport {
   SocketTransport(const SocketTransport&) = delete;
   SocketTransport& operator=(const SocketTransport&) = delete;
 
+  /// This process's primary (lowest hosted) rank.
   net::NodeId rank() const { return options_.rank; }
+  /// Every rank this process hosts, ascending (primary first).
+  const std::vector<net::NodeId>& local_ranks() const { return local_ranks_; }
+  bool is_local(net::NodeId node) const {
+    return node < options_.peers.size() && GroupOf(node) == group_;
+  }
+  /// OS processes in the mesh — the unit the control fan-ins count.
+  std::size_t process_count() const { return group_count_; }
 
-  /// Control frames arrive here from reader-thread context (serialized per
-  /// peer, concurrent across peers). Set before Start().
+  /// Control frames arrive here from reactor-thread context (serialized
+  /// per peer process, concurrent across them), attributed to the remote
+  /// process's primary rank. Set before Start().
   using ControlHandler =
       std::function<void(net::NodeId src, ByteSpan frame)>;
   void SetControlHandler(ControlHandler handler);
 
-  /// Binds/adopts the listener and starts the mesh connector. Returns
-  /// immediately; AwaitConnected() blocks for completion.
+  /// Binds/adopts the listener, starts the reactor pool and the mesh
+  /// connector. Returns immediately; AwaitConnected() blocks for
+  /// completion.
   void Start();
 
-  /// Blocks until every peer link is handshaken (throws CheckError on
-  /// connect failure or timeout).
+  /// Blocks until every peer-process link is handshaken (throws CheckError
+  /// on connect failure or timeout). The window scales with the cluster
+  /// size — a 128-rank bring-up legitimately takes longer than a 2-rank
+  /// one.
   void AwaitConnected();
 
-  /// Enqueues a control frame to `dst` (FIFO with data traffic).
+  /// Enqueues a control frame toward `dst`'s process (FIFO with data
+  /// traffic on that connection). `dst` must be remote.
   void SendControl(net::NodeId dst, const Bytes& frame);
+  /// One copy per remote *process* (delivered to its primary).
   void BroadcastControl(const Bytes& frame);
 
-  /// Data frames handed to the wire / pushed into the local mailbox.
+  /// Data frames handed to the wire / pushed into a local mailbox off the
+  /// wire. Local cross-rank sends never touch these.
   std::uint64_t wire_sent() const {
     return wire_sent_.load(std::memory_order_acquire);
   }
@@ -120,11 +165,11 @@ class SocketTransport final : public runtime::MailboxTransport {
     return wire_received_.load(std::memory_order_acquire);
   }
 
-  /// Wire-write accounting for this rank (data + control frames): actual
-  /// socket writes issued, total frames enqueued toward the wire, and how
-  /// many of those frames rode inside a Batch. frames_enqueued -
-  /// frames_coalesced + (batches) == socket_writes; a coalesced share > 0
-  /// is the syscall saving the batching exists for.
+  /// Wire-write accounting for this process (data + control frames):
+  /// successful socket writes issued, total frames enqueued toward the
+  /// wire, and how many of those frames rode inside a Batch.
+  /// frames_enqueued - frames_coalesced + (batches) == socket_writes; a
+  /// coalesced share > 0 is the syscall saving the batching exists for.
   std::uint64_t socket_writes() const {
     return socket_writes_.load(std::memory_order_acquire);
   }
@@ -141,8 +186,8 @@ class SocketTransport final : public runtime::MailboxTransport {
     shutting_down_.store(true, std::memory_order_release);
   }
 
-  /// Flushes and half-closes every peer link, closes the local mailbox,
-  /// and joins all I/O threads. Requires every rank to reach its own
+  /// Flushes and half-closes every peer link, closes the local mailboxes,
+  /// and joins the reactor pool. Requires every process to reach its own
   /// Stop() (the coordinator's shutdown barrier guarantees it). Idempotent.
   void Stop();
 
@@ -151,9 +196,8 @@ class SocketTransport final : public runtime::MailboxTransport {
   std::size_t node_count() const override { return options_.peers.size(); }
 
   void SetHandler(net::NodeId node, Handler handler) override {
-    HMDSM_CHECK_MSG(node == options_.rank,
-                    "rank " << options_.rank << " cannot host node " << node);
-    handler_ = std::move(handler);
+    CheckLocal(node);
+    handlers_[node - options_.rank] = std::move(handler);
   }
 
   void Send(net::NodeId src, net::NodeId dst, stats::MsgCat cat,
@@ -166,7 +210,7 @@ class SocketTransport final : public runtime::MailboxTransport {
         .count();
   }
 
-  /// Only the local rank's recorder accumulates anything; remote slots are
+  /// Only the local ranks' recorders accumulate anything; remote slots are
   /// zero-filled placeholders so base-class Totals()/ResetStats() see a
   /// full table (cluster-wide totals come from the coordinator's gather).
   stats::Recorder& RecorderFor(net::NodeId node) override {
@@ -183,21 +227,25 @@ class SocketTransport final : public runtime::MailboxTransport {
   /// themselves stay monotonic — quiescence probes need absolute values.
   void ResetStats() override;
 
-  /// Folds this rank's wire-counter window and the writer threads' write-
+  /// Folds this process's wire-counter window and the reactor's write-
   /// latency histogram into a recorder snapshot, so the coordinator's
-  /// gather carries them and cluster totals come out of Merge.
+  /// gather carries them and cluster totals come out of Merge. Folded for
+  /// the primary rank only — the counters are process-level, and a
+  /// multi-rank Totals() must not double-count them.
   void AugmentSnapshot(net::NodeId node, stats::Recorder& into) const override;
 
   // ---- runtime::MailboxTransport ----
 
   bool WaitPop(net::NodeId node, net::Packet& out) override {
-    HMDSM_CHECK(node == options_.rank);
-    return mailbox_.WaitPop(out);
+    CheckLocal(node);
+    return mailboxes_[node - options_.rank].WaitPop(out);
   }
 
   void Dispatch(net::Packet&& packet) override;
 
-  void CloseAll() override { mailbox_.Close(); }
+  void CloseAll() override {
+    for (runtime::Channel& m : mailboxes_) m.Close();
+  }
 
   std::uint64_t enqueued() const override {
     return enqueued_.load(std::memory_order_acquire);
@@ -207,50 +255,111 @@ class SocketTransport final : public runtime::MailboxTransport {
   }
 
  private:
-  /// One peer link: the socket plus its writer queue and I/O threads.
+  /// One peer-process link: the socket, its frame queue, and the reactor
+  /// state machines. Fields below the marker are touched only by the
+  /// owning I/O thread (single-threaded by construction — a peer belongs
+  /// to exactly one reactor thread).
   struct Peer {
     Fd fd;
-    std::thread reader;
-    std::thread writer;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Bytes> queue;  // frames awaiting the writer thread
-    bool closed = false;      // no further enqueues; writer drains and exits
+    std::size_t io_thread = 0;
+    std::atomic<bool> registered{false};    // epoll adoption complete
+    std::atomic<bool> kick_pending{false};  // queued frames await a flush
+    std::mutex mu;            // guards queue + closed
+    std::deque<Bytes> queue;  // encoded frames awaiting the reactor
+    bool closed = false;      // no further enqueues
     bool connected = false;   // guarded by mesh_mu_
+    // ---- owning-I/O-thread state ----
+    Byte head[4] = {};          // length-prefix accumulator
+    std::size_t head_got = 0;   // 4 == currently filling in_frame
+    Bytes in_frame;             // exact-size receive buffer
+    std::size_t in_got = 0;
+    std::vector<Bytes> out_segs;  // in-flight wire image (scatter segments)
+    std::size_t out_seg = 0;      // flush cursor: segment index…
+    std::size_t out_off = 0;      // …and byte offset within it
+    std::size_t out_frames = 0;   // frames the in-flight image carries
+    bool out_batched = false;
+    bool out_active = false;
+    std::uint32_t armed = 0;   // epoll event mask currently registered
+    bool in_epoll = false;
+    bool read_open = true;     // false after a shutdown-phase EOF
+    bool dead = false;         // write failed during teardown: drop queue
   };
 
+  /// One reactor thread: its epoll instance, an eventfd enqueuers use to
+  /// wake it, and the peer groups it owns.
+  struct IoThread {
+    Fd epoll;
+    Fd wake;
+    std::thread th;
+    std::vector<std::size_t> owned;
+  };
+
+  std::size_t GroupOf(net::NodeId node) const {
+    return node / options_.ranks_per_proc;
+  }
+  net::NodeId PrimaryOf(std::size_t group) const {
+    return static_cast<net::NodeId>(group * options_.ranks_per_proc);
+  }
+  void CheckLocal(net::NodeId node) const {
+    HMDSM_CHECK_MSG(is_local(node), "process with primary rank "
+                                        << options_.rank << " does not host "
+                                        << "node " << node);
+  }
+
   void ConnectorMain();
-  /// Validates a fresh connection's handshake and starts its I/O threads.
-  void RegisterPeer(net::NodeId id, Fd fd);
-  void ReaderLoop(net::NodeId id);
-  /// Routes one received frame: data to the mailbox (payload aliased, not
-  /// copied), batches split and routed inner-frame by inner-frame
-  /// (`allow_batch` is false for those — a batch may not nest), control to
-  /// the registered handler. Dies on malformed or misrouted input.
-  void HandleFrame(net::NodeId id, const Buf& frame, bool allow_batch);
-  void WriterLoop(net::NodeId id);
+  /// Validates a fresh connection's handshake and adopts it into the
+  /// owning reactor thread's epoll set.
+  void RegisterPeer(std::size_t group, Fd fd);
+  void IoLoop(std::size_t ti);
+  /// Teardown flush: drains every owned queue (EPOLLOUT-paced), then
+  /// half-closes each link.
+  void DrainWrites(IoThread& t);
+  /// Nonblocking read pump: header/frame state machine until EAGAIN.
+  void HandleReadable(IoThread& t, std::size_t group);
+  /// Drains the peer's queue through writev until empty or EAGAIN.
+  void FlushPeer(IoThread& t, std::size_t group);
+  /// Coalesces the next queue prefix into a wire image (out_segs); false
+  /// when the queue is empty.
+  bool BuildNextWrite(Peer& peer);
+  /// Reconciles the peer's epoll registration with read_open/want-write.
+  void UpdateEpoll(IoThread& t, Peer& peer, std::size_t group,
+                   bool want_write);
+  /// Routes one received frame: data to the destination rank's mailbox
+  /// (payload aliased, not copied), batches split and routed inner-frame
+  /// by inner-frame (`allow_batch` is false for those — a batch may not
+  /// nest), control to the registered handler as the peer's primary rank.
+  /// Dies on malformed or misrouted input.
+  void HandleFrame(std::size_t group, const Buf& frame, bool allow_batch);
   void EnqueueFrame(net::NodeId dst, Bytes frame);
+  /// Wakes `group`'s reactor thread to flush its queue (deduplicated per
+  /// peer via kick_pending).
+  void KickPeer(std::size_t group);
   /// Records a mesh bring-up failure and wakes AwaitConnected.
   void FailConnect(const std::string& why);
   /// Unrecoverable protocol violation or peer death mid-run: this process
-  /// cannot continue (its node's state is now unreachable by the cluster).
+  /// cannot continue (its nodes' state is now unreachable by the cluster).
   [[noreturn]] void Die(const std::string& why) const;
 
   SocketTransportOptions options_;
-  runtime::Channel mailbox_;               // the local node's mailbox
-  Handler handler_;                        // local node's delivery callback
+  std::size_t group_ = 0;        // this process's index in the mesh
+  std::size_t group_count_ = 1;  // processes in the mesh
+  std::vector<net::NodeId> local_ranks_;
+  std::deque<runtime::Channel> mailboxes_;  // one per local rank
+  std::vector<Handler> handlers_;           // one per local rank
   ControlHandler control_handler_;
-  std::deque<stats::Recorder> recorders_;  // [rank] real, others placeholder
-  std::deque<Peer> peers_;                 // indexed by rank; [rank] unused
+  std::deque<stats::Recorder> recorders_;  // local ranks real, others zero
+  std::deque<Peer> peers_;    // indexed by group; [group_] unused
+  std::deque<IoThread> io_;   // the reactor pool
   Fd listener_;
   std::thread connector_;
 
-  std::mutex mesh_mu_;                     // connection bookkeeping
+  std::mutex mesh_mu_;  // connection bookkeeping
   std::condition_variable mesh_cv_;
   std::size_t connected_count_ = 0;
   std::string connect_error_;
 
   std::atomic<bool> shutting_down_{false};
+  std::atomic<bool> stop_io_{false};  // reactor pool: drain and exit
   bool started_ = false;
   bool stopped_ = false;
 
@@ -265,8 +374,8 @@ class SocketTransport final : public runtime::MailboxTransport {
   std::atomic<std::uint64_t> socket_writes_base_{0};
   std::atomic<std::uint64_t> frames_enqueued_base_{0};
   std::atomic<std::uint64_t> frames_coalesced_base_{0};
-  // Wire-write syscall latency, recorded by writer threads (which never
-  // hold the agent lock) — hence its own mutex, merged at snapshot time.
+  // Wire-write syscall latency, recorded by reactor threads (which never
+  // hold an agent lock) — hence its own mutex, merged at snapshot time.
   mutable std::mutex write_lat_mu_;
   stats::Histogram write_latency_;
   std::chrono::steady_clock::time_point epoch_;

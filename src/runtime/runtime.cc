@@ -24,7 +24,7 @@ Runtime::Runtime(RuntimeOptions options)
 }
 
 Runtime::Runtime(RuntimeOptions options, MailboxTransport& transport,
-                 dsm::NodeId local_node)
+                 std::vector<dsm::NodeId> local_nodes)
     : options_(std::move(options)), transport_(transport) {
   HMDSM_CHECK_MSG(transport_.node_count() == options_.nodes,
                   "external transport sized for " << transport_.node_count()
@@ -32,10 +32,17 @@ Runtime::Runtime(RuntimeOptions options, MailboxTransport& transport,
                                                   << options_.nodes);
   HMDSM_CHECK_MSG(options_.inject_latency_scale <= 0,
                   "latency injection is the channel transport's feature");
-  HMDSM_CHECK(local_node < options_.nodes);
-  local_nodes_.push_back(local_node);
+  HMDSM_CHECK_MSG(!local_nodes.empty(), "a process must host at least one "
+                                        "rank");
+  for (const dsm::NodeId n : local_nodes) HMDSM_CHECK(n < options_.nodes);
+  local_nodes_ = std::move(local_nodes);
   Init();
 }
+
+Runtime::Runtime(RuntimeOptions options, MailboxTransport& transport,
+                 dsm::NodeId local_node)
+    : Runtime(std::move(options), transport,
+              std::vector<dsm::NodeId>{local_node}) {}
 
 void Runtime::Init() {
   HMDSM_CHECK_MSG(options_.nodes >= 1 && options_.nodes <= 0x10000,

@@ -61,15 +61,20 @@ class Guest;
 ///   * in-process (threads backend): the Runtime owns a ChannelTransport
 ///     and hosts every cluster node — one agent + dispatcher per node;
 ///   * external transport (sockets backend): the caller supplies a
-///     MailboxTransport (netio::SocketTransport) and the Runtime hosts only
-///     `local_node` — one agent + one dispatcher; the other ranks live in
-///     other OS processes reached over the wire.
+///     MailboxTransport (netio::SocketTransport) and the Runtime hosts the
+///     given set of local ranks — one agent + dispatcher each; the other
+///     ranks live in other OS processes reached over the wire.
 class Runtime {
  public:
   explicit Runtime(RuntimeOptions options);
-  /// External-transport mode: host only `local_node` of the cluster behind
-  /// `transport` (which the caller owns and must outlive this Runtime).
-  /// Latency injection is the channel transport's feature — rejected here.
+  /// External-transport mode: host `local_nodes` of the cluster behind
+  /// `transport` (which the caller owns and must outlive this Runtime) —
+  /// one agent + dispatcher per hosted node; the remaining ranks live in
+  /// other OS processes reached over the wire. Latency injection is the
+  /// channel transport's feature — rejected here.
+  Runtime(RuntimeOptions options, MailboxTransport& transport,
+          std::vector<dsm::NodeId> local_nodes);
+  /// Single-rank convenience overload (one hosted node per process).
   Runtime(RuntimeOptions options, MailboxTransport& transport,
           dsm::NodeId local_node);
   ~Runtime();

@@ -165,16 +165,17 @@ INSTANTIATE_TEST_SUITE_P(NodeCountsAndInjection, AppsCrossBackend,
 // Sockets backend: the same conformance bar, as a real multi-process run.
 // ---------------------------------------------------------------------------
 
-/// Forks a `nodes`-rank localhost mesh, runs `lead_result` in every rank
-/// (SPMD — the replicas are what make the closures exist everywhere), and
-/// returns the bytes rank 0 (the lead) produced, shipped back on a pipe.
+/// Forks a `nodes`-rank localhost mesh of ceil(nodes / ranks_per_proc)
+/// processes, runs `lead_result` in every process (SPMD — the replicas are
+/// what make the closures exist everywhere), and returns the bytes the
+/// process hosting rank 0 (the lead) produced, shipped back on a pipe.
 Bytes RunOnSocketMesh(
-    std::size_t nodes,
+    std::size_t nodes, std::size_t ranks_per_proc,
     const std::function<Bytes(gos::VmOptions)>& lead_result) {
   int fds[2];
   EXPECT_EQ(::pipe(fds), 0);
-  const int status =
-      netio::RunLocalMesh(nodes, [&](const netio::LocalRank& self) {
+  const int status = netio::RunLocalMesh(
+      nodes, ranks_per_proc, [&](const netio::LocalRank& self) {
         ::close(fds[0]);
         gos::VmOptions vm;
         vm.nodes = self.peers.size();
@@ -182,6 +183,7 @@ Bytes RunOnSocketMesh(
         vm.backend = gos::Backend::kSockets;
         vm.sockets.rank = self.rank;
         vm.sockets.peers = self.peers;
+        vm.sockets.ranks_per_proc = self.ranks_per_proc;
         vm.sockets.listen_fd = self.listen_fd;
         const Bytes result = lead_result(std::move(vm));
         if (self.rank == 0 && !result.empty()) {
@@ -247,7 +249,7 @@ TEST_P(AppsOnSockets, AspMatchesSimThreadsAndSerial) {
   const std::uint64_t serial = AspChecksum(SerialAsp(cfg.n, cfg.seed));
   EXPECT_EQ(RunAsp(Opts(nodes(), gos::Backend::kSim, false), cfg).checksum,
             serial);
-  const Bytes blob = RunOnSocketMesh(nodes(), [&](gos::VmOptions vm) {
+  const Bytes blob = RunOnSocketMesh(nodes(), /*ranks_per_proc=*/1, [&](gos::VmOptions vm) {
     const AspResult r = RunAsp(vm, cfg);
     return PackResult(r.checksum, r.report);
   });
@@ -261,7 +263,7 @@ TEST_P(AppsOnSockets, SorMatchesSimThreadsAndSerialBitwise) {
   cfg.iterations = 3;
   cfg.model_compute = false;
   const double serial = SorChecksum(SerialSor(cfg));
-  const Bytes blob = RunOnSocketMesh(nodes(), [&](gos::VmOptions vm) {
+  const Bytes blob = RunOnSocketMesh(nodes(), /*ranks_per_proc=*/1, [&](gos::VmOptions vm) {
     const SorResult r = RunSor(vm, cfg);
     std::uint64_t bits;
     std::memcpy(&bits, &r.checksum, sizeof bits);
@@ -284,7 +286,7 @@ TEST_P(AppsOnSockets, NbodyMatchesSimThreadsAndSerialBitwise) {
       RunNbody(Opts(nodes(), gos::Backend::kSim, false), cfg)
           .position_checksum,
       serial);
-  const Bytes blob = RunOnSocketMesh(nodes(), [&](gos::VmOptions vm) {
+  const Bytes blob = RunOnSocketMesh(nodes(), /*ranks_per_proc=*/1, [&](gos::VmOptions vm) {
     const NbodyResult r = RunNbody(vm, cfg);
     std::uint64_t bits;
     std::memcpy(&bits, &r.position_checksum, sizeof bits);
@@ -302,7 +304,7 @@ TEST_P(AppsOnSockets, TspFindsTheOptimum) {
   cfg.cities = 8;
   cfg.model_compute = false;
   const std::int32_t optimum = SerialTspBest(cfg);
-  const Bytes blob = RunOnSocketMesh(nodes(), [&](gos::VmOptions vm) {
+  const Bytes blob = RunOnSocketMesh(nodes(), /*ranks_per_proc=*/1, [&](gos::VmOptions vm) {
     const TspResult r = RunTsp(vm, cfg);
     return PackResult(static_cast<std::uint64_t>(r.best_length), r.report);
   });
@@ -322,7 +324,8 @@ TEST_P(AppsOnSockets, SyntheticCounterIsExact) {
   // Note: turns_taken is process-local (ghost mains host no workers), so
   // only the shared-memory answer — the counter — crosses the mesh.
   const Bytes blob =
-      RunOnSocketMesh(nodes() + 1, [&](gos::VmOptions vm) {
+      RunOnSocketMesh(nodes() + 1, /*ranks_per_proc=*/1,
+                      [&](gos::VmOptions vm) {
         const SyntheticResult r = RunSynthetic(vm, cfg);
         return PackResult(static_cast<std::uint64_t>(r.final_count),
                           r.report);
@@ -347,7 +350,7 @@ TEST_P(AppsOnSockets, EveryScenarioPatternMatchesSimAndThreads) {
     const auto thr_res = workload::RunScenario(threads, scenario);
     EXPECT_EQ(sim_res.checksum, thr_res.checksum) << pattern;
 
-    const Bytes blob = RunOnSocketMesh(nodes(), [&](gos::VmOptions vm) {
+    const Bytes blob = RunOnSocketMesh(nodes(), /*ranks_per_proc=*/1, [&](gos::VmOptions vm) {
       const auto r = workload::RunScenario(vm, scenario);
       return PackResult(r.checksum, r.report);
     });
@@ -360,6 +363,41 @@ INSTANTIATE_TEST_SUITE_P(NodeCounts, AppsOnSockets,
                          [](const ::testing::TestParamInfo<std::size_t>& i) {
                            return std::to_string(i.param) + "nodes";
                          });
+
+// Multi-rank hosting: 8 ranks packed into 2 OS processes (4 per process).
+// Same-process rank pairs exchange through local mailboxes while
+// cross-process traffic takes the wire; the answers and the gathered
+// cluster stats balance must be exactly what the flat 8-process mesh (and
+// the sim) produce.
+TEST(AppsOnSocketsMultiRank, HotspotEightRanksInTwoProcesses) {
+  HMDSM_SKIP_UNDER_TSAN();
+  workload::PatternParams params;
+  params.pattern = "hotspot";
+  params.nodes = 8;
+  const workload::Scenario scenario = workload::GeneratePattern(params);
+  const auto sim_res = workload::RunScenario(
+      Opts(8, gos::Backend::kSim, false), scenario);
+  const Bytes blob =
+      RunOnSocketMesh(8, /*ranks_per_proc=*/4, [&](gos::VmOptions vm) {
+        const auto r = workload::RunScenario(vm, scenario);
+        return PackResult(r.checksum, r.report);
+      });
+  EXPECT_EQ(UnpackResult(blob).answer, sim_res.checksum);
+}
+
+TEST(AppsOnSocketsMultiRank, AspEightRanksInTwoProcesses) {
+  HMDSM_SKIP_UNDER_TSAN();
+  AspConfig cfg;
+  cfg.n = 24;
+  cfg.model_compute = false;
+  const std::uint64_t serial = AspChecksum(SerialAsp(cfg.n, cfg.seed));
+  const Bytes blob =
+      RunOnSocketMesh(8, /*ranks_per_proc=*/4, [&](gos::VmOptions vm) {
+        const AspResult r = RunAsp(vm, cfg);
+        return PackResult(r.checksum, r.report);
+      });
+  EXPECT_EQ(UnpackResult(blob).answer, serial);
+}
 
 // The measured clock must actually reflect injected latency: the same app
 // with a fat injected t0 takes measurably longer than without injection.

@@ -115,68 +115,92 @@ class ChannelMesh final : public Mesh {
 
 class SocketMesh final : public Mesh {
  public:
-  explicit SocketMesh(std::size_t n) {
+  /// `ranks_per_proc` > 1 hosts consecutive ranks on one transport (the
+  /// multi-rank-hosting shape the CLI's --ranks-per-proc forks), so
+  /// same-group traffic crosses only local mailboxes while cross-group
+  /// traffic takes the wire; `io_threads` sizes each reactor pool.
+  SocketMesh(std::size_t n, std::size_t ranks_per_proc,
+             std::size_t io_threads)
+      : nodes_(n), rpp_(ranks_per_proc) {
     // Pre-bound ephemeral listeners, exactly like the self-fork launcher:
-    // no fixed ports, so parallel test runs cannot collide.
+    // no fixed ports, so parallel test runs cannot collide. One listener
+    // per process; all hosted ranks share their process's endpoint.
+    const std::size_t procs = (n + rpp_ - 1) / rpp_;
     std::vector<int> fds;
-    std::vector<std::string> peers;
-    for (std::size_t r = 0; r < n; ++r) {
+    std::vector<std::uint16_t> ports;
+    for (std::size_t p = 0; p < procs; ++p) {
       std::uint16_t port = 0;
       std::string error;
       netio::Fd fd = netio::ListenOn("127.0.0.1:0", &port, &error);
       HMDSM_CHECK_MSG(fd.valid(), "listen: " << error);
       fds.push_back(fd.release());
-      peers.push_back("127.0.0.1:" + std::to_string(port));
+      ports.push_back(port);
     }
-    for (std::size_t r = 0; r < n; ++r) {
+    std::vector<std::string> peers;
+    for (std::size_t r = 0; r < n; ++r)
+      peers.push_back("127.0.0.1:" + std::to_string(ports[r / rpp_]));
+    for (std::size_t p = 0; p < procs; ++p) {
       netio::SocketTransportOptions o;
-      o.rank = static_cast<NodeId>(r);
+      o.rank = static_cast<NodeId>(p * rpp_);
       o.peers = peers;
-      o.listen_fd = fds[r];
-      ranks_.push_back(std::make_unique<netio::SocketTransport>(o));
+      o.ranks_per_proc = rpp_;
+      o.io_threads = io_threads;
+      o.listen_fd = fds[p];
+      groups_.push_back(std::make_unique<netio::SocketTransport>(o));
     }
-    for (auto& t : ranks_) t->Start();
-    for (auto& t : ranks_) t->AwaitConnected();
+    for (auto& t : groups_) t->Start();
+    for (auto& t : groups_) t->AwaitConnected();
   }
 
   ~SocketMesh() override {
-    for (auto& t : ranks_) t->BeginShutdown();
-    for (auto& t : ranks_) t->Stop();
+    for (auto& t : groups_) t->BeginShutdown();
+    for (auto& t : groups_) t->Stop();
   }
 
-  std::size_t nodes() const override { return ranks_.size(); }
-  net::Transport& at(NodeId src) override { return *ranks_[src]; }
+  std::size_t nodes() const override { return nodes_; }
+  net::Transport& at(NodeId src) override { return *groups_[src / rpp_]; }
   void SetHandler(NodeId node, net::Transport::Handler h) override {
-    ranks_[node]->SetHandler(node, std::move(h));
+    groups_[node / rpp_]->SetHandler(node, std::move(h));
   }
   void Pump(NodeId node, std::size_t packets) override {
+    netio::SocketTransport& t = *groups_[node / rpp_];
     Packet p;
     for (std::size_t i = 0; i < packets; ++i) {
-      ASSERT_TRUE(ranks_[node]->WaitPop(node, p));
-      ranks_[node]->Dispatch(std::move(p));
+      ASSERT_TRUE(t.WaitPop(node, p));
+      t.Dispatch(std::move(p));
     }
   }
   stats::Recorder Merged() override {
     stats::Recorder total;
-    total.SetNodeCount(ranks_.size());
-    for (std::size_t r = 0; r < ranks_.size(); ++r)
-      total.Merge(ranks_[r]->RecorderFor(static_cast<NodeId>(r)));
+    total.SetNodeCount(nodes_);
+    for (std::size_t r = 0; r < nodes_; ++r)
+      total.Merge(groups_[r / rpp_]->RecorderFor(static_cast<NodeId>(r)));
     return total;
   }
 
  private:
-  std::vector<std::unique_ptr<netio::SocketTransport>> ranks_;
+  std::size_t nodes_;
+  std::size_t rpp_;
+  std::vector<std::unique_ptr<netio::SocketTransport>> groups_;
 };
 
 // --- the parameterized suite ------------------------------------------------
 
-enum class Impl { kSim, kChannel, kSocket };
+enum class Impl {
+  kSim,
+  kChannel,
+  kSocket,       // one rank per transport, default reactor pool
+  kSocketIo1,    // single reactor thread: serializes every peer's I/O
+  kSocketMulti,  // two ranks per transport: local + wire delivery mixed
+};
 
 std::string ImplName(const ::testing::TestParamInfo<Impl>& info) {
   switch (info.param) {
     case Impl::kSim: return "SimNetwork";
     case Impl::kChannel: return "ChannelTransport";
     case Impl::kSocket: return "SocketTransport";
+    case Impl::kSocketIo1: return "SocketTransportSingleIoThread";
+    case Impl::kSocketMulti: return "SocketTransportMultiRank";
   }
   return "?";
 }
@@ -185,7 +209,10 @@ std::unique_ptr<Mesh> MakeMesh(Impl impl, std::size_t nodes) {
   switch (impl) {
     case Impl::kSim: return std::make_unique<SimMesh>(nodes);
     case Impl::kChannel: return std::make_unique<ChannelMesh>(nodes);
-    case Impl::kSocket: return std::make_unique<SocketMesh>(nodes);
+    case Impl::kSocket: return std::make_unique<SocketMesh>(nodes, 1, 4);
+    case Impl::kSocketIo1: return std::make_unique<SocketMesh>(nodes, 1, 1);
+    case Impl::kSocketMulti:
+      return std::make_unique<SocketMesh>(nodes, 2, 4);
   }
   return nullptr;
 }
@@ -302,7 +329,8 @@ TEST_P(TransportConformance, SelfSendIsAsynchronousAndFree) {
 
 INSTANTIATE_TEST_SUITE_P(AllTransports, TransportConformance,
                          ::testing::Values(Impl::kSim, Impl::kChannel,
-                                           Impl::kSocket),
+                                           Impl::kSocket, Impl::kSocketIo1,
+                                           Impl::kSocketMulti),
                          ImplName);
 
 }  // namespace

@@ -1,0 +1,53 @@
+// Regression tests for the live-poll rate computation. The original
+// PollLoop computed `msgs - prev_msgs` on uint64 cluster totals even when
+// a best-effort poll window missed some process's reply — the partial
+// total could be *smaller* than the previous complete one, and the
+// subtraction wrapped to ~1.8e19 msgs/s in the stderr line and the
+// --poll-out JSON. Coordinator::PollRate is the pure seam: it returns 0
+// (no rate) for any window that cannot be differenced safely, and the
+// PollLoop only advances its cursor on complete samples.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/netio/coordinator.h"
+
+namespace hmdsm::netio {
+namespace {
+
+TEST(PollRate, SteadyWindowYieldsRate) {
+  // 1000 new messages over half a second, all 7 peers answered.
+  EXPECT_DOUBLE_EQ(Coordinator::PollRate(5000, 4000, 0.5, 7, 7), 2000.0);
+}
+
+TEST(PollRate, FirstWindowHasNoBaseline) {
+  // The PollLoop passes dt = 0 until a previous complete sample exists.
+  EXPECT_DOUBLE_EQ(Coordinator::PollRate(5000, 0, 0.0, 7, 7), 0.0);
+}
+
+TEST(PollRate, MissingReplySuppressesRate) {
+  // 6 of 7 processes answered: the total is partial and must not be
+  // differenced against the last complete total.
+  EXPECT_DOUBLE_EQ(Coordinator::PollRate(4100, 4000, 0.5, 6, 7), 0.0);
+}
+
+TEST(PollRate, BackwardTotalDoesNotUnderflow) {
+  // The underflow shape itself: a partial total below the cursor. Before
+  // the fix this produced (2^64 - 900) / 0.5 ≈ 3.7e19 msgs/s.
+  const double rate = Coordinator::PollRate(4000, 4900, 0.5, 7, 7);
+  EXPECT_DOUBLE_EQ(rate, 0.0);
+  EXPECT_GE(rate, 0.0);
+}
+
+TEST(PollRate, ZeroOrNegativeDtSuppressesRate) {
+  EXPECT_DOUBLE_EQ(Coordinator::PollRate(5000, 4000, 0.0, 7, 7), 0.0);
+  EXPECT_DOUBLE_EQ(Coordinator::PollRate(5000, 4000, -0.1, 7, 7), 0.0);
+}
+
+TEST(PollRate, SingleProcessMeshNeedsNoReplies) {
+  // One process hosting every rank: others == 0, every window complete.
+  EXPECT_DOUBLE_EQ(Coordinator::PollRate(300, 100, 1.0, 0, 0), 200.0);
+}
+
+}  // namespace
+}  // namespace hmdsm::netio

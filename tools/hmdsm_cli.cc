@@ -12,6 +12,8 @@
 //   hmdsm_cli --app=scenario --pattern=hotspot --backend=threads
 //   hmdsm_cli --app=asp --backend=threads --inject-latency
 //   hmdsm_cli --app=asp --backend=sockets --nodes=4        # forks 4 ranks
+//   hmdsm_cli --app=scenario --pattern=hotspot --backend=sockets \
+//       --nodes=128 --ranks-per-proc=16                    # 8 processes
 //   hmdsm_cli --app=sor --backend=sockets \
 //       --rank=1 --peers=hostA:7000,hostB:7000             # real two-host run
 //
@@ -64,9 +66,14 @@ int Usage(const char* error) {
       "             --lambda=F --tinit=F --t0-us=F --bandwidth-mbps=F\n"
       "             --backend=sim|threads|sockets\n"
       "               threads: every app on real OS threads + wall clock\n"
-      "               sockets: one process per node over TCP; self-forks\n"
-      "               --nodes ranks on localhost, or joins an explicit mesh\n"
-      "               with --rank=R --peers=host:port,host:port,...\n"
+      "               sockets: processes over TCP; self-forks on localhost\n"
+      "               (--nodes ranks in --nodes/--ranks-per-proc processes),\n"
+      "               or joins an explicit mesh with --rank=R\n"
+      "               --peers=host:port,host:port,...\n"
+      "             --ranks-per-proc=K  host K consecutive ranks per OS\n"
+      "               process (sockets; default 1)\n"
+      "             --io-threads=N  epoll reactor threads per process\n"
+      "               (sockets; default 4, independent of rank count)\n"
       "             --inject-latency [--inject-scale=F] (threads only)\n"
       "  observe:   --trace-out=FILE   Chrome/Perfetto trace JSON (sockets:\n"
       "               one shard per rank, merged by the launching parent)\n"
@@ -212,8 +219,13 @@ std::vector<std::string> SplitCommas(const std::string& list) {
 /// replay trace is parsed once per process, not twice.
 int RunApp(const Flags& flags, gos::VmOptions vm, const std::string& app,
            const workload::Scenario* prebuilt = nullptr) {
-  const bool reporting = vm.backend != gos::Backend::kSockets ||
-                         vm.sockets.rank == vm.start_node;
+  // On sockets the report is printed by the process hosting the start node
+  // (its lead rank gathers cluster stats) — with --ranks-per-proc that is
+  // the process whose primary rank opens the start node's group.
+  const std::size_t rpp = std::max<std::size_t>(1, vm.sockets.ranks_per_proc);
+  const bool reporting =
+      vm.backend != gos::Backend::kSockets ||
+      vm.sockets.rank == (vm.start_node / rpp) * rpp;
   if (reporting) {
     std::printf("app=%s policy=%s nodes=%zu notify=%s backend=%s\n",
                 app.c_str(), vm.dsm.policy.c_str(), vm.nodes,
@@ -351,6 +363,15 @@ int main(int argc, char** argv) {
   } else {
     return Usage("bad --backend (sim|threads|sockets)");
   }
+  vm.sockets.ranks_per_proc =
+      static_cast<std::size_t>(flags.GetInt("ranks-per-proc", 1));
+  if (vm.sockets.ranks_per_proc < 1)
+    return Usage("--ranks-per-proc must be >= 1");
+  if (flags.Has("ranks-per-proc") && vm.backend != gos::Backend::kSockets)
+    return Usage("--ranks-per-proc needs --backend=sockets");
+  vm.sockets.io_threads =
+      static_cast<std::size_t>(flags.GetInt("io-threads", 4));
+  if (vm.sockets.io_threads < 1) return Usage("--io-threads must be >= 1");
   vm.inject_latency = flags.GetBool("inject-latency", false);
   vm.inject_scale = flags.GetDouble("inject-scale", 1.0);
   vm.histograms = flags.GetBool("histograms", true);
@@ -383,6 +404,11 @@ int main(int argc, char** argv) {
       return Usage("--peers needs at least two host:port entries");
     if (vm.sockets.rank >= vm.sockets.peers.size())
       return Usage("--rank is outside the --peers list");
+    // With multi-rank hosting the --peers list still has one entry per
+    // rank (same-process ranks repeat their process's endpoint) and each
+    // invocation runs one process, so --rank must be a group primary.
+    if (vm.sockets.rank % vm.sockets.ranks_per_proc != 0)
+      return Usage("--rank must be a multiple of --ranks-per-proc");
     if (!flags.Has("nodes")) vm.nodes = vm.sockets.peers.size();
   }
 
@@ -421,15 +447,22 @@ int main(int argc, char** argv) {
     return RunApp(flags, vm, app, prebuilt);
   }
 
-  // Localhost: self-fork one process per rank over pre-bound ephemeral
-  // ports (rank 0 — the start node — prints the report).
-  const int rc = netio::RunLocalMesh(vm.nodes, [&](const netio::LocalRank& self) {
-    gos::VmOptions rank_vm = vm;
-    rank_vm.sockets.rank = self.rank;
-    rank_vm.sockets.peers = self.peers;
-    rank_vm.sockets.listen_fd = self.listen_fd;
-    return RunApp(flags, rank_vm, app, prebuilt);
-  });
+  if (vm.sockets.ranks_per_proc > vm.nodes)
+    return Usage("--ranks-per-proc is larger than the node count");
+
+  // Localhost: self-fork ceil(nodes / ranks_per_proc) processes over
+  // pre-bound ephemeral ports (the process hosting the start node prints
+  // the report).
+  const int rc = netio::RunLocalMesh(
+      vm.nodes, vm.sockets.ranks_per_proc,
+      [&](const netio::LocalRank& self) {
+        gos::VmOptions rank_vm = vm;
+        rank_vm.sockets.rank = self.rank;
+        rank_vm.sockets.peers = self.peers;
+        rank_vm.sockets.ranks_per_proc = self.ranks_per_proc;
+        rank_vm.sockets.listen_fd = self.listen_fd;
+        return RunApp(flags, rank_vm, app, prebuilt);
+      });
   // Each rank wrote a trace shard on teardown; stitch them into one
   // Chrome/Perfetto file now that every child has exited. (An explicit
   // multi-host mesh leaves the per-rank shards in place instead.)
