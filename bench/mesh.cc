@@ -189,7 +189,8 @@ MeshMetrics FromReport(const gos::RunReport& report, std::uint64_t checksum,
 /// returns the lead's metrics via a pipe. False when any rank failed. With
 /// `trace_path` set, every rank writes a Chrome trace shard on teardown
 /// and the parent merges them into one Perfetto-loadable file.
-bool RunOnMesh(std::size_t nodes, std::size_t ranks_per_proc, bool batch,
+bool RunOnMesh(std::size_t nodes, std::size_t ranks_per_proc,
+               std::size_t io_threads, bool batch,
                const std::string& trace_path,
                const std::function<MeshMetrics(gos::VmOptions)>& lead_metrics,
                MeshMetrics* out) {
@@ -206,6 +207,7 @@ bool RunOnMesh(std::size_t nodes, std::size_t ranks_per_proc, bool batch,
         vm.sockets.peers = self.peers;
         vm.sockets.ranks_per_proc = self.ranks_per_proc;
         vm.sockets.listen_fd = self.listen_fd;
+        vm.sockets.io_threads = io_threads;
         vm.sockets.batch_frames = batch;
         vm.trace_out = trace_path;
         try {
@@ -265,6 +267,8 @@ int RunScalingSweep(const Flags& flags, bool smoke) {
       flags.GetInt("reps", smoke ? 4 : 30));
   const std::size_t max_procs =
       static_cast<std::size_t>(flags.GetInt("max-procs", 8));
+  const std::size_t io_threads =
+      static_cast<std::size_t>(flags.GetInt("io-threads", 4));
 
   struct ScalePoint {
     std::size_t nodes = 0;
@@ -303,7 +307,7 @@ int RunScalingSweep(const Flags& flags, bool smoke) {
         workload::RunScenario(sim_opts, scenario);
 
     pt.ok = RunOnMesh(
-        n, pt.ranks_per_proc, /*batch=*/true, /*trace_path=*/{},
+        n, pt.ranks_per_proc, io_threads, /*batch=*/true, /*trace_path=*/{},
         [&](gos::VmOptions vm) {
           const workload::ScenarioResult res =
               workload::RunScenario(vm, scenario);
@@ -353,6 +357,10 @@ int RunScalingSweep(const Flags& flags, bool smoke) {
     j.Key("pattern").String("hotspot");
     j.Key("repetitions").Uint(reps);
     j.Key("max_procs").Uint(max_procs);
+    j.Key("io_threads").Uint(io_threads);
+    j.Key("nodes").BeginArray();
+    for (const std::size_t n : counts) j.Uint(n);
+    j.EndArray();
     j.Key("points").BeginArray();
     for (const ScalePoint& p : points) {
       j.BeginObject();
@@ -398,6 +406,8 @@ int main(int argc, char** argv) {
   params.repetitions = static_cast<std::uint32_t>(flags.GetInt(
       "reps", smoke ? 4 : (bench::FullScale() ? 64 : 16)));
   params.seed = 1;
+  const std::size_t io_threads =
+      static_cast<std::size_t>(flags.GetInt("io-threads", 4));
 
   std::vector<std::string> patterns = workload::PatternNames();
   if (smoke) patterns = {"pingpong", "hotspot"};
@@ -446,7 +456,7 @@ int main(int argc, char** argv) {
       r.config = batch ? "sockets_batch" : "sockets_nobatch";
       const std::string trace_path = std::exchange(pending_trace, {});
       r.ok = RunOnMesh(
-          params.nodes, /*ranks_per_proc=*/1, batch, trace_path,
+          params.nodes, /*ranks_per_proc=*/1, io_threads, batch, trace_path,
           [&](gos::VmOptions vm) {
             const workload::ScenarioResult res =
                 workload::RunScenario(vm, scenario);
@@ -479,7 +489,7 @@ int main(int argc, char** argv) {
       r.config = batch ? "sockets_batch" : "sockets_nobatch";
       const std::string trace_path = std::exchange(pending_trace, {});
       r.ok = RunOnMesh(
-          params.nodes, /*ranks_per_proc=*/1, batch, trace_path,
+          params.nodes, /*ranks_per_proc=*/1, io_threads, batch, trace_path,
           [&](gos::VmOptions vm) {
             const auto res = apps::RunAsp(vm, cfg);
             return FromReport(res.report, res.checksum, 0);
@@ -518,7 +528,7 @@ int main(int argc, char** argv) {
       r.workload = "phased_churn";
       r.config = audit ? "sockets_audit" : "sockets_noaudit";
       r.ok = RunOnMesh(
-          params.nodes, /*ranks_per_proc=*/1, /*batch=*/true,
+          params.nodes, /*ranks_per_proc=*/1, io_threads, /*batch=*/true,
           /*trace_path=*/{},
           [&](gos::VmOptions vm) {
             vm.dsm.audit = audit;
@@ -613,6 +623,9 @@ int main(int argc, char** argv) {
     j.Key("object_bytes").Uint(params.object_bytes);
     j.Key("repetitions").Uint(params.repetitions);
     j.Key("asp_size").Int(asp_size);
+    // Mesh shape: enough to rebuild the exact run from the JSON alone.
+    j.Key("ranks_per_proc").Uint(1);
+    j.Key("io_threads").Uint(io_threads);
     j.Key("rows").BeginArray();
     for (const Row& r : rows) {
       j.BeginObject();

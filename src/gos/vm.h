@@ -211,6 +211,16 @@ struct VmOptions {
     /// reproduces the one-write-per-frame v1 wire behavior (benches use it
     /// for before/after comparisons).
     bool batch_frames = true;
+    /// Link-liveness heartbeat period (ms): each peer-process link is
+    /// probed from the reactor's timer, feeding per-link RTT histograms
+    /// and the coordinator's healthy → suspect → dead state machine. 0
+    /// disables the beat traffic (hard link failures are still detected).
+    std::size_t heartbeat_interval_ms = 250;
+    /// >= 0: the lead process serves GET /metrics (Prometheus text
+    /// format) and GET /healthz (JSON) on 127.0.0.1:<port> for the run's
+    /// duration (0 picks an ephemeral port; the bound port is printed to
+    /// stderr). -1 disables the exporter. Non-lead processes ignore it.
+    int metrics_port = -1;
   };
   SocketsConfig sockets;
   /// Latency histograms (fault-in RTT, mailbox dwell, socket-write syscall,
@@ -300,6 +310,20 @@ struct RunReport {
   /// or re-aggregate them.
   stats::DecisionLedger ledger;
   stats::Timeseries series;
+  /// Mesh health at report time (sockets backend, lead rank only): one
+  /// entry per remote process. Plain strings/numbers so gos stays
+  /// decoupled from netio's liveness types.
+  struct PeerReport {
+    std::uint32_t primary = 0;  // the peer process's lowest rank
+    std::string state;          // "healthy" / "suspect" / "dead"
+    std::uint64_t missed_beats = 0;
+    std::uint64_t hb_sent = 0;
+    std::uint64_t hb_acked = 0;
+    double rtt_p50_us = -1;  // heartbeat round trip; -1 = no samples
+    double rtt_p99_us = -1;
+    std::string why;  // non-empty for hard-dead links
+  };
+  std::vector<PeerReport> peer_health;
 };
 
 /// Builds a RunReport from merged per-node statistics. Shared between the

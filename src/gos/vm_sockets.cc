@@ -25,6 +25,7 @@
 // flag rides the shutdown frame, unstarted bodies are cancelled, and
 // stuck ones are detached — a crashed run fails loudly rather than hangs.
 #include <atomic>
+#include <cstdio>
 #include <deque>
 #include <mutex>
 #include <stdexcept>
@@ -36,7 +37,9 @@
 #include "src/gos/vm.h"
 #include "src/netio/coordinator.h"
 #include "src/netio/socket_transport.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/runtime.h"
+#include "src/sim/time.h"
 
 namespace hmdsm::gos {
 namespace {
@@ -108,6 +111,7 @@ netio::SocketTransportOptions ToSocketOptions(const VmOptions& o) {
   s.io_threads = o.sockets.io_threads;
   s.listen_fd = o.sockets.listen_fd;
   s.batch_frames = o.sockets.batch_frames;
+  s.heartbeat_interval_ms = o.sockets.heartbeat_interval_ms;
   s.measure_latency = o.histograms;
   return s;
 }
@@ -147,8 +151,13 @@ class SocketsBackend final : public VmBackend {
 
   void Run(ThreadBody main) override {
     std::exception_ptr error;
-    if (lead_ && options_.poll_interval_s > 0) {
-      coord_.StartPolling(options_.poll_interval_s, options_.poll_out);
+    if (lead_) {
+      double poll_s = options_.poll_interval_s;
+      // The exporter serves the poll loop's merged counters, so metrics
+      // without an explicit poll cadence imply a default one.
+      if (poll_s <= 0 && options_.sockets.metrics_port >= 0) poll_s = 0.5;
+      if (poll_s > 0) coord_.StartPolling(poll_s, options_.poll_out);
+      StartMetricsServer();
     }
     if (lead_) {
       {
@@ -309,11 +318,67 @@ class SocketsBackend final : public VmBackend {
     // lead's report shows cluster totals — not lead-process-only numbers.
     // GatherStats is a genuine mutation (control-plane round trips), which
     // is why Report() is non-const across the backends.
-    return lead_ ? MakeRunReport(coord_.GatherStats(), rt_.ElapsedSeconds())
-                 : MakeRunReport(rt_.Totals(), rt_.ElapsedSeconds());
+    RunReport report =
+        lead_ ? MakeRunReport(coord_.GatherStats(), rt_.ElapsedSeconds())
+              : MakeRunReport(rt_.Totals(), rt_.ElapsedSeconds());
+    if (lead_ && transport_.process_count() > 1) {
+      const netio::Coordinator::HealthView hv = coord_.HealthSnapshot();
+      for (const netio::PeerHealth& p : hv.peers) {
+        RunReport::PeerReport pr;
+        pr.primary = p.peer;
+        pr.state = netio::PeerStateName(p.state);
+        pr.missed_beats = p.missed;
+        pr.why = p.why;
+        for (const netio::LinkStats& l : hv.links) {
+          if (l.primary != p.peer) continue;
+          pr.hb_sent = l.hb_sent;
+          pr.hb_acked = l.hb_acked;
+          if (!l.rtt.empty()) {
+            pr.rtt_p50_us = l.rtt.Quantile(0.5) * 1e-3;
+            pr.rtt_p99_us = l.rtt.Quantile(0.99) * 1e-3;
+          }
+        }
+        report.peer_health.push_back(std::move(pr));
+      }
+    }
+    return report;
   }
 
  private:
+  /// Lead only: binds the /metrics + /healthz exporter when configured.
+  /// A bind failure is loud — a run launched for scraping that cannot be
+  /// scraped is misconfigured, not degraded.
+  void StartMetricsServer() {
+    if (!lead_ || options_.sockets.metrics_port < 0) return;
+    std::string err;
+    const bool ok = metrics_.Start(
+        static_cast<std::uint16_t>(options_.sockets.metrics_port),
+        [this](const obs::HttpRequest& req) {
+          return obs::HandleObsRequest(req, [this] { return GatherView(); });
+        },
+        &err);
+    HMDSM_CHECK_MSG(ok, "metrics exporter: " << err);
+    std::fprintf(stderr,
+                 "hmdsm metrics: rank %u serving http://127.0.0.1:%u/metrics\n",
+                 transport_.rank(), metrics_.port());
+  }
+
+  /// Assembles one scrape's view, called from the exporter thread. The
+  /// coordinator's health/poll snapshots are the only shared state it
+  /// touches, and both are thread-safe by design.
+  obs::MeshView GatherView() {
+    obs::MeshView v;
+    v.node_count = static_cast<std::uint32_t>(rt_.nodes());
+    v.ranks_per_proc = transport_.ranks_per_proc();
+    v.process_count = transport_.process_count();
+    v.lead = options_.start_node;
+    v.self_primary = transport_.rank();
+    v.uptime_s = sim::ToSeconds(transport_.Now());
+    v.health = coord_.HealthSnapshot();
+    v.poll = coord_.LatestPoll();
+    return v;
+  }
+
   /// Lead only: blocks until every spawned body (local or remote) has
   /// finished, joining local threads and folding their errors into
   /// `error`. Remote ThreadDone frames arrive whether or not the
@@ -375,6 +440,7 @@ class SocketsBackend final : public VmBackend {
   void Teardown(bool abort, std::exception_ptr* error) {
     if (torn_down_) return;
     torn_down_ = true;
+    metrics_.Stop();       // no scrape may observe a half-torn-down mesh
     coord_.StopPolling();  // no poll may straddle the shutdown barrier
     try {
       if (lead_) {
@@ -420,6 +486,7 @@ class SocketsBackend final : public VmBackend {
   runtime::Runtime rt_;
   netio::Coordinator coord_;
   const bool lead_;
+  obs::HttpServer metrics_;  // lead only; serves /metrics and /healthz
 
   std::mutex mu_;  // spawn bookkeeping + id sequences
   std::deque<SockThread> threads_;

@@ -2,10 +2,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <string>
 #include <thread>
 #include <utility>
 
+#include "src/trace/trace.h"
 #include "src/util/json.h"
 
 namespace hmdsm::netio {
@@ -21,17 +24,59 @@ namespace {
 /// died peer detected by the transport's reader loops instead.
 constexpr auto kControlTimeout = std::chrono::seconds(120);
 
+/// How long a wait lingers after learning a peer died before unwinding:
+/// long enough for an in-flight reply (or a /metrics scrape observing the
+/// callout) to land, short enough that a dead cluster exits promptly.
+constexpr auto kPeerDeathGrace = std::chrono::seconds(3);
+
+/// The liveness beat period follows the transport's heartbeat timer; with
+/// heartbeats disabled the tracker still exists for hard death callouts
+/// (its evaluation clock is then pinned — see TickLiveness).
+LivenessOptions LivenessFor(const SocketTransport& transport) {
+  LivenessOptions o;
+  if (transport.heartbeat_interval_ns() > 0)
+    o.interval_ns = transport.heartbeat_interval_ns();
+  return o;
+}
+
+/// "0,4,8" — rank lists for the poll line's health callouts.
+std::string RankList(const std::vector<net::NodeId>& ranks) {
+  std::string out;
+  for (const net::NodeId r : ranks) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(r);
+  }
+  return out;
+}
+
 }  // namespace
 
 Coordinator::Coordinator(SocketTransport& transport,
                          runtime::Runtime& runtime, net::NodeId lead)
-    : transport_(transport), runtime_(runtime), lead_(lead) {
+    : transport_(transport),
+      runtime_(runtime),
+      lead_(lead),
+      hb_enabled_(transport.heartbeat_interval_ns() > 0),
+      liveness_(LivenessFor(transport)) {
   HMDSM_CHECK(lead_ < transport_.node_count());
+  // Track every remote process from birth, so a peer that dies before it
+  // is ever heard from still ages toward suspect/dead.
+  for (const LinkStats& link : transport_.LinkSnapshots())
+    liveness_.Track(link.primary,
+                    static_cast<std::uint64_t>(transport_.Now()));
   transport_.SetControlHandler(
       [this](net::NodeId src, ByteSpan frame) { OnControlFrame(src, frame); });
+  transport_.SetPeerDownHandler(
+      [this](net::NodeId primary, const std::string& why) {
+        OnPeerDown(primary, why);
+      });
 }
 
-Coordinator::~Coordinator() { StopPolling(); }
+Coordinator::~Coordinator() {
+  unwinding_.store(true, std::memory_order_release);
+  if (death_watchdog_.joinable()) death_watchdog_.join();
+  StopPolling();
+}
 
 template <typename Pred>
 void Coordinator::WaitFor(std::unique_lock<std::mutex>& lock, Pred pred,
@@ -42,8 +87,19 @@ void Coordinator::WaitFor(std::unique_lock<std::mutex>& lock, Pred pred,
   const auto timeout =
       kControlTimeout +
       std::chrono::milliseconds(250 * transport_.node_count());
-  HMDSM_CHECK_MSG(cv_.wait_for(lock, timeout, pred),
-                  "control-plane timeout waiting for " << what);
+  cv_.wait_for(lock, timeout, [&] { return pred() || !dead_procs_.empty(); });
+  if (pred()) return;
+  if (!dead_procs_.empty()) {
+    // A dead peer cannot reply: linger only the short death grace (for a
+    // reply that was already in flight), then unwind deliberately instead
+    // of idling out the full control timeout.
+    cv_.wait_for(lock, kPeerDeathGrace, [&] { return pred(); });
+    HMDSM_CHECK_MSG(pred(), "peer process (primary rank "
+                                << *dead_procs_.begin()
+                                << ") died while waiting for " << what);
+    return;
+  }
+  HMDSM_CHECK_MSG(false, "control-plane timeout waiting for " << what);
 }
 
 void Coordinator::OnControlFrame(net::NodeId src, ByteSpan frame) {
@@ -173,8 +229,13 @@ void Coordinator::OnControlFrame(net::NodeId src, ByteSpan frame) {
       StatsPollReplyFrame f;
       if (!TryDecode(frame, &f, &error)) break;
       std::lock_guard lock(mu_);
-      // Stale-seq replies (a slow rank answering an old sample) are simply
-      // dropped — the poll loop already moved on.
+      // Every reply refreshes that process's cached snapshot — a late
+      // answer to an old poll is still its newest counters, and the merge
+      // calls it out as stale rather than dropping it. Only a reply to
+      // the current round counts as answered.
+      const auto it = poll_latest_.find(src);
+      if (it == poll_latest_.end() || f.seq >= it->second.seq)
+        poll_latest_[src] = f;
       if (f.seq == poll_seq_) poll_replies_[src] = std::move(f);
       cv_.notify_all();
       return;
@@ -185,6 +246,114 @@ void Coordinator::OnControlFrame(net::NodeId src, ByteSpan frame) {
       break;
   }
   HMDSM_CHECK_MSG(false, "control frame from rank " << src << ": " << error);
+}
+
+// ---------------------------------------------------------------------------
+// Health plane
+// ---------------------------------------------------------------------------
+
+void Coordinator::OnPeerDown(net::NodeId primary, const std::string& why) {
+  const sim::Time now = transport_.Now();
+  // Snapshot outside mu_ (LinkSnapshots takes per-peer locks; mu_ must
+  // never be held while acquiring them).
+  const std::vector<LinkStats> links = transport_.LinkSnapshots();
+  std::vector<LivenessTransition> transitions;
+  {
+    std::lock_guard lock(mu_);
+    dead_procs_.insert(primary);
+    liveness_.MarkDead(primary, why);
+    ArmDeathWatchdog(primary);
+    transitions = TickLiveness(links, static_cast<std::uint64_t>(now));
+    if (!is_lead() && transport_.primary_of(lead_) == primary) {
+      // The lead's process is gone: no start, shutdown, or all-clear will
+      // ever arrive. Unblock the hosting-side gates as an aborted run so
+      // this process unwinds instead of waiting forever.
+      shutdown_received_ = true;
+      abort_received_ = true;
+      shutdown_done_ = true;
+      transport_.BeginShutdown();
+    }
+  }
+  cv_.notify_all();
+  ReportTransitions(transitions, now);
+}
+
+void Coordinator::ArmDeathWatchdog(net::NodeId primary) {
+  if (death_watchdog_.joinable()) return;
+  // Dead-aware control waits give scrapes kPeerDeathGrace to observe the
+  // callout, then throw and unwind. Application threads parked in DSM
+  // protocol waits on the dead rank have no such escape; if the process
+  // has not started unwinding well past that grace, fail loudly rather
+  // than sitting out the full control timeout.
+  death_watchdog_ = std::thread([this, primary] {
+    const auto deadline = std::chrono::steady_clock::now() + 3 * kPeerDeathGrace;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (unwinding_.load(std::memory_order_acquire)) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (unwinding_.load(std::memory_order_acquire)) return;
+    std::fprintf(stderr,
+                 "hmdsm health: rank %u: peer process (primary rank %u) died "
+                 "and the run is still stalled after the death grace; "
+                 "aborting\n",
+                 transport_.rank(), primary);
+    std::abort();
+  });
+}
+
+std::vector<LivenessTransition> Coordinator::TickLiveness(
+    const std::vector<LinkStats>& links, std::uint64_t now_ns) {
+  for (const LinkStats& link : links)
+    liveness_.Observe(link.primary, link.last_heard_ns);
+  // With heartbeats off a quiet link is not evidence of death, so the
+  // evaluation clock is pinned to 0: silent-time counting never fires and
+  // only hard callouts (MarkDead) advance state.
+  return liveness_.Evaluate(hb_enabled_ ? now_ns : 0);
+}
+
+void Coordinator::ReportTransitions(
+    const std::vector<LivenessTransition>& transitions, std::int64_t now_ns) {
+  if (transitions.empty()) return;
+  trace::Trace* trace = runtime_.options().trace;
+  for (const LivenessTransition& tr : transitions) {
+    std::fprintf(stderr,
+                 "hmdsm health: rank %u: peer process (primary rank %u) "
+                 "%s -> %s after %llu missed beats%s%s\n",
+                 transport_.rank(), tr.peer, PeerStateName(tr.from),
+                 PeerStateName(tr.to),
+                 static_cast<unsigned long long>(tr.missed),
+                 tr.why.empty() ? "" : ": ", tr.why.c_str());
+    if (trace == nullptr) continue;
+    if (tr.to == PeerState::kSuspect) {
+      trace->Record({now_ns, trace::What::kPeerSuspect, transport_.rank(),
+                     tr.peer, 0, static_cast<std::int64_t>(tr.missed)});
+    } else if (tr.to == PeerState::kDead) {
+      trace->Record({now_ns, trace::What::kPeerDead, transport_.rank(),
+                     tr.peer, 0, static_cast<std::int64_t>(tr.missed)});
+    }
+  }
+}
+
+Coordinator::HealthView Coordinator::HealthSnapshot() {
+  HealthView out;
+  out.links = transport_.LinkSnapshots();
+  out.heartbeat_interval_ns = transport_.heartbeat_interval_ns();
+  const sim::Time now = transport_.Now();
+  std::vector<LivenessTransition> transitions;
+  {
+    std::lock_guard lock(mu_);
+    transitions = TickLiveness(out.links, static_cast<std::uint64_t>(now));
+    out.peers = liveness_.Snapshot();
+    out.all_healthy = liveness_.AllHealthy();
+    out.any_dead = liveness_.AnyDead();
+  }
+  ReportTransitions(transitions, now);
+  return out;
+}
+
+Coordinator::PollView Coordinator::LatestPoll() {
+  std::lock_guard lock(mu_);
+  return latest_view_;
 }
 
 // ---------------------------------------------------------------------------
@@ -199,8 +368,17 @@ void Coordinator::StartRemoteThread(net::NodeId host, std::uint64_t seq) {
 Coordinator::RemoteDone Coordinator::AwaitThreadDone(std::uint64_t seq) {
   HMDSM_CHECK(is_lead());
   std::unique_lock lock(mu_);
-  // Unbounded: a remote body legitimately runs as long as the workload.
-  cv_.wait(lock, [&] { return done_.contains(seq); });
+  // Unbounded: a remote body legitimately runs as long as the workload —
+  // but a dead peer ends the wait after the short death grace (for a done
+  // frame already in flight): its report may never come.
+  cv_.wait(lock, [&] { return done_.contains(seq) || !dead_procs_.empty(); });
+  if (!done_.contains(seq)) {
+    cv_.wait_for(lock, kPeerDeathGrace, [&] { return done_.contains(seq); });
+    HMDSM_CHECK_MSG(done_.contains(seq),
+                    "peer process (primary rank "
+                        << *dead_procs_.begin() << ") died before thread "
+                        << seq << " completed");
+  }
   return done_.at(seq);
 }
 
@@ -299,11 +477,17 @@ void Coordinator::StartPolling(double interval_s, std::string poll_out) {
     poll_stop_ = false;
     poll_out_ = std::move(poll_out);
     poll_log_.clear();
+    // A fresh polling epoch must not merge snapshots cached before a
+    // measurement reset — they would resurrect pre-reset counters.
+    poll_latest_.clear();
+    latest_view_ = PollView{};
   }
   poll_thread_ = std::thread([this, interval_s] { PollLoop(interval_s); });
 }
 
 void Coordinator::StopPolling() {
+  // Teardown has begun: the death watchdog (if armed) must stand down.
+  unwinding_.store(true, std::memory_order_release);
   if (!poll_thread_.joinable()) return;
   {
     std::lock_guard lock(mu_);
@@ -337,6 +521,15 @@ void Coordinator::StopPolling() {
       jw.Key("migrations").Uint(s.migrations);
       jw.Key("answered").Uint(s.answered);
       jw.Key("expected").Uint(s.expected);
+      jw.Key("stale").BeginArray();
+      for (const net::NodeId r : s.stale) jw.Uint(r);
+      jw.EndArray();
+      jw.Key("suspect").BeginArray();
+      for (const net::NodeId r : s.suspect) jw.Uint(r);
+      jw.EndArray();
+      jw.Key("dead").BeginArray();
+      for (const net::NodeId r : s.dead) jw.Uint(r);
+      jw.EndArray();
       jw.EndObject();
     }
     jw.EndArray();
@@ -359,6 +552,11 @@ void Coordinator::PollLoop(double interval_s) {
   const auto interval = std::chrono::duration_cast<std::chrono::nanoseconds>(
       std::chrono::duration<double>(interval_s));
   const std::size_t others = transport_.process_count() - 1;
+  // The remote primaries, fixed for the run: the stale scan below must
+  // notice a process that never answered any poll at all.
+  std::vector<net::NodeId> remotes;
+  for (const LinkStats& link : transport_.LinkSnapshots())
+    remotes.push_back(link.primary);
   std::uint64_t prev_msgs = 0;
   sim::Time prev_ns = 0;
   bool have_prev = false;
@@ -369,17 +567,30 @@ void Coordinator::PollLoop(double interval_s) {
     const std::uint64_t seq = ++poll_seq_;
     transport_.BroadcastControl(Encode(StatsPollFrame{seq}));
     // Best-effort: a process that cannot answer within a full interval is
-    // reported as missing, not waited out — live metrics must never wedge
-    // the run they observe.
+    // reported as stale, not waited out — live metrics must never wedge
+    // the run they observe. Dead processes are not waited for at all.
     cv_.wait_for(lock, interval, [&] {
-      return poll_stop_ || poll_replies_.size() == others;
+      return poll_stop_ ||
+             poll_replies_.size() >= others - dead_procs_.size();
     });
     if (poll_stop_) return;
     stats::Recorder total;
     total.SetNodeCount(transport_.node_count());
-    for (const auto& [rank, reply] : poll_replies_) total.Merge(reply.recorder);
+    std::vector<net::NodeId> stale;
+    for (const net::NodeId r : remotes) {
+      const auto it = poll_latest_.find(r);
+      if (it == poll_latest_.end()) {
+        stale.push_back(r);  // never answered any poll yet
+        continue;
+      }
+      // Merge the newest snapshot held even when it answered an older
+      // round — called out as stale instead of silently folded in.
+      total.Merge(it->second.recorder);
+      if (it->second.seq != seq) stale.push_back(r);
+    }
     const std::size_t answered = poll_replies_.size();
     lock.unlock();
+    const std::vector<LinkStats> links = transport_.LinkSnapshots();
     // The lead has no poll frame to react to — sample its own window here.
     runtime_.SampleTimeseries();
     total.Merge(runtime_.Totals());
@@ -388,6 +599,32 @@ void Coordinator::PollLoop(double interval_s) {
     const double rate =
         PollRate(msgs, prev_msgs, have_prev ? sim::ToSeconds(now - prev_ns) : 0,
                  answered, others);
+    lock.lock();
+    const std::vector<LivenessTransition> transitions =
+        TickLiveness(links, static_cast<std::uint64_t>(now));
+    std::vector<net::NodeId> suspect, dead;
+    for (const PeerHealth& p : liveness_.Snapshot()) {
+      if (p.state == PeerState::kSuspect) suspect.push_back(p.peer);
+      if (p.state == PeerState::kDead) dead.push_back(p.peer);
+    }
+    latest_view_.valid = true;
+    latest_view_.seq = seq;
+    latest_view_.t_s = sim::ToSeconds(now);
+    latest_view_.totals = total;
+    latest_view_.answered = answered;
+    latest_view_.expected = others;
+    latest_view_.stale = stale;
+    poll_log_.push_back(PollSample{seq, sim::ToSeconds(now), msgs,
+                                   total.Count(stats::Ev::kFaultIns),
+                                   total.Count(stats::Ev::kMigrations), rate,
+                                   answered, others, stale, suspect, dead});
+    lock.unlock();
+    ReportTransitions(transitions, now);
+    std::string note;
+    if (answered < others) note += " [missing process replies]";
+    if (!stale.empty()) note += " [stale:" + RankList(stale) + "]";
+    if (!suspect.empty()) note += " [suspect:" + RankList(suspect) + "]";
+    if (!dead.empty()) note += " [dead:" + RankList(dead) + "]";
     std::fprintf(stderr,
                  "hmdsm poll #%llu: t=%.1fs msgs=%llu (%.0f/s) faults=%llu "
                  "migrations=%llu%s\n",
@@ -397,7 +634,7 @@ void Coordinator::PollLoop(double interval_s) {
                      total.Count(stats::Ev::kFaultIns)),
                  static_cast<unsigned long long>(
                      total.Count(stats::Ev::kMigrations)),
-                 answered == others ? "" : " [missing process replies]");
+                 note.c_str());
     // The comparison cursor only ever advances onto *complete* samples: a
     // rate against a total that was merely missing replies would read as a
     // spurious burst (or, unsigned, as the underflow PollRate guards).
@@ -407,9 +644,6 @@ void Coordinator::PollLoop(double interval_s) {
       have_prev = true;
     }
     lock.lock();
-    poll_log_.push_back(PollSample{
-        seq, sim::ToSeconds(now), msgs, total.Count(stats::Ev::kFaultIns),
-        total.Count(stats::Ev::kMigrations), rate, answered, others});
   }
 }
 
@@ -420,7 +654,12 @@ void Coordinator::ShutdownMesh(bool abort) {
   {
     std::unique_lock lock(mu_);
     transport_.BroadcastControl(Encode(ShutdownFrame{abort}));
-    WaitFor(lock, [&] { return shutdown_acks_ == others; }, "shutdown acks");
+    // Dead processes can never ack; the barrier shrinks past them so a
+    // partially-dead cluster still unwinds cleanly (re-evaluated under
+    // mu_, so a death mid-wait lowers the bar immediately).
+    WaitFor(lock,
+            [&] { return shutdown_acks_ >= others - dead_procs_.size(); },
+            "shutdown acks");
   }
   // Second phase: nobody closes a socket until everyone has acked, so a
   // teardown EOF can only land on a rank that already knows the run ended.
@@ -433,8 +672,16 @@ void Coordinator::ShutdownMesh(bool abort) {
 
 bool Coordinator::AwaitStart(std::uint64_t seq) {
   std::unique_lock lock(mu_);
-  // Unbounded: the lead reaches its Spawn at the workload's own pace.
-  cv_.wait(lock, [&] { return started_.contains(seq) || abort_received_; });
+  // Unbounded: the lead reaches its Spawn at the workload's own pace. A
+  // dead peer anywhere means the cluster is unwinding — after a grace for
+  // an in-flight start, treat it as an abort (the body must not run).
+  cv_.wait(lock, [&] {
+    return started_.contains(seq) || abort_received_ || !dead_procs_.empty();
+  });
+  if (!started_.contains(seq) && !abort_received_ && !dead_procs_.empty()) {
+    cv_.wait_for(lock, kPeerDeathGrace,
+                 [&] { return started_.contains(seq) || abort_received_; });
+  }
   return started_.contains(seq) && !abort_received_;
 }
 

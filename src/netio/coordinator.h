@@ -28,6 +28,7 @@
 // distributed run is worse than a crashed one.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -36,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/netio/liveness.h"
 #include "src/netio/socket_transport.h"
 #include "src/runtime/runtime.h"
 
@@ -103,6 +105,34 @@ class Coordinator {
   /// Must be called before ShutdownMesh so no poll straddles teardown.
   void StopPolling();
 
+  // ---- health plane (any rank; the obs exporter reads these) ----
+
+  /// Point-in-time mesh health: each remote process's liveness verdict
+  /// plus the transport's per-link telemetry. Ticks the liveness state
+  /// machine, so transitions observed here are logged exactly once.
+  struct HealthView {
+    std::vector<PeerHealth> peers;  // remote processes, by primary rank
+    std::vector<LinkStats> links;   // same order as peers
+    std::uint64_t heartbeat_interval_ns = 0;  // 0 = heartbeats disabled
+    bool all_healthy = true;
+    bool any_dead = false;
+  };
+  HealthView HealthSnapshot();
+
+  /// The newest merged poll sample, cached for /metrics so an untrusted
+  /// HTTP scrape never injects control traffic into the mesh. `valid` is
+  /// false until the first poll completes (or when polling is off).
+  struct PollView {
+    bool valid = false;
+    std::uint64_t seq = 0;
+    double t_s = 0;
+    stats::Recorder totals;
+    std::size_t answered = 0;
+    std::size_t expected = 0;
+    std::vector<net::NodeId> stale;  // primaries whose snapshot is old
+  };
+  PollView LatestPoll();
+
   /// Announces the end of the run, waits for every rank's ack (each sent
   /// after its local threads finished), then broadcasts the all-clear.
   /// After this returns, no frame of any kind is in flight anywhere —
@@ -132,6 +162,20 @@ class Coordinator {
 
  private:
   void OnControlFrame(net::NodeId src, ByteSpan frame);
+  /// Reactor callback for a mid-run link failure: records the death,
+  /// unwedges local waits, and emits the health callout + trace instant.
+  void OnPeerDown(net::NodeId primary, const std::string& why);
+
+  /// Starts the post-death watchdog (idempotent; call with mu_ held).
+  void ArmDeathWatchdog(net::NodeId primary);
+  /// Feeds the liveness tracker the freshest link clocks and advances its
+  /// state machine. Caller holds mu_; `now_ns` is the transport clock.
+  std::vector<LivenessTransition> TickLiveness(
+      const std::vector<LinkStats>& links, std::uint64_t now_ns);
+  /// Logs transitions to stderr and records the Perfetto instants. Must
+  /// be called without mu_ held.
+  void ReportTransitions(const std::vector<LivenessTransition>& transitions,
+                         std::int64_t now_ns);
   void PollLoop(double interval_s);
 
   /// cv.wait_for with the control-plane timeout; throws CheckError naming
@@ -143,6 +187,9 @@ class Coordinator {
   SocketTransport& transport_;
   runtime::Runtime& runtime_;
   const net::NodeId lead_;
+  /// Missed-beat counting is only meaningful when the transport actually
+  /// beats; with heartbeats off the tracker still records hard deaths.
+  const bool hb_enabled_;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -160,11 +207,25 @@ class Coordinator {
   std::size_t reset_acks_ = 0;
   std::uint64_t reset_tag_ = 0;
   std::size_t shutdown_acks_ = 0;
+  // health plane (all guarded by mu_)
+  LivenessTracker liveness_;
+  std::set<net::NodeId> dead_procs_;  // primaries whose link failed
+  /// Started by the first OnPeerDown: after the observability grace the
+  /// run must be unwinding; a process still stalled (e.g. application
+  /// threads stuck in protocol waits a dead rank will never answer) is
+  /// aborted loudly instead of hanging to the control timeout.
+  std::thread death_watchdog_;
+  std::atomic<bool> unwinding_{false};
   // live metrics plane (lead side)
   std::thread poll_thread_;
   bool poll_stop_ = false;
   std::uint64_t poll_seq_ = 0;
   std::map<net::NodeId, StatsPollReplyFrame> poll_replies_;
+  /// Freshest reply ever received per process, regardless of poll round:
+  /// a slow rank's counters are merged from here (and called out as
+  /// stale) instead of silently vanishing from the totals.
+  std::map<net::NodeId, StatsPollReplyFrame> poll_latest_;
+  PollView latest_view_;
   /// One retained line per poll, persisted to `poll_out_` by StopPolling.
   struct PollSample {
     std::uint64_t seq = 0;
@@ -175,6 +236,9 @@ class Coordinator {
     double msgs_per_s = 0;
     std::size_t answered = 0;  // process replies in time (of expected)
     std::size_t expected = 0;
+    std::vector<net::NodeId> stale;    // merged from an old snapshot
+    std::vector<net::NodeId> suspect;  // liveness verdicts at sample time
+    std::vector<net::NodeId> dead;
   };
   std::string poll_out_;
   std::vector<PollSample> poll_log_;  // guarded by mu_

@@ -327,4 +327,32 @@ bool TryDecode(ByteSpan frame, StatsPollReplyFrame* out, std::string* error) {
   });
 }
 
+Bytes Encode(const HeartbeatFrame& f) {
+  Writer w = Begin(FrameType::kHeartbeat);
+  w.u64(f.seq);
+  w.u64(f.send_ns);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, HeartbeatFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kHeartbeat, error, [&](Reader& r) {
+    out->seq = r.u64();
+    out->send_ns = r.u64();
+  });
+}
+
+Bytes Encode(const HeartbeatAckFrame& f) {
+  Writer w = Begin(FrameType::kHeartbeatAck);
+  w.u64(f.seq);
+  w.u64(f.send_ns);
+  return w.take();
+}
+
+bool TryDecode(ByteSpan frame, HeartbeatAckFrame* out, std::string* error) {
+  return Defensive(frame, FrameType::kHeartbeatAck, error, [&](Reader& r) {
+    out->seq = r.u64();
+    out->send_ns = r.u64();
+  });
+}
+
 }  // namespace hmdsm::netio

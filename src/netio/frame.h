@@ -36,8 +36,9 @@ namespace hmdsm::netio {
 /// recorder serialization (recorder serde v3). v5: multi-rank hosting —
 /// one connection per *process* pair (Hello.node is the dialing process's
 /// primary rank) and Hello carries ranks_per_proc so a mesh with
-/// inconsistent process shapes refuses to form.
-constexpr std::uint32_t kProtocolVersion = 5;
+/// inconsistent process shapes refuses to form. v6: Heartbeat/HeartbeatAck
+/// link-liveness frames exchanged per process pair on the reactor's timer.
+constexpr std::uint32_t kProtocolVersion = 6;
 
 /// Frames larger than this are rejected before allocation. Generous: the
 /// largest legitimate frame is an object reply for the biggest shared
@@ -62,13 +63,15 @@ enum class FrameType : std::uint8_t {
   kBatch,          // several coalesced frames in one wire write
   kStatsPoll,      // lead -> all: mid-run live-metrics sample `seq`
   kStatsPollReply, // rank -> lead: counters+histograms at sample time
+  kHeartbeat,      // either direction: link-liveness probe `seq`
+  kHeartbeatAck,   // echo of a Heartbeat: same seq + sender's send stamp
 };
 
 /// Peeks the type byte; kData-vs-control routing in the reader loop.
 inline bool PeekType(ByteSpan frame, FrameType* out) {
   if (frame.empty()) return false;
   *out = static_cast<FrameType>(frame[0]);
-  return *out >= FrameType::kHello && *out <= FrameType::kStatsPollReply;
+  return *out >= FrameType::kHello && *out <= FrameType::kHeartbeatAck;
 }
 
 struct HelloFrame {
@@ -170,6 +173,22 @@ struct StatsPollReplyFrame {
   stats::Recorder recorder;
 };
 
+/// Link-liveness probe, exchanged once per process pair on the reactor's
+/// periodic timer. The ack echoes both fields, so the prober computes the
+/// round-trip from its own clock without trusting the peer's — a hostile
+/// or skewed send_ns in an unsolicited ack cannot poison the histogram
+/// beyond its own link's numbers.
+struct HeartbeatFrame {
+  std::uint64_t seq = 0;
+  /// Prober's transport clock (ns since its epoch) at send time.
+  std::uint64_t send_ns = 0;
+};
+
+struct HeartbeatAckFrame {
+  std::uint64_t seq = 0;
+  std::uint64_t send_ns = 0;  // echoed from the probe
+};
+
 Bytes Encode(const HelloFrame&);
 Bytes Encode(const HelloAckFrame&);
 Bytes Encode(const DataFrame&);
@@ -186,6 +205,8 @@ Bytes Encode(const ShutdownAckFrame&);
 Bytes Encode(const ShutdownDoneFrame&);
 Bytes Encode(const StatsPollFrame&);
 Bytes Encode(const StatsPollReplyFrame&);
+Bytes Encode(const HeartbeatFrame&);
+Bytes Encode(const HeartbeatAckFrame&);
 
 /// Coalesces several already-encoded frames into one Batch frame:
 ///
@@ -225,5 +246,7 @@ bool TryDecode(ByteSpan frame, ShutdownAckFrame* out, std::string* error);
 bool TryDecode(ByteSpan frame, ShutdownDoneFrame* out, std::string* error);
 bool TryDecode(ByteSpan frame, StatsPollFrame* out, std::string* error);
 bool TryDecode(ByteSpan frame, StatsPollReplyFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, HeartbeatFrame* out, std::string* error);
+bool TryDecode(ByteSpan frame, HeartbeatAckFrame* out, std::string* error);
 
 }  // namespace hmdsm::netio

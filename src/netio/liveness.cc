@@ -1,0 +1,119 @@
+#include "src/netio/liveness.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/serde.h"
+
+namespace hmdsm::netio {
+
+const char* PeerStateName(PeerState s) {
+  switch (s) {
+    case PeerState::kHealthy:
+      return "healthy";
+    case PeerState::kSuspect:
+      return "suspect";
+    case PeerState::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
+LivenessTracker::LivenessTracker(LivenessOptions options)
+    : options_(options) {
+  HMDSM_CHECK_MSG(options_.interval_ns > 0, "liveness interval must be > 0");
+  HMDSM_CHECK_MSG(options_.suspect_after >= 1 &&
+                      options_.dead_after > options_.suspect_after,
+                  "liveness thresholds must order 1 <= suspect < dead");
+}
+
+LivenessTracker::Entry* LivenessTracker::Find(net::NodeId peer) {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const Entry& e) { return e.peer == peer; });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+const LivenessTracker::Entry* LivenessTracker::Find(net::NodeId peer) const {
+  const auto it = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const Entry& e) { return e.peer == peer; });
+  return it == entries_.end() ? nullptr : &*it;
+}
+
+void LivenessTracker::Track(net::NodeId peer, std::uint64_t born_ns) {
+  if (Find(peer) != nullptr) return;
+  Entry e;
+  e.peer = peer;
+  e.born_ns = born_ns;
+  const auto at = std::find_if(entries_.begin(), entries_.end(),
+                               [&](const Entry& x) { return x.peer > peer; });
+  entries_.insert(at, std::move(e));
+}
+
+void LivenessTracker::Observe(net::NodeId peer, std::int64_t last_heard_ns) {
+  Entry* e = Find(peer);
+  if (e == nullptr) return;
+  if (last_heard_ns > e->last_heard_ns) e->last_heard_ns = last_heard_ns;
+}
+
+void LivenessTracker::MarkDead(net::NodeId peer, std::string why) {
+  Entry* e = Find(peer);
+  if (e == nullptr || e->hard_dead) return;
+  e->hard_dead = true;
+  if (e->why.empty()) e->why = std::move(why);
+}
+
+std::vector<LivenessTransition> LivenessTracker::Evaluate(
+    std::uint64_t now_ns) {
+  std::vector<LivenessTransition> out;
+  for (Entry& e : entries_) {
+    // Never-heard peers age from tracking start, so a rank that dies
+    // before its first beat still gets called out.
+    const std::uint64_t anchor =
+        e.last_heard_ns >= 0 ? static_cast<std::uint64_t>(e.last_heard_ns)
+                             : e.born_ns;
+    const std::uint64_t silent = now_ns > anchor ? now_ns - anchor : 0;
+    e.missed = silent / options_.interval_ns;
+    PeerState next = e.state;
+    if (e.hard_dead || e.missed >= options_.dead_after) {
+      next = PeerState::kDead;
+    } else if (e.missed >= options_.suspect_after) {
+      // Dead is sticky: a late beat never resurrects a dead peer (this
+      // plane reports, readmission is a membership decision).
+      if (e.state != PeerState::kDead) next = PeerState::kSuspect;
+    } else if (e.state == PeerState::kSuspect) {
+      next = PeerState::kHealthy;  // a late beat arrived in time
+    }
+    if (next != e.state) {
+      out.push_back({e.peer, e.state, next, e.missed, e.why});
+      e.state = next;
+    }
+  }
+  return out;
+}
+
+PeerState LivenessTracker::StateOf(net::NodeId peer) const {
+  const Entry* e = Find(peer);
+  return e == nullptr ? PeerState::kHealthy : e->state;
+}
+
+std::vector<PeerHealth> LivenessTracker::Snapshot() const {
+  std::vector<PeerHealth> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_)
+    out.push_back({e.peer, e.state, e.last_heard_ns, e.missed, e.why});
+  return out;
+}
+
+bool LivenessTracker::AnyDead() const {
+  return std::any_of(entries_.begin(), entries_.end(), [](const Entry& e) {
+    return e.state == PeerState::kDead;
+  });
+}
+
+bool LivenessTracker::AllHealthy() const {
+  return std::all_of(entries_.begin(), entries_.end(), [](const Entry& e) {
+    return e.state == PeerState::kHealthy;
+  });
+}
+
+}  // namespace hmdsm::netio

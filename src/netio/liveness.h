@@ -1,0 +1,107 @@
+// Per-peer liveness state machine for the mesh health plane.
+//
+// Pure bookkeeping over injected clocks — no sockets, no threads, no wall
+// time — so every transition is unit-testable with a fake clock. The
+// coordinator feeds it last-heard timestamps from the transport's link
+// snapshots plus hard death callouts (EOF/reset observed by the reactor),
+// and Evaluate() advances each peer through
+//
+//     healthy -> suspect (K=suspect_after missed beats)
+//             -> dead    (dead_after missed beats, or a MarkDead callout)
+//
+// Suspect recovers to healthy when a late beat arrives; dead is sticky —
+// this PR detects and reports, it never readmits (membership epochs are
+// ROADMAP item 4's next step).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace hmdsm::netio {
+
+enum class PeerState : std::uint8_t { kHealthy = 0, kSuspect, kDead };
+
+const char* PeerStateName(PeerState s);
+
+struct LivenessOptions {
+  /// Expected beat period (ns). Also Observe()'s staleness unit.
+  std::uint64_t interval_ns = 250 * 1000000ull;
+  /// Consecutive missed beats before healthy -> suspect.
+  std::uint64_t suspect_after = 2;
+  /// Consecutive missed beats before suspect -> dead.
+  std::uint64_t dead_after = 8;
+};
+
+/// One observable state change, returned by Evaluate() so callers can log
+/// and trace transitions exactly once.
+struct LivenessTransition {
+  net::NodeId peer = 0;
+  PeerState from = PeerState::kHealthy;
+  PeerState to = PeerState::kHealthy;
+  std::uint64_t missed = 0;  // whole beat intervals since last heard
+  std::string why;           // non-empty for MarkDead callouts
+};
+
+/// A point-in-time view of one peer for reports and /healthz.
+struct PeerHealth {
+  net::NodeId peer = 0;
+  PeerState state = PeerState::kHealthy;
+  std::int64_t last_heard_ns = -1;  // -1 = never heard from
+  std::uint64_t missed = 0;
+  std::string why;  // populated for hard-dead peers
+};
+
+class LivenessTracker {
+ public:
+  explicit LivenessTracker(LivenessOptions options);
+
+  /// Registers `peer` (idempotent). Peers start healthy with no beats
+  /// heard; the first Evaluate() measures staleness from `born_ns`.
+  void Track(net::NodeId peer, std::uint64_t born_ns);
+
+  /// Feeds the newest last-heard timestamp for `peer` (monotone: an older
+  /// stamp than the current one is ignored). Untracked peers are ignored.
+  void Observe(net::NodeId peer, std::int64_t last_heard_ns);
+
+  /// Hard death callout (reactor saw EOF/reset): the peer goes dead on
+  /// the next Evaluate() regardless of beat counting. Sticky.
+  void MarkDead(net::NodeId peer, std::string why);
+
+  /// Advances every peer's state to `now_ns` and returns the transitions
+  /// that happened (empty when nothing changed). Deterministic in its
+  /// inputs — the only clock is the argument.
+  std::vector<LivenessTransition> Evaluate(std::uint64_t now_ns);
+
+  PeerState StateOf(net::NodeId peer) const;
+
+  /// Current view of every tracked peer, ascending by rank. Does not
+  /// advance state — call Evaluate() first for a fresh verdict.
+  std::vector<PeerHealth> Snapshot() const;
+
+  bool AnyDead() const;
+  bool AllHealthy() const;
+
+  const LivenessOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    net::NodeId peer = 0;
+    PeerState state = PeerState::kHealthy;
+    std::int64_t last_heard_ns = -1;
+    std::uint64_t born_ns = 0;
+    std::uint64_t missed = 0;
+    bool hard_dead = false;  // MarkDead called, transition maybe pending
+    std::string why;
+  };
+
+  Entry* Find(net::NodeId peer);
+  const Entry* Find(net::NodeId peer) const;
+
+  LivenessOptions options_;
+  std::vector<Entry> entries_;  // ascending by peer rank
+};
+
+}  // namespace hmdsm::netio

@@ -9,6 +9,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <sys/uio.h>
 #include <unistd.h>
 
@@ -19,6 +20,9 @@ namespace {
 /// epoll user-data tag for a reactor thread's wake eventfd (can never
 /// collide with a group index).
 constexpr std::uint64_t kWakeTag = ~std::uint64_t{0};
+
+/// epoll user-data tag for a reactor thread's heartbeat timerfd.
+constexpr std::uint64_t kTimerTag = ~std::uint64_t{0} - 1;
 
 /// Upper bound on iovecs per writev: a full batch (max_batch_frames = 64)
 /// is 1 header segment + 2 per frame = 129 segments, comfortably under
@@ -72,6 +76,11 @@ void SocketTransport::SetControlHandler(ControlHandler handler) {
   control_handler_ = std::move(handler);
 }
 
+void SocketTransport::SetPeerDownHandler(PeerDownHandler handler) {
+  HMDSM_CHECK_MSG(!started_, "peer-down handler must be set before Start()");
+  peer_down_handler_ = std::move(handler);
+}
+
 void SocketTransport::Start() {
   HMDSM_CHECK(!started_);
   started_ = true;
@@ -105,6 +114,21 @@ void SocketTransport::Start() {
     ev.data.u64 = kWakeTag;
     HMDSM_CHECK(::epoll_ctl(t.epoll.get(), EPOLL_CTL_ADD, t.wake.get(), &ev) ==
                 0);
+    if (options_.heartbeat_interval_ms > 0) {
+      t.timer = Fd(::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK));
+      HMDSM_CHECK_MSG(t.timer.valid(), "timerfd_create failed");
+      itimerspec spec{};
+      const auto ms = static_cast<long>(options_.heartbeat_interval_ms);
+      spec.it_interval.tv_sec = ms / 1000;
+      spec.it_interval.tv_nsec = (ms % 1000) * 1000000L;
+      spec.it_value = spec.it_interval;
+      HMDSM_CHECK(::timerfd_settime(t.timer.get(), 0, &spec, nullptr) == 0);
+      epoll_event tev{};
+      tev.events = EPOLLIN;
+      tev.data.u64 = kTimerTag;
+      HMDSM_CHECK(::epoll_ctl(t.epoll.get(), EPOLL_CTL_ADD, t.timer.get(),
+                              &tev) == 0);
+    }
   }
   for (std::size_t g = 0; g < group_count_; ++g) {
     if (g == group_) continue;
@@ -304,6 +328,10 @@ void SocketTransport::IoLoop(std::size_t ti) {
         woke = true;
         continue;
       }
+      if (events[i].data.u64 == kTimerTag) {
+        OnTimer(t);
+        continue;
+      }
       const auto g = static_cast<std::size_t>(events[i].data.u64);
       Peer& peer = peers_[g];
       if (peer.dead) continue;
@@ -373,6 +401,8 @@ void SocketTransport::UpdateEpoll(IoThread& t, Peer& peer, std::size_t group,
   if (peer.read_open) want |= EPOLLIN;
   if (want_write) want |= EPOLLOUT;
   if (peer.in_epoll && want == peer.armed) return;
+  if ((want & EPOLLOUT) != 0 && (peer.armed & EPOLLOUT) == 0)
+    peer.epollout_arms.fetch_add(1, std::memory_order_acq_rel);
   epoll_event ev{};
   ev.events = want;
   ev.data.u64 = static_cast<std::uint64_t>(group);
@@ -408,8 +438,9 @@ void SocketTransport::HandleReadable(IoThread& t, std::size_t group) {
           UpdateEpoll(t, peer, group, (peer.armed & EPOLLOUT) != 0);
           return;
         }
-        Die("read from process " + std::to_string(group) + ": " +
-            std::strerror(errno));
+        MarkPeerDown(t, group,
+                     std::string("read error: ") + std::strerror(errno));
+        return;
       }
       if (r == 0) {
         if (shutting_down_.load(std::memory_order_acquire)) {
@@ -417,12 +448,13 @@ void SocketTransport::HandleReadable(IoThread& t, std::size_t group) {
           UpdateEpoll(t, peer, group, (peer.armed & EPOLLOUT) != 0);
           return;
         }
-        Die(peer.head_got == 0
-                ? "process " + std::to_string(group) +
-                      " closed its connection mid-run"
-                : "eof inside a frame header from process " +
-                      std::to_string(group));
+        MarkPeerDown(t, group,
+                     peer.head_got == 0
+                         ? "closed its connection mid-run"
+                         : "eof inside a frame header");
+        return;
       }
+      peer.last_heard_ns.store(Now(), std::memory_order_release);
       peer.head_got += static_cast<std::size_t>(r);
       if (peer.head_got < 4) continue;
       std::uint32_t len = 0;
@@ -446,8 +478,9 @@ void SocketTransport::HandleReadable(IoThread& t, std::size_t group) {
           UpdateEpoll(t, peer, group, (peer.armed & EPOLLOUT) != 0);
           return;
         }
-        Die("read from process " + std::to_string(group) + ": " +
-            std::strerror(errno));
+        MarkPeerDown(t, group,
+                     std::string("read error: ") + std::strerror(errno));
+        return;
       }
       if (r == 0) {
         if (shutting_down_.load(std::memory_order_acquire)) {
@@ -455,8 +488,10 @@ void SocketTransport::HandleReadable(IoThread& t, std::size_t group) {
           UpdateEpoll(t, peer, group, (peer.armed & EPOLLOUT) != 0);
           return;
         }
-        Die("eof inside a frame from process " + std::to_string(group));
+        MarkPeerDown(t, group, "eof inside a frame");
+        return;
       }
+      peer.last_heard_ns.store(Now(), std::memory_order_release);
       peer.in_got += static_cast<std::size_t>(r);
       if (peer.in_got < peer.in_frame.size()) continue;
       peer.head_got = 0;
@@ -504,6 +539,33 @@ void SocketTransport::HandleFrame(std::size_t group, const Buf& frame,
     }
     // In queue order, so per-sender FIFO is exactly what it was unbatched.
     for (const Buf& f : inner) HandleFrame(group, f, /*allow_batch=*/false);
+  } else if (type == FrameType::kHeartbeat) {
+    HeartbeatFrame hb;
+    if (!TryDecode(frame.span(), &hb, &error)) {
+      Die("malformed heartbeat from process " + std::to_string(group) +
+          ": " + error);
+    }
+    // Echo both fields back; the prober computes RTT against its own
+    // clock. Shutdown may already have closed the queue — dropping the
+    // ack then is harmless, the prober is unwinding too.
+    TryEnqueueFrame(PrimaryOf(group),
+                    Encode(HeartbeatAckFrame{hb.seq, hb.send_ns}));
+  } else if (type == FrameType::kHeartbeatAck) {
+    HeartbeatAckFrame ack;
+    if (!TryDecode(frame.span(), &ack, &error)) {
+      Die("malformed heartbeat ack from process " + std::to_string(group) +
+          ": " + error);
+    }
+    Peer& peer = peers_[group];
+    const sim::Time now = Now();
+    peer.hb_acked.fetch_add(1, std::memory_order_acq_rel);
+    peer.last_ack_ns.store(now, std::memory_order_release);
+    // send_ns came back off the wire: a skewed or hostile echo must not
+    // poison the histogram with a giant unsigned difference.
+    if (ack.send_ns <= static_cast<std::uint64_t>(now)) {
+      std::lock_guard lock(peer.mu);
+      peer.rtt.Record(static_cast<std::uint64_t>(now) - ack.send_ns);
+    }
   } else if (type == FrameType::kHello || type == FrameType::kHelloAck) {
     Die("unexpected handshake frame from process " + std::to_string(group));
   } else {
@@ -512,6 +574,53 @@ void SocketTransport::HandleFrame(std::size_t group, const Buf& frame,
           " but no control handler installed");
     }
     control_handler_(PrimaryOf(group), frame.span());
+  }
+}
+
+void SocketTransport::OnTimer(IoThread& t) {
+  std::uint64_t expirations;
+  while (::read(t.timer.get(), &expirations, sizeof expirations) > 0) {
+  }
+  if (shutting_down_.load(std::memory_order_acquire)) return;
+  for (const std::size_t g : t.owned) {
+    Peer& peer = peers_[g];
+    if (peer.dead || !peer.registered.load(std::memory_order_acquire))
+      continue;
+    const HeartbeatFrame hb{++peer.hb_seq,
+                            static_cast<std::uint64_t>(Now())};
+    if (TryEnqueueFrame(PrimaryOf(g), Encode(hb)))
+      peer.hb_sent.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void SocketTransport::MarkPeerDown(IoThread& t, std::size_t group,
+                                   const std::string& why) {
+  Peer& peer = peers_[group];
+  if (peer.dead) return;
+  peer.dead = true;
+  peer.down.store(true, std::memory_order_release);
+  peer.read_open = false;
+  peer.out_active = false;
+  peer.out_segs.clear();
+  {
+    std::lock_guard lock(peer.mu);
+    peer.queue.clear();
+    peer.queue_bytes = 0;
+  }
+  if (peer.in_epoll) {
+    ::epoll_ctl(t.epoll.get(), EPOLL_CTL_DEL, peer.fd.get(), nullptr);
+    peer.in_epoll = false;
+  }
+  peer.armed = 0;
+  const net::NodeId primary = PrimaryOf(group);
+  std::fprintf(stderr,
+               "hmdsm sockets: rank %u: peer process %zu (primary rank %u) "
+               "down: %s\n",
+               options_.rank, group, primary, why.c_str());
+  if (peer_down_handler_) {
+    peer_down_handler_(primary, why);
+  } else {
+    Die("process " + std::to_string(group) + " " + why);
   }
 }
 
@@ -532,6 +641,7 @@ bool SocketTransport::BuildNextWrite(Peer& peer) {
       if (!frames.empty() && batch_bytes + next > options_.max_batch_bytes)
         break;
       batch_bytes += next;
+      peer.queue_bytes -= peer.queue.front().size();
       frames.push_back(std::move(peer.queue.front()));
       peer.queue.pop_front();
     }
@@ -589,6 +699,7 @@ void SocketTransport::FlushPeer(IoThread& t, std::size_t group) {
     if (w < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        peer.eagain.fetch_add(1, std::memory_order_acq_rel);
         UpdateEpoll(t, peer, group, /*want_write=*/true);
         return;
       }
@@ -609,8 +720,9 @@ void SocketTransport::FlushPeer(IoThread& t, std::size_t group) {
         }
         return;
       }
-      Die("write to process " + std::to_string(group) + ": " +
-          std::strerror(errno));
+      MarkPeerDown(t, group,
+                   std::string("write error: ") + std::strerror(errno));
+      return;
     }
     if (options_.measure_latency) {
       const sim::Time took = Now() - write_start;
@@ -657,6 +769,7 @@ void SocketTransport::KickPeer(std::size_t group) {
   // registered, so the frame cannot be stranded.
   if (!peer.registered.load(std::memory_order_acquire)) return;
   if (peer.kick_pending.exchange(true, std::memory_order_acq_rel)) return;
+  peer.kicks.fetch_add(1, std::memory_order_acq_rel);
   const std::uint64_t one = 1;
   [[maybe_unused]] const ssize_t w =
       ::write(io_[peer.io_thread].wake.get(), &one, sizeof one);
@@ -667,13 +780,44 @@ void SocketTransport::EnqueueFrame(net::NodeId dst, Bytes frame) {
   const std::size_t g = GroupOf(dst);
   HMDSM_CHECK(g != group_);
   Peer& peer = peers_[g];
+  if (peer.down.load(std::memory_order_acquire)) {
+    // The link already failed mid-run: queueing would grow forever and
+    // abort here would kill the survivor — drop, count, and let the
+    // coordinator's liveness plane do the reporting.
+    peer.frames_dropped.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
   {
     std::lock_guard lock(peer.mu);
     HMDSM_CHECK_MSG(!peer.closed, "send to rank " << dst << " after Stop()");
+    peer.queue_bytes += frame.size();
     peer.queue.push_back(std::move(frame));
   }
   frames_enqueued_.fetch_add(1, std::memory_order_acq_rel);
   KickPeer(g);
+}
+
+bool SocketTransport::TryEnqueueFrame(net::NodeId dst, Bytes frame) {
+  if (dst >= options_.peers.size()) return false;
+  const std::size_t g = GroupOf(dst);
+  if (g == group_) return false;
+  Peer& peer = peers_[g];
+  if (peer.down.load(std::memory_order_acquire)) {
+    peer.frames_dropped.fetch_add(1, std::memory_order_acq_rel);
+    return false;
+  }
+  {
+    std::lock_guard lock(peer.mu);
+    if (peer.closed) {
+      peer.frames_dropped.fetch_add(1, std::memory_order_acq_rel);
+      return false;
+    }
+    peer.queue_bytes += frame.size();
+    peer.queue.push_back(std::move(frame));
+  }
+  frames_enqueued_.fetch_add(1, std::memory_order_acq_rel);
+  KickPeer(g);
+  return true;
 }
 
 void SocketTransport::SendControl(net::NodeId dst, const Bytes& frame) {
@@ -771,6 +915,39 @@ void SocketTransport::AugmentSnapshot(net::NodeId node,
   into.MergeLatency(stats::Lat::kSocketWrite, write_latency_);
 }
 
+std::vector<LinkStats> SocketTransport::LinkSnapshots() {
+  std::vector<LinkStats> out;
+  if (group_count_ <= 1) return out;
+  out.reserve(group_count_ - 1);
+  for (std::size_t g = 0; g < group_count_; ++g) {
+    if (g == group_) continue;
+    Peer& peer = peers_[g];
+    LinkStats s;
+    s.primary = PrimaryOf(g);
+    {
+      std::lock_guard lock(mesh_mu_);
+      s.connected = peer.connected;
+    }
+    s.up = !peer.down.load(std::memory_order_acquire);
+    s.hb_sent = peer.hb_sent.load(std::memory_order_acquire);
+    s.hb_acked = peer.hb_acked.load(std::memory_order_acquire);
+    s.last_heard_ns = peer.last_heard_ns.load(std::memory_order_acquire);
+    s.last_ack_ns = peer.last_ack_ns.load(std::memory_order_acquire);
+    s.eagain = peer.eagain.load(std::memory_order_acquire);
+    s.epollout_arms = peer.epollout_arms.load(std::memory_order_acquire);
+    s.kicks = peer.kicks.load(std::memory_order_acquire);
+    s.frames_dropped = peer.frames_dropped.load(std::memory_order_acquire);
+    {
+      std::lock_guard lock(peer.mu);
+      s.queue_depth = peer.queue.size();
+      s.queue_bytes = peer.queue_bytes;
+      s.rtt = peer.rtt;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
 void SocketTransport::Stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
@@ -800,6 +977,7 @@ void SocketTransport::Stop() {
   for (IoThread& t : io_) {
     t.epoll.Close();
     t.wake.Close();
+    t.timer.Close();
   }
 }
 

@@ -113,6 +113,30 @@ struct SocketTransportOptions {
   /// one clock read per packet / two per write; off leaves the hot path
   /// untouched.
   bool measure_latency = true;
+  /// Link-liveness heartbeat period. Each reactor thread arms a periodic
+  /// timerfd and probes every peer process it owns with a Heartbeat frame;
+  /// the ack feeds that link's RTT histogram and last-heard clock. 0
+  /// disables the plane entirely (no timerfd, no probe traffic).
+  std::size_t heartbeat_interval_ms = 250;
+};
+
+/// One peer-process link's health counters, snapshotted for the health
+/// plane (poll log, /metrics). All numbers are since transport start.
+struct LinkStats {
+  net::NodeId primary = 0;   // the peer process's primary rank
+  bool connected = false;    // handshake completed
+  bool up = true;            // false once the link failed mid-run
+  std::uint64_t hb_sent = 0;
+  std::uint64_t hb_acked = 0;
+  std::int64_t last_heard_ns = -1;  // transport clock; -1 = never
+  std::int64_t last_ack_ns = -1;    // last heartbeat ack; -1 = never
+  std::uint64_t eagain = 0;         // writes that hit a full socket buffer
+  std::uint64_t epollout_arms = 0;  // EPOLLOUT arm transitions
+  std::uint64_t kicks = 0;          // eventfd wakeups sent for this peer
+  std::uint64_t frames_dropped = 0;  // enqueues refused (link down/closing)
+  std::size_t queue_depth = 0;       // frames awaiting the reactor
+  std::size_t queue_bytes = 0;       // backlog payload bytes
+  stats::Histogram rtt;              // heartbeat round-trips (ns)
 };
 
 class SocketTransport final : public runtime::MailboxTransport {
@@ -131,6 +155,12 @@ class SocketTransport final : public runtime::MailboxTransport {
   }
   /// OS processes in the mesh — the unit the control fan-ins count.
   std::size_t process_count() const { return group_count_; }
+  /// Consecutive ranks each process hosts (the last may host fewer).
+  std::size_t ranks_per_proc() const { return options_.ranks_per_proc; }
+  /// The primary (lowest) rank of the process hosting `node`.
+  net::NodeId primary_of(net::NodeId node) const {
+    return PrimaryOf(GroupOf(node));
+  }
 
   /// Control frames arrive here from reactor-thread context (serialized
   /// per peer process, concurrent across them), attributed to the remote
@@ -138,6 +168,26 @@ class SocketTransport final : public runtime::MailboxTransport {
   using ControlHandler =
       std::function<void(net::NodeId src, ByteSpan frame)>;
   void SetControlHandler(ControlHandler handler);
+
+  /// Invoked from reactor-thread context when a peer-process link fails
+  /// mid-run (EOF, read or write error outside the shutdown window),
+  /// attributed to that process's primary rank. Fires at most once per
+  /// peer. Without a handler a mid-run link failure is fatal (the v5
+  /// behavior); with one, the process keeps running so the coordinator
+  /// can observe, report, and unwind deliberately. Set before Start().
+  using PeerDownHandler =
+      std::function<void(net::NodeId primary, const std::string& why)>;
+  void SetPeerDownHandler(PeerDownHandler handler);
+
+  /// Snapshots every remote link's health counters (ascending primary
+  /// rank; empty when the whole mesh is one process). Safe to call from
+  /// any thread while the transport runs.
+  std::vector<LinkStats> LinkSnapshots();
+
+  std::uint64_t heartbeat_interval_ns() const {
+    return static_cast<std::uint64_t>(options_.heartbeat_interval_ms) *
+           1000000ull;
+  }
 
   /// Binds/adopts the listener, starts the reactor pool and the mesh
   /// connector. Returns immediately; AwaitConnected() blocks for
@@ -264,8 +314,21 @@ class SocketTransport final : public runtime::MailboxTransport {
     std::size_t io_thread = 0;
     std::atomic<bool> registered{false};    // epoll adoption complete
     std::atomic<bool> kick_pending{false};  // queued frames await a flush
-    std::mutex mu;            // guards queue + closed
+    /// Link failed mid-run: enqueues toward it are dropped, not queued.
+    std::atomic<bool> down{false};
+    // Link telemetry (read by LinkSnapshots from arbitrary threads).
+    std::atomic<std::int64_t> last_heard_ns{-1};
+    std::atomic<std::int64_t> last_ack_ns{-1};
+    std::atomic<std::uint64_t> hb_sent{0};
+    std::atomic<std::uint64_t> hb_acked{0};
+    std::atomic<std::uint64_t> eagain{0};
+    std::atomic<std::uint64_t> epollout_arms{0};
+    std::atomic<std::uint64_t> kicks{0};
+    std::atomic<std::uint64_t> frames_dropped{0};
+    mutable std::mutex mu;    // guards queue + queue_bytes + closed + rtt
     std::deque<Bytes> queue;  // encoded frames awaiting the reactor
+    std::size_t queue_bytes = 0;  // payload bytes queued (backlog gauge)
+    stats::Histogram rtt;     // heartbeat round-trips
     bool closed = false;      // no further enqueues
     bool connected = false;   // guarded by mesh_mu_
     // ---- owning-I/O-thread state ----
@@ -282,14 +345,16 @@ class SocketTransport final : public runtime::MailboxTransport {
     std::uint32_t armed = 0;   // epoll event mask currently registered
     bool in_epoll = false;
     bool read_open = true;     // false after a shutdown-phase EOF
-    bool dead = false;         // write failed during teardown: drop queue
+    bool dead = false;         // link retired (mid-run failure or teardown)
+    std::uint64_t hb_seq = 0;  // heartbeat sequence toward this peer
   };
 
   /// One reactor thread: its epoll instance, an eventfd enqueuers use to
-  /// wake it, and the peer groups it owns.
+  /// wake it, the heartbeat timerfd, and the peer groups it owns.
   struct IoThread {
     Fd epoll;
     Fd wake;
+    Fd timer;  // periodic heartbeat tick (absent when heartbeats are off)
     std::thread th;
     std::vector<std::size_t> owned;
   };
@@ -330,7 +395,16 @@ class SocketTransport final : public runtime::MailboxTransport {
   /// nest), control to the registered handler as the peer's primary rank.
   /// Dies on malformed or misrouted input.
   void HandleFrame(std::size_t group, const Buf& frame, bool allow_batch);
+  /// Heartbeat tick: drains the timerfd and probes every owned live peer.
+  void OnTimer(IoThread& t);
+  /// Retires a mid-run-failed link: drops its queue, leaves the epoll set,
+  /// and fires the peer-down handler (once). Reactor-thread context only.
+  void MarkPeerDown(IoThread& t, std::size_t group, const std::string& why);
   void EnqueueFrame(net::NodeId dst, Bytes frame);
+  /// Forgiving enqueue for health-plane traffic: drops the frame (and
+  /// counts it) when the link is down or closing instead of aborting —
+  /// heartbeats race shutdown by design.
+  bool TryEnqueueFrame(net::NodeId dst, Bytes frame);
   /// Wakes `group`'s reactor thread to flush its queue (deduplicated per
   /// peer via kick_pending).
   void KickPeer(std::size_t group);
@@ -347,6 +421,7 @@ class SocketTransport final : public runtime::MailboxTransport {
   std::deque<runtime::Channel> mailboxes_;  // one per local rank
   std::vector<Handler> handlers_;           // one per local rank
   ControlHandler control_handler_;
+  PeerDownHandler peer_down_handler_;
   std::deque<stats::Recorder> recorders_;  // local ranks real, others zero
   std::deque<Peer> peers_;    // indexed by group; [group_] unused
   std::deque<IoThread> io_;   // the reactor pool

@@ -1,0 +1,195 @@
+#include "src/obs/http.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace hmdsm::obs {
+
+namespace {
+
+bool IsMethodChar(char c) { return c >= 'A' && c <= 'Z'; }
+
+/// Conservative path alphabet: printable ASCII except whitespace, quotes,
+/// and backslash. Anything outside it is either malformed or an attempt
+/// to smuggle control bytes into a log line.
+bool IsPathChar(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  return u > 0x20 && u < 0x7f && c != '"' && c != '\\';
+}
+
+/// True when the path contains a ".." segment ("/..", "/../x", bare "..").
+bool HasTraversal(std::string_view path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    if (path[i] != '.' || path[i + 1] != '.') continue;
+    const bool seg_start = i == 0 || path[i - 1] == '/';
+    const bool seg_end = i + 2 == path.size() || path[i + 2] == '/';
+    if (seg_start && seg_end) return true;
+  }
+  return false;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 414: return "URI Too Long";
+    default: return "Error";
+  }
+}
+
+/// Blocking best-effort full write; the peer is untrusted, so a short or
+/// failed write just ends the exchange.
+void SendAll(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void SendResponse(int fd, const HttpServer::Response& r) {
+  char head[256];
+  std::snprintf(head, sizeof head,
+                "HTTP/1.0 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n"
+                "\r\n",
+                r.status, StatusText(r.status), r.content_type.c_str(),
+                r.body.size());
+  SendAll(fd, head);
+  SendAll(fd, r.body);
+}
+
+}  // namespace
+
+ParseStatus ParseRequestHead(std::string_view data, HttpRequest* out) {
+  // A complete request line ends in LF (RFC lines end CRLF; a bare LF is
+  // tolerated, a bare CR is not a terminator).
+  const std::size_t eol = data.find('\n');
+  if (eol == std::string_view::npos) return ParseStatus::kNeedMore;
+  std::string_view line = data.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  // METHOD SP PATH SP VERSION — exactly two single spaces.
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return ParseStatus::kBad;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1)
+    return ParseStatus::kBad;
+  if (line.find(' ', sp2 + 1) != std::string_view::npos)
+    return ParseStatus::kBad;
+
+  const std::string_view method = line.substr(0, sp1);
+  const std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+
+  if (method.size() > 16) return ParseStatus::kBad;
+  for (const char c : method)
+    if (!IsMethodChar(c)) return ParseStatus::kBad;
+  if (path.empty() || path.front() != '/') return ParseStatus::kBad;
+  for (const char c : path)
+    if (!IsPathChar(c)) return ParseStatus::kBad;
+  if (HasTraversal(path)) return ParseStatus::kBad;
+  if (version.substr(0, 5) != "HTTP/") return ParseStatus::kBad;
+
+  if (out != nullptr) {
+    out->method.assign(method);
+    out->path.assign(path);
+  }
+  return ParseStatus::kOk;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+bool HttpServer::Start(std::uint16_t port, Handler handler,
+                       std::string* error) {
+  std::string err;
+  std::uint16_t bound = 0;
+  netio::Fd fd = netio::ListenOn("127.0.0.1:" + std::to_string(port), &bound,
+                                 &err);
+  if (!fd.valid()) {
+    if (error != nullptr) *error = err;
+    return false;
+  }
+  listener_ = std::move(fd);
+  port_ = bound;
+  handler_ = std::move(handler);
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  thread_.join();
+  listener_.Close();
+}
+
+void HttpServer::Serve() {
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) return;
+    pollfd pfd{listener_.get(), POLLIN, 0};
+    const int r = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (r <= 0) continue;  // timeout (re-check stop) or transient error
+    std::string err;
+    netio::Fd conn = netio::AcceptOn(listener_.get(), &err);
+    if (!conn.valid()) continue;
+    HandleConnection(conn.get());
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  // The whole request head must arrive into this one fixed buffer within
+  // the request timeout; SetRecvTimeout bounds each read so a silent
+  // client cannot hold the (single) server thread.
+  netio::SetRecvTimeout(fd, kRequestTimeoutMs);
+  char buf[kMaxRequestBytes];
+  std::size_t got = 0;
+  HttpRequest req;
+  for (;;) {
+    const ParseStatus st = ParseRequestHead({buf, got}, &req);
+    if (st == ParseStatus::kBad) {
+      SendResponse(fd, Response{400, "text/plain; charset=utf-8",
+                                "bad request\n"});
+      return;
+    }
+    if (st == ParseStatus::kOk) break;
+    if (got == sizeof buf) {
+      SendResponse(fd, Response{414, "text/plain; charset=utf-8",
+                                "request line too long\n"});
+      return;
+    }
+    const ssize_t n = ::recv(fd, buf + got, sizeof buf - got, 0);
+    if (n <= 0) {
+      // EOF or the recv timeout: a truncated head never gets routed.
+      if (got > 0)
+        SendResponse(fd, Response{408, "text/plain; charset=utf-8",
+                                  "request timeout\n"});
+      return;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  if (req.method != "GET") {
+    SendResponse(fd, Response{405, "text/plain; charset=utf-8",
+                              "method not allowed\n"});
+    return;
+  }
+  SendResponse(fd, handler_ ? handler_(req)
+                            : Response{404, "text/plain; charset=utf-8",
+                                       "not found\n"});
+}
+
+}  // namespace hmdsm::obs

@@ -1,0 +1,101 @@
+// obs::HttpServer — a deliberately tiny, bounded HTTP/1.0 responder for
+// the mesh health plane (/metrics and /healthz on the lead rank).
+//
+// This is an *exporter*, not a web server: it exists so `curl` and a
+// Prometheus scraper can read run state mid-flight. Every design choice is
+// a bound, because the listener faces whatever connects to the port:
+//
+//   * the whole request head must fit one fixed kMaxRequestBytes buffer —
+//     nothing a client sends can drive an allocation;
+//   * a connection gets kRequestTimeoutMs to produce a complete request
+//     line, then it is answered 408 and closed (slowloris-shaped clients
+//     hold nothing);
+//   * requests are parsed by a pure function (ParseRequestHead) that
+//     rejects malformed lines, non-token methods, and path traversal
+//     before any routing happens — unit-testable without sockets;
+//   * connections are served one at a time on one background thread; the
+//     exporter can be slow, the mesh it observes never is.
+//
+// The server never reads run state itself — the installed handler does —
+// so an untrusted scrape can only ever reach what the handler chooses to
+// expose, never inject control traffic into the mesh.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "src/netio/socket.h"
+
+namespace hmdsm::obs {
+
+/// The request-head buffer bound: a head that does not fit is answered
+/// 414 and dropped without ever growing a buffer.
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+/// How long one connection may dribble bytes before a complete request
+/// line arrives.
+constexpr int kRequestTimeoutMs = 2000;
+
+struct HttpRequest {
+  std::string method;  // uppercase token, e.g. "GET"
+  std::string path;    // begins with '/', no traversal segments
+};
+
+enum class ParseStatus {
+  kOk,        // request line parsed, the HttpRequest is filled
+  kNeedMore,  // no complete request line yet — read more (bounded!)
+  kBad,       // malformed or hostile — reject 400, close
+};
+
+/// Parses the HTTP request line from everything received so far. Pure and
+/// allocation-bounded by the caller's buffer cap, so hostile inputs are
+/// unit-testable without a socket. Rejects (kBad): missing/duplicated
+/// spaces, methods that are not ALL-CAPS tokens (max 16 bytes), versions
+/// not starting "HTTP/", control bytes, paths not starting '/', and any
+/// path containing a ".." segment (traversal is meaningless here — the
+/// server serves no files — but a scraper bug should get a loud 400, not
+/// a quiet 404). Headers after the request line are deliberately ignored.
+ParseStatus ParseRequestHead(std::string_view data, HttpRequest* out);
+
+class HttpServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+  /// Invoked per well-formed GET request from the server thread.
+  using Handler = std::function<Response(const HttpRequest&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and serves on one
+  /// background thread until Stop(). False + `error` on bind failure.
+  bool Start(std::uint16_t port, Handler handler, std::string* error);
+
+  /// The bound port (valid after a successful Start).
+  std::uint16_t port() const { return port_; }
+  bool running() const { return thread_.joinable(); }
+
+  /// Stops accepting, joins the server thread. Idempotent.
+  void Stop();
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  netio::Fd listener_;
+  std::uint16_t port_ = 0;
+  Handler handler_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace hmdsm::obs

@@ -1,0 +1,315 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/json.h"
+
+namespace hmdsm::obs {
+
+namespace {
+
+constexpr double kNsToS = 1e-9;
+
+/// Appends one sample line: `name{labels} value` (labels may be empty).
+void Sample(std::string& out, std::string_view name, std::string_view labels,
+            double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out.append(name);
+  if (!labels.empty()) {
+    out.push_back('{');
+    out.append(labels);
+    out.push_back('}');
+  }
+  out.push_back(' ');
+  out.append(buf);
+  out.push_back('\n');
+}
+
+void Header(std::string& out, std::string_view name, std::string_view help,
+            std::string_view type) {
+  out.append("# HELP ").append(name).append(" ").append(help).append("\n");
+  out.append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+std::string RankLabel(net::NodeId rank) {
+  return "rank=\"" + std::to_string(rank) + "\"";
+}
+
+std::string PeerLabel(net::NodeId primary) {
+  return "peer=\"" + std::to_string(primary) + "\"";
+}
+
+/// One quantile summary family from a histogram (values in seconds).
+void Quantiles(std::string& out, std::string_view name,
+               const std::string& labels, const stats::Histogram& h) {
+  for (const double q : {0.5, 0.95, 0.99}) {
+    char qbuf[32];
+    std::snprintf(qbuf, sizeof qbuf, "quantile=\"%.2g\"", q);
+    const std::string l =
+        labels.empty() ? std::string(qbuf) : labels + "," + qbuf;
+    Sample(out, name, l, static_cast<double>(h.Quantile(q)) * kNsToS);
+  }
+  Sample(out, std::string(name) + "_count", labels,
+         static_cast<double>(h.count()));
+  Sample(out, std::string(name) + "_sum", labels,
+         static_cast<double>(h.sum()) * kNsToS);
+}
+
+}  // namespace
+
+std::vector<netio::PeerState> RankStates(const MeshView& view) {
+  std::vector<netio::PeerState> states(view.node_count,
+                                       netio::PeerState::kHealthy);
+  for (const netio::PeerHealth& p : view.health.peers) {
+    const std::size_t lo = p.peer;
+    const std::size_t hi =
+        std::min<std::size_t>(view.node_count, lo + view.ranks_per_proc);
+    for (std::size_t r = lo; r < hi; ++r) states[r] = p.state;
+  }
+  return states;
+}
+
+std::string RenderPrometheus(const MeshView& view) {
+  std::string out;
+  out.reserve(8192);
+
+  Header(out, "hmdsm_up", "the exporter process is serving", "gauge");
+  Sample(out, "hmdsm_up", {}, 1);
+  Header(out, "hmdsm_uptime_seconds", "transport clock at scrape time",
+         "gauge");
+  Sample(out, "hmdsm_uptime_seconds", {}, view.uptime_s);
+  Header(out, "hmdsm_cluster_nodes", "ranks in the mesh", "gauge");
+  Sample(out, "hmdsm_cluster_nodes", {}, view.node_count);
+  Header(out, "hmdsm_cluster_processes", "OS processes in the mesh",
+         "gauge");
+  Sample(out, "hmdsm_cluster_processes", {}, view.process_count);
+  Header(out, "hmdsm_heartbeat_interval_seconds",
+         "link heartbeat period (0 = disabled)", "gauge");
+  Sample(out, "hmdsm_heartbeat_interval_seconds", {},
+         static_cast<double>(view.health.heartbeat_interval_ns) * kNsToS);
+
+  // Per-rank liveness: healthy 0/1 plus the numeric state for dashboards
+  // (0 healthy, 1 suspect, 2 dead).
+  Header(out, "hmdsm_rank_healthy", "1 when the rank's process is healthy",
+         "gauge");
+  Header(out, "hmdsm_rank_state",
+         "liveness verdict: 0 healthy, 1 suspect, 2 dead", "gauge");
+  const std::vector<netio::PeerState> states = RankStates(view);
+  for (net::NodeId r = 0; r < states.size(); ++r) {
+    Sample(out, "hmdsm_rank_healthy", RankLabel(r),
+           states[r] == netio::PeerState::kHealthy ? 1 : 0);
+    Sample(out, "hmdsm_rank_state", RankLabel(r),
+           static_cast<double>(states[r]));
+  }
+
+  // Per-peer link telemetry (remote processes, labeled by primary rank).
+  Header(out, "hmdsm_link_up", "1 until the link failed mid-run", "gauge");
+  Header(out, "hmdsm_link_heartbeats_sent_total",
+         "heartbeat probes sent on the link", "counter");
+  Header(out, "hmdsm_link_heartbeats_acked_total",
+         "heartbeat acks received on the link", "counter");
+  Header(out, "hmdsm_link_last_heard_seconds_ago",
+         "silence on the link at scrape time (-1 = never heard)", "gauge");
+  Header(out, "hmdsm_link_send_queue_frames", "frames awaiting the reactor",
+         "gauge");
+  Header(out, "hmdsm_link_send_queue_bytes", "backlog payload bytes",
+         "gauge");
+  Header(out, "hmdsm_link_eagain_total",
+         "writes that hit a full socket buffer", "counter");
+  Header(out, "hmdsm_link_epollout_arms_total",
+         "EPOLLOUT arm transitions", "counter");
+  Header(out, "hmdsm_link_kicks_total", "eventfd wakeups for the link",
+         "counter");
+  Header(out, "hmdsm_link_frames_dropped_total",
+         "enqueues refused because the link was down", "counter");
+  Header(out, "hmdsm_link_rtt_seconds", "heartbeat round-trip time",
+         "summary");
+  for (const netio::LinkStats& l : view.health.links) {
+    const std::string peer = PeerLabel(l.primary);
+    Sample(out, "hmdsm_link_up", peer, l.up && l.connected ? 1 : 0);
+    Sample(out, "hmdsm_link_heartbeats_sent_total", peer,
+           static_cast<double>(l.hb_sent));
+    Sample(out, "hmdsm_link_heartbeats_acked_total", peer,
+           static_cast<double>(l.hb_acked));
+    Sample(out, "hmdsm_link_last_heard_seconds_ago", peer,
+           l.last_heard_ns < 0
+               ? -1.0
+               : view.uptime_s -
+                     static_cast<double>(l.last_heard_ns) * kNsToS);
+    Sample(out, "hmdsm_link_send_queue_frames", peer,
+           static_cast<double>(l.queue_depth));
+    Sample(out, "hmdsm_link_send_queue_bytes", peer,
+           static_cast<double>(l.queue_bytes));
+    Sample(out, "hmdsm_link_eagain_total", peer,
+           static_cast<double>(l.eagain));
+    Sample(out, "hmdsm_link_epollout_arms_total", peer,
+           static_cast<double>(l.epollout_arms));
+    Sample(out, "hmdsm_link_kicks_total", peer,
+           static_cast<double>(l.kicks));
+    Sample(out, "hmdsm_link_frames_dropped_total", peer,
+           static_cast<double>(l.frames_dropped));
+    Quantiles(out, "hmdsm_link_rtt_seconds", peer, l.rtt);
+  }
+
+  // Gathered cluster totals from the poll loop's cached merge. poll.valid
+  // is false until the first poll lands (or with polling off) — the
+  // families are omitted rather than rendered as zeros that would read as
+  // "the cluster did nothing".
+  Header(out, "hmdsm_poll_valid",
+         "1 once a merged stats poll sample exists", "gauge");
+  Sample(out, "hmdsm_poll_valid", {}, view.poll.valid ? 1 : 0);
+  if (view.poll.valid) {
+    Header(out, "hmdsm_poll_seq", "sequence of the newest merged poll",
+           "gauge");
+    Sample(out, "hmdsm_poll_seq", {}, static_cast<double>(view.poll.seq));
+    Header(out, "hmdsm_poll_answered",
+           "processes that answered the newest poll in time", "gauge");
+    Sample(out, "hmdsm_poll_answered", {},
+           static_cast<double>(view.poll.answered));
+    Header(out, "hmdsm_poll_expected", "processes expected to answer",
+           "gauge");
+    Sample(out, "hmdsm_poll_expected", {},
+           static_cast<double>(view.poll.expected));
+    Header(out, "hmdsm_rank_stale",
+           "1 when the rank's counters were merged from an old snapshot",
+           "gauge");
+    for (net::NodeId r = 0; r < view.node_count; ++r) {
+      const bool stale =
+          std::find(view.poll.stale.begin(), view.poll.stale.end(),
+                    static_cast<net::NodeId>(
+                        r / view.ranks_per_proc * view.ranks_per_proc)) !=
+          view.poll.stale.end();
+      Sample(out, "hmdsm_rank_stale", RankLabel(r), stale ? 1 : 0);
+    }
+
+    const stats::Recorder& t = view.poll.totals;
+    Header(out, "hmdsm_events_total", "protocol event counters", "counter");
+    for (std::size_t e = 0; e < stats::kNumEvs; ++e) {
+      const auto ev = static_cast<stats::Ev>(e);
+      Sample(out, "hmdsm_events_total",
+             "event=\"" + std::string(stats::EvName(ev)) + "\"",
+             static_cast<double>(t.Count(ev)));
+    }
+    Header(out, "hmdsm_messages_total", "wire messages by category",
+           "counter");
+    Header(out, "hmdsm_message_bytes_total", "wire bytes by category",
+           "counter");
+    for (std::size_t c = 0; c < stats::kNumMsgCats; ++c) {
+      const auto cat = static_cast<stats::MsgCat>(c);
+      const std::string label =
+          "cat=\"" + std::string(stats::MsgCatName(cat)) + "\"";
+      Sample(out, "hmdsm_messages_total", label,
+             static_cast<double>(t.Cat(cat).messages));
+      Sample(out, "hmdsm_message_bytes_total", label,
+             static_cast<double>(t.Cat(cat).bytes));
+    }
+    Header(out, "hmdsm_node_sent_messages_total",
+           "messages sent, attributed to the sending rank", "counter");
+    Header(out, "hmdsm_node_received_messages_total",
+           "messages received, attributed to the receiving rank",
+           "counter");
+    for (net::NodeId r = 0; r < view.node_count; ++r) {
+      Sample(out, "hmdsm_node_sent_messages_total", RankLabel(r),
+             static_cast<double>(t.SentBy(r).messages));
+      Sample(out, "hmdsm_node_received_messages_total", RankLabel(r),
+             static_cast<double>(t.ReceivedBy(r).messages));
+    }
+    Header(out, "hmdsm_latency_seconds",
+           "named latency histograms from the gathered recorders",
+           "summary");
+    for (std::size_t i = 0; i < stats::kNumLats; ++i) {
+      const auto lat = static_cast<stats::Lat>(i);
+      const stats::Histogram& h = t.Latency(lat);
+      if (h.empty()) continue;
+      Quantiles(out, "hmdsm_latency_seconds",
+                "lat=\"" + std::string(stats::LatName(lat)) + "\"", h);
+    }
+    Header(out, "hmdsm_fault_rtt_seconds",
+           "fault-in round trips by reply category", "summary");
+    for (std::size_t c = 0; c < stats::kNumMsgCats; ++c) {
+      const auto cat = static_cast<stats::MsgCat>(c);
+      const stats::Histogram& h = t.Rtt(cat);
+      if (h.empty()) continue;
+      Quantiles(out, "hmdsm_fault_rtt_seconds",
+                "cat=\"" + std::string(stats::MsgCatName(cat)) + "\"", h);
+    }
+  }
+  return out;
+}
+
+std::string RenderHealthz(const MeshView& view) {
+  const std::vector<netio::PeerState> states = RankStates(view);
+  const char* status = "ok";
+  if (view.health.any_dead) {
+    status = "dead";
+  } else if (!view.health.all_healthy) {
+    status = "suspect";
+  }
+  std::ostringstream os;
+  {
+    JsonWriter jw(os);
+    jw.BeginObject();
+    jw.Key("status").String(status);
+    jw.Key("uptime_s").Double(view.uptime_s);
+    jw.Key("nodes").Uint(view.node_count);
+    jw.Key("processes").Uint(view.process_count);
+    jw.Key("lead").Uint(view.lead);
+    jw.Key("heartbeat_interval_ms")
+        .Double(static_cast<double>(view.health.heartbeat_interval_ns) * 1e-6);
+    jw.Key("ranks").BeginArray();
+    for (net::NodeId r = 0; r < states.size(); ++r) {
+      jw.BeginObject();
+      jw.Key("rank").Uint(r);
+      jw.Key("state").String(PeerStateName(states[r]));
+      jw.EndObject();
+    }
+    jw.EndArray();
+    jw.Key("peers").BeginArray();
+    for (const netio::PeerHealth& p : view.health.peers) {
+      jw.BeginObject();
+      jw.Key("primary").Uint(p.peer);
+      jw.Key("state").String(PeerStateName(p.state));
+      jw.Key("missed_beats").Uint(p.missed);
+      jw.Key("last_heard_s_ago")
+          .Double(p.last_heard_ns < 0
+                      ? -1.0
+                      : view.uptime_s -
+                            static_cast<double>(p.last_heard_ns) * kNsToS);
+      if (!p.why.empty()) jw.Key("why").String(p.why);
+      jw.EndObject();
+    }
+    jw.EndArray();
+    jw.Key("poll").BeginObject();
+    jw.Key("valid").Bool(view.poll.valid);
+    jw.Key("seq").Uint(view.poll.seq);
+    jw.Key("age_s").Double(view.poll.valid ? view.uptime_s - view.poll.t_s
+                                           : -1.0);
+    jw.Key("answered").Uint(view.poll.answered);
+    jw.Key("expected").Uint(view.poll.expected);
+    jw.Key("stale").BeginArray();
+    for (const net::NodeId r : view.poll.stale) jw.Uint(r);
+    jw.EndArray();
+    jw.EndObject();
+    jw.EndObject();
+  }
+  os << '\n';
+  return os.str();
+}
+
+HttpServer::Response HandleObsRequest(
+    const HttpRequest& request, const std::function<MeshView()>& gather) {
+  if (request.path == "/metrics") {
+    return {200, "text/plain; version=0.0.4; charset=utf-8",
+            RenderPrometheus(gather())};
+  }
+  if (request.path == "/healthz") {
+    return {200, "application/json; charset=utf-8",
+            RenderHealthz(gather())};
+  }
+  return {404, "text/plain; charset=utf-8", "not found\n"};
+}
+
+}  // namespace hmdsm::obs

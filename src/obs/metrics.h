@@ -1,0 +1,52 @@
+// obs — rendering the mesh health plane for scrapers.
+//
+// RenderPrometheus() turns one gathered MeshView into Prometheus text
+// exposition format (# HELP / # TYPE / samples), RenderHealthz() into the
+// /healthz JSON document, and HandleObsRequest() routes the two paths for
+// the HttpServer. Rendering is pure: the view is assembled by the host
+// (the sockets backend's lead process) from the coordinator's cached poll
+// merge and liveness snapshot, so an untrusted HTTP request can never
+// drive control traffic into the mesh — a scrape reads what the poll loop
+// already gathered.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/netio/coordinator.h"
+#include "src/obs/http.h"
+
+namespace hmdsm::obs {
+
+/// Everything the exporter shows, gathered at scrape time by the host.
+struct MeshView {
+  std::uint32_t node_count = 0;
+  std::size_t ranks_per_proc = 1;
+  std::size_t process_count = 1;
+  net::NodeId lead = 0;
+  net::NodeId self_primary = 0;  // the serving process's primary rank
+  double uptime_s = 0;           // transport clock at gather time
+  netio::Coordinator::HealthView health;
+  netio::Coordinator::PollView poll;
+};
+
+/// Expands the per-process liveness verdicts to one state per rank: every
+/// rank hosted by a tracked process inherits its verdict; the serving
+/// process's own ranks are healthy by construction (it answered).
+std::vector<netio::PeerState> RankStates(const MeshView& view);
+
+/// Prometheus text exposition format, `hmdsm_`-prefixed: cluster gauges,
+/// per-rank liveness, gathered counter totals and latency quantiles, and
+/// per-peer link telemetry (heartbeat RTT quantiles included).
+std::string RenderPrometheus(const MeshView& view);
+
+/// /healthz JSON: {"status": "ok"|"suspect"|"dead", "ranks": [...], ...}.
+std::string RenderHealthz(const MeshView& view);
+
+/// Routes GET /metrics and GET /healthz (anything else: 404). `gather` is
+/// called once per scrape, from the HTTP server thread.
+HttpServer::Response HandleObsRequest(
+    const HttpRequest& request, const std::function<MeshView()>& gather);
+
+}  // namespace hmdsm::obs

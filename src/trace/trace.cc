@@ -26,6 +26,8 @@ std::string_view WhatName(What what) {
     case What::kBarrierDone: return "barrier-done";
     case What::kDecision: return "decision";
     case What::kPhaseMark: return "phase-mark";
+    case What::kPeerSuspect: return "peer-suspect";
+    case What::kPeerDead: return "peer-dead";
   }
   return "?";
 }

@@ -45,6 +45,9 @@ enum class What : std::uint8_t {
                    // requester, value = live threshold scaled by 1000,
                    // negative when the verdict was "stay")
   kPhaseMark,      // workload phase transition (node = marking worker)
+  kPeerSuspect,    // liveness: peer missed beats (node = observer, peer =
+                   // suspect rank, value = missed beat intervals)
+  kPeerDead,       // liveness: peer declared dead (node = observer)
 };
 
 std::string_view WhatName(What what);

@@ -374,5 +374,66 @@ TEST(NetioFrameBatch, InnerFrameWithNoValidTypeIsRejected) {
   EXPECT_NE(error.find("type"), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// v6 heartbeats
+// ---------------------------------------------------------------------------
+
+TEST(NetioFrame, HeartbeatRoundTrip) {
+  const HeartbeatFrame out = RoundTrip(HeartbeatFrame{42, 123456789});
+  EXPECT_EQ(out.seq, 42u);
+  EXPECT_EQ(out.send_ns, 123456789u);
+}
+
+TEST(NetioFrame, HeartbeatAckEchoesProbeTimestamp) {
+  // The ack carries the prober's own send timestamp back, so RTT is
+  // computed against one clock — the ack must preserve both fields bit
+  // for bit.
+  const HeartbeatAckFrame out =
+      RoundTrip(HeartbeatAckFrame{7, 0xFFFFFFFFFFFFFFFFull});
+  EXPECT_EQ(out.seq, 7u);
+  EXPECT_EQ(out.send_ns, 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(NetioFrameDefense, HeartbeatTruncationIsAnErrorNotACrash) {
+  const Bytes wire = Encode(HeartbeatFrame{9, 987654321});
+  for (std::size_t cut = 1; cut < wire.size(); ++cut) {
+    HeartbeatFrame out;
+    std::string error;
+    EXPECT_FALSE(
+        TryDecode(ByteSpan(wire.data(), wire.size() - cut), &out, &error))
+        << "cut " << cut;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(NetioFrameDefense, HeartbeatTrailingGarbageIsRejected) {
+  Bytes wire = Encode(HeartbeatAckFrame{3, 5});
+  wire.push_back(0xAB);
+  HeartbeatAckFrame out;
+  std::string error;
+  EXPECT_FALSE(TryDecode(ByteSpan(wire), &out, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(NetioFrameDefense, HeartbeatWrongTypeIsRejected) {
+  // A heartbeat must never decode as an ack (and vice versa): the prober
+  // matches acks by sequence and a confused type would corrupt RTTs.
+  const Bytes hb = Encode(HeartbeatFrame{1, 2});
+  HeartbeatAckFrame ack;
+  std::string error;
+  EXPECT_FALSE(TryDecode(ByteSpan(hb), &ack, &error));
+  const Bytes wire = Encode(HeartbeatAckFrame{1, 2});
+  HeartbeatFrame probe;
+  EXPECT_FALSE(TryDecode(ByteSpan(wire), &probe, &error));
+}
+
+TEST(NetioFrame, PeekTypeSeesHeartbeats) {
+  FrameType type;
+  ASSERT_TRUE(PeekType(ByteSpan(Encode(HeartbeatFrame{1, 2})), &type));
+  EXPECT_EQ(type, FrameType::kHeartbeat);
+  ASSERT_TRUE(PeekType(ByteSpan(Encode(HeartbeatAckFrame{1, 2})), &type));
+  EXPECT_EQ(type, FrameType::kHeartbeatAck);
+}
+
 }  // namespace
 }  // namespace hmdsm::netio

@@ -1,0 +1,170 @@
+// The per-peer liveness state machine under an injected fake clock: every
+// transition (healthy -> suspect -> dead, suspect -> healthy recovery,
+// hard-death callouts) is driven by explicit timestamps, so the threshold
+// edges are exact — one nanosecond to either side of K missed beats must
+// land in different states.
+#include "src/netio/liveness.h"
+
+#include <gtest/gtest.h>
+
+namespace hmdsm::netio {
+namespace {
+
+constexpr std::uint64_t kBeat = 1000;  // fake-clock beat period (ns)
+
+LivenessOptions SmallOptions() {
+  LivenessOptions o;
+  o.interval_ns = kBeat;
+  o.suspect_after = 2;
+  o.dead_after = 8;
+  return o;
+}
+
+TEST(Liveness, StartsHealthyAndStaysHealthyWhileBeatsArrive) {
+  LivenessTracker t(SmallOptions());
+  t.Track(4, /*born_ns=*/0);
+  EXPECT_EQ(t.StateOf(4), PeerState::kHealthy);
+  EXPECT_TRUE(t.AllHealthy());
+  for (std::uint64_t beat = 1; beat <= 10; ++beat) {
+    t.Observe(4, static_cast<std::int64_t>(beat * kBeat));
+    EXPECT_TRUE(t.Evaluate(beat * kBeat + kBeat / 2).empty());
+    EXPECT_EQ(t.StateOf(4), PeerState::kHealthy);
+  }
+}
+
+TEST(Liveness, SuspectExactlyAtKMissedBeats) {
+  LivenessTracker t(SmallOptions());
+  t.Track(4, 0);
+  t.Observe(4, 0);
+  // suspect_after = 2: silence of [2*kBeat .. ) is two whole missed beats.
+  EXPECT_TRUE(t.Evaluate(2 * kBeat - 1).empty());
+  EXPECT_EQ(t.StateOf(4), PeerState::kHealthy);
+  const auto tr = t.Evaluate(2 * kBeat);
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_EQ(tr[0].peer, 4u);
+  EXPECT_EQ(tr[0].from, PeerState::kHealthy);
+  EXPECT_EQ(tr[0].to, PeerState::kSuspect);
+  EXPECT_EQ(tr[0].missed, 2u);
+  EXPECT_FALSE(t.AllHealthy());
+  EXPECT_FALSE(t.AnyDead());
+  // Staying suspect is not a transition.
+  EXPECT_TRUE(t.Evaluate(3 * kBeat).empty());
+}
+
+TEST(Liveness, DeadExactlyAtDeadAfterMissedBeats) {
+  LivenessTracker t(SmallOptions());
+  t.Track(4, 0);
+  t.Observe(4, 0);
+  EXPECT_FALSE(t.Evaluate(2 * kBeat).empty());  // -> suspect
+  EXPECT_TRUE(t.Evaluate(8 * kBeat - 1).empty());
+  EXPECT_EQ(t.StateOf(4), PeerState::kSuspect);
+  const auto tr = t.Evaluate(8 * kBeat);
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_EQ(tr[0].from, PeerState::kSuspect);
+  EXPECT_EQ(tr[0].to, PeerState::kDead);
+  EXPECT_EQ(tr[0].missed, 8u);
+  EXPECT_TRUE(t.AnyDead());
+}
+
+TEST(Liveness, SuspectRecoversOnLateBeat) {
+  LivenessTracker t(SmallOptions());
+  t.Track(4, 0);
+  t.Observe(4, 0);
+  EXPECT_FALSE(t.Evaluate(3 * kBeat).empty());  // -> suspect
+  // A late ack lands: the next Evaluate must report suspect -> healthy.
+  t.Observe(4, static_cast<std::int64_t>(3 * kBeat + 1));
+  const auto tr = t.Evaluate(3 * kBeat + 2);
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_EQ(tr[0].from, PeerState::kSuspect);
+  EXPECT_EQ(tr[0].to, PeerState::kHealthy);
+  EXPECT_TRUE(t.AllHealthy());
+}
+
+TEST(Liveness, DeadIsStickyEvenIfBeatsResume) {
+  LivenessTracker t(SmallOptions());
+  t.Track(4, 0);
+  t.Observe(4, 0);
+  t.Evaluate(2 * kBeat);
+  t.Evaluate(8 * kBeat);
+  ASSERT_EQ(t.StateOf(4), PeerState::kDead);
+  // This protocol version never readmits: late beats cannot resurrect.
+  t.Observe(4, static_cast<std::int64_t>(9 * kBeat));
+  EXPECT_TRUE(t.Evaluate(9 * kBeat + 1).empty());
+  EXPECT_EQ(t.StateOf(4), PeerState::kDead);
+  EXPECT_TRUE(t.AnyDead());
+}
+
+TEST(Liveness, MarkDeadOverridesBeatCounting) {
+  LivenessTracker t(SmallOptions());
+  t.Track(4, 0);
+  t.Observe(4, 0);
+  t.MarkDead(4, "connection reset");
+  // Fresh beats do not matter: the reactor saw the link die.
+  t.Observe(4, 1);
+  const auto tr = t.Evaluate(2);
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_EQ(tr[0].to, PeerState::kDead);
+  EXPECT_EQ(tr[0].why, "connection reset");
+  const auto snap = t.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].why, "connection reset");
+}
+
+TEST(Liveness, NeverHeardPeerAgesFromItsBirth) {
+  LivenessTracker t(SmallOptions());
+  t.Track(4, /*born_ns=*/10 * kBeat);  // tracked late, never observed
+  EXPECT_TRUE(t.Evaluate(12 * kBeat - 1).empty());
+  const auto tr = t.Evaluate(12 * kBeat);
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_EQ(tr[0].to, PeerState::kSuspect);
+}
+
+TEST(Liveness, ObserveIsMonotoneAndIgnoresUnknownPeers) {
+  LivenessTracker t(SmallOptions());
+  t.Track(4, 0);
+  t.Observe(4, static_cast<std::int64_t>(5 * kBeat));
+  t.Observe(4, static_cast<std::int64_t>(1 * kBeat));  // stale — ignored
+  t.Observe(99, static_cast<std::int64_t>(9 * kBeat));  // untracked — ignored
+  EXPECT_TRUE(t.Evaluate(6 * kBeat).empty());
+  const auto snap = t.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].last_heard_ns, static_cast<std::int64_t>(5 * kBeat));
+}
+
+TEST(Liveness, TransitionsReportedExactlyOncePerPeer) {
+  LivenessTracker t(SmallOptions());
+  t.Track(1, 0);
+  t.Track(2, 0);
+  t.Observe(1, 0);
+  t.Observe(2, 0);
+  // Both cross the suspect threshold in the same tick: two transitions,
+  // then silence on the re-evaluation.
+  EXPECT_EQ(t.Evaluate(2 * kBeat).size(), 2u);
+  EXPECT_TRUE(t.Evaluate(2 * kBeat).empty());
+}
+
+TEST(Liveness, SnapshotOrderedByRankWithMissedCounts) {
+  LivenessTracker t(SmallOptions());
+  t.Track(8, 0);
+  t.Track(4, 0);
+  t.Observe(4, 0);
+  t.Observe(8, static_cast<std::int64_t>(3 * kBeat));
+  t.Evaluate(4 * kBeat);
+  const auto snap = t.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].peer, 4u);
+  EXPECT_EQ(snap[1].peer, 8u);
+  EXPECT_EQ(snap[0].state, PeerState::kSuspect);
+  EXPECT_EQ(snap[0].missed, 4u);
+  EXPECT_EQ(snap[1].state, PeerState::kHealthy);
+  EXPECT_EQ(snap[1].missed, 1u);
+}
+
+TEST(Liveness, StateNames) {
+  EXPECT_STREQ(PeerStateName(PeerState::kHealthy), "healthy");
+  EXPECT_STREQ(PeerStateName(PeerState::kSuspect), "suspect");
+  EXPECT_STREQ(PeerStateName(PeerState::kDead), "dead");
+}
+
+}  // namespace
+}  // namespace hmdsm::netio

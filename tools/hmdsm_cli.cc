@@ -82,6 +82,12 @@ int Usage(const char* error) {
       "               prints a live cluster ops/s line to stderr)\n"
       "             --poll-out=FILE    persist the lead's live poll\n"
       "               snapshots as JSON (sockets only)\n"
+      "             --metrics-port=P   lead serves GET /metrics (Prometheus\n"
+      "               text) and /healthz (JSON) on 127.0.0.1:P for the run\n"
+      "               (sockets only; 0 picks an ephemeral port, printed to\n"
+      "               stderr)\n"
+      "             --heartbeat-interval=MS  per-link liveness probe period\n"
+      "               (sockets only; default 250, 0 disables heartbeats)\n"
       "             --audit=0|1        migration decision ledger (default on)\n"
       "             --audit-out=FILE   dump the cluster-merged decision\n"
       "               ledger as JSON (reporting rank)\n"
@@ -156,6 +162,15 @@ void PrintReport(const gos::RunReport& r, bool wall_clock = false,
       static_cast<unsigned long long>(r.diffs_created),
       static_cast<unsigned long long>(r.fault_ins),
       static_cast<unsigned long long>(r.exclusive_home_writes));
+  if (!r.peer_health.empty()) {
+    std::printf("mesh health:");
+    for (const auto& p : r.peer_health) {
+      std::printf(" rank%u=%s", p.primary, p.state.c_str());
+      if (p.rtt_p50_us >= 0)
+        std::printf("(rtt p50 %.0fus)", p.rtt_p50_us);
+    }
+    std::printf("\n");
+  }
   PrintLatencies(r);
   if (!audit_out.empty() && stats::WriteAuditFile(audit_out, r.ledger)) {
     std::printf("audit ledger (%zu decisions, %llu dropped) -> %s\n",
@@ -386,6 +401,22 @@ int main(int argc, char** argv) {
   vm.poll_out = flags.Get("poll-out");
   if (!vm.poll_out.empty() && vm.backend != gos::Backend::kSockets)
     return Usage("--poll-out needs --backend=sockets (the live poll plane)");
+  if (flags.Has("metrics-port")) {
+    if (vm.backend != gos::Backend::kSockets)
+      return Usage("--metrics-port needs --backend=sockets (the mesh health "
+                   "plane)");
+    const std::int64_t port = flags.GetInt("metrics-port", -1);
+    if (port < 0 || port > 65535)
+      return Usage("--metrics-port must be 0..65535 (0 = ephemeral)");
+    vm.sockets.metrics_port = static_cast<int>(port);
+  }
+  if (flags.Has("heartbeat-interval")) {
+    if (vm.backend != gos::Backend::kSockets)
+      return Usage("--heartbeat-interval needs --backend=sockets");
+    const std::int64_t hb = flags.GetInt("heartbeat-interval", 250);
+    if (hb < 0) return Usage("--heartbeat-interval must be >= 0 (ms)");
+    vm.sockets.heartbeat_interval_ms = static_cast<std::size_t>(hb);
+  }
   const std::string rejection = gos::ValidateBackendRequest(
       vm.backend, app, flags.Has("record"), vm.inject_latency);
   if (!rejection.empty()) return Usage(rejection.c_str());
