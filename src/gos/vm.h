@@ -221,6 +221,17 @@ struct VmOptions {
     /// duration (0 picks an ephemeral port; the bound port is printed to
     /// stderr). -1 disables the exporter. Non-lead processes ignore it.
     int metrics_port = -1;
+    /// Wire delta encoding: per-(peer, object) caches on both ends of
+    /// every link diff each kObjReply/kDiff payload against the last
+    /// version the receiver holds and ship only the changed runs (frame.h
+    /// kDelta). On by default; off reproduces the full-frame v6 wire
+    /// behavior for ablation.
+    bool wire_delta = true;
+    /// Shared-memory transport: processes that negotiate the same host
+    /// identity in the Hello handshake move all data frames onto per-pair
+    /// shm rings (netio/shm.h) and keep only control/heartbeats on TCP.
+    /// On by default (it degrades to TCP automatically off-host).
+    bool shm = true;
   };
   SocketsConfig sockets;
   /// Latency histograms (fault-in RTT, mailbox dwell, socket-write syscall,
@@ -291,6 +302,19 @@ struct RunReport {
   std::uint64_t socket_writes = 0;
   std::uint64_t wire_frames = 0;
   std::uint64_t wire_frames_coalesced = 0;
+  /// Wire hot-path counters (sockets backend, cluster totals like the
+  /// above): data frames sent as deltas vs full, bytes the deltas saved
+  /// (frame overheads included), data frames that rode a same-host shm
+  /// ring instead of TCP.
+  std::uint64_t wire_delta_hits = 0;
+  std::uint64_t wire_delta_misses = 0;
+  std::uint64_t wire_delta_bytes_saved = 0;
+  std::uint64_t shm_msgs = 0;
+  /// Allocation-pooling watermarks (cluster totals): mailbox overflow
+  /// nodes allocated past the pool (steady state: stays flat) and rx
+  /// frame buffers allocated past the pool.
+  std::uint64_t mailbox_overflow_allocs = 0;
+  std::uint64_t rx_buffer_allocs = 0;
   /// Threads backend, latency injection only: deliveries that overshot
   /// their own deadline behind a head-of-line sleep (runtime/channel.h).
   std::uint64_t hol_inherited = 0;

@@ -113,6 +113,8 @@ netio::SocketTransportOptions ToSocketOptions(const VmOptions& o) {
   s.batch_frames = o.sockets.batch_frames;
   s.heartbeat_interval_ms = o.sockets.heartbeat_interval_ms;
   s.measure_latency = o.histograms;
+  s.wire_delta = o.sockets.wire_delta;
+  s.shm = o.sockets.shm;
   return s;
 }
 

@@ -1,0 +1,129 @@
+// DeltaCache — the per-peer, per-object last-transmitted-version cache
+// behind wire delta encoding (protocol v7).
+//
+// The observation: a DSM run re-sends near-identical payloads for the same
+// object over and over — an ObjReply for a hot object differs from the last
+// ObjReply only in the bytes the home's writers touched since; a DiffMsg
+// from a stable write pattern differs from the previous DiffMsg only in the
+// run payloads. The dsm::Diff codec already expresses exactly that, so the
+// sender keeps the last payload it transmitted per (peer process, object),
+// diff-encodes the next one against it, and ships a kDelta frame when the
+// diff is smaller than the full payload. The receiver holds the mirror
+// cache and reconstructs.
+//
+// Correctness rests on one invariant: *both ends mutate their cache with
+// the identical operation sequence, in frame order*. The sender applies its
+// operation under the link lock together with the enqueue, the receiver in
+// its single frame-processing thread, and every frame travels one FIFO
+// channel — so the two caches evolve in lockstep, including LRU eviction
+// order, without any synchronization traffic. The operations:
+//
+//   * full eligible frame sent/received  -> Store(obj, payload)   (seq = 0)
+//   * delta frame sent/received          -> Advance(obj, payload, base+1)
+//   * migration reply sent/received      -> Erase(obj)  — the ISSUE's
+//     "invalidated on migration": a MigrateReply hands the object a new
+//     home, so the old keying assumption is dead
+//
+// A sender-side Find() never touches LRU state (the receiver cannot observe
+// a probe), which is why miss-then-Store and hit-but-diff-too-big-then-
+// Store are indistinguishable from a plain Store on both ends.
+//
+// Eviction is a deterministic bounded LRU (front = most recent). When the
+// sender evicts an object and later re-sends it, the lookup misses and a
+// full frame goes out — eviction can cost a miss, never correctness. A
+// receiver that gets a delta whose base it does not hold (impossible in
+// lockstep; reachable only from a hostile or corrupted peer) reports a
+// mismatch and the transport treats it as a protocol violation.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/util/bytes.h"
+
+namespace hmdsm::netio {
+
+class DeltaCache {
+ public:
+  static constexpr std::size_t kDefaultMaxEntries = 128;
+
+  explicit DeltaCache(std::size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries) {}
+
+  struct Entry {
+    Buf payload;            // last transmitted version of the object's
+                            // message payload (shared, never copied)
+    std::uint32_t seq = 0;  // 0 = full frame; +1 per delta applied on top
+  };
+
+  /// Sender-side probe. No LRU effect — see the header comment for why
+  /// that is load-bearing, not an optimization.
+  const Entry* Find(std::uint64_t key) const {
+    const auto it = map_.find(key);
+    return it == map_.end() ? nullptr : &it->second.entry;
+  }
+
+  /// A full eligible frame crossed the link: (re)install the payload at
+  /// seq 0, touch LRU, evict the coldest entry past the bound.
+  void Store(std::uint64_t key, Buf payload) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      lru_.push_front(key);
+      it = map_.emplace(key, Node{Entry{}, lru_.begin()}).first;
+      if (map_.size() > max_entries_) EvictOldest();
+    } else {
+      Touch(it->second);
+    }
+    it->second.entry.payload = std::move(payload);
+    it->second.entry.seq = 0;
+  }
+
+  /// A delta frame crossed the link: the entry becomes the reconstructed
+  /// payload at `seq`. The key must exist (the sender only deltas against
+  /// an entry it just found; the receiver verified the base first).
+  void Advance(std::uint64_t key, Buf payload, std::uint32_t seq) {
+    const auto it = map_.find(key);
+    HMDSM_CHECK_MSG(it != map_.end(), "delta advance on evicted key");
+    Touch(it->second);
+    it->second.entry.payload = std::move(payload);
+    it->second.entry.seq = seq;
+  }
+
+  void Erase(std::uint64_t key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return;
+    lru_.erase(it->second.pos);
+    map_.erase(it);
+  }
+
+  void Clear() {
+    map_.clear();
+    lru_.clear();
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t max_entries() const { return max_entries_; }
+
+ private:
+  struct Node {
+    Entry entry;
+    std::list<std::uint64_t>::iterator pos;  // position in lru_
+  };
+
+  void Touch(Node& node) {
+    lru_.splice(lru_.begin(), lru_, node.pos);
+    node.pos = lru_.begin();
+  }
+
+  void EvictOldest() {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+
+  std::unordered_map<std::uint64_t, Node> map_;
+  std::list<std::uint64_t> lru_;  // front = most recently stored/advanced
+  std::size_t max_entries_;
+};
+
+}  // namespace hmdsm::netio

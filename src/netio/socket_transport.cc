@@ -1,10 +1,14 @@
 #include "src/netio/socket_transport.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
+
+#include "src/dsm/diff.h"
+#include "src/proto/wire.h"
 
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
@@ -40,6 +44,22 @@ void AppendU32(Bytes& b, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) b.push_back(static_cast<Byte>(v >> (8 * i)));
 }
 
+/// Per-link delta-cache key: destination rank and object id mixed into one
+/// word. A collision is harmless, not just unlikely: both ends compute the
+/// same key from the same frame fields, so colliding objects overwrite the
+/// shared entry in lockstep and the seq check keeps every delta applied
+/// against the exact payload it was encoded against.
+std::uint64_t DeltaKey(net::NodeId dst, std::uint64_t obj) {
+  return obj ^ (static_cast<std::uint64_t>(dst) * 0x9E3779B97F4A7C15ULL);
+}
+
+/// Encoded-frame bytes beyond the payload/diff (the shared 4-byte length
+/// prefix cancels out): kData is type+src+dst+cat+len = 14, kDelta adds
+/// obj+base_seq = 26. A delta goes out only when it is *strictly* smaller
+/// than the full frame it replaces.
+constexpr std::size_t kDataFrameOverhead = 14;
+constexpr std::size_t kDeltaFrameOverhead = 26;
+
 }  // namespace
 
 SocketTransport::SocketTransport(SocketTransportOptions options)
@@ -66,6 +86,8 @@ SocketTransport::SocketTransport(SocketTransportOptions options)
   mailboxes_.resize(local_count);
   handlers_.resize(local_count);
   peers_.resize(group_count_);
+  mailbox_overflow_base_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(local_count);
   for (stats::Recorder& r : recorders_) r.SetNodeCount(n);
 }
 
@@ -85,6 +107,42 @@ void SocketTransport::Start() {
   HMDSM_CHECK(!started_);
   started_ = true;
   if (group_count_ == 1) return;  // whole cluster in-process: no wire at all
+  host_id_ = ShmTransport::HostIdentity();
+  if (options_.shm) {
+    ShmTransportOptions so;
+    so.group_count = group_count_;
+    so.self_group = group_;
+    so.ring_bytes = options_.shm_ring_bytes;
+    so.max_frame_bytes = options_.max_frame_bytes;
+    std::string error;
+    shm_ = ShmTransport::Create(so, &error);
+    if (shm_ == nullptr) {
+      // Setup failure is a degradation, not an error: every link simply
+      // stays on TCP (and the handshake never advertises the flag).
+      std::fprintf(stderr, "hmdsm sockets: rank %u: shm disabled: %s\n",
+                   options_.rank, error.c_str());
+    } else {
+      shm_->StartReader(
+          [this](std::size_t src_group, Buf frame) {
+            FrameType type;
+            if (!PeekType(frame.span(), &type) ||
+                (type != FrameType::kData && type != FrameType::kDelta)) {
+              Die("non-data frame on the shm ring from process " +
+                  std::to_string(src_group));
+            }
+            HandleFrame(src_group, frame, /*allow_batch=*/false);
+          },
+          [this](const std::string& why) { Die(why); }, &rx_pool_,
+          // Drain gate: ring bytes wait until this link's handshake
+          // settled its receive state (delta_on et al.) — a peer may
+          // attach and write the instant it sees our HelloAck, before
+          // our RegisterPeer has run.
+          [this](std::size_t src_group) {
+            return peers_[src_group].registered.load(
+                std::memory_order_acquire);
+          });
+    }
+  }
   // Only processes with a higher-primary peer expect inbound dials.
   if (group_ + 1 < group_count_) {
     if (options_.listen_fd >= 0) {
@@ -158,9 +216,15 @@ void SocketTransport::ConnectorMain() {
                   std::to_string(primary) + "): " + error);
       return;
     }
-    if (!WriteFrame(fd.get(),
-                    Encode(HelloFrame{kProtocolVersion, rank, n, k}),
-                    &error)) {
+    HelloFrame hello;
+    hello.version = kProtocolVersion;
+    hello.node = rank;
+    hello.node_count = n;
+    hello.ranks_per_proc = k;
+    hello.flags = HelloFlags();
+    hello.host_id = host_id_;
+    if (shm_ != nullptr) hello.shm_name = shm_->segment_name();
+    if (!WriteFrame(fd.get(), Encode(hello), &error)) {
       FailConnect("hello to process " + std::to_string(g) + ": " + error);
       return;
     }
@@ -179,7 +243,17 @@ void SocketTransport::ConnectorMain() {
                   error);
       return;
     }
-    RegisterPeer(g, std::move(fd));
+    // Capability negotiation: the AND of both ends' advertisements. Shm
+    // additionally requires the same host identity — equal flags from a
+    // different machine must not be trusted with an mmap.
+    const bool delta_on =
+        options_.wire_delta && (ack.flags & kHelloFlagWireDelta) != 0;
+    std::string peer_shm;
+    if (shm_ != nullptr && (ack.flags & kHelloFlagShm) != 0 &&
+        ack.host_id == host_id_ && !ack.shm_name.empty()) {
+      peer_shm = ack.shm_name;
+    }
+    RegisterPeer(g, std::move(fd), delta_on, peer_shm);
   }
   for (std::size_t remaining = group_count_ - 1 - group_; remaining > 0;
        --remaining) {
@@ -232,20 +306,66 @@ void SocketTransport::ConnectorMain() {
         return;
       }
     }
-    if (!WriteFrame(fd.get(), Encode(HelloAckFrame{kProtocolVersion, rank}),
-                    &error)) {
+    const bool delta_on =
+        options_.wire_delta && (hello.flags & kHelloFlagWireDelta) != 0;
+    std::string peer_shm;
+    if (shm_ != nullptr && (hello.flags & kHelloFlagShm) != 0 &&
+        hello.host_id == host_id_ && !hello.shm_name.empty()) {
+      peer_shm = hello.shm_name;
+    }
+    HelloAckFrame ack;
+    ack.version = kProtocolVersion;
+    ack.node = rank;
+    ack.flags = HelloFlags();
+    ack.host_id = host_id_;
+    if (shm_ != nullptr) ack.shm_name = shm_->segment_name();
+    if (!WriteFrame(fd.get(), Encode(ack), &error)) {
       FailConnect("hello-ack write: " + error);
       return;
     }
-    RegisterPeer(g, std::move(fd));
+    RegisterPeer(g, std::move(fd), delta_on, peer_shm);
   }
 }
 
-void SocketTransport::RegisterPeer(std::size_t group, Fd fd) {
+std::uint32_t SocketTransport::HelloFlags() const {
+  std::uint32_t flags = 0;
+  if (options_.wire_delta) flags |= kHelloFlagWireDelta;
+  if (shm_ != nullptr) flags |= kHelloFlagShm;
+  return flags;
+}
+
+void SocketTransport::RegisterPeer(std::size_t group, Fd fd, bool delta_on,
+                                   const std::string& peer_shm_name) {
   Peer& peer = peers_[group];
   HMDSM_CHECK_MSG(SetNonBlocking(fd.get()),
                   "cannot make peer socket nonblocking");
   peer.fd = std::move(fd);
+  // Link capabilities settle before any thread can process this link's
+  // frames: the epoll ADD below publishes them to the reactor thread, the
+  // `registered` flip publishes them to the shm reader's drain gate.
+  peer.delta_on.store(delta_on, std::memory_order_release);
+  if (shm_ != nullptr && !peer_shm_name.empty()) {
+    std::string error;
+    if (shm_->AttachPeer(group, peer_shm_name, &error)) {
+      std::lock_guard lock(peer.mu);
+      // FIFO safety at the medium switch: a data frame already queued for
+      // TCP must never be overtaken by ring traffic, so if bring-up
+      // queued any, this link declines the ring for the whole run rather
+      // than reorder. Steady state never queues data pre-handshake.
+      const bool data_queued =
+          std::any_of(peer.queue.begin(), peer.queue.end(),
+                      [](const Bytes& f) {
+                        return !f.empty() && static_cast<FrameType>(f[0]) ==
+                                                 FrameType::kData;
+                      });
+      if (!data_queued) peer.shm_tx = true;
+    } else {
+      std::fprintf(stderr,
+                   "hmdsm sockets: rank %u: shm attach to process %zu "
+                   "failed (%s); link stays on tcp\n",
+                   options_.rank, group, error.c_str());
+    }
+  }
   // Reactor-owned fields must be settled before the ADD makes the socket
   // visible to the owning I/O thread.
   peer.read_open = true;
@@ -257,6 +377,10 @@ void SocketTransport::RegisterPeer(std::size_t group, Fd fd) {
   HMDSM_CHECK(::epoll_ctl(io_[peer.io_thread].epoll.get(), EPOLL_CTL_ADD,
                           peer.fd.get(), &ev) == 0);
   peer.registered.store(true, std::memory_order_release);
+  // The shm reader parks on its gate while `registered` is false; wake it
+  // so ring bytes that raced the handshake drain now rather than on the
+  // next doorbell.
+  if (shm_ != nullptr) shm_->KickReader();
   // Frames enqueued before the handshake completed have been waiting for
   // exactly this moment.
   bool pending;
@@ -464,11 +588,11 @@ void SocketTransport::HandleReadable(IoThread& t, std::size_t group) {
         Die("frame length " + std::to_string(len) + " from process " +
             std::to_string(group));
       }
-      peer.in_frame.resize(len);
+      peer.in_box = rx_pool_.Acquire(len);
       peer.in_got = 0;
     } else {
-      const std::size_t want = peer.in_frame.size() - peer.in_got;
-      const ssize_t r = ::recv(fd, peer.in_frame.data() + peer.in_got, want,
+      const std::size_t want = peer.in_box->size() - peer.in_got;
+      const ssize_t r = ::recv(fd, peer.in_box->data() + peer.in_got, want,
                                0);
       if (r < 0) {
         if (errno == EINTR) continue;
@@ -493,13 +617,14 @@ void SocketTransport::HandleReadable(IoThread& t, std::size_t group) {
       }
       peer.last_heard_ns.store(Now(), std::memory_order_release);
       peer.in_got += static_cast<std::size_t>(r);
-      if (peer.in_got < peer.in_frame.size()) continue;
+      if (peer.in_got < peer.in_box->size()) continue;
       peer.head_got = 0;
-      Bytes frame;
-      frame.swap(peer.in_frame);
-      // One Buf owns the received frame; data payloads (and batched inner
-      // frames) are handed out as aliased views of it, never copied again.
-      HandleFrame(group, Buf(std::move(frame)), /*allow_batch=*/true);
+      // One pooled Buf owns the received frame; data payloads (and batched
+      // inner frames) are handed out as aliased views of it, never copied
+      // again, and the storage returns to the pool when the last view
+      // drops.
+      HandleFrame(group, rx_pool_.Wrap(std::move(peer.in_box)),
+                  /*allow_batch=*/true);
     }
   }
 }
@@ -523,6 +648,9 @@ void SocketTransport::HandleFrame(std::size_t group, const Buf& frame,
           " (claims " + std::to_string(data.src) + "->" +
           std::to_string(data.dst) + ")");
     }
+    // Mirror the sender's tx-cache op for this frame (lockstep invariant,
+    // see delta.h) before the payload is moved into the packet.
+    NoteRxData(peers_[group], data);
     wire_received_.fetch_add(1, std::memory_order_acq_rel);
     // Count before the push, exactly like the channel transport: once the
     // dispatcher can see the packet, enqueued() must already cover it.
@@ -531,6 +659,8 @@ void SocketTransport::HandleFrame(std::size_t group, const Buf& frame,
                        std::move(data.payload)};
     if (options_.measure_latency) packet.enqueued_at = Now();
     mailboxes_[data.dst - options_.rank].Push(std::move(packet));
+  } else if (type == FrameType::kDelta) {
+    HandleDelta(group, frame);
   } else if (type == FrameType::kBatch) {
     std::vector<Buf> inner;
     if (!allow_batch || !TryDecodeBatch(frame, &inner, &error)) {
@@ -577,6 +707,65 @@ void SocketTransport::HandleFrame(std::size_t group, const Buf& frame,
   }
 }
 
+void SocketTransport::HandleDelta(std::size_t group, const Buf& frame) {
+  std::string error;
+  DeltaFrame df;
+  if (!TryDecode(frame, &df, &error)) {
+    Die("malformed delta frame from process " + std::to_string(group) +
+        ": " + error);
+  }
+  if (df.src >= options_.peers.size() || GroupOf(df.src) != group ||
+      !is_local(df.dst)) {
+    Die("misrouted delta frame from process " + std::to_string(group) +
+        " (claims " + std::to_string(df.src) + "->" +
+        std::to_string(df.dst) + ")");
+  }
+  Peer& peer = peers_[group];
+  if (!peer.delta_on.load(std::memory_order_acquire)) {
+    Die("delta frame from process " + std::to_string(group) +
+        " but the link did not negotiate wire deltas");
+  }
+  // Rebuild the full payload against the mirrored base. Any mismatch here
+  // is a protocol bug — the lockstep invariant (delta.h) guarantees the
+  // sender only deltas against versions it knows we hold.
+  const std::uint64_t key = DeltaKey(df.dst, df.obj);
+  const DeltaCache::Entry* prev = peer.rx_cache.Find(key);
+  if (prev == nullptr || prev->seq != df.base_seq) {
+    Die("delta frame from process " + std::to_string(group) + " for obj " +
+        std::to_string(df.obj) + " has base seq " +
+        std::to_string(df.base_seq) + " but receiver holds " +
+        (prev ? std::to_string(prev->seq) : std::string("nothing")));
+  }
+  Bytes rebuilt;
+  if (!dsm::Diff::TryApply(df.diff.span(), prev->payload.span(), &rebuilt,
+                           &error)) {
+    Die("delta frame from process " + std::to_string(group) +
+        " does not apply: " + error);
+  }
+  Buf payload(std::move(rebuilt));
+  peer.rx_cache.Advance(key, payload, df.base_seq + 1);
+  wire_received_.fetch_add(1, std::memory_order_acq_rel);
+  enqueued_.fetch_add(1, std::memory_order_acq_rel);
+  net::Packet packet{df.src, df.dst, df.cat, std::move(payload)};
+  if (options_.measure_latency) packet.enqueued_at = Now();
+  mailboxes_[df.dst - options_.rank].Push(std::move(packet));
+}
+
+void SocketTransport::NoteRxData(Peer& peer, const DataFrame& data) {
+  if (!peer.delta_on.load(std::memory_order_acquire)) return;
+  proto::Kind kind;
+  std::uint64_t obj;
+  if (!proto::PeekKindObject(data.payload.span(), &kind, &obj)) return;
+  const std::uint64_t key = DeltaKey(data.dst, obj);
+  if (kind == proto::Kind::kMigrateReply) {
+    // Mirrors the sender's Erase: the home moved, so the next version of
+    // this object arrives from a different process with a fresh cache.
+    peer.rx_cache.Erase(key);
+  } else if (kind == proto::Kind::kObjReply || kind == proto::Kind::kDiff) {
+    peer.rx_cache.Store(key, data.payload);
+  }
+}
+
 void SocketTransport::OnTimer(IoThread& t) {
   std::uint64_t expirations;
   while (::read(t.timer.get(), &expirations, sizeof expirations) > 0) {
@@ -606,6 +795,10 @@ void SocketTransport::MarkPeerDown(IoThread& t, std::size_t group,
     std::lock_guard lock(peer.mu);
     peer.queue.clear();
     peer.queue_bytes = 0;
+    // A dead link sends nothing more on any medium, and a resurrected one
+    // would renegotiate from scratch — drop the ring and the delta state.
+    peer.shm_tx = false;
+    peer.tx_cache.Clear();
   }
   if (peer.in_epoll) {
     ::epoll_ctl(t.epoll.get(), EPOLL_CTL_DEL, peer.fd.get(), nullptr);
@@ -820,6 +1013,87 @@ bool SocketTransport::TryEnqueueFrame(net::NodeId dst, Bytes frame) {
   return true;
 }
 
+Bytes SocketTransport::EncodeDataLocked(Peer& peer, DataFrame data) {
+  // Called under peer.mu: the cache op and the frame's entry into the
+  // link's FIFO (queue push or ring write) are one atomic step, which is
+  // what keeps both ends' caches in lockstep (delta.h).
+  if (!peer.delta_on.load(std::memory_order_acquire))
+    return Encode(std::move(data));
+  proto::Kind kind;
+  std::uint64_t obj;
+  if (!proto::PeekKindObject(data.payload.span(), &kind, &obj))
+    return Encode(std::move(data));
+  const std::uint64_t key = DeltaKey(data.dst, obj);
+  if (kind == proto::Kind::kMigrateReply) {
+    // Home moved: whoever serves the next version keys a fresh cache, so
+    // both ends drop this entry (receiver mirrors in NoteRxData).
+    peer.tx_cache.Erase(key);
+    return Encode(std::move(data));
+  }
+  if (kind != proto::Kind::kObjReply && kind != proto::Kind::kDiff)
+    return Encode(std::move(data));
+  const DeltaCache::Entry* prev = peer.tx_cache.Find(key);
+  if (prev != nullptr && prev->payload.size() == data.payload.size()) {
+    Bytes diff =
+        dsm::Diff::Encode(prev->payload.span(), data.payload.span());
+    // Send the delta only when it is strictly smaller on the wire,
+    // frame overheads included — equal-size deltas buy nothing and cost
+    // a rebuild on the far side.
+    if (diff.size() + kDeltaFrameOverhead <
+        data.payload.size() + kDataFrameOverhead) {
+      const std::uint64_t base_seq = prev->seq;
+      delta_hits_.fetch_add(1, std::memory_order_relaxed);
+      delta_bytes_saved_.fetch_add(
+          (data.payload.size() + kDataFrameOverhead) -
+              (diff.size() + kDeltaFrameOverhead),
+          std::memory_order_relaxed);
+      peer.tx_cache.Advance(key, data.payload, base_seq + 1);
+      return Encode(DeltaFrame{data.src, data.dst, data.cat, obj, base_seq,
+                               Buf(std::move(diff))});
+    }
+  }
+  delta_misses_.fetch_add(1, std::memory_order_relaxed);
+  peer.tx_cache.Store(key, data.payload);
+  return Encode(std::move(data));
+}
+
+void SocketTransport::SendData(net::NodeId dst, DataFrame data) {
+  const std::size_t g = GroupOf(dst);
+  HMDSM_CHECK(g != group_);
+  Peer& peer = peers_[g];
+  if (peer.down.load(std::memory_order_acquire)) {
+    peer.frames_dropped.fetch_add(1, std::memory_order_acq_rel);
+    return;
+  }
+  bool via_shm = false;
+  {
+    std::lock_guard lock(peer.mu);
+    HMDSM_CHECK_MSG(!peer.closed, "send to rank " << dst << " after Stop()");
+    Bytes frame = EncodeDataLocked(peer, std::move(data));
+    if (peer.shm_tx) {
+      // Ring write under peer.mu: the mutex is the single-writer contract
+      // ShmTransport requires, and it orders ring records exactly like
+      // the TCP queue would. Mid-run this always succeeds; false means
+      // the mesh is tearing down and the frame no longer matters.
+      via_shm = shm_->WriteFrame(g, ByteSpan(frame.data(), frame.size()));
+      if (!via_shm) {
+        peer.frames_dropped.fetch_add(1, std::memory_order_acq_rel);
+        return;
+      }
+    } else {
+      peer.queue_bytes += frame.size();
+      peer.queue.push_back(std::move(frame));
+    }
+  }
+  if (via_shm) {
+    peer.shm_msgs_sent.fetch_add(1, std::memory_order_acq_rel);
+    shm_msgs_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  frames_enqueued_.fetch_add(1, std::memory_order_acq_rel);
+  KickPeer(g);
+}
+
 void SocketTransport::SendControl(net::NodeId dst, const Bytes& frame) {
   EnqueueFrame(dst, frame);
 }
@@ -864,7 +1138,7 @@ void SocketTransport::Send(net::NodeId src, net::NodeId dst,
   // Count before the frame becomes visible to the reactor: quiescence must
   // never observe a receive without its matching send.
   wire_sent_.fetch_add(1, std::memory_order_acq_rel);
-  EnqueueFrame(dst, Encode(DataFrame{src, dst, cat, std::move(payload)}));
+  SendData(dst, DataFrame{src, dst, cat, std::move(payload)});
 }
 
 void SocketTransport::Dispatch(net::Packet&& packet) {
@@ -895,12 +1169,33 @@ void SocketTransport::ResetStats() {
   frames_coalesced_base_.store(
       frames_coalesced_.load(std::memory_order_acquire),
       std::memory_order_release);
+  delta_hits_base_.store(delta_hits_.load(std::memory_order_acquire),
+                         std::memory_order_release);
+  delta_misses_base_.store(delta_misses_.load(std::memory_order_acquire),
+                           std::memory_order_release);
+  delta_bytes_saved_base_.store(
+      delta_bytes_saved_.load(std::memory_order_acquire),
+      std::memory_order_release);
+  shm_msgs_base_.store(shm_msgs_.load(std::memory_order_acquire),
+                       std::memory_order_release);
+  rx_buffer_allocs_base_.store(rx_pool_.buffer_allocs(),
+                               std::memory_order_release);
+  for (std::size_t i = 0; i < mailboxes_.size(); ++i) {
+    mailbox_overflow_base_[i].store(mailboxes_[i].overflow_allocs(),
+                                    std::memory_order_release);
+  }
   std::lock_guard lock(write_lat_mu_);
   write_latency_.Reset();
 }
 
 void SocketTransport::AugmentSnapshot(net::NodeId node,
                                       stats::Recorder& into) const {
+  if (is_local(node)) {
+    const std::size_t i = node - options_.rank;
+    into.Bump(stats::Ev::kMailboxOverflowAllocs,
+              mailboxes_[i].overflow_allocs() -
+                  mailbox_overflow_base_[i].load(std::memory_order_acquire));
+  }
   if (node != options_.rank) return;  // wire counters are process-level
   into.Bump(stats::Ev::kSocketWrites,
             socket_writes_.load(std::memory_order_acquire) -
@@ -911,6 +1206,21 @@ void SocketTransport::AugmentSnapshot(net::NodeId node,
   into.Bump(stats::Ev::kWireFramesCoalesced,
             frames_coalesced_.load(std::memory_order_acquire) -
                 frames_coalesced_base_.load(std::memory_order_acquire));
+  into.Bump(stats::Ev::kWireDeltaHits,
+            delta_hits_.load(std::memory_order_acquire) -
+                delta_hits_base_.load(std::memory_order_acquire));
+  into.Bump(stats::Ev::kWireDeltaMisses,
+            delta_misses_.load(std::memory_order_acquire) -
+                delta_misses_base_.load(std::memory_order_acquire));
+  into.Bump(stats::Ev::kWireDeltaBytesSaved,
+            delta_bytes_saved_.load(std::memory_order_acquire) -
+                delta_bytes_saved_base_.load(std::memory_order_acquire));
+  into.Bump(stats::Ev::kShmMsgs,
+            shm_msgs_.load(std::memory_order_acquire) -
+                shm_msgs_base_.load(std::memory_order_acquire));
+  into.Bump(stats::Ev::kRxBufferAllocs,
+            rx_pool_.buffer_allocs() -
+                rx_buffer_allocs_base_.load(std::memory_order_acquire));
   std::lock_guard lock(write_lat_mu_);
   into.MergeLatency(stats::Lat::kSocketWrite, write_latency_);
 }
@@ -937,11 +1247,13 @@ std::vector<LinkStats> SocketTransport::LinkSnapshots() {
     s.epollout_arms = peer.epollout_arms.load(std::memory_order_acquire);
     s.kicks = peer.kicks.load(std::memory_order_acquire);
     s.frames_dropped = peer.frames_dropped.load(std::memory_order_acquire);
+    s.shm_msgs = peer.shm_msgs_sent.load(std::memory_order_acquire);
     {
       std::lock_guard lock(peer.mu);
       s.queue_depth = peer.queue.size();
       s.queue_bytes = peer.queue_bytes;
       s.rtt = peer.rtt;
+      s.shm = peer.shm_tx;
     }
     out.push_back(std::move(s));
   }
@@ -971,6 +1283,9 @@ void SocketTransport::Stop() {
   for (IoThread& t : io_) {
     if (t.th.joinable()) t.th.join();
   }
+  // The shm reader pushes into the mailboxes: it must be fully stopped
+  // before they close under it.
+  if (shm_ != nullptr) shm_->Stop();
   for (runtime::Channel& m : mailboxes_) m.Close();
   listener_.Close();
   for (Peer& peer : peers_) peer.fd.Close();

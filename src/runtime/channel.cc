@@ -19,10 +19,24 @@ void PreciseSleepFor(sim::Time dt) {
 
 ChannelTransport::ChannelTransport(std::size_t node_count)
     : channels_(node_count),
+      overflow_alloc_base_(node_count, 0),
       handlers_(node_count),
       recorders_(node_count),
       epoch_(std::chrono::steady_clock::now()) {
   for (stats::Recorder& r : recorders_) r.SetNodeCount(node_count);
+}
+
+void ChannelTransport::ResetStats() {
+  MailboxTransport::ResetStats();
+  for (std::size_t n = 0; n < channels_.size(); ++n)
+    overflow_alloc_base_[n] = channels_[n].overflow_allocs();
+}
+
+void ChannelTransport::AugmentSnapshot(NodeId node,
+                                       stats::Recorder& into) const {
+  if (node >= channels_.size()) return;
+  into.Bump(stats::Ev::kMailboxOverflowAllocs,
+            channels_[node].overflow_allocs() - overflow_alloc_base_[node]);
 }
 
 void ChannelTransport::Send(NodeId src, NodeId dst, stats::MsgCat cat,

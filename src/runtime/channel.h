@@ -154,12 +154,28 @@ class MpscRing {
 ///     is exhausted first) before its overflow packets;
 ///   * overflow -> ring: a sender re-enters the ring only after the
 ///     overflow is empty, i.e. its overflow packets were already popped.
+///
+/// The overflow queue is an intrusive singly-linked list whose nodes come
+/// from a bounded free list, so a mailbox that oscillates across the
+/// ring-full boundary stops allocating after warm-up — overflow bursts are
+/// exactly the moments the allocator lock would hurt most. overflow_allocs()
+/// counts the nodes that had to come from the allocator; steady state means
+/// the counter stops moving.
 class Channel {
  public:
   static constexpr std::size_t kDefaultRingCapacity = 512;
+  /// Free nodes kept for reuse; beyond this, pops release to the allocator.
+  /// Sized to a few ring capacities: an overflow deeper than that is a
+  /// sustained imbalance, not a burst worth holding memory for.
+  static constexpr std::size_t kMaxFreeNodes = 1024;
 
   explicit Channel(std::size_t ring_capacity = kDefaultRingCapacity)
       : ring_(ring_capacity) {}
+
+  ~Channel() {
+    FreeList(ov_head_);
+    FreeList(free_);
+  }
 
   /// A push that starts after Close() throws "send on closed channel"; a
   /// push racing Close() may instead land and be dropped with the rest of
@@ -173,7 +189,22 @@ class Channel {
       std::lock_guard lock(mu_);
       HMDSM_CHECK_MSG(!closed_.load(std::memory_order_relaxed),
                       "send on closed channel");
-      overflow_.push_back(std::move(packet));
+      OvNode* node = free_;
+      if (node != nullptr) {
+        free_ = node->next;
+        --free_count_;
+      } else {
+        node = new OvNode;
+        overflow_allocs_.fetch_add(1, std::memory_order_relaxed);
+      }
+      node->packet = std::move(packet);
+      node->next = nullptr;
+      if (ov_tail_ != nullptr) {
+        ov_tail_->next = node;
+      } else {
+        ov_head_ = node;
+      }
+      ov_tail_ = node;
       overflow_active_.store(true, std::memory_order_release);
     }
     Knock();
@@ -215,7 +246,7 @@ class Channel {
           waiting_.store(false, std::memory_order_relaxed);
           return false;
         }
-        if (ring_.Empty() && overflow_.empty()) {
+        if (ring_.Empty() && ov_head_ == nullptr) {
           cv_.wait_for(lock, std::chrono::milliseconds(10));
         }
       }
@@ -229,6 +260,12 @@ class Channel {
       closed_.store(true, std::memory_order_release);
     }
     cv_.notify_all();
+  }
+
+  /// Overflow nodes that had to come from the allocator (free list empty).
+  /// Flat after warm-up = allocation-free steady state.
+  std::uint64_t overflow_allocs() const {
+    return overflow_allocs_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -247,11 +284,22 @@ class Channel {
     }
     if (!overflow_active_.load(std::memory_order_acquire)) return false;
     std::lock_guard lock(mu_);
-    if (overflow_.empty()) return false;
-    out = std::move(overflow_.front());
-    overflow_.pop_front();
-    if (overflow_.empty())
+    if (ov_head_ == nullptr) return false;
+    OvNode* node = ov_head_;
+    ov_head_ = node->next;
+    if (ov_head_ == nullptr) {
+      ov_tail_ = nullptr;
       overflow_active_.store(false, std::memory_order_release);
+    }
+    out = std::move(node->packet);
+    node->packet = net::Packet{};  // drop the payload ref promptly
+    if (free_count_ < kMaxFreeNodes) {
+      node->next = free_;
+      free_ = node;
+      ++free_count_;
+    } else {
+      delete node;
+    }
     return true;
   }
 
@@ -265,13 +313,30 @@ class Channel {
     }
   }
 
+  struct OvNode {
+    net::Packet packet;
+    OvNode* next = nullptr;
+  };
+
+  static void FreeList(OvNode* node) {
+    while (node != nullptr) {
+      OvNode* next = node->next;
+      delete node;
+      node = next;
+    }
+  }
+
   MpscRing ring_;
   std::atomic<bool> closed_{false};
   std::atomic<bool> overflow_active_{false};
   std::atomic<bool> waiting_{false};
-  mutable std::mutex mu_;  // overflow deque + eventcount sleep
+  mutable std::mutex mu_;  // overflow list + free list + eventcount sleep
   std::condition_variable cv_;
-  std::deque<net::Packet> overflow_;
+  OvNode* ov_head_ = nullptr;  // FIFO overflow queue
+  OvNode* ov_tail_ = nullptr;
+  OvNode* free_ = nullptr;  // recycled nodes, bounded by kMaxFreeNodes
+  std::size_t free_count_ = 0;
+  std::atomic<std::uint64_t> overflow_allocs_{0};
 };
 
 /// The threads backend's Transport: wall clock, per-node mailboxes.
@@ -383,8 +448,17 @@ class ChannelTransport final : public MailboxTransport {
     return packets_sent_.load(std::memory_order_acquire);
   }
 
+  /// Also snapshots per-mailbox overflow-alloc baselines, so the measured
+  /// window reports only steady-state allocations (which should be zero —
+  /// the whole point of the node pool).
+  void ResetStats() override;
+
+  /// Folds the mailbox overflow-alloc counter into `node`'s snapshot.
+  void AugmentSnapshot(net::NodeId node, stats::Recorder& into) const override;
+
  private:
   std::deque<Channel> channels_;           // per node; deque: stable refs
+  std::vector<std::uint64_t> overflow_alloc_base_;  // ResetStats snapshots
   std::vector<Handler> handlers_;          // written before dispatch starts
   std::deque<stats::Recorder> recorders_;  // per node; deque: stable refs
   std::atomic<std::uint64_t> enqueued_{0};

@@ -71,6 +71,24 @@ class Buf {
     }
   }
 
+  /// Wraps an externally owned shared buffer without copying. Small buffers
+  /// re-inline (releasing `owner` immediately — a pooled buffer goes back to
+  /// its pool instead of being pinned by a tiny payload). The receive paths
+  /// use this with util::BufferPool so frame storage is recycled, not
+  /// reallocated, once the last reference drops.
+  static Buf Adopt(std::shared_ptr<const Bytes> owner) {
+    if (owner == nullptr || owner->size() <= kInlineCapacity) {
+      Buf b;
+      b.AssignInline(owner != nullptr ? ByteSpan(*owner) : ByteSpan());
+      return b;
+    }
+    Buf b;
+    b.data_ = owner->data();
+    b.size_ = owner->size();
+    b.owner_ = std::move(owner);
+    return b;
+  }
+
   /// Copies a span into a fresh Buf (inline when small).
   static Buf Copy(ByteSpan s) {
     if (s.size() <= kInlineCapacity) {

@@ -140,6 +140,43 @@ TEST(ChannelOverflow, RecoversTheRingAfterTheOverflowDrains) {
   }
 }
 
+TEST(ChannelOverflow, SteadyStateOverflowBurstsStopAllocating) {
+  // The overflow deque's nodes come from a free list, so a mailbox that
+  // repeatedly crosses the ring-full boundary allocates only during the
+  // first burst. This is the allocation-free steady-state claim behind the
+  // overflow_allocs counter in RunReport.
+  Channel ch(4);
+  net::Packet p;
+  constexpr std::uint64_t kBurst = 200;  // well past the ring, under the
+                                         // free-list bound (kMaxFreeNodes)
+  for (std::uint64_t i = 0; i < kBurst; ++i) ch.Push(Pkt(0, i));
+  for (std::uint64_t i = 0; i < kBurst; ++i) ASSERT_TRUE(ch.WaitPop(p));
+  const std::uint64_t warmup_allocs = ch.overflow_allocs();
+  EXPECT_GT(warmup_allocs, 0u) << "the burst must actually overflow";
+  for (int round = 0; round < 20; ++round) {
+    for (std::uint64_t i = 0; i < kBurst; ++i) ch.Push(Pkt(0, i));
+    for (std::uint64_t i = 0; i < kBurst; ++i) ASSERT_TRUE(ch.WaitPop(p));
+    ASSERT_EQ(ch.overflow_allocs(), warmup_allocs) << "round " << round;
+  }
+}
+
+TEST(ChannelOverflow, FreeListIsBoundedPastKMaxFreeNodes) {
+  // A burst deeper than the free-list bound releases the excess back to the
+  // allocator, so a second identical burst re-allocates exactly the part
+  // past the bound — the pool holds memory for bursts, not imbalances.
+  Channel ch(4);
+  net::Packet p;
+  const std::uint64_t kDeep = Channel::kMaxFreeNodes + 300;
+  for (std::uint64_t i = 0; i < kDeep; ++i) ch.Push(Pkt(0, i));
+  for (std::uint64_t i = 0; i < kDeep; ++i) ASSERT_TRUE(ch.WaitPop(p));
+  const std::uint64_t first = ch.overflow_allocs();
+  for (std::uint64_t i = 0; i < kDeep; ++i) ch.Push(Pkt(0, i));
+  for (std::uint64_t i = 0; i < kDeep; ++i) ASSERT_TRUE(ch.WaitPop(p));
+  const std::uint64_t second = ch.overflow_allocs() - first;
+  EXPECT_GT(second, 0u);
+  EXPECT_LT(second, first) << "the free list must absorb the bounded part";
+}
+
 TEST(ChannelStress, ManyProducersThroughRingAndOverflow) {
   constexpr std::size_t kProducers = 8;
   constexpr std::uint64_t kPerProducer = 4000;
